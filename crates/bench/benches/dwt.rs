@@ -1,0 +1,27 @@
+//! DWT stage throughput across bases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrv_dsp::{Cx, OpCount};
+use hrv_wavelet::{analysis_stage, FilterPair, WaveletBasis};
+use std::hint::black_box;
+
+fn bench_dwt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwt");
+    group.sample_size(30);
+    let n = 512;
+    let input: Vec<Cx> = (0..n).map(|i| Cx::real((i as f64 * 0.21).sin())).collect();
+    for basis in WaveletBasis::ALL {
+        let filters = FilterPair::new(basis);
+        group.bench_with_input(
+            BenchmarkId::new("analysis_stage", basis.to_string()),
+            &basis,
+            |b, _| {
+                b.iter(|| black_box(analysis_stage(&input, &filters, &mut OpCount::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dwt);
+criterion_main!(benches);

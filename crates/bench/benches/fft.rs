@@ -1,0 +1,45 @@
+//! Kernel throughput: radix-2 vs split-radix vs exact wavelet FFT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrv_dsp::{Cx, FftBackend, OpCount, Radix2Fft, SplitRadixFft};
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::WfftPlan;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Cx> {
+    (0..n)
+        .map(|i| Cx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(30);
+    for &n in &[256usize, 512, 1024] {
+        let input = signal(n);
+        let radix2 = Radix2Fft::new(n);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = input.clone();
+                radix2.forward(&mut data, &mut OpCount::default());
+                black_box(data)
+            })
+        });
+        let split = SplitRadixFft::new(n);
+        group.bench_with_input(BenchmarkId::new("split_radix", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = input.clone();
+                split.forward(&mut data, &mut OpCount::default());
+                black_box(data)
+            })
+        });
+        let wfft = WfftPlan::new(n, WaveletBasis::Haar);
+        group.bench_with_input(BenchmarkId::new("wavelet_haar_exact", n), &n, |b, _| {
+            b.iter(|| black_box(wfft.forward(&input, &mut OpCount::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Lomb periodogram throughput: direct O(N²) vs Fast-Lomb.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hrv_bench::arrhythmia_cohort;
+use hrv_dsp::{OpCount, SplitRadixFft};
+use hrv_lomb::{lomb_direct, FastLomb};
+use std::hint::black_box;
+
+fn bench_lomb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lomb");
+    group.sample_size(20);
+    let rr = &arrhythmia_cohort(1, 150.0)[0];
+    let window = rr.window(0.0, 120.0).expect("window");
+    let times: Vec<f64> = window.times().iter().map(|&t| t - window.times()[0]).collect();
+    let values = window.intervals().to_vec();
+
+    group.bench_function("direct_120bins", |b| {
+        b.iter(|| {
+            black_box(lomb_direct(
+                &times,
+                &values,
+                2.0,
+                120,
+                &mut OpCount::default(),
+            ))
+        })
+    });
+
+    let backend = SplitRadixFft::new(512);
+    let extirpolated = FastLomb::new(512, 2.0).with_span(120.0);
+    group.bench_function("fast_extirpolated", |b| {
+        b.iter(|| {
+            black_box(extirpolated.periodogram(&backend, &times, &values, &mut OpCount::default()))
+        })
+    });
+    let resampled = FastLomb::new(512, 2.0).with_resampled_mesh().with_span(120.0);
+    group.bench_function("fast_resampled", |b| {
+        b.iter(|| {
+            black_box(resampled.periodogram(&backend, &times, &values, &mut OpCount::default()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lomb);
+criterion_main!(benches);

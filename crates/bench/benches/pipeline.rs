@@ -1,0 +1,35 @@
+//! End-to-end PSA pipeline throughput: conventional vs proposed system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrv_bench::arrhythmia_cohort;
+use hrv_core::{ApproximationMode, PruningPolicy, PsaConfig, PsaSystem};
+use hrv_wavelet::WaveletBasis;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(15);
+    let rr = &arrhythmia_cohort(1, 360.0)[0];
+
+    let systems = [
+        ("conventional", PsaSystem::new(PsaConfig::conventional()).expect("config")),
+        (
+            "proposed_set3",
+            PsaSystem::new(PsaConfig::proposed(
+                WaveletBasis::Haar,
+                ApproximationMode::BandDropSet3,
+                PruningPolicy::Static,
+            ))
+            .expect("config"),
+        ),
+    ];
+    for (name, system) in &systems {
+        group.bench_with_input(BenchmarkId::new("analyze_6min", name), name, |b, _| {
+            b.iter(|| black_box(system.analyze(rr).expect("analysis")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Pruned wavelet-FFT throughput across approximation modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrv_dsp::{Cx, OpCount};
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
+use std::hint::black_box;
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfft_prune");
+    group.sample_size(30);
+    let n = 512;
+    let input: Vec<Cx> = (0..n)
+        .map(|i| Cx::real(0.9 + 0.05 * (i as f64 * 0.1).sin()))
+        .collect();
+    let configs = [
+        ("exact", PruneConfig::exact()),
+        ("band_drop", PruneConfig::band_drop_only()),
+        ("set1", PruneConfig::with_set(PruneSet::Set1)),
+        ("set2", PruneConfig::with_set(PruneSet::Set2)),
+        ("set3", PruneConfig::with_set(PruneSet::Set3)),
+    ];
+    for (name, config) in configs {
+        let pruned = PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), config);
+        group.bench_with_input(BenchmarkId::new("haar", name), &name, |b, _| {
+            b.iter(|| black_box(pruned.forward(&input, &mut OpCount::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 1(b): energy profiling of the conventional (split-radix) PSA
+//! system on the sensor-node model. The paper's observation: the FFT block
+//! consumes the majority of power and cycles.
+
+use hrv_bench::{arrhythmia_cohort, bar};
+use hrv_core::{PsaConfig, PsaSystem};
+use hrv_node_sim::{CostModel, EnergyModel, EnergyProfile, OperatingPoint};
+
+fn main() {
+    println!("== Fig. 1(b): energy profile of the conventional PSA system ==\n");
+    let cohort = arrhythmia_cohort(4, 360.0);
+    let system = PsaSystem::new(PsaConfig::conventional()).expect("valid config");
+
+    let mut blocks = hrv_dsp::BlockOps::new();
+    for rr in &cohort {
+        let analysis = system.analyze(rr).expect("analysis");
+        for (name, ops) in analysis.blocks.iter() {
+            blocks.record(name, *ops);
+        }
+    }
+    let profile = EnergyProfile::from_blocks(
+        &blocks,
+        &CostModel::typical_sensor_node(),
+        &EnergyModel::ninety_nm_low_leakage(),
+        &OperatingPoint::nominal(),
+    );
+
+    println!("{profile}");
+    let max = profile
+        .shares()
+        .iter()
+        .map(|s| s.energy)
+        .fold(0.0f64, f64::max);
+    for share in profile.shares() {
+        println!(
+            "{:<16} {} {:>5.1}%",
+            share.name,
+            bar(share.energy, max, 40),
+            100.0 * share.energy / profile.total_energy()
+        );
+    }
+    println!(
+        "\nFFT share: {:.1}% of energy, {:.1}% of cycles (paper: FFT consumes most of the\nsystem power and the majority of computational cycles)",
+        100.0 * profile.energy_fraction("fft"),
+        100.0 * profile.cycle_fraction("fft")
+    );
+}

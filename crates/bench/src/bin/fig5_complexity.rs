@@ -1,0 +1,87 @@
+//! Fig. 5(a)/(b) and §V: operation counts of the wavelet-based FFT
+//! against the split-radix baseline — without pruning, with the 1st-stage
+//! band drop, and with the three 2nd-stage twiddle sets; plus the N = 1024
+//! scaling note.
+
+use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft};
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
+
+fn count_split_radix(n: usize) -> OpCount {
+    let mut ops = OpCount::default();
+    SplitRadixFft::new(n).forward(&mut vec![Cx::ONE; n], &mut ops);
+    ops
+}
+
+fn count_wfft(n: usize, basis: WaveletBasis, config: PruneConfig) -> OpCount {
+    let pruned = PrunedWfft::new(WfftPlan::new(n, basis), config);
+    let mut ops = OpCount::default();
+    let _ = pruned.forward(&vec![Cx::ONE; n], &mut ops);
+    ops
+}
+
+fn row(label: &str, ops: &OpCount, reference: &OpCount) {
+    let total = ops.arithmetic();
+    let delta = 100.0 * (total as f64 / reference.arithmetic() as f64 - 1.0);
+    println!(
+        "{label:<26} adds {:>6}  mults {:>6}  total {:>6}  vs split-radix {:>+7.1}%",
+        ops.add, ops.mul, total, delta
+    );
+}
+
+fn main() {
+    let n = 512;
+    let reference = count_split_radix(n);
+    println!("== Fig. 5(a): complexity, no approximation vs 1st-stage band drop (N = {n}) ==\n");
+    row("split-radix FFT", &reference, &reference);
+    for basis in WaveletBasis::PAPER {
+        row(
+            &format!("{basis} (no approx)"),
+            &count_wfft(n, basis, PruneConfig::exact()),
+            &reference,
+        );
+        row(
+            &format!("{basis} (band drop)"),
+            &count_wfft(n, basis, PruneConfig::band_drop_only()),
+            &reference,
+        );
+    }
+    println!("\npaper: no-approx overhead Haar +36% / Db2 +49% / Db4 +76%;");
+    println!("       band-drop savings Haar -28% / Db2 -21% / Db4 -8%\n");
+
+    println!("== Fig. 5(b): complexity with 2nd-stage twiddle pruning (modes on top of band drop) ==\n");
+    row("split-radix FFT", &reference, &reference);
+    for basis in WaveletBasis::PAPER {
+        for set in PruneSet::ALL {
+            row(
+                &format!("{basis} ({set})"),
+                &count_wfft(n, basis, PruneConfig::with_set(set)),
+                &reference,
+            );
+        }
+    }
+
+    let haar3 = count_wfft(n, WaveletBasis::Haar, PruneConfig::with_set(PruneSet::Set3));
+    println!(
+        "\nHaar + band drop + Set3: {:.1}% fewer adds, {:.1}% fewer mults than split-radix",
+        100.0 * (1.0 - haar3.add as f64 / reference.add as f64),
+        100.0 * (1.0 - haar3.mul as f64 / reference.mul as f64),
+    );
+    println!("paper §V.B: 52% fewer additions, 17% fewer multiplications\n");
+
+    println!("== §V scaling note: N = 1024 ==\n");
+    let n2 = 1024;
+    let ref2 = count_split_radix(n2);
+    let haar3_1024 = count_wfft(n2, WaveletBasis::Haar, PruneConfig::with_set(PruneSet::Set3));
+    row("split-radix FFT (1024)", &ref2, &ref2);
+    row("haar set3 (1024)", &haar3_1024, &ref2);
+    let mult_512 = haar3.mul as f64 / reference.mul as f64;
+    let mult_1024 = haar3_1024.mul as f64 / ref2.mul as f64;
+    let add_512 = haar3.add as f64 / reference.add as f64;
+    let add_1024 = haar3_1024.add as f64 / ref2.add as f64;
+    println!(
+        "\nextra savings at N=1024 vs N=512: mults {:+.1} pp, adds {:+.1} pp (paper: 12% / 8% further)",
+        100.0 * (mult_512 - mult_1024),
+        100.0 * (add_512 - add_1024)
+    );
+}

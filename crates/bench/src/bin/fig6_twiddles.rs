@@ -1,0 +1,39 @@
+//! Fig. 6: histogram of the twiddle-factor magnitudes in the `A` and `C`
+//! diagonal matrices of the wavelet-based FFT (N = 512, Haar). Unlike the
+//! unit-circle FFT twiddles, many factors are near zero — the pruning
+//! opportunity.
+
+use hrv_bench::bar;
+use hrv_dsp::Histogram;
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
+
+fn main() {
+    let n = 512;
+    println!("== Fig. 6: twiddle magnitudes of A and C diagonals (N = {n}, Haar) ==\n");
+    let plan = WfftPlan::new(n, WaveletBasis::Haar);
+    let tw = plan.level(0);
+    let mut values = tw.a_magnitudes();
+    values.extend(tw.c_magnitudes());
+
+    let hist = Histogram::new(&values, 30, 0.0, 1.5);
+    let max = *hist.counts().iter().max().unwrap() as f64;
+    for (i, &count) in hist.counts().iter().enumerate() {
+        println!(
+            "{:>5.3} | {} {count}",
+            hist.bin_center(i),
+            bar(count as f64, max, 40)
+        );
+    }
+    println!("\ntotal factors: {} (256 A + 256 C), range 0..√2 ≈ 1.414", hist.total());
+
+    println!("\nmagnitude thresholds of the paper's pruning sets:");
+    for set in PruneSet::ALL {
+        let pruned = PrunedWfft::new(plan.clone(), PruneConfig::with_set(set));
+        println!(
+            "  {set}: prune {} factors with |factor| ≤ {:.4}",
+            pruned.pruned_factor_count(),
+            pruned.magnitude_threshold()
+        );
+    }
+}

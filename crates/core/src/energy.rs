@@ -1,0 +1,154 @@
+//! Node-level energy assessment of PSA workloads (paper §VI.B).
+
+use hrv_dsp::OpCount;
+use hrv_node_sim::{CostModel, DvfsModel, EnergyBreakdown, EnergyModel, OperatingPoint};
+
+/// The complete sensor-node model: cycle costs, energy constants and the
+/// DVFS law.
+#[derive(Clone, Debug, Default)]
+pub struct NodeModel {
+    /// Cycle-cost model.
+    pub cost: CostModel,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Voltage/frequency scaling law.
+    pub dvfs: DvfsModel,
+}
+
+/// Energy outcome of running one workload on the node.
+#[derive(Clone, Debug)]
+pub struct EnergyAssessment {
+    /// Cycles the workload needs.
+    pub cycles: u64,
+    /// Operating point it runs at.
+    pub opp: OperatingPoint,
+    /// Energy decomposition.
+    pub breakdown: EnergyBreakdown,
+    /// The real-time interval (deadline window) the task occupies,
+    /// seconds.
+    pub interval: f64,
+}
+
+impl EnergyAssessment {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.breakdown.total()
+    }
+}
+
+impl NodeModel {
+    /// Assesses `ops` against a reference workload of `ref_cycles`
+    /// (the conventional system under the same deadline).
+    ///
+    /// * Without VFS the node runs at nominal voltage/frequency and idles
+    ///   (leaking) for the rest of the deadline interval.
+    /// * With VFS the freed slack `cycles/ref_cycles` is converted into a
+    ///   lower operating point that finishes exactly at the deadline
+    ///   (paper: "maintaining the same processing time").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ref_cycles` is zero.
+    pub fn assess(&self, ops: &OpCount, ref_cycles: u64, vfs: bool) -> EnergyAssessment {
+        assert!(ref_cycles > 0, "reference workload must be non-empty");
+        let cycles = self.cost.cycles(ops);
+        let nominal = self.dvfs.nominal();
+        let interval = ref_cycles as f64 / nominal.frequency;
+        let opp = if vfs {
+            let ratio = (cycles as f64 / ref_cycles as f64).min(1.0).max(1e-6);
+            self.dvfs.opp_for_slack(ratio)
+        } else {
+            nominal
+        };
+        let breakdown = self.energy.energy(ops, &self.cost, &opp, interval);
+        EnergyAssessment {
+            cycles,
+            opp,
+            breakdown,
+            interval,
+        }
+    }
+
+    /// Convenience: the reference (conventional) assessment of a workload
+    /// against itself at nominal settings.
+    pub fn assess_reference(&self, ops: &OpCount) -> EnergyAssessment {
+        let cycles = self.cost.cycles(ops).max(1);
+        self.assess(ops, cycles, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(scale: u64) -> OpCount {
+        OpCount {
+            add: 10_000 * scale,
+            mul: 3_000 * scale,
+            load: 2_000 * scale,
+            store: 1_000 * scale,
+            ..OpCount::new()
+        }
+    }
+
+    #[test]
+    fn reference_assessment_runs_at_nominal() {
+        let node = NodeModel::default();
+        let a = node.assess_reference(&workload(1));
+        assert_eq!(a.opp.voltage, 1.0);
+        assert!(a.total() > 0.0);
+        assert!((a.interval - a.cycles as f64 / 100e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_ops_without_vfs_save_linearly() {
+        let node = NodeModel::default();
+        let reference = node.assess_reference(&workload(2));
+        let pruned = node.assess(&workload(1), reference.cycles, false);
+        let saving = 1.0 - pruned.total() / reference.total();
+        // Half the work → ~50 % dynamic savings, diluted a little by the
+        // idle leakage over the same deadline.
+        assert!((0.35..0.55).contains(&saving), "saving {saving}");
+        assert_eq!(pruned.opp.voltage, 1.0);
+    }
+
+    #[test]
+    fn vfs_amplifies_savings_quadratically() {
+        let node = NodeModel::default();
+        let reference = node.assess_reference(&workload(2));
+        let no_vfs = node.assess(&workload(1), reference.cycles, false);
+        let with_vfs = node.assess(&workload(1), reference.cycles, true);
+        assert!(with_vfs.opp.voltage < 1.0);
+        assert!(with_vfs.total() < no_vfs.total());
+        let saving = 1.0 - with_vfs.total() / reference.total();
+        assert!(saving > 0.6, "VFS saving {saving}");
+    }
+
+    #[test]
+    fn vfs_meets_the_deadline() {
+        let node = NodeModel::default();
+        let reference = node.assess_reference(&workload(2));
+        let with_vfs = node.assess(&workload(1), reference.cycles, true);
+        let busy = with_vfs.cycles as f64 / with_vfs.opp.frequency;
+        assert!(
+            busy <= reference.interval * 1.001,
+            "busy {busy} vs deadline {}",
+            reference.interval
+        );
+    }
+
+    #[test]
+    fn oversized_workload_is_clamped_to_nominal() {
+        let node = NodeModel::default();
+        let small_ref = node.cost.cycles(&workload(1));
+        let a = node.assess(&workload(2), small_ref, true);
+        assert!((a.opp.voltage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_reference_rejected() {
+        let node = NodeModel::default();
+        let _ = node.assess(&workload(1), 0, false);
+    }
+}

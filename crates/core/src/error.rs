@@ -1,0 +1,75 @@
+//! Error type of the PSA system's public API.
+
+use std::fmt;
+
+/// Errors returned by [`crate::PsaSystem`] and its configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PsaError {
+    /// The RR recording is shorter than one analysis window.
+    RecordingTooShort {
+        /// Recording duration in seconds.
+        got: f64,
+        /// Required minimum (one window) in seconds.
+        need: f64,
+    },
+    /// Too few RR samples to estimate a spectrum.
+    TooFewSamples {
+        /// Samples available.
+        got: usize,
+        /// Required minimum.
+        need: usize,
+    },
+    /// The RR series is constant — no spectrum exists.
+    ConstantSignal,
+    /// A dynamic-pruning backend was requested without calibration data.
+    NeedsCalibration,
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsaError::RecordingTooShort { got, need } => {
+                write!(f, "recording of {got:.1} s is shorter than one {need:.1} s window")
+            }
+            PsaError::TooFewSamples { got, need } => {
+                write!(f, "only {got} RR samples, need at least {need}")
+            }
+            PsaError::ConstantSignal => f.write_str("constant RR series has no spectrum"),
+            PsaError::NeedsCalibration => {
+                f.write_str("dynamic pruning requires calibration data; use with_calibration")
+            }
+            PsaError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let errs: Vec<PsaError> = vec![
+            PsaError::RecordingTooShort { got: 10.0, need: 120.0 },
+            PsaError::TooFewSamples { got: 2, need: 16 },
+            PsaError::ConstantSignal,
+            PsaError::NeedsCalibration,
+            PsaError::InvalidConfig("ofac < 1".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(PsaError::ConstantSignal);
+    }
+}

@@ -1,0 +1,60 @@
+//! # hrv-core
+//!
+//! The paper's contribution assembled: a **quality-scalable,
+//! energy-efficient PSA system** for heart-rate variability.
+//!
+//! * [`PsaConfig`] / [`PsaSystem`] — the Welch–Lomb pipeline of Fig. 1(a)
+//!   with a pluggable FFT kernel: the conventional split-radix baseline or
+//!   the pruned wavelet FFT ([`BackendChoice`], [`ApproximationMode`],
+//!   [`PruningPolicy`]);
+//! * [`training_meshes`] / [`BandSignificance`] — design-time calibration
+//!   of the thresholds (eq. (3));
+//! * [`NodeModel`] / [`energy_quality_sweep`] — the sensor-node energy
+//!   assessment and the Table I / Fig. 9 trade-off sweep, including VFS;
+//! * [`QualityController`] — the Q_DES-driven run-time mode selector of
+//!   Fig. 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use hrv_core::{ApproximationMode, PruningPolicy, PsaConfig, PsaSystem};
+//! use hrv_ecg::{Condition, SyntheticDatabase};
+//! use hrv_wavelet::WaveletBasis;
+//!
+//! let record = SyntheticDatabase::new(2014).record(0, Condition::SinusArrhythmia, 360.0);
+//!
+//! // Conventional system...
+//! let conventional = PsaSystem::new(PsaConfig::conventional())?;
+//! let reference = conventional.analyze(&record.rr)?;
+//!
+//! // ...vs the proposed system with 60 % twiddle pruning:
+//! let proposed = PsaSystem::new(PsaConfig::proposed(
+//!     WaveletBasis::Haar,
+//!     ApproximationMode::BandDropSet3,
+//!     PruningPolicy::Static,
+//! ))?;
+//! let approximate = proposed.analyze(&record.rr)?;
+//!
+//! // Detection is preserved while operations drop.
+//! assert!(reference.arrhythmia && approximate.arrhythmia);
+//! assert!(approximate.total_ops().arithmetic() < reference.total_ops().arithmetic());
+//! # Ok::<(), hrv_core::PsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod config;
+mod energy;
+mod error;
+mod quality;
+mod sweep;
+mod system;
+
+pub use calibrate::{training_meshes, BandSignificance};
+pub use config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
+pub use energy::{EnergyAssessment, NodeModel};
+pub use error::PsaError;
+pub use quality::{OperatingChoice, QualityController};
+pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
+pub use system::{HrvAnalysis, PsaSystem};

@@ -1,0 +1,167 @@
+//! The run-time quality controller (paper Fig. 2, "based on accepted
+//! distortion Q_DES prune & adjust").
+//!
+//! At design time a [`crate::SweepResult`] maps every approximation
+//! configuration to an expected distortion and energy saving; at run time
+//! the controller picks the most energy-efficient configuration whose
+//! expected distortion stays within the caller's budget `Q_DES`.
+
+use crate::config::{ApproximationMode, PruningPolicy};
+use crate::sweep::SweepResult;
+
+/// One selectable operating configuration with its design-time
+/// expectations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperatingChoice {
+    /// Approximation degree.
+    pub mode: ApproximationMode,
+    /// Pruning policy.
+    pub policy: PruningPolicy,
+    /// Whether VFS is applied.
+    pub vfs: bool,
+    /// Expected ratio distortion (percent).
+    pub expected_error_pct: f64,
+    /// Expected energy savings (percent).
+    pub expected_savings_pct: f64,
+}
+
+/// Q_DES-driven configuration selector.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hrv_core::{energy_quality_sweep, NodeModel, PsaConfig, QualityController};
+/// use hrv_wavelet::WaveletBasis;
+/// # let cohort: Vec<hrv_ecg::RrSeries> = vec![];
+///
+/// let sweep = energy_quality_sweep(
+///     &cohort, WaveletBasis::Haar, &NodeModel::default(), &PsaConfig::conventional(),
+/// )?;
+/// let controller = QualityController::from_sweep(&sweep, true);
+/// // Allow at most 5 % ratio distortion:
+/// if let Some(choice) = controller.select(5.0) {
+///     println!("run {} / {} for {:.0}% savings", choice.mode, choice.policy,
+///              choice.expected_savings_pct);
+/// }
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct QualityController {
+    choices: Vec<OperatingChoice>,
+}
+
+impl QualityController {
+    /// Builds the controller from a design-time sweep. With `vfs` set,
+    /// only VFS-enabled points are considered (they dominate in energy).
+    pub fn from_sweep(sweep: &SweepResult, vfs: bool) -> Self {
+        let choices = sweep
+            .points
+            .iter()
+            .filter(|p| p.vfs == vfs)
+            .map(|p| OperatingChoice {
+                mode: p.mode,
+                policy: p.policy,
+                vfs: p.vfs,
+                expected_error_pct: p.ratio_error_pct,
+                expected_savings_pct: p.savings_pct,
+            })
+            .collect();
+        QualityController { choices }
+    }
+
+    /// All available choices.
+    pub fn choices(&self) -> &[OperatingChoice] {
+        &self.choices
+    }
+
+    /// The choice with the highest expected savings whose expected
+    /// distortion does not exceed `qdes_pct`. Returns `None` when no
+    /// approximating configuration qualifies (the caller should fall back
+    /// to the exact system).
+    pub fn select(&self, qdes_pct: f64) -> Option<OperatingChoice> {
+        self.choices
+            .iter()
+            .filter(|c| c.expected_error_pct <= qdes_pct)
+            .max_by(|a, b| {
+                a.expected_savings_pct
+                    .partial_cmp(&b.expected_savings_pct)
+                    .expect("finite savings")
+            })
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::TradeoffPoint;
+
+    fn fake_point(
+        mode: ApproximationMode,
+        policy: PruningPolicy,
+        vfs: bool,
+        err: f64,
+        save: f64,
+    ) -> TradeoffPoint {
+        TradeoffPoint {
+            mode,
+            policy,
+            vfs,
+            avg_ratio: 0.46,
+            ratio_error_pct: err,
+            energy_j: 1.0,
+            savings_pct: save,
+            cycle_ratio: 0.5,
+            fft_cycle_ratio: 0.4,
+            fft_savings_pct: save + 10.0,
+            detection_rate: 1.0,
+        }
+    }
+
+    fn fake_sweep() -> SweepResult {
+        SweepResult {
+            conventional_ratio: 0.45,
+            conventional_energy: 1.0,
+            conventional_cycles: 1_000_000,
+            points: vec![
+                fake_point(ApproximationMode::BandDrop, PruningPolicy::Static, true, 3.0, 55.0),
+                fake_point(ApproximationMode::BandDropSet3, PruningPolicy::Static, true, 9.2, 82.0),
+                fake_point(ApproximationMode::BandDropSet3, PruningPolicy::Dynamic, true, 4.5, 72.0),
+                fake_point(ApproximationMode::BandDrop, PruningPolicy::Static, false, 3.0, 30.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn selects_max_savings_within_budget() {
+        let controller = QualityController::from_sweep(&fake_sweep(), true);
+        // Generous budget: the 82 % point wins.
+        let best = controller.select(10.0).expect("choice");
+        assert_eq!(best.mode, ApproximationMode::BandDropSet3);
+        assert_eq!(best.policy, PruningPolicy::Static);
+        assert!((best.expected_savings_pct - 82.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_budget_prefers_dynamic() {
+        let controller = QualityController::from_sweep(&fake_sweep(), true);
+        // 5 % budget: static Set3 (9.2 %) is out; dynamic Set3 (4.5 %) wins.
+        let best = controller.select(5.0).expect("choice");
+        assert_eq!(best.policy, PruningPolicy::Dynamic);
+        assert!((best.expected_savings_pct - 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn very_tight_budget_yields_none() {
+        let controller = QualityController::from_sweep(&fake_sweep(), true);
+        assert!(controller.select(1.0).is_none());
+    }
+
+    #[test]
+    fn vfs_filter_applies() {
+        let controller = QualityController::from_sweep(&fake_sweep(), false);
+        assert_eq!(controller.choices().len(), 1);
+        let best = controller.select(100.0).expect("choice");
+        assert!(!best.vfs);
+    }
+}

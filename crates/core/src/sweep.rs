@@ -1,0 +1,315 @@
+//! The energy–quality trade-off sweep: the engine behind the paper's
+//! Table I and Fig. 9.
+//!
+//! For a cohort of RR recordings, the sweep runs the conventional system
+//! once as the reference and then every approximation mode under static
+//! and dynamic pruning, with and without VFS, reporting the average
+//! LFP/HFP ratio, its error versus the reference, and the node-level
+//! energy savings.
+
+use crate::config::{ApproximationMode, PruningPolicy, PsaConfig};
+use crate::energy::NodeModel;
+use crate::error::PsaError;
+use crate::system::PsaSystem;
+use hrv_ecg::RrSeries;
+use hrv_wavelet::WaveletBasis;
+
+/// One configuration's measured outcome.
+#[derive(Clone, Debug)]
+pub struct TradeoffPoint {
+    /// Approximation degree.
+    pub mode: ApproximationMode,
+    /// Static or dynamic pruning.
+    pub policy: PruningPolicy,
+    /// Whether the cycle slack was converted via VFS.
+    pub vfs: bool,
+    /// Cohort-average LFP/HFP ratio.
+    pub avg_ratio: f64,
+    /// Mean relative ratio error vs the conventional system (percent).
+    pub ratio_error_pct: f64,
+    /// Total cohort energy (joules).
+    pub energy_j: f64,
+    /// Energy savings vs the conventional system (percent).
+    pub savings_pct: f64,
+    /// Cycle ratio vs the conventional system.
+    pub cycle_ratio: f64,
+    /// Cycle ratio of the FFT block alone — the paper's profiling
+    /// attributes the dominant load to the FFT (Fig. 1(b)), so its
+    /// headline savings are best compared against this scope.
+    pub fft_cycle_ratio: f64,
+    /// Energy savings scoped to the FFT block (percent), with VFS slack
+    /// computed from the FFT block's own cycle ratio.
+    pub fft_savings_pct: f64,
+    /// Fraction of cohort records still detected as arrhythmic.
+    pub detection_rate: f64,
+}
+
+/// The sweep result: the conventional reference plus all points.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Cohort-average ratio of the conventional system.
+    pub conventional_ratio: f64,
+    /// Total cohort energy of the conventional system (joules).
+    pub conventional_energy: f64,
+    /// Conventional cycle count (reference for slack).
+    pub conventional_cycles: u64,
+    /// All measured configurations.
+    pub points: Vec<TradeoffPoint>,
+}
+
+impl SweepResult {
+    /// The point for a given configuration, if measured.
+    pub fn point(
+        &self,
+        mode: ApproximationMode,
+        policy: PruningPolicy,
+        vfs: bool,
+    ) -> Option<&TradeoffPoint> {
+        self.points
+            .iter()
+            .find(|p| p.mode == mode && p.policy == policy && p.vfs == vfs)
+    }
+}
+
+/// Runs the full sweep on `cohort` with the given wavelet basis.
+///
+/// # Errors
+///
+/// Propagates [`PsaError`] from system construction or analysis (e.g. a
+/// recording shorter than one window).
+pub fn energy_quality_sweep(
+    cohort: &[RrSeries],
+    basis: WaveletBasis,
+    node: &NodeModel,
+    base: &PsaConfig,
+) -> Result<SweepResult, PsaError> {
+    if cohort.is_empty() {
+        return Err(PsaError::TooFewSamples { got: 0, need: 1 });
+    }
+
+    // Reference: the conventional split-radix system.
+    let conventional = PsaSystem::new(PsaConfig {
+        backend: crate::config::BackendChoice::SplitRadix,
+        ..base.clone()
+    })?;
+    let mut conv_ratios = Vec::with_capacity(cohort.len());
+    let mut conv_ops = hrv_dsp::OpCount::default();
+    let mut conv_fft_ops = hrv_dsp::OpCount::default();
+    let mut conv_detections = 0usize;
+    for rr in cohort {
+        let analysis = conventional.analyze(rr)?;
+        conv_ratios.push(analysis.lf_hf_ratio());
+        conv_ops += analysis.total_ops();
+        if let Some(fft) = analysis.blocks.get(hrv_lomb::blocks::FFT) {
+            conv_fft_ops += *fft;
+        }
+        conv_detections += usize::from(analysis.arrhythmia);
+    }
+    let conventional_ratio = mean(&conv_ratios);
+    let conv_cycles = node.cost.cycles(&conv_ops).max(1);
+    let conv_fft_cycles = node.cost.cycles(&conv_fft_ops).max(1);
+    let conventional_energy = node.assess(&conv_ops, conv_cycles, false).total();
+    let conventional_fft_energy = node.assess(&conv_fft_ops, conv_fft_cycles, false).total();
+    let _ = conv_detections;
+
+    let mut points = Vec::new();
+    for policy in [PruningPolicy::Static, PruningPolicy::Dynamic] {
+        for mode in ApproximationMode::TABLE1 {
+            let config = PsaConfig::proposed(basis, mode, policy);
+            let config = PsaConfig { backend: config.backend, ..base.clone() };
+            let system = match policy {
+                PruningPolicy::Static => PsaSystem::new(config)?,
+                PruningPolicy::Dynamic => PsaSystem::with_calibration(config, cohort)?,
+            };
+            let mut ratios = Vec::with_capacity(cohort.len());
+            let mut ops = hrv_dsp::OpCount::default();
+            let mut fft_ops = hrv_dsp::OpCount::default();
+            let mut detections = 0usize;
+            for (rr, conv_ratio) in cohort.iter().zip(&conv_ratios) {
+                let analysis = system.analyze(rr)?;
+                ratios.push(analysis.lf_hf_ratio());
+                ops += analysis.total_ops();
+                if let Some(fft) = analysis.blocks.get(hrv_lomb::blocks::FFT) {
+                    fft_ops += *fft;
+                }
+                detections += usize::from(analysis.arrhythmia);
+                let _ = conv_ratio;
+            }
+            let avg_ratio = mean(&ratios);
+            let ratio_error_pct = 100.0
+                * ratios
+                    .iter()
+                    .zip(&conv_ratios)
+                    .map(|(r, c)| (r - c).abs() / c.abs().max(1e-12))
+                    .sum::<f64>()
+                / ratios.len() as f64;
+            let cycles = node.cost.cycles(&ops);
+            let cycle_ratio = cycles as f64 / conv_cycles as f64;
+            let fft_cycle_ratio =
+                node.cost.cycles(&fft_ops) as f64 / conv_fft_cycles as f64;
+            for vfs in [false, true] {
+                let assessment = node.assess(&ops, conv_cycles, vfs);
+                let fft_assessment = node.assess(&fft_ops, conv_fft_cycles, vfs);
+                points.push(TradeoffPoint {
+                    mode,
+                    policy,
+                    vfs,
+                    avg_ratio,
+                    ratio_error_pct,
+                    energy_j: assessment.total(),
+                    savings_pct: 100.0 * (1.0 - assessment.total() / conventional_energy),
+                    cycle_ratio,
+                    fft_cycle_ratio,
+                    fft_savings_pct: 100.0
+                        * (1.0 - fft_assessment.total() / conventional_fft_energy),
+                    detection_rate: detections as f64 / cohort.len() as f64,
+                });
+            }
+        }
+    }
+
+    Ok(SweepResult {
+        conventional_ratio,
+        conventional_energy,
+        conventional_cycles: conv_cycles,
+        points,
+    })
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_ecg::{Condition, SyntheticDatabase};
+
+    fn cohort(n: usize, seconds: f64) -> Vec<RrSeries> {
+        let db = SyntheticDatabase::new(2014);
+        (0..n)
+            .map(|i| db.record(i, Condition::SinusArrhythmia, seconds).rr)
+            .collect()
+    }
+
+    fn small_sweep() -> SweepResult {
+        energy_quality_sweep(
+            &cohort(3, 360.0),
+            WaveletBasis::Haar,
+            &NodeModel::default(),
+            &PsaConfig::conventional(),
+        )
+        .expect("sweep")
+    }
+
+    #[test]
+    fn sweep_covers_all_configurations() {
+        let sweep = small_sweep();
+        // 4 modes × 2 policies × 2 VFS settings.
+        assert_eq!(sweep.points.len(), 16);
+        assert!(sweep
+            .point(ApproximationMode::BandDropSet3, PruningPolicy::Static, true)
+            .is_some());
+    }
+
+    #[test]
+    fn conventional_reference_is_arrhythmic() {
+        let sweep = small_sweep();
+        assert!(
+            sweep.conventional_ratio < 1.0,
+            "ratio {}",
+            sweep.conventional_ratio
+        );
+        assert!(sweep.conventional_energy > 0.0);
+    }
+
+    #[test]
+    fn static_savings_grow_with_mode_and_vfs_amplifies() {
+        let sweep = small_sweep();
+        let mut prev = f64::MIN;
+        for mode in ApproximationMode::TABLE1 {
+            let p = sweep
+                .point(mode, PruningPolicy::Static, false)
+                .expect("point");
+            assert!(p.savings_pct > prev, "{mode}: {}", p.savings_pct);
+            prev = p.savings_pct;
+
+            let v = sweep.point(mode, PruningPolicy::Static, true).expect("point");
+            assert!(
+                v.savings_pct > p.savings_pct,
+                "{mode}: VFS {} vs static {}",
+                v.savings_pct,
+                p.savings_pct
+            );
+        }
+    }
+
+    #[test]
+    fn detection_survives_every_configuration() {
+        let sweep = small_sweep();
+        for p in &sweep.points {
+            assert!(
+                p.detection_rate > 0.99,
+                "{} {} vfs={} lost detection",
+                p.mode,
+                p.policy,
+                p.vfs
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_costs_more_energy_than_static() {
+        // Band-drop alone has no twiddle candidates, so dynamic == static
+        // there; every set mode pays the comparison overhead (paper:
+        // ~10 %).
+        let sweep = small_sweep();
+        let st = sweep
+            .point(ApproximationMode::BandDrop, PruningPolicy::Static, false)
+            .unwrap();
+        let dy = sweep
+            .point(ApproximationMode::BandDrop, PruningPolicy::Dynamic, false)
+            .unwrap();
+        assert!((dy.energy_j - st.energy_j).abs() < 1e-12 * st.energy_j.max(1.0));
+        for mode in [
+            ApproximationMode::BandDropSet1,
+            ApproximationMode::BandDropSet2,
+            ApproximationMode::BandDropSet3,
+        ] {
+            let st = sweep.point(mode, PruningPolicy::Static, false).unwrap();
+            let dy = sweep.point(mode, PruningPolicy::Dynamic, false).unwrap();
+            assert!(
+                dy.energy_j > st.energy_j,
+                "{mode}: dynamic {} vs static {}",
+                dy.energy_j,
+                st.energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_errors_stay_moderate() {
+        let sweep = small_sweep();
+        for p in &sweep.points {
+            assert!(
+                p.ratio_error_pct < 25.0,
+                "{} {}: error {}%",
+                p.mode,
+                p.policy,
+                p.ratio_error_pct
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cohort_is_rejected() {
+        let err = energy_quality_sweep(
+            &[],
+            WaveletBasis::Haar,
+            &NodeModel::default(),
+            &PsaConfig::conventional(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PsaError::TooFewSamples { .. }));
+    }
+}

@@ -1,0 +1,356 @@
+//! The PSA system: configuration → backend → Welch–Lomb → HRV metrics.
+
+use crate::calibrate::training_meshes;
+use crate::config::{BackendChoice, PruningPolicy, PsaConfig};
+use crate::error::PsaError;
+use hrv_dsp::{BlockOps, FftBackend, OpCount, SplitRadixFft};
+use hrv_ecg::RrSeries;
+use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, WelchAnalysis, WelchLomb};
+use hrv_wfft::{PrunedWfft, WaveletFftBackend, WfftPlan};
+
+/// Result of analysing one RR recording.
+#[derive(Clone, Debug)]
+pub struct HrvAnalysis {
+    /// The sliding-window spectral analysis (segments + average).
+    pub welch: WelchAnalysis,
+    /// Band powers of the averaged spectrum.
+    pub powers: BandPowers,
+    /// Per-window band powers (time–frequency monitoring, §VI.A).
+    pub per_window: Vec<(f64, BandPowers)>,
+    /// Per-block operation counts summed over all windows.
+    pub blocks: BlockOps,
+    /// `true` when the LFP/HFP ratio indicates sinus arrhythmia.
+    pub arrhythmia: bool,
+}
+
+impl HrvAnalysis {
+    /// The LFP/HFP ratio of the averaged spectrum — the paper's quality
+    /// metric.
+    pub fn lf_hf_ratio(&self) -> f64 {
+        self.powers.lf_hf_ratio()
+    }
+
+    /// Total operation count of the analysis.
+    pub fn total_ops(&self) -> OpCount {
+        self.blocks.grand_total()
+    }
+}
+
+/// The configured spectral-analysis system (paper Fig. 1(a), with the FFT
+/// block chosen by [`BackendChoice`]).
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::{PsaConfig, PsaSystem};
+/// use hrv_ecg::{Condition, SyntheticDatabase};
+///
+/// let record = SyntheticDatabase::new(2014).record(0, Condition::SinusArrhythmia, 360.0);
+/// let system = PsaSystem::new(PsaConfig::conventional())?;
+/// let analysis = system.analyze(&record.rr)?;
+/// assert!(analysis.lf_hf_ratio() < 1.0); // HF-dominated → arrhythmia
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct PsaSystem {
+    config: PsaConfig,
+    backend: Box<dyn FftBackend>,
+    welch: WelchLomb,
+    detector: ArrhythmiaDetector,
+}
+
+impl PsaSystem {
+    /// Builds a system with a static (or exact) backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for invalid parameters and
+    /// [`PsaError::NeedsCalibration`] when the configuration requests
+    /// dynamic pruning (use [`PsaSystem::with_calibration`]).
+    pub fn new(config: PsaConfig) -> Result<Self, PsaError> {
+        config.validate()?;
+        if matches!(
+            config.backend,
+            BackendChoice::Wavelet { policy: PruningPolicy::Dynamic, .. }
+        ) {
+            return Err(PsaError::NeedsCalibration);
+        }
+        let backend = Self::static_backend(&config);
+        Ok(Self::assemble(config, backend))
+    }
+
+    /// Builds a system, calibrating dynamic thresholds on `training`
+    /// recordings when the configuration requests dynamic pruning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for invalid parameters, or
+    /// [`PsaError::TooFewSamples`] when the training cohort yields no
+    /// usable windows.
+    pub fn with_calibration(config: PsaConfig, training: &[RrSeries]) -> Result<Self, PsaError> {
+        config.validate()?;
+        let backend: Box<dyn FftBackend> = match config.backend {
+            BackendChoice::Wavelet {
+                basis,
+                mode,
+                policy: PruningPolicy::Dynamic,
+            } => {
+                let meshes = training_meshes(&config, training)?;
+                let plan = WfftPlan::new(config.fft_len, basis);
+                let pruned = PrunedWfft::new(plan, mode.prune_config());
+                let thresholds = pruned.calibrate_dynamic(&meshes);
+                Box::new(WaveletFftBackend::from_pruned(pruned.with_dynamic(thresholds)))
+            }
+            _ => Self::static_backend(&config),
+        };
+        Ok(Self::assemble(config, backend))
+    }
+
+    fn static_backend(config: &PsaConfig) -> Box<dyn FftBackend> {
+        match config.backend {
+            BackendChoice::SplitRadix => Box::new(SplitRadixFft::new(config.fft_len)),
+            BackendChoice::Wavelet { basis, mode, .. } => Box::new(WaveletFftBackend::new(
+                config.fft_len,
+                basis,
+                mode.prune_config(),
+            )),
+        }
+    }
+
+    fn assemble(config: PsaConfig, backend: Box<dyn FftBackend>) -> Self {
+        let mut estimator = FastLomb::new(config.fft_len, config.ofac)
+            .with_window(config.window)
+            .with_max_freq(config.max_freq);
+        if config.mesh == hrv_lomb::MeshStrategy::Resample {
+            estimator = estimator.with_resampled_mesh();
+        }
+        let welch = WelchLomb::new(estimator, config.window_duration, config.overlap);
+        PsaSystem {
+            config,
+            backend,
+            welch,
+            detector: ArrhythmiaDetector::default(),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &PsaConfig {
+        &self.config
+    }
+
+    /// Name of the active FFT kernel (e.g. `"split-radix"`,
+    /// `"wfft-haar+banddrop+prune60%"`).
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Overrides the arrhythmia decision threshold (default 1.0).
+    pub fn with_detector(mut self, detector: ArrhythmiaDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Analyses one RR recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::RecordingTooShort`] or
+    /// [`PsaError::TooFewSamples`] when the recording cannot fill one
+    /// analysis window, and [`PsaError::ConstantSignal`] for a flat RR
+    /// series.
+    pub fn analyze(&self, rr: &RrSeries) -> Result<HrvAnalysis, PsaError> {
+        let duration = rr.duration();
+        if duration < self.config.window_duration {
+            return Err(PsaError::RecordingTooShort {
+                got: duration,
+                need: self.config.window_duration,
+            });
+        }
+        if rr.len() < 16 {
+            return Err(PsaError::TooFewSamples { got: rr.len(), need: 16 });
+        }
+        // Sub-nanosecond variability is numerically constant (a perfectly
+        // regular synthetic series still carries ~1e-17 s of fp jitter).
+        if rr.sdnn() < 1e-9 {
+            return Err(PsaError::ConstantSignal);
+        }
+
+        let mut blocks = BlockOps::new();
+        let welch = self.welch.process_profiled(
+            self.backend.as_ref(),
+            rr.times(),
+            rr.intervals(),
+            &mut blocks,
+        );
+        let powers = BandPowers::of(welch.averaged());
+        let per_window = welch
+            .segments()
+            .iter()
+            .map(|seg| (seg.start, BandPowers::of(&seg.periodogram)))
+            .collect();
+        let arrhythmia = self.detector.detect(&powers);
+        Ok(HrvAnalysis {
+            welch,
+            powers,
+            per_window,
+            blocks,
+            arrhythmia,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApproximationMode;
+    use hrv_ecg::{Condition, SyntheticDatabase};
+    use hrv_wavelet::WaveletBasis;
+
+    fn arrhythmia_rr(seconds: f64) -> RrSeries {
+        SyntheticDatabase::new(2014)
+            .record(0, Condition::SinusArrhythmia, seconds)
+            .rr
+    }
+
+    fn healthy_rr(seconds: f64) -> RrSeries {
+        SyntheticDatabase::new(2014)
+            .record(0, Condition::Healthy, seconds)
+            .rr
+    }
+
+    #[test]
+    fn conventional_system_detects_arrhythmia() {
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let analysis = system.analyze(&arrhythmia_rr(480.0)).expect("analysis");
+        assert!(analysis.lf_hf_ratio() < 1.0, "ratio {}", analysis.lf_hf_ratio());
+        assert!(analysis.arrhythmia);
+        assert_eq!(system.backend_name(), "split-radix");
+        assert!(!analysis.per_window.is_empty());
+        assert!(analysis.total_ops().arithmetic() > 0);
+    }
+
+    #[test]
+    fn conventional_system_clears_healthy_subject() {
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let analysis = system.analyze(&healthy_rr(480.0)).expect("analysis");
+        assert!(analysis.lf_hf_ratio() > 1.0, "ratio {}", analysis.lf_hf_ratio());
+        assert!(!analysis.arrhythmia);
+    }
+
+    #[test]
+    fn proposed_system_preserves_detection_across_modes() {
+        // The paper's core claim: every approximation degree still
+        // detects the arrhythmia.
+        let rr = arrhythmia_rr(480.0);
+        for mode in ApproximationMode::ALL {
+            let system = PsaSystem::new(PsaConfig::proposed(
+                WaveletBasis::Haar,
+                mode,
+                PruningPolicy::Static,
+            ))
+            .expect("valid");
+            let analysis = system.analyze(&rr).expect("analysis");
+            assert!(
+                analysis.arrhythmia,
+                "{mode}: ratio {} lost the detection",
+                analysis.lf_hf_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_wavelet_matches_conventional_ratio() {
+        let rr = arrhythmia_rr(480.0);
+        let conventional = PsaSystem::new(PsaConfig::conventional())
+            .expect("valid")
+            .analyze(&rr)
+            .expect("analysis");
+        let wavelet = PsaSystem::new(PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::Exact,
+            PruningPolicy::Static,
+        ))
+        .expect("valid")
+        .analyze(&rr)
+        .expect("analysis");
+        let rel = (conventional.lf_hf_ratio() - wavelet.lf_hf_ratio()).abs()
+            / conventional.lf_hf_ratio();
+        assert!(rel < 1e-9, "exact backends disagree: {rel}");
+    }
+
+    #[test]
+    fn pruned_modes_save_operations() {
+        let rr = arrhythmia_rr(480.0);
+        let mut prev = u64::MAX;
+        for mode in [
+            ApproximationMode::BandDrop,
+            ApproximationMode::BandDropSet1,
+            ApproximationMode::BandDropSet2,
+            ApproximationMode::BandDropSet3,
+        ] {
+            let system = PsaSystem::new(PsaConfig::proposed(
+                WaveletBasis::Haar,
+                mode,
+                PruningPolicy::Static,
+            ))
+            .expect("valid");
+            let ops = system.analyze(&rr).expect("analysis").total_ops().arithmetic();
+            assert!(ops < prev, "{mode}: {ops} ops");
+            prev = ops;
+        }
+        // And all of them beat the conventional system.
+        let conventional = PsaSystem::new(PsaConfig::conventional())
+            .expect("valid")
+            .analyze(&rr)
+            .expect("analysis")
+            .total_ops()
+            .arithmetic();
+        assert!(prev < conventional);
+    }
+
+    #[test]
+    fn dynamic_policy_requires_calibration() {
+        let config = PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet2,
+            PruningPolicy::Dynamic,
+        );
+        assert_eq!(PsaSystem::new(config.clone()).unwrap_err(), PsaError::NeedsCalibration);
+        let training = vec![arrhythmia_rr(300.0), healthy_rr(300.0)];
+        let system = PsaSystem::with_calibration(config, &training).expect("calibrated");
+        let analysis = system.analyze(&arrhythmia_rr(480.0)).expect("analysis");
+        assert!(analysis.arrhythmia);
+        // Dynamic mode performs runtime comparisons.
+        assert!(analysis.total_ops().cmp > 0);
+    }
+
+    #[test]
+    fn short_recording_is_rejected() {
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let err = system.analyze(&arrhythmia_rr(60.0)).unwrap_err();
+        assert!(matches!(err, PsaError::RecordingTooShort { .. }));
+    }
+
+    #[test]
+    fn constant_series_is_rejected() {
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let beats: Vec<f64> = (0..200).map(|i| i as f64 * 0.8).collect();
+        let rr = RrSeries::from_beat_times(&beats);
+        assert_eq!(system.analyze(&rr).unwrap_err(), PsaError::ConstantSignal);
+    }
+
+    #[test]
+    fn per_window_ratios_track_condition() {
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let analysis = system.analyze(&arrhythmia_rr(600.0)).expect("analysis");
+        let below_one = analysis
+            .per_window
+            .iter()
+            .filter(|(_, p)| p.lf_hf_ratio() < 1.0)
+            .count();
+        assert!(
+            below_one * 2 > analysis.per_window.len(),
+            "majority of windows should flag arrhythmia"
+        );
+    }
+}

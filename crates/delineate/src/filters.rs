@@ -1,0 +1,155 @@
+//! Streaming filter primitives for the QRS detection chain.
+
+use hrv_dsp::OpCount;
+
+/// Centred moving average with window `len` samples (edges use the
+/// available neighbourhood). Implemented with a running sum, so the cost
+/// is ~2 adds + 1 div per sample regardless of window length.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn moving_average(x: &[f64], len: usize, ops: &mut OpCount) -> Vec<f64> {
+    assert!(len > 0, "window length must be positive");
+    let n = x.len();
+    let half = len / 2;
+    let mut out = Vec::with_capacity(n);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    // Prime the window for index 0.
+    for &v in x.iter().take(half.min(n)) {
+        sum += v;
+        count += 1;
+        ops.add += 1;
+    }
+    for i in 0..n {
+        // Slide: add the incoming right edge, drop the outgoing left edge.
+        if i + half < n {
+            sum += x[i + half];
+            count += 1;
+            ops.add += 1;
+        }
+        if i > half {
+            sum -= x[i - half - 1];
+            count -= 1;
+            ops.add += 1;
+        }
+        out.push(sum / count as f64);
+        ops.div += 1;
+    }
+    out
+}
+
+/// Five-point derivative of Pan–Tompkins:
+/// `y[n] = (2x[n] + x[n−1] − x[n−3] − 2x[n−4]) / 8`.
+pub fn derivative(x: &[f64], ops: &mut OpCount) -> Vec<f64> {
+    let n = x.len();
+    let at = |i: isize| -> f64 {
+        if i < 0 {
+            x[0]
+        } else {
+            x[i as usize]
+        }
+    };
+    (0..n)
+        .map(|i| {
+            let i = i as isize;
+            ops.mul += 3;
+            ops.add += 3;
+            (2.0 * at(i) + at(i - 1) - at(i - 3) - 2.0 * at(i - 4)) / 8.0
+        })
+        .collect()
+}
+
+/// Point-wise squaring (rectification + emphasis of large slopes).
+pub fn square(x: &[f64], ops: &mut OpCount) -> Vec<f64> {
+    ops.mul += x.len() as u64;
+    x.iter().map(|&v| v * v).collect()
+}
+
+/// Trailing moving-window integration over `len` samples — the energy
+/// envelope that the adaptive thresholds operate on.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn window_integral(x: &[f64], len: usize, ops: &mut OpCount) -> Vec<f64> {
+    assert!(len > 0, "window length must be positive");
+    let mut out = Vec::with_capacity(x.len());
+    let mut sum = 0.0;
+    for i in 0..x.len() {
+        sum += x[i];
+        ops.add += 1;
+        if i >= len {
+            sum -= x[i - len];
+            ops.add += 1;
+        }
+        out.push(sum / len.min(i + 1) as f64);
+        ops.div += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flattens_constants() {
+        let mut ops = OpCount::default();
+        let y = moving_average(&[2.0; 50], 9, &mut ops);
+        assert!(y.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+        assert!(ops.add > 0 && ops.div == 50);
+    }
+
+    #[test]
+    fn moving_average_matches_naive() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let len = 7;
+        let half = len / 2;
+        let mut ops = OpCount::default();
+        let fast = moving_average(&x, len, &mut ops);
+        for i in 0..x.len() {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            let naive: f64 = x[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            assert!((fast[i] - naive).abs() < 1e-10, "index {i}");
+        }
+    }
+
+    #[test]
+    fn derivative_of_ramp_is_constant() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut ops = OpCount::default();
+        let d = derivative(&x, &mut ops);
+        // Unit-slope ramp: (2n + (n−1) − (n−3) − 2(n−4))/8 = 10/8 = 1.25
+        // (the Pan–Tompkins derivative has a slope gain of 1.25).
+        for &v in &d[4..] {
+            assert!((v - 1.25).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn square_is_nonnegative_and_counted() {
+        let mut ops = OpCount::default();
+        let y = square(&[-3.0, 2.0], &mut ops);
+        assert_eq!(y, vec![9.0, 4.0]);
+        assert_eq!(ops.mul, 2);
+    }
+
+    #[test]
+    fn window_integral_averages_trailing_window() {
+        let x = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let mut ops = OpCount::default();
+        let y = window_integral(&x, 3, &mut ops);
+        assert!((y[2] - 1.0).abs() < 1e-12);
+        assert!((y[4] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((y[5] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = moving_average(&[1.0], 0, &mut OpCount::default());
+    }
+}

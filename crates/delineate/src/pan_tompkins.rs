@@ -1,0 +1,296 @@
+//! Pan–Tompkins-style QRS detection.
+//!
+//! The classic chain: bandpass (here: moving-average high/lowpass, which
+//! generalises the original integer filters to any sample rate) →
+//! five-point derivative → squaring → moving-window integration →
+//! adaptive dual-threshold peak picking with refractory period and
+//! search-back. The detected R-peak times feed the PSA pipeline exactly
+//! as the wearable-node delineator of the paper's Fig. 1(a) does.
+
+use crate::filters::{derivative, moving_average, square, window_integral};
+use hrv_dsp::OpCount;
+
+/// A configured QRS detector.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_delineate::QrsDetector;
+/// use hrv_ecg::EcgSynthesizer;
+/// use rand::SeedableRng;
+///
+/// let fs = 250.0;
+/// let beats: Vec<f64> = (1..20).map(|i| i as f64 * 0.8).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let ecg = EcgSynthesizer::new(fs).synthesize(&beats, 17.0, &mut rng);
+/// let detector = QrsDetector::new(fs);
+/// let peaks = detector.detect(&ecg, &mut hrv_dsp::OpCount::default());
+/// assert!(peaks.len() >= 18);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QrsDetector {
+    fs: f64,
+    refractory_s: f64,
+    integration_s: f64,
+    highpass_s: f64,
+    lowpass_s: f64,
+}
+
+impl QrsDetector {
+    /// Creates a detector for sample rate `fs` (Hz) with standard timing
+    /// constants (200 ms refractory, 150 ms integration window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs < 50` (too coarse for QRS morphology).
+    pub fn new(fs: f64) -> Self {
+        assert!(fs >= 50.0, "sample rate {fs} too low for QRS detection");
+        QrsDetector {
+            fs,
+            refractory_s: 0.2,
+            integration_s: 0.15,
+            highpass_s: 0.6,
+            lowpass_s: 0.03,
+        }
+    }
+
+    /// Sample rate in hertz.
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// Detects R peaks; returns their times in seconds.
+    ///
+    /// The cost of the full chain is added to `ops` (the front-end load of
+    /// a wearable node, complementing the PSA profile).
+    pub fn detect(&self, ecg: &[f64], ops: &mut OpCount) -> Vec<f64> {
+        if ecg.len() < (self.fs * 0.5) as usize {
+            return Vec::new();
+        }
+        let envelope = self.envelope(ecg, ops);
+        let peaks = self.pick_peaks(&envelope, ops);
+        self.refine_peaks(ecg, &peaks)
+    }
+
+    /// The integrated energy envelope (exposed for tests/diagnostics).
+    pub fn envelope(&self, ecg: &[f64], ops: &mut OpCount) -> Vec<f64> {
+        let hp_len = (self.highpass_s * self.fs) as usize | 1;
+        let lp_len = ((self.lowpass_s * self.fs) as usize).max(2) | 1;
+        let baseline = moving_average(ecg, hp_len, ops);
+        let highpassed: Vec<f64> = ecg
+            .iter()
+            .zip(&baseline)
+            .map(|(&x, &b)| {
+                ops.add += 1;
+                x - b
+            })
+            .collect();
+        let bandpassed = moving_average(&highpassed, lp_len, ops);
+        let d = derivative(&bandpassed, ops);
+        let sq = square(&d, ops);
+        window_integral(&sq, ((self.integration_s * self.fs) as usize).max(1), ops)
+    }
+
+    /// Adaptive dual-threshold peak picking on the envelope; returns
+    /// sample indices.
+    fn pick_peaks(&self, env: &[f64], ops: &mut OpCount) -> Vec<usize> {
+        let refractory = (self.refractory_s * self.fs) as usize;
+        let n = env.len();
+
+        // Initial estimates from the first two seconds.
+        let lead = (2.0 * self.fs) as usize;
+        let lead = lead.min(n);
+        let max_lead = env[..lead].iter().cloned().fold(0.0f64, f64::max);
+        let mean_lead = env[..lead].iter().sum::<f64>() / lead.max(1) as f64;
+        let mut spki = 0.5 * max_lead; // running signal-peak estimate
+        let mut npki = 0.5 * mean_lead; // running noise-peak estimate
+
+        let mut peaks: Vec<usize> = Vec::new();
+        let mut rr_avg = self.fs; // ≈ 1 s until we learn better
+        let mut i = 1;
+        while i + 1 < n {
+            let is_local_max = env[i] > env[i - 1] && env[i] >= env[i + 1];
+            if is_local_max {
+                ops.cmp += 2;
+                let threshold = npki + 0.25 * (spki - npki);
+                ops.mul += 1;
+                ops.add += 2;
+                let far_enough =
+                    peaks.last().map_or(true, |&last| i - last >= refractory);
+                ops.cmp += 1;
+                if env[i] > threshold && far_enough {
+                    peaks.push(i);
+                    spki = 0.125 * env[i] + 0.875 * spki;
+                    ops.mul += 2;
+                    ops.add += 1;
+                    if peaks.len() >= 2 {
+                        let last_rr = (peaks[peaks.len() - 1]
+                            - peaks[peaks.len() - 2]) as f64;
+                        rr_avg = 0.875 * rr_avg + 0.125 * last_rr;
+                        ops.mul += 2;
+                        ops.add += 1;
+                    }
+                } else if env[i] > threshold {
+                    // Inside the refractory window: treat as the same beat.
+                } else {
+                    npki = 0.125 * env[i] + 0.875 * npki;
+                    ops.mul += 2;
+                    ops.add += 1;
+                }
+            }
+
+            // Search-back: if we have gone 1.66·RR without a beat, re-scan
+            // the gap with half threshold.
+            if let Some(&last) = peaks.last() {
+                if (i - last) as f64 > 1.66 * rr_avg {
+                    ops.cmp += 1;
+                    let threshold = 0.5 * (npki + 0.25 * (spki - npki));
+                    let lo = last + refractory;
+                    if lo < i {
+                        if let Some(best) = (lo..i)
+                            .filter(|&j| {
+                                j > 0 && j + 1 < n && env[j] > env[j - 1] && env[j] >= env[j + 1]
+                            })
+                            .max_by(|&a, &b| env[a].partial_cmp(&env[b]).expect("finite"))
+                        {
+                            ops.cmp += (i - lo) as u64;
+                            if env[best] > threshold {
+                                // Keep the peak list ordered.
+                                peaks.push(best);
+                                peaks.sort_unstable();
+                                spki = 0.25 * env[best] + 0.75 * spki;
+                                ops.mul += 2;
+                                ops.add += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        peaks
+    }
+
+    /// Maps envelope peaks back to R-peak times by finding the raw-signal
+    /// maximum in a window preceding each envelope crest (the integrator
+    /// delays the envelope by roughly its window).
+    fn refine_peaks(&self, ecg: &[f64], envelope_peaks: &[usize]) -> Vec<f64> {
+        let back = (self.integration_s * self.fs) as usize;
+        let ahead = (0.05 * self.fs) as usize;
+        let mut times: Vec<f64> = envelope_peaks
+            .iter()
+            .map(|&p| {
+                let lo = p.saturating_sub(back);
+                let hi = (p + ahead).min(ecg.len() - 1);
+                let best = (lo..=hi)
+                    .max_by(|&a, &b| ecg[a].partial_cmp(&ecg[b]).expect("finite"))
+                    .expect("window non-empty");
+                best as f64 / self.fs
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Merge refinements that collapsed onto the same R peak.
+        times.dedup_by(|a, b| (*a - *b).abs() < self.refractory_s / 2.0);
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_ecg::EcgSynthesizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn regular_beats(n: usize, rr: f64) -> Vec<f64> {
+        (1..=n).map(|i| i as f64 * rr).collect()
+    }
+
+    /// Fraction of reference beats matched within ±40 ms.
+    fn sensitivity(detected: &[f64], reference: &[f64]) -> f64 {
+        let hits = reference
+            .iter()
+            .filter(|&&r| detected.iter().any(|&d| (d - r).abs() < 0.04))
+            .count();
+        hits as f64 / reference.len() as f64
+    }
+
+    #[test]
+    fn detects_clean_regular_rhythm() {
+        let fs = 250.0;
+        let beats = regular_beats(24, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ecg = EcgSynthesizer::new(fs)
+            .with_noise(0.005)
+            .synthesize(&beats, 20.5, &mut rng);
+        let mut ops = OpCount::default();
+        let peaks = QrsDetector::new(fs).detect(&ecg, &mut ops);
+        assert!(sensitivity(&peaks, &beats) > 0.95, "sens {}", sensitivity(&peaks, &beats));
+        assert!(ops.arithmetic() > 0);
+    }
+
+    #[test]
+    fn detects_noisy_rhythm() {
+        let fs = 360.0;
+        let beats = regular_beats(30, 0.75);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ecg = EcgSynthesizer::new(fs)
+            .with_noise(0.05)
+            .synthesize(&beats, 23.5, &mut rng);
+        let peaks = QrsDetector::new(fs).detect(&ecg, &mut OpCount::default());
+        assert!(sensitivity(&peaks, &beats) > 0.9);
+    }
+
+    #[test]
+    fn detects_variable_rhythm() {
+        // RSA-modulated rhythm: intervals 0.7–0.95 s.
+        let fs = 250.0;
+        let mut beats = Vec::new();
+        let mut t = 0.0;
+        for i in 0..30 {
+            t += 0.82 + 0.12 * (i as f64 * 0.9).sin();
+            beats.push(t);
+        }
+        let duration = t + 0.5;
+        let mut rng = StdRng::seed_from_u64(3);
+        let ecg = EcgSynthesizer::new(fs).synthesize(&beats, duration, &mut rng);
+        let peaks = QrsDetector::new(fs).detect(&ecg, &mut OpCount::default());
+        assert!(sensitivity(&peaks, &beats) > 0.93);
+    }
+
+    #[test]
+    fn no_false_positives_on_flat_signal() {
+        let fs = 250.0;
+        let flat = vec![0.0; (fs * 10.0) as usize];
+        let peaks = QrsDetector::new(fs).detect(&flat, &mut OpCount::default());
+        assert!(peaks.len() <= 1, "got {} peaks on a flat trace", peaks.len());
+    }
+
+    #[test]
+    fn refractory_prevents_double_detection() {
+        let fs = 250.0;
+        let beats = regular_beats(20, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ecg = EcgSynthesizer::new(fs).synthesize(&beats, 16.5, &mut rng);
+        let peaks = QrsDetector::new(fs).detect(&ecg, &mut OpCount::default());
+        for pair in peaks.windows(2) {
+            assert!(pair[1] - pair[0] > 0.2, "interval {}", pair[1] - pair[0]);
+        }
+        // No more than one extra/missing beat.
+        assert!((peaks.len() as i64 - beats.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let fs = 250.0;
+        let peaks = QrsDetector::new(fs).detect(&[0.0; 10], &mut OpCount::default());
+        assert!(peaks.is_empty());
+        assert_eq!(QrsDetector::new(fs).fs(), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too low")]
+    fn low_sample_rate_rejected() {
+        let _ = QrsDetector::new(30.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! R-peak sequences → RR series, plus detection-quality metrics.
+
+use hrv_ecg::RrSeries;
+
+/// Converts detected R-peak times into an [`RrSeries`], discarding
+/// physiologically impossible intervals (outside `[0.25, 2.5]` s, i.e.
+/// 24–240 bpm) which arise from rare double- or missed detections.
+///
+/// Returns `None` when fewer than two plausible beats remain.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_delineate::rr_from_peaks;
+///
+/// let rr = rr_from_peaks(&[0.0, 0.8, 1.6, 1.62, 2.4]).expect("series");
+/// // The 20 ms interval is rejected as a double detection.
+/// assert_eq!(rr.len(), 3);
+/// ```
+pub fn rr_from_peaks(peaks: &[f64]) -> Option<RrSeries> {
+    const MIN_RR: f64 = 0.25;
+    const MAX_RR: f64 = 2.5;
+    if peaks.len() < 2 {
+        return None;
+    }
+    let mut times = Vec::new();
+    let mut intervals = Vec::new();
+    let mut prev = peaks[0];
+    for &t in &peaks[1..] {
+        let rr = t - prev;
+        if rr < MIN_RR {
+            // Double detection: skip this peak, keep the anchor.
+            continue;
+        }
+        if rr <= MAX_RR {
+            times.push(t);
+            intervals.push(rr);
+        }
+        // rr > MAX_RR: dropout — restart from this beat without emitting.
+        prev = t;
+    }
+    if times.is_empty() {
+        None
+    } else {
+        Some(RrSeries::new(times, intervals))
+    }
+}
+
+/// Beat-detection quality against a reference annotation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionQuality {
+    /// True positives (matched within tolerance).
+    pub true_positives: usize,
+    /// Reference beats with no matching detection.
+    pub missed: usize,
+    /// Detections with no matching reference beat.
+    pub spurious: usize,
+    /// Mean absolute timing error of matched beats (seconds).
+    pub mean_timing_error: f64,
+}
+
+impl DetectionQuality {
+    /// Sensitivity `TP / (TP + FN)`.
+    pub fn sensitivity(&self) -> f64 {
+        let denom = self.true_positives + self.missed;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Positive predictive value `TP / (TP + FP)`.
+    pub fn ppv(&self) -> f64 {
+        let denom = self.true_positives + self.spurious;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Greedily matches detections to reference beats within `tolerance`
+/// seconds and summarises the outcome.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive.
+pub fn evaluate_detection(
+    detected: &[f64],
+    reference: &[f64],
+    tolerance: f64,
+) -> DetectionQuality {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut used = vec![false; detected.len()];
+    let mut tp = 0usize;
+    let mut err_sum = 0.0;
+    for &r in reference {
+        let best = detected
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| !used[*i] && (d - r).abs() <= tolerance)
+            .min_by(|a, b| {
+                (a.1 - r)
+                    .abs()
+                    .partial_cmp(&(b.1 - r).abs())
+                    .expect("finite")
+            });
+        if let Some((i, &d)) = best {
+            used[i] = true;
+            tp += 1;
+            err_sum += (d - r).abs();
+        }
+    }
+    DetectionQuality {
+        true_positives: tp,
+        missed: reference.len() - tp,
+        spurious: detected.len() - tp,
+        mean_timing_error: if tp > 0 { err_sum / tp as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_peaks_roundtrip() {
+        let rr = rr_from_peaks(&[0.0, 0.8, 1.7, 2.5]).expect("series");
+        assert_eq!(rr.len(), 3);
+        assert!((rr.intervals()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_detection_is_skipped() {
+        let rr = rr_from_peaks(&[0.0, 0.8, 0.82, 1.6]).expect("series");
+        // 0.82 rejected; the 0.8 → 1.6 interval remains usable.
+        assert_eq!(rr.len(), 2);
+        assert!((rr.intervals()[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_breaks_the_chain_without_fake_interval() {
+        let rr = rr_from_peaks(&[0.0, 0.8, 4.8, 5.6]).expect("series");
+        // 4.0 s gap dropped; only 0.8 s intervals survive.
+        assert_eq!(rr.len(), 2);
+        assert!(rr.intervals().iter().all(|&v| (v - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn too_few_peaks_yield_none() {
+        assert!(rr_from_peaks(&[1.0]).is_none());
+        assert!(rr_from_peaks(&[]).is_none());
+        assert!(rr_from_peaks(&[0.0, 0.1]).is_none()); // single implausible
+    }
+
+    #[test]
+    fn perfect_detection_scores_perfectly() {
+        let beats = [1.0, 2.0, 3.0];
+        let q = evaluate_detection(&beats, &beats, 0.05);
+        assert_eq!(q.true_positives, 3);
+        assert_eq!(q.missed, 0);
+        assert_eq!(q.spurious, 0);
+        assert_eq!(q.sensitivity(), 1.0);
+        assert_eq!(q.ppv(), 1.0);
+        assert_eq!(q.mean_timing_error, 0.0);
+    }
+
+    #[test]
+    fn misses_and_spurious_are_counted() {
+        let detected = [1.01, 2.5, 3.0];
+        let reference = [1.0, 2.0, 3.0];
+        let q = evaluate_detection(&detected, &reference, 0.05);
+        assert_eq!(q.true_positives, 2); // 1.01 and 3.0 match
+        assert_eq!(q.missed, 1); // 2.0 unmatched
+        assert_eq!(q.spurious, 1); // 2.5 unmatched
+        assert!((q.sensitivity() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.ppv() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_timing_error - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn each_detection_matches_at_most_once() {
+        let detected = [1.0];
+        let reference = [0.98, 1.02];
+        let q = evaluate_detection(&detected, &reference, 0.05);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.missed, 1);
+        assert_eq!(q.spurious, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_tolerance_rejected() {
+        let _ = evaluate_detection(&[1.0], &[1.0], 0.0);
+    }
+}

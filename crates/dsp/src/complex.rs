@@ -1,0 +1,354 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The workspace deliberately implements its own complex type instead of
+//! pulling in an external crate: every arithmetic operation performed on
+//! [`Cx`] values inside the signal-processing kernels is *accounted for*
+//! (see [`crate::ops::OpCount`]), and owning the type keeps that accounting
+//! honest and keeps the reproduction dependency-free.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::Cx;
+///
+/// let a = Cx::new(1.0, 2.0);
+/// let b = Cx::new(3.0, -1.0);
+/// assert_eq!(a + b, Cx::new(4.0, 1.0));
+/// assert_eq!(a * b, Cx::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Cx::new(1.0, -2.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// The additive identity.
+    pub const ZERO: Cx = Cx { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Cx = Cx { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Cx = Cx { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Cx { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Cx::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Unit-magnitude phasor `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Cx::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cx::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by the imaginary unit: `i·z = (-im, re)`.
+    ///
+    /// This is a free rotation (no real multiplications), which the FFT
+    /// kernels exploit and therefore do not count as arithmetic.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Cx::new(-self.im, self.re)
+    }
+
+    /// Multiplication by `-i`: `-i·z = (im, -re)`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Cx::new(self.im, -self.re)
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Cx::new(self.re * s, self.im * s)
+    }
+
+    /// Reciprocal `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z` is exactly zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "reciprocal of zero complex number");
+        Cx::new(self.re / d, -self.im / d)
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Component-wise approximate equality with absolute tolerance `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Cx, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Cx {
+    fn from(re: f64) -> Self {
+        Cx::real(re)
+    }
+}
+
+impl From<(f64, f64)> for Cx {
+    fn from((re, im): (f64, f64)) -> Self {
+        Cx::new(re, im)
+    }
+}
+
+impl Add for Cx {
+    type Output = Cx;
+    #[inline]
+    fn add(self, rhs: Cx) -> Cx {
+        Cx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cx {
+    type Output = Cx;
+    #[inline]
+    fn sub(self, rhs: Cx) -> Cx {
+        Cx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cx {
+    type Output = Cx;
+    #[inline]
+    fn mul(self, rhs: Cx) -> Cx {
+        Cx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Cx {
+    type Output = Cx;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cx {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Cx> for f64 {
+    type Output = Cx;
+    #[inline]
+    fn mul(self, rhs: Cx) -> Cx {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Cx {
+    type Output = Cx;
+    #[inline]
+    fn div(self, rhs: Cx) -> Cx {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Cx {
+    type Output = Cx;
+    #[inline]
+    fn div(self, rhs: f64) -> Cx {
+        Cx::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Cx {
+    type Output = Cx;
+    #[inline]
+    fn neg(self) -> Cx {
+        Cx::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Cx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cx) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Cx {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cx) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Cx {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cx) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Cx {
+    fn sum<I: Iterator<Item = Cx>>(iter: I) -> Cx {
+        iter.fold(Cx::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Display for Cx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Maximum absolute component-wise deviation between two complex slices.
+///
+/// Useful for asserting transform equivalence in tests.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_deviation(a: &[Cx], b: &[Cx]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.re - y.re).abs().max((x.im - y.im).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Cx::ZERO, Cx::new(0.0, 0.0));
+        assert_eq!(Cx::ONE, Cx::new(1.0, 0.0));
+        assert_eq!(Cx::I, Cx::new(0.0, 1.0));
+        assert_eq!(Cx::real(2.5), Cx::new(2.5, 0.0));
+        assert_eq!(Cx::from(3.0), Cx::new(3.0, 0.0));
+        assert_eq!(Cx::from((1.0, -1.0)), Cx::new(1.0, -1.0));
+    }
+
+    #[test]
+    fn from_polar_roundtrip() {
+        let z = Cx::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Cx::cis(k as f64 * 0.4);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = Cx::new(1.0, 2.0);
+        let b = Cx::new(-3.0, 0.5);
+        assert_eq!(a + b, Cx::new(-2.0, 2.5));
+        assert_eq!(a - b, Cx::new(4.0, 1.5));
+        let p = a * b;
+        assert!((p.re - (1.0 * -3.0 - 2.0 * 0.5)).abs() < 1e-15);
+        assert!((p.im - (1.0 * 0.5 + 2.0 * -3.0)).abs() < 1e-15);
+        let q = p / b;
+        assert!(q.approx_eq(a, 1e-12));
+        assert_eq!(-a, Cx::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let z = Cx::new(0.3, -0.7);
+        assert!(z.mul_i().approx_eq(z * Cx::I, 1e-15));
+        assert!(z.mul_neg_i().approx_eq(z * -Cx::I, 1e-15));
+    }
+
+    #[test]
+    fn conj_and_norms() {
+        let z = Cx::new(3.0, 4.0);
+        assert_eq!(z.conj(), Cx::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let z = Cx::new(0.5, -1.5);
+        assert!((z * z.recip()).approx_eq(Cx::ONE, 1e-12));
+    }
+
+    #[test]
+    fn assign_ops_and_sum() {
+        let mut z = Cx::new(1.0, 1.0);
+        z += Cx::ONE;
+        z -= Cx::I;
+        z *= Cx::new(2.0, 0.0);
+        assert_eq!(z, Cx::new(4.0, 0.0));
+        let s: Cx = [Cx::ONE, Cx::I, Cx::new(1.0, 1.0)].into_iter().sum();
+        assert_eq!(s, Cx::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Cx::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Cx::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn max_deviation_reports_worst_component() {
+        let a = [Cx::new(1.0, 0.0), Cx::new(0.0, 2.0)];
+        let b = [Cx::new(1.5, 0.0), Cx::new(0.0, 2.25)];
+        assert!((max_deviation(&a, &b) - 0.5).abs() < 1e-15);
+    }
+}

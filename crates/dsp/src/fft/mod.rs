@@ -1,0 +1,224 @@
+//! Fast Fourier transforms and the pluggable [`FftBackend`] abstraction.
+//!
+//! Two exact implementations live here:
+//!
+//! * [`Radix2Fft`] — the textbook iterative decimation-in-time FFT, used for
+//!   filter-response computation and as an independent reference;
+//! * [`SplitRadixFft`] — the paper's conventional baseline ("one of the
+//!   fastest known FFT realizations", §II.B), with faithful operation
+//!   accounting.
+//!
+//! The approximate wavelet-based FFT of the paper lives in the `hrv-wfft`
+//! crate and plugs into the same [`FftBackend`] trait, so the Lomb pipeline
+//! (`hrv-lomb`) is agnostic to which kernel computes its spectra.
+
+mod radix2;
+mod real;
+mod split_radix;
+
+pub use radix2::Radix2Fft;
+pub use real::{fft_real_pair, RealPairSpectra};
+pub use split_radix::SplitRadixFft;
+
+use crate::complex::Cx;
+use crate::ops::OpCount;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X[k] = Σ x[n]·e^{-2πi nk/N}` (no scaling).
+    Forward,
+    /// `x[n] = Σ X[k]·e^{+2πi nk/N}` (no `1/N` scaling; callers normalise).
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent used by this direction.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// A length-`N` discrete Fourier transform kernel.
+///
+/// Implementations may be exact (split-radix, radix-2) or deliberately
+/// approximate (the pruned wavelet-based FFT); approximate implementations
+/// must say so via [`FftBackend::is_exact`].
+///
+/// All kernels transform in place and add the real-operation cost of the
+/// call to `ops`.
+pub trait FftBackend: std::fmt::Debug + Send + Sync {
+    /// The (fixed) transform length this backend was planned for.
+    fn len(&self) -> usize;
+
+    /// `true` if [`FftBackend::len`] is zero. Provided for lint friendliness;
+    /// planned backends always have non-zero length.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short human-readable kernel name, e.g. `"split-radix"`.
+    fn name(&self) -> &str;
+
+    /// Whether the kernel computes the exact DFT (up to rounding).
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    /// In-place forward DFT of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `data.len() != self.len()`.
+    fn forward(&self, data: &mut [Cx], ops: &mut OpCount);
+}
+
+/// Reference DFT evaluated directly from the definition, O(N²).
+///
+/// Used as ground truth in tests; counts trig evaluations rather than using
+/// precomputed tables.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::{dft_naive, Cx, Direction};
+///
+/// let x = vec![Cx::real(1.0); 4];
+/// let spectrum = dft_naive(&x, Direction::Forward);
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12);
+/// assert!(spectrum[1].norm() < 1e-12);
+/// ```
+pub fn dft_naive(input: &[Cx], direction: Direction) -> Vec<Cx> {
+    let n = input.len();
+    let sign = direction.sign();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| {
+                    let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                    input[j] * Cx::cis(theta)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// log2 of a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(is_power_of_two(n), "{n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// In-place bit-reversal permutation, the reordering pass of iterative FFTs.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute(data: &mut [Cx]) {
+    let n = data.len();
+    let bits = log2_exact(n);
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed forward twiddle table `w[k] = e^{-2πik/N}` for `k < N/2`.
+pub(crate) fn forward_twiddles(n: usize) -> Vec<Cx> {
+    (0..n / 2)
+        .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse(n: usize, at: usize) -> Vec<Cx> {
+        let mut x = vec![Cx::ZERO; n];
+        x[at] = Cx::ONE;
+        x
+    }
+
+    #[test]
+    fn naive_dft_of_impulse_is_flat() {
+        let spectrum = dft_naive(&impulse(8, 0), Direction::Forward);
+        for z in &spectrum {
+            assert!(z.approx_eq(Cx::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn naive_dft_of_shifted_impulse_is_phasor() {
+        let spectrum = dft_naive(&impulse(8, 1), Direction::Forward);
+        for (k, z) in spectrum.iter().enumerate() {
+            let expect = Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / 8.0);
+            assert!(z.approx_eq(expect, 1e-12), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn naive_forward_then_inverse_recovers_signal() {
+        let x: Vec<Cx> = (0..16)
+            .map(|i| Cx::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let spec = dft_naive(&x, Direction::Forward);
+        let back = dft_naive(&spec, Direction::Inverse);
+        for (orig, rec) in x.iter().zip(&back) {
+            assert!(rec.scale(1.0 / 16.0).approx_eq(*orig, 1e-10));
+        }
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(512));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(511));
+        assert_eq!(log2_exact(512), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_powers() {
+        log2_exact(300);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        let mut data: Vec<Cx> = (0..32).map(|i| Cx::real(i as f64)).collect();
+        let orig = data.clone();
+        bit_reverse_permute(&mut data);
+        assert_ne!(data, orig);
+        bit_reverse_permute(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn bit_reverse_known_order_n8() {
+        let mut data: Vec<Cx> = (0..8).map(|i| Cx::real(i as f64)).collect();
+        bit_reverse_permute(&mut data);
+        let order: Vec<f64> = data.iter().map(|z| z.re).collect();
+        assert_eq!(order, vec![0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Forward.sign(), -1.0);
+        assert_eq!(Direction::Inverse.sign(), 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Iterative radix-2 decimation-in-time FFT with a precomputed twiddle table.
+
+use super::{bit_reverse_permute, forward_twiddles, is_power_of_two, FftBackend};
+use crate::complex::Cx;
+use crate::ops::OpCount;
+
+/// Planned radix-2 FFT of a fixed power-of-two length.
+///
+/// This is the simplest exact kernel in the workspace. It is used where
+/// clarity beats the ~20 % operation advantage of split-radix: computing
+/// wavelet filter frequency responses, reference spectra in tests, and the
+/// inverse transforms of the synthesis paths.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::{Cx, FftBackend, OpCount, Radix2Fft};
+///
+/// let plan = Radix2Fft::new(8);
+/// let mut data = vec![Cx::real(1.0); 8];
+/// let mut ops = OpCount::default();
+/// plan.forward(&mut data, &mut ops);
+/// assert!((data[0].re - 8.0).abs() < 1e-12); // DC bin
+/// assert!(data[3].norm() < 1e-12);
+/// assert!(ops.arithmetic() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Radix2Fft {
+    n: usize,
+    twiddles: Vec<Cx>,
+}
+
+impl Radix2Fft {
+    /// Plans a transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+        Radix2Fft {
+            n,
+            twiddles: forward_twiddles(n),
+        }
+    }
+
+    /// In-place inverse DFT (no `1/N` normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Cx], ops: &mut OpCount) {
+        // Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))).
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data, ops);
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+    }
+}
+
+impl FftBackend for Radix2Fft {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "radix-2"
+    }
+
+    fn forward(&self, data: &mut [Cx], ops: &mut OpCount) {
+        assert_eq!(data.len(), self.n, "data length must match plan length");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        bit_reverse_permute(data);
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let a = data[start + k];
+                    let b = data[start + k + half];
+                    // w == 1 at k == 0: butterfly needs no multiplication.
+                    let t = if k == 0 {
+                        b
+                    } else {
+                        ops.cmul();
+                        b * w
+                    };
+                    data[start + k] = a + t;
+                    data[start + k + half] = a - t;
+                    ops.cadd_n(2);
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_deviation;
+    use crate::fft::{dft_naive, Direction};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Cx> {
+        // Small deterministic LCG so the dsp crate stays dependency-free.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Cx::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let x = random_signal(n, n as u64);
+            let expect = dft_naive(&x, Direction::Forward);
+            let plan = Radix2Fft::new(n);
+            let mut data = x.clone();
+            let mut ops = OpCount::default();
+            plan.forward(&mut data, &mut ops);
+            assert!(
+                max_deviation(&data, &expect) < 1e-9,
+                "n={n} deviation too large"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let n = 128;
+        let x = random_signal(n, 7);
+        let plan = Radix2Fft::new(n);
+        let mut data = x.clone();
+        let mut ops = OpCount::default();
+        plan.forward(&mut data, &mut ops);
+        plan.inverse(&mut data, &mut ops);
+        for z in data.iter_mut() {
+            *z = z.scale(1.0 / n as f64);
+        }
+        assert!(max_deviation(&data, &x) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let x = random_signal(n, 42);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let plan = Radix2Fft::new(n);
+        let mut data = x;
+        let mut ops = OpCount::default();
+        plan.forward(&mut data, &mut ops);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn op_count_matches_radix2_theory() {
+        // Radix-2 with only the w=1 butterfly optimised:
+        // per stage: n/2 butterflies, (n/2 - #blocks) of them multiply.
+        let n = 512u64;
+        let stages = 9u64;
+        let plan = Radix2Fft::new(n as usize);
+        let mut data = vec![Cx::real(1.0); n as usize];
+        let mut ops = OpCount::default();
+        plan.forward(&mut data, &mut ops);
+        let mut cmults = 0u64;
+        for s in 0..stages {
+            let blocks = n >> (s + 1); // number of butterfly groups at this stage
+            cmults += n / 2 - blocks;
+        }
+        assert_eq!(ops.mul, 4 * cmults);
+        assert_eq!(ops.add, 2 * cmults + 2 * 2 * (n / 2) * stages);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match plan length")]
+    fn rejects_mismatched_buffer() {
+        let plan = Radix2Fft::new(8);
+        let mut data = vec![Cx::ZERO; 4];
+        plan.forward(&mut data, &mut OpCount::default());
+    }
+
+    #[test]
+    fn backend_metadata() {
+        let plan = Radix2Fft::new(16);
+        assert_eq!(plan.len(), 16);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.name(), "radix-2");
+        assert!(plan.is_exact());
+    }
+}

@@ -1,0 +1,237 @@
+//! Q15 fixed-point arithmetic — the precision ablation substrate.
+//!
+//! The paper targets a low-power sensor node; production firmware for such
+//! nodes typically runs fixed-point kernels. This module provides a
+//! saturating Q1.15 type and fixed-point variants of the Haar butterfly so
+//! the benchmark harness can quantify the extra distortion a fixed-point
+//! deployment would add on top of the paper's pruning approximations
+//! (an extension flagged in `DESIGN.md` §7).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A Q1.15 fixed-point number in `[-1, 1 - 2⁻¹⁵]`.
+///
+/// All operations saturate instead of wrapping, matching DSP hardware
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::Q15;
+///
+/// let half = Q15::from_f64(0.5);
+/// let quarter = half * half;
+/// assert!((quarter.to_f64() - 0.25).abs() < 1e-4);
+/// let sat = Q15::from_f64(0.9) + Q15::from_f64(0.9);
+/// assert_eq!(sat, Q15::MAX); // saturates instead of wrapping
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q15(i16);
+
+impl Q15 {
+    /// Smallest representable value, −1.0.
+    pub const MIN: Q15 = Q15(i16::MIN);
+    /// Largest representable value, `1 − 2⁻¹⁵`.
+    pub const MAX: Q15 = Q15(i16::MAX);
+    /// Zero.
+    pub const ZERO: Q15 = Q15(0);
+    /// Scaling factor `2¹⁵`.
+    const SCALE: f64 = 32768.0;
+
+    /// Quantises `v` (clamped to the representable range) to Q15.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * Self::SCALE).round();
+        Q15(scaled.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+    }
+
+    /// Constructs from the raw two's-complement representation.
+    pub const fn from_raw(raw: i16) -> Self {
+        Q15(raw)
+    }
+
+    /// Raw two's-complement representation.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts back to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE
+    }
+
+    /// Absolute quantisation step, `2⁻¹⁵`.
+    pub const fn epsilon() -> f64 {
+        1.0 / Self::SCALE
+    }
+
+    /// Saturating absolute value (|MIN| saturates to MAX).
+    pub fn saturating_abs(self) -> Self {
+        if self.0 == i16::MIN {
+            Q15::MAX
+        } else {
+            Q15(self.0.abs())
+        }
+    }
+}
+
+impl Add for Q15 {
+    type Output = Q15;
+    fn add(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Q15;
+    fn sub(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul for Q15 {
+    type Output = Q15;
+    fn mul(self, rhs: Q15) -> Q15 {
+        // 32-bit product in Q30, rounded to Q15 with saturation.
+        let prod = self.0 as i32 * rhs.0 as i32;
+        let rounded = (prod + (1 << 14)) >> 15;
+        Q15(rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Q15;
+    fn neg(self) -> Q15 {
+        Q15(self.0.saturating_neg())
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.to_f64())
+    }
+}
+
+/// Quantises a slice of doubles to Q15.
+pub fn quantize(x: &[f64]) -> Vec<Q15> {
+    x.iter().map(|&v| Q15::from_f64(v)).collect()
+}
+
+/// Dequantises a slice of Q15 back to doubles.
+pub fn dequantize(x: &[Q15]) -> Vec<f64> {
+    x.iter().map(|q| q.to_f64()).collect()
+}
+
+/// Fixed-point Haar analysis stage: sums and differences of adjacent pairs,
+/// scaled by `1/√2 ≈ 0.70710` in Q15.
+///
+/// Returns `(lowpass, highpass)` halves. Inputs must be pre-scaled well
+/// inside `[-0.5, 0.5]` to avoid saturation of the sums.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is odd or zero.
+pub fn haar_stage_q15(x: &[Q15]) -> (Vec<Q15>, Vec<Q15>) {
+    assert!(!x.is_empty() && x.len() % 2 == 0, "need a non-empty even-length input");
+    let inv_sqrt2 = Q15::from_f64(std::f64::consts::FRAC_1_SQRT_2);
+    let half = x.len() / 2;
+    let mut low = Vec::with_capacity(half);
+    let mut high = Vec::with_capacity(half);
+    for m in 0..half {
+        let a = x[2 * m];
+        let b = x[2 * m + 1];
+        low.push((a + b) * inv_sqrt2);
+        high.push((a - b) * inv_sqrt2);
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_epsilon() {
+        for &v in &[0.0, 0.25, -0.5, 0.999, -1.0, 0.123456] {
+            let q = Q15::from_f64(v);
+            assert!((q.to_f64() - v).abs() <= Q15::epsilon(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(Q15::from_f64(2.0), Q15::MAX);
+        assert_eq!(Q15::from_f64(-2.0), Q15::MIN);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Q15::MAX + Q15::MAX, Q15::MAX);
+        assert_eq!(Q15::MIN - Q15::MAX, Q15::MIN);
+        assert_eq!(-Q15::MIN, Q15::MAX); // saturating negation
+        assert_eq!(Q15::MIN.saturating_abs(), Q15::MAX);
+    }
+
+    #[test]
+    fn multiplication_matches_float_within_step() {
+        for &(a, b) in &[(0.5, 0.5), (0.7, -0.3), (-0.9, -0.9), (0.01, 0.02)] {
+            let qa = Q15::from_f64(a);
+            let qb = Q15::from_f64(b);
+            let prod = (qa * qb).to_f64();
+            assert!((prod - a * b).abs() < 4.0 * Q15::epsilon(), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn raw_accessors() {
+        let q = Q15::from_raw(16384);
+        assert_eq!(q.raw(), 16384);
+        assert!((q.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_dequantize_slices() {
+        let x = vec![0.1, -0.2, 0.3];
+        let back = dequantize(&quantize(&x));
+        for (orig, rec) in x.iter().zip(&back) {
+            assert!((orig - rec).abs() <= Q15::epsilon());
+        }
+    }
+
+    #[test]
+    fn haar_stage_matches_float_reference() {
+        let x: Vec<f64> = (0..16).map(|i| 0.2 * ((i as f64) * 0.5).sin()).collect();
+        let (low, high) = haar_stage_q15(&quantize(&x));
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for m in 0..8 {
+            let expect_low = (x[2 * m] + x[2 * m + 1]) * s;
+            let expect_high = (x[2 * m] - x[2 * m + 1]) * s;
+            assert!((low[m].to_f64() - expect_low).abs() < 4.0 * Q15::epsilon());
+            assert!((high[m].to_f64() - expect_high).abs() < 4.0 * Q15::epsilon());
+        }
+    }
+
+    #[test]
+    fn haar_energy_roughly_preserved() {
+        let x: Vec<f64> = (0..64).map(|i| 0.3 * ((i as f64) * 0.3).cos()).collect();
+        let (low, high) = haar_stage_q15(&quantize(&x));
+        let e_in: f64 = x.iter().map(|v| v * v).sum();
+        let e_out: f64 = dequantize(&low)
+            .iter()
+            .chain(dequantize(&high).iter())
+            .map(|v| v * v)
+            .sum();
+        assert!((e_in - e_out).abs() < 0.01 * e_in);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn haar_rejects_odd_length() {
+        let _ = haar_stage_q15(&quantize(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Q15::from_f64(0.5).to_string(), "0.50000");
+    }
+}

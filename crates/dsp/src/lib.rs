@@ -1,0 +1,57 @@
+//! # hrv-dsp
+//!
+//! Signal-processing foundation for the reproduction of *"A Quality-Scalable
+//! and Energy-Efficient Approach for Spectral Analysis of Heart Rate
+//! Variability"* (Karakonstantis et al., DATE 2014).
+//!
+//! This crate owns the primitives every other crate builds on:
+//!
+//! * [`Cx`] — complex arithmetic;
+//! * [`OpCount`] / [`BlockOps`] — the real-operation accounting that the
+//!   sensor-node energy model consumes;
+//! * [`FftBackend`] — the kernel abstraction that lets the Lomb pipeline run
+//!   on either the conventional [`SplitRadixFft`] or the paper's pruned
+//!   wavelet-based FFT (crate `hrv-wfft`);
+//! * [`Window`] — tapers for Welch–Lomb segmentation;
+//! * statistics helpers and a [`Q15`] fixed-point ablation substrate.
+//!
+//! # Examples
+//!
+//! ```
+//! use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft};
+//!
+//! // Transform a 16-sample tone and find its peak bin.
+//! let n = 16;
+//! let mut data: Vec<Cx> = (0..n)
+//!     .map(|i| Cx::real((2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64).cos()))
+//!     .collect();
+//! let plan = SplitRadixFft::new(n);
+//! let mut ops = OpCount::default();
+//! plan.forward(&mut data, &mut ops);
+//! let peak = (0..n / 2).max_by(|&a, &b| {
+//!     data[a].norm().partial_cmp(&data[b].norm()).unwrap()
+//! }).unwrap();
+//! assert_eq!(peak, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod fft;
+mod fixed;
+mod ops;
+mod stats;
+mod window;
+
+pub use complex::{max_deviation, Cx};
+pub use fft::{
+    bit_reverse_permute, dft_naive, fft_real_pair, is_power_of_two, log2_exact, Direction,
+    FftBackend, Radix2Fft, RealPairSpectra, SplitRadixFft,
+};
+pub use fixed::{dequantize, haar_stage_q15, quantize, Q15};
+pub use ops::{BlockOps, OpCount};
+pub use stats::{
+    max_abs_error, mean, mse, quantile, relative_error, rmse, sample_variance, variance,
+    Histogram,
+};
+pub use window::Window;

@@ -1,0 +1,322 @@
+//! Operation accounting.
+//!
+//! Every signal-processing kernel in the workspace threads an [`OpCount`]
+//! through its hot loops and increments it for each *real* arithmetic
+//! operation it performs. This mirrors how the paper evaluates its
+//! approximations: complexity is reported in numbers of additions and
+//! multiplications (Fig. 5), and the sensor-node simulator converts those
+//! counts into cycles and energy (`hrv-node-sim`).
+//!
+//! Conventions used by all kernels:
+//!
+//! * one complex addition          = 2 real additions
+//! * one complex·complex multiply  = 4 real multiplications + 2 real additions
+//! * one complex·real multiply     = 2 real multiplications
+//! * multiplications by `±1` and `±i` are free (sign flips / swaps)
+//! * dynamic-pruning threshold tests are counted as comparisons
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Tally of elementary operations performed by a kernel.
+///
+/// The fields are public in the spirit of a passive data structure: the type
+/// carries no invariants beyond being a plain tally.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::OpCount;
+///
+/// let mut ops = OpCount::default();
+/// ops.cadd(); // one complex addition
+/// ops.cmul(); // one full complex multiplication
+/// assert_eq!(ops.add, 2 + 2);
+/// assert_eq!(ops.mul, 4);
+/// assert_eq!(ops.arithmetic(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Real additions / subtractions.
+    pub add: u64,
+    /// Real multiplications.
+    pub mul: u64,
+    /// Real divisions.
+    pub div: u64,
+    /// Square roots.
+    pub sqrt: u64,
+    /// Trigonometric / transcendental evaluations (sin, cos, atan2, …).
+    pub trig: u64,
+    /// Comparisons (dynamic-pruning threshold tests, peak picking, …).
+    pub cmp: u64,
+    /// Memory loads attributed to data movement in the kernel.
+    pub load: u64,
+    /// Memory stores attributed to data movement in the kernel.
+    pub store: u64,
+}
+
+impl OpCount {
+    /// A zeroed tally.
+    pub const fn new() -> Self {
+        OpCount {
+            add: 0,
+            mul: 0,
+            div: 0,
+            sqrt: 0,
+            trig: 0,
+            cmp: 0,
+            load: 0,
+            store: 0,
+        }
+    }
+
+    /// Records one complex addition (2 real adds).
+    #[inline]
+    pub fn cadd(&mut self) {
+        self.add += 2;
+    }
+
+    /// Records `n` complex additions.
+    #[inline]
+    pub fn cadd_n(&mut self, n: u64) {
+        self.add += 2 * n;
+    }
+
+    /// Records one full complex·complex multiplication (4 muls + 2 adds).
+    #[inline]
+    pub fn cmul(&mut self) {
+        self.mul += 4;
+        self.add += 2;
+    }
+
+    /// Records `n` full complex·complex multiplications.
+    #[inline]
+    pub fn cmul_n(&mut self, n: u64) {
+        self.mul += 4 * n;
+        self.add += 2 * n;
+    }
+
+    /// Records one complex·real multiplication (2 muls).
+    #[inline]
+    pub fn cmul_real(&mut self) {
+        self.mul += 2;
+    }
+
+    /// Records `n` complex·real multiplications.
+    #[inline]
+    pub fn cmul_real_n(&mut self, n: u64) {
+        self.mul += 2 * n;
+    }
+
+    /// Total arithmetic operations (adds + muls + divs + sqrts + trig).
+    #[inline]
+    pub fn arithmetic(&self) -> u64 {
+        self.add + self.mul + self.div + self.sqrt + self.trig
+    }
+
+    /// Grand total including comparisons and memory traffic.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.arithmetic() + self.cmp + self.load + self.store
+    }
+
+    /// Returns a copy scaled by an integer factor, e.g. to extrapolate a
+    /// per-window tally to a whole recording.
+    pub fn scaled(&self, factor: u64) -> Self {
+        OpCount {
+            add: self.add * factor,
+            mul: self.mul * factor,
+            div: self.div * factor,
+            sqrt: self.sqrt * factor,
+            trig: self.trig * factor,
+            cmp: self.cmp * factor,
+            load: self.load * factor,
+            store: self.store * factor,
+        }
+    }
+
+    /// Saturating difference: how many more operations `self` performs
+    /// than `other`, per class (clamped at zero).
+    pub fn saturating_sub(&self, other: &OpCount) -> Self {
+        OpCount {
+            add: self.add.saturating_sub(other.add),
+            mul: self.mul.saturating_sub(other.mul),
+            div: self.div.saturating_sub(other.div),
+            sqrt: self.sqrt.saturating_sub(other.sqrt),
+            trig: self.trig.saturating_sub(other.trig),
+            cmp: self.cmp.saturating_sub(other.cmp),
+            load: self.load.saturating_sub(other.load),
+            store: self.store.saturating_sub(other.store),
+        }
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount {
+            add: self.add + rhs.add,
+            mul: self.mul + rhs.mul,
+            div: self.div + rhs.div,
+            sqrt: self.sqrt + rhs.sqrt,
+            trig: self.trig + rhs.trig,
+            cmp: self.cmp + rhs.cmp,
+            load: self.load + rhs.load,
+            store: self.store + rhs.store,
+        }
+    }
+}
+
+impl AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for OpCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "add={} mul={} div={} sqrt={} trig={} cmp={} ld={} st={}",
+            self.add, self.mul, self.div, self.sqrt, self.trig, self.cmp, self.load, self.store
+        )
+    }
+}
+
+/// A named per-block breakdown of operation counts, used to profile the
+/// pipeline stage by stage (Fig. 1(b) of the paper).
+///
+/// Blocks are kept in insertion order so reports are stable.
+#[derive(Clone, Debug, Default)]
+pub struct BlockOps {
+    entries: Vec<(String, OpCount)>,
+}
+
+impl BlockOps {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ops` to the named block, creating the block on first use.
+    pub fn record(&mut self, block: &str, ops: OpCount) {
+        if let Some((_, tally)) = self.entries.iter_mut().find(|(name, _)| name == block) {
+            *tally += ops;
+        } else {
+            self.entries.push((block.to_string(), ops));
+        }
+    }
+
+    /// Iterates over `(block name, tally)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OpCount)> {
+        self.entries.iter().map(|(n, o)| (n.as_str(), o))
+    }
+
+    /// Tally for one block, if present.
+    pub fn get(&self, block: &str) -> Option<&OpCount> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == block)
+            .map(|(_, o)| o)
+    }
+
+    /// Sum over all blocks.
+    pub fn grand_total(&self) -> OpCount {
+        self.entries
+            .iter()
+            .fold(OpCount::new(), |acc, (_, o)| acc + *o)
+    }
+
+    /// Number of distinct blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no block has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_op_conventions() {
+        let mut ops = OpCount::new();
+        ops.cadd();
+        assert_eq!(ops, OpCount { add: 2, ..OpCount::new() });
+        ops.cmul();
+        assert_eq!(ops.mul, 4);
+        assert_eq!(ops.add, 4);
+        ops.cmul_real();
+        assert_eq!(ops.mul, 6);
+        ops.cadd_n(3);
+        assert_eq!(ops.add, 10);
+        ops.cmul_n(2);
+        assert_eq!(ops.mul, 14);
+        ops.cmul_real_n(5);
+        assert_eq!(ops.mul, 24);
+    }
+
+    #[test]
+    fn totals() {
+        let ops = OpCount {
+            add: 10,
+            mul: 5,
+            div: 1,
+            sqrt: 2,
+            trig: 3,
+            cmp: 7,
+            load: 11,
+            store: 13,
+        };
+        assert_eq!(ops.arithmetic(), 21);
+        assert_eq!(ops.total(), 52);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = OpCount { add: 1, mul: 2, ..OpCount::new() };
+        let b = OpCount { add: 3, cmp: 4, ..OpCount::new() };
+        let c = a + b;
+        assert_eq!(c.add, 4);
+        assert_eq!(c.mul, 2);
+        assert_eq!(c.cmp, 4);
+        let s = c.scaled(3);
+        assert_eq!(s.add, 12);
+        assert_eq!(s.cmp, 12);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = OpCount { add: 5, mul: 1, ..OpCount::new() };
+        let b = OpCount { add: 2, mul: 9, ..OpCount::new() };
+        let d = a.saturating_sub(&b);
+        assert_eq!(d.add, 3);
+        assert_eq!(d.mul, 0);
+    }
+
+    #[test]
+    fn block_ops_accumulates_in_order() {
+        let mut blocks = BlockOps::new();
+        blocks.record("fft", OpCount { add: 10, ..OpCount::new() });
+        blocks.record("lomb", OpCount { mul: 4, ..OpCount::new() });
+        blocks.record("fft", OpCount { add: 5, ..OpCount::new() });
+        assert_eq!(blocks.len(), 2);
+        assert!(!blocks.is_empty());
+        let names: Vec<&str> = blocks.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["fft", "lomb"]);
+        assert_eq!(blocks.get("fft").unwrap().add, 15);
+        assert_eq!(blocks.grand_total().add, 15);
+        assert_eq!(blocks.grand_total().mul, 4);
+        assert!(blocks.get("missing").is_none());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ops = OpCount::new();
+        assert!(!ops.to_string().is_empty());
+    }
+}

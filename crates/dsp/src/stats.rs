@@ -1,0 +1,211 @@
+//! Small statistics helpers shared across the workspace: moments, error
+//! metrics (the paper quantifies distortion as MSE, §V.B), quantiles and
+//! histograms (Fig. 6).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance (denominator `N`), matching the Lomb normalisation
+/// convention of eq. (1). Returns 0 for slices shorter than 1.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Sample variance (denominator `N − 1`), used by the fast-Lomb weighting.
+/// Returns 0 for slices shorter than 2.
+pub fn sample_variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse requires equal-length slices");
+    assert!(!a.is_empty(), "mse of empty slices is undefined");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// Largest absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error requires equal-length slices");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative error `|a − b| / max(|b|, floor)`, guarding against tiny
+/// references.
+pub fn relative_error(a: f64, b: f64, floor: f64) -> f64 {
+    (a - b).abs() / b.abs().max(floor)
+}
+
+/// Empirical quantile by linear interpolation on the sorted copy of `x`.
+///
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    assert!(!x.is_empty(), "quantile of empty slice is undefined");
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-range histogram used for the twiddle-magnitude distribution
+/// (Fig. 6). Values outside `[lo, hi)` are clamped into the edge bins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins on
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(values: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &v in values {
+            let idx = ((v - lo) / width).floor();
+            let idx = (idx.max(0.0) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Total number of counted values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((variance(&x) - 1.25).abs() < 1e-12);
+        assert!((sample_variance(&x) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert!((mse(&a, &b) - (0.25 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((rmse(&a, &b) - mse(&a, &b).sqrt()).abs() < 1e-15);
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn relative_error_uses_floor() {
+        assert_eq!(relative_error(1.0, 0.0, 0.5), 2.0);
+        assert_eq!(relative_error(2.0, 4.0, 1e-9), 0.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let x = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&x, 0.0), 1.0);
+        assert_eq!(quantile(&x, 1.0), 4.0);
+        assert!((quantile(&x, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&x, -3.0), 1.0); // clamped
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let values = [0.1, 0.1, 0.9, 1.4, -5.0, 99.0];
+        let h = Histogram::new(&values, 3, 0.0, 1.5);
+        assert_eq!(h.counts(), &[3, 1, 2]); // -5 clamps low, 99 clamps high
+        assert_eq!(h.total(), 6);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-12);
+        assert!((h.bin_center(2) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(&[1.0], 0, 0.0, 1.0);
+    }
+}

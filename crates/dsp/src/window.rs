@@ -1,0 +1,204 @@
+//! Tapering windows for the Welch–Lomb sliding-window analysis.
+//!
+//! The paper applies a window `w(t)` to each 2-minute RR segment before the
+//! periodogram is computed (§II.A). These are the standard choices; the
+//! Welch–Lomb implementation normalises by the window's power gain so band
+//! powers remain comparable across window types.
+
+use std::fmt;
+
+/// Supported taper shapes.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::Window;
+///
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12);              // Hann starts at zero
+/// assert!((Window::Rectangular.power_gain(64) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// No tapering; all-ones.
+    #[default]
+    Rectangular,
+    /// `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// `0.54 − 0.46·cos(2πn/(N−1))`.
+    Hamming,
+    /// Parabolic window used in Welch's original method.
+    Welch,
+}
+
+impl Window {
+    /// All window variants, for sweeps and tests.
+    pub const ALL: [Window; 4] = [
+        Window::Rectangular,
+        Window::Hann,
+        Window::Hamming,
+        Window::Welch,
+    ];
+
+    /// Window coefficients of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be positive");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos(),
+                    Window::Welch => {
+                        let u = (x - m / 2.0) / (m / 2.0);
+                        1.0 - u * u
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the window as a continuous taper at `u ∈ [0, 1]`.
+    ///
+    /// Used for unevenly sampled data (Lomb windows), where each sample
+    /// time maps to a fractional position inside the segment. Values of
+    /// `u` outside `[0, 1]` are clamped.
+    pub fn evaluate(self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * u).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * u).cos(),
+            Window::Welch => {
+                let v = 2.0 * u - 1.0;
+                1.0 - v * v
+            }
+        }
+    }
+
+    /// Mean squared coefficient `Σ w²/N`, the incoherent power gain used to
+    /// de-bias windowed periodograms.
+    pub fn power_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().map(|v| v * v).sum::<f64>() / n as f64
+    }
+
+    /// Mean coefficient `Σ w/N`, the coherent (amplitude) gain.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().sum::<f64>() / n as f64
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Welch => "welch",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_symmetric() {
+        let w = Window::Hann.coefficients(33);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[32].abs() < 1e-12);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+        for i in 0..w.len() {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints_are_standard() {
+        let w = Window::Hamming.coefficients(21);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_is_parabolic() {
+        let w = Window::Welch.coefficients(11);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[5] - 1.0).abs() < 1e-12);
+        assert!(w[2] < w[3] && w[3] < w[4]);
+    }
+
+    #[test]
+    fn gains_are_ordered() {
+        for win in Window::ALL {
+            let n = 128;
+            let pg = win.power_gain(n);
+            let cg = win.coherent_gain(n);
+            assert!(pg <= 1.0 + 1e-12, "{win}: power gain {pg}");
+            assert!(cg <= 1.0 + 1e-12);
+            // Cauchy–Schwarz: coherent gain² ≤ power gain.
+            assert!(cg * cg <= pg + 1e-12, "{win}");
+        }
+        assert_eq!(Window::Rectangular.power_gain(64), 1.0);
+    }
+
+    #[test]
+    fn continuous_evaluation_matches_discrete_grid() {
+        for win in Window::ALL {
+            let n = 65;
+            let coeffs = win.coefficients(n);
+            for (i, &c) in coeffs.iter().enumerate() {
+                let u = i as f64 / (n - 1) as f64;
+                assert!((win.evaluate(u) - c).abs() < 1e-12, "{win} at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_evaluation_clamps() {
+        assert_eq!(Window::Hann.evaluate(-0.5), 0.0);
+        assert_eq!(Window::Hann.evaluate(1.5), 0.0);
+        assert_eq!(Window::Rectangular.evaluate(2.0), 1.0);
+    }
+
+    #[test]
+    fn single_point_window_is_unity() {
+        for win in Window::ALL {
+            assert_eq!(win.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = Window::Hann.coefficients(0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Window::Hann.to_string(), "hann");
+        assert_eq!(Window::default(), Window::Rectangular);
+    }
+}

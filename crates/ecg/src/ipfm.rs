@@ -1,0 +1,173 @@
+//! Integral Pulse Frequency Modulation (IPFM) beat generator.
+//!
+//! The standard generative model for RR tachograms with prescribed
+//! spectral content: beats fire when the integral of the instantaneous
+//! rate `(1 + m(t))/T̄` crosses successive integers, where `m(t)` is the
+//! autonomic modulation and `T̄` the mean interval. The resulting RR
+//! series carries the modulation's LF/HF structure — exactly the property
+//! the PSA pipeline measures — which is why IPFM serves as the substitute
+//! for the PhysioNet recordings (DESIGN.md §5).
+
+use crate::modulation::Modulation;
+use rand::Rng;
+
+/// IPFM integration step (seconds). Small enough that beat-time jitter
+/// from discretisation (< 0.5 ms) is far below physiologic variability.
+const DT: f64 = 0.001;
+
+/// Generates beat times on `[0, duration]` for a mean interval `mean_rr`
+/// and modulation `m(t)`, with white noise of standard deviation
+/// `noise_sd` added to the instantaneous rate (broadband HRV floor).
+///
+/// # Panics
+///
+/// Panics if `mean_rr` or `duration` is not positive, or if the
+/// modulation can drive the rate negative (`|m| ≥ 1` peak).
+///
+/// # Examples
+///
+/// ```
+/// use hrv_ecg::{ipfm_beat_times, Modulation, SpectralComponent};
+/// use rand::SeedableRng;
+///
+/// let m = Modulation::new(vec![SpectralComponent::new(0.25, 0.05)]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let beats = ipfm_beat_times(0.85, &m, 60.0, 0.0, &mut rng);
+/// // ≈ 60 s / 0.85 s ≈ 70 beats.
+/// assert!((beats.len() as i64 - 70).abs() <= 2);
+/// ```
+pub fn ipfm_beat_times(
+    mean_rr: f64,
+    modulation: &Modulation,
+    duration: f64,
+    noise_sd: f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    assert!(mean_rr > 0.0, "mean RR must be positive");
+    assert!(duration > 0.0, "duration must be positive");
+    let peak: f64 = modulation
+        .components()
+        .iter()
+        .map(|c| c.amplitude.abs())
+        .sum();
+    assert!(
+        peak < 0.9,
+        "total modulation depth {peak} would drive the rate non-positive"
+    );
+
+    let mut beats = Vec::with_capacity((duration / mean_rr) as usize + 2);
+    let mut integral = 0.0;
+    let mut t = 0.0;
+    let mut threshold = 1.0;
+    // Piecewise-constant noise held over each beat interval, mimicking
+    // beat-scale autonomic jitter rather than white measurement noise.
+    let mut noise = sample_noise(noise_sd, rng);
+    while t < duration {
+        let rate = (1.0 + modulation.evaluate(t) + noise) / mean_rr;
+        let next_integral = integral + rate * DT;
+        if next_integral >= threshold {
+            // Linear interpolation of the crossing instant.
+            let frac = (threshold - integral) / (next_integral - integral);
+            beats.push(t + frac * DT);
+            threshold += 1.0;
+            noise = sample_noise(noise_sd, rng);
+        }
+        integral = next_integral;
+        t += DT;
+    }
+    beats
+}
+
+/// Approximately Gaussian noise via the sum-of-uniforms construction
+/// (Irwin–Hall with 12 terms), avoiding a distribution dependency.
+fn sample_noise(sd: f64, rng: &mut impl Rng) -> f64 {
+    if sd == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    (sum - 6.0) * sd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::SpectralComponent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_rate_gives_uniform_beats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let beats = ipfm_beat_times(0.8, &Modulation::default(), 30.0, 0.0, &mut rng);
+        for pair in beats.windows(2) {
+            assert!((pair[1] - pair[0] - 0.8).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mean_interval_matches_request() {
+        let m = Modulation::new(vec![SpectralComponent::new(0.25, 0.06)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let beats = ipfm_beat_times(0.9, &m, 300.0, 0.01, &mut rng);
+        let intervals: Vec<f64> = beats.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = intervals.iter().sum::<f64>() / intervals.len() as f64;
+        assert!((mean - 0.9).abs() < 0.02, "mean RR {mean}");
+    }
+
+    #[test]
+    fn modulation_appears_in_intervals() {
+        // RSA: intervals must oscillate at the respiratory period.
+        let m = Modulation::new(vec![SpectralComponent::new(0.25, 0.08)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let beats = ipfm_beat_times(0.8, &m, 120.0, 0.0, &mut rng);
+        let intervals: Vec<f64> = beats.windows(2).map(|w| w[1] - w[0]).collect();
+        let spread = intervals.iter().cloned().fold(f64::MIN, f64::max)
+            - intervals.iter().cloned().fold(f64::MAX, f64::min);
+        // Peak-to-peak RR swing ≈ 2·a·T̄ = 0.128 s.
+        assert!((0.08..0.2).contains(&spread), "RR spread {spread}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = Modulation::new(vec![SpectralComponent::new(0.1, 0.03)]);
+        let a = ipfm_beat_times(0.85, &m, 60.0, 0.02, &mut StdRng::seed_from_u64(9));
+        let b = ipfm_beat_times(0.85, &m, 60.0, 0.02, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_changes_the_series() {
+        let m = Modulation::default();
+        let a = ipfm_beat_times(0.85, &m, 60.0, 0.02, &mut StdRng::seed_from_u64(1));
+        let b = ipfm_beat_times(0.85, &m, 60.0, 0.02, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn beats_are_strictly_increasing_and_bounded() {
+        let m = Modulation::new(vec![
+            SpectralComponent::new(0.1, 0.04),
+            SpectralComponent::new(0.27, 0.06),
+        ]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let beats = ipfm_beat_times(0.75, &m, 100.0, 0.02, &mut rng);
+        assert!(beats.windows(2).all(|w| w[1] > w[0]));
+        assert!(*beats.last().unwrap() <= 100.0 + 0.01);
+        assert!(beats[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn excessive_modulation_rejected() {
+        let m = Modulation::new(vec![SpectralComponent::new(0.1, 0.95)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ipfm_beat_times(0.8, &m, 10.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean RR must be positive")]
+    fn bad_mean_rr_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = ipfm_beat_times(0.0, &Modulation::default(), 10.0, 0.0, &mut rng);
+    }
+}

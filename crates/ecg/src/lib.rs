@@ -1,0 +1,42 @@
+//! # hrv-ecg
+//!
+//! Synthetic cardiac data generation — the workspace's substitute for the
+//! MIT-BIH / PhysioNet recordings the paper evaluates on (see DESIGN.md
+//! §5 for the substitution argument).
+//!
+//! * [`Modulation`] / [`ipfm_beat_times`] — integral pulse frequency
+//!   modulation: beat times whose RR series carries prescribed LF/HF
+//!   spectral content;
+//! * [`PatientProfile`] / [`Condition`] — healthy vs sinus-arrhythmia
+//!   parameter presets (arrhythmia ⇒ respiratory-dominated, LF/HF ≪ 1);
+//! * [`RrSeries`] — the RR container consumed by the PSA pipeline;
+//! * [`EcgSynthesizer`] — PQRST waveform rendering so the delineation
+//!   front-end can be exercised end to end;
+//! * [`SyntheticDatabase`] — a seeded, reproducible cohort.
+//!
+//! # Examples
+//!
+//! ```
+//! use hrv_ecg::{Condition, SyntheticDatabase};
+//!
+//! let db = SyntheticDatabase::new(2014);
+//! let record = db.record(0, Condition::SinusArrhythmia, 240.0);
+//! // Respiratory sinus arrhythmia: strong beat-to-beat variability.
+//! assert!(record.rr.rmssd() > 0.02);
+//! ```
+
+#![warn(missing_docs)]
+
+mod database;
+mod ipfm;
+mod modulation;
+mod profiles;
+mod rr;
+mod waveform;
+
+pub use database::{PatientRecord, SyntheticDatabase};
+pub use ipfm::ipfm_beat_times;
+pub use modulation::{Modulation, SpectralComponent};
+pub use profiles::{Condition, PatientProfile};
+pub use rr::RrSeries;
+pub use waveform::EcgSynthesizer;

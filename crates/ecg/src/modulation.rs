@@ -1,0 +1,147 @@
+//! Autonomic modulation signals driving the heart-rate model.
+//!
+//! HRV spectra are shaped by two oscillatory inputs: sympathetic/
+//! baroreflex activity near 0.1 Hz (the LF band) and respiratory sinus
+//! arrhythmia at the breathing rate (the HF band). The modulation signal
+//! here is the deterministic part of that drive; broadband variability is
+//! added by the IPFM integrator's noise term.
+
+/// One sinusoidal component of the autonomic drive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralComponent {
+    /// Frequency in hertz.
+    pub freq: f64,
+    /// Dimensionless modulation depth (fraction of the mean rate).
+    pub amplitude: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl SpectralComponent {
+    /// Creates a component with the given frequency and amplitude, zero
+    /// phase.
+    pub fn new(freq: f64, amplitude: f64) -> Self {
+        SpectralComponent {
+            freq,
+            amplitude,
+            phase: 0.0,
+        }
+    }
+
+    /// Evaluates the component at time `t` (seconds).
+    pub fn evaluate(&self, t: f64) -> f64 {
+        self.amplitude * (2.0 * std::f64::consts::PI * self.freq * t + self.phase).sin()
+    }
+}
+
+/// A sum of spectral components modulating the instantaneous heart rate.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_ecg::{Modulation, SpectralComponent};
+///
+/// let m = Modulation::new(vec![
+///     SpectralComponent::new(0.1, 0.03),   // Mayer waves (LF)
+///     SpectralComponent::new(0.25, 0.05),  // respiration (HF)
+/// ]);
+/// assert_eq!(m.components().len(), 2);
+/// assert!(m.evaluate(0.0).abs() < 1e-12); // sin(0) terms
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Modulation {
+    components: Vec<SpectralComponent>,
+}
+
+impl Modulation {
+    /// Builds a modulation from its components.
+    pub fn new(components: Vec<SpectralComponent>) -> Self {
+        Modulation { components }
+    }
+
+    /// The component list.
+    pub fn components(&self) -> &[SpectralComponent] {
+        &self.components
+    }
+
+    /// Evaluates the total (dimensionless) modulation at time `t`.
+    pub fn evaluate(&self, t: f64) -> f64 {
+        self.components.iter().map(|c| c.evaluate(t)).sum()
+    }
+
+    /// Total modulation power `Σ a²/2` — the variance the components
+    /// inject into the instantaneous rate.
+    pub fn power(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.amplitude * c.amplitude / 2.0)
+            .sum()
+    }
+
+    /// Power restricted to components inside `[lo, hi)` hertz — used to
+    /// aim a profile at a target LF/HF ratio.
+    pub fn band_power(&self, lo: f64, hi: f64) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.freq >= lo && c.freq < hi)
+            .map(|c| c.amplitude * c.amplitude / 2.0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_is_a_sine() {
+        let c = SpectralComponent::new(0.5, 2.0);
+        assert!(c.evaluate(0.0).abs() < 1e-12);
+        // Quarter period of 0.5 Hz = 0.5 s → peak; half period → zero.
+        assert!((c.evaluate(0.5) - 2.0).abs() < 1e-9);
+        assert!(c.evaluate(1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shifts_the_waveform() {
+        let c = SpectralComponent {
+            freq: 1.0,
+            amplitude: 1.0,
+            phase: std::f64::consts::FRAC_PI_2,
+        };
+        assert!((c.evaluate(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modulation_sums_components() {
+        let m = Modulation::new(vec![
+            SpectralComponent::new(0.1, 1.0),
+            SpectralComponent::new(0.2, 0.5),
+        ]);
+        let t = 1.234;
+        let expect = (2.0 * std::f64::consts::PI * 0.1 * t).sin()
+            + 0.5 * (2.0 * std::f64::consts::PI * 0.2 * t).sin();
+        assert!((m.evaluate(t) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_accounting() {
+        let m = Modulation::new(vec![
+            SpectralComponent::new(0.1, 0.4),  // LF
+            SpectralComponent::new(0.25, 0.8), // HF
+        ]);
+        assert!((m.power() - (0.08 + 0.32)).abs() < 1e-12);
+        assert!((m.band_power(0.04, 0.15) - 0.08).abs() < 1e-12);
+        assert!((m.band_power(0.15, 0.4) - 0.32).abs() < 1e-12);
+        // Injected LF/HF ratio = (a_lf/a_hf)² = 0.25.
+        let ratio = m.band_power(0.04, 0.15) / m.band_power(0.15, 0.4);
+        assert!((ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_modulation_is_zero() {
+        let m = Modulation::default();
+        assert_eq!(m.evaluate(42.0), 0.0);
+        assert_eq!(m.power(), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Patient profiles: parameterised generators for healthy and
+//! sinus-arrhythmia heart-rate dynamics.
+//!
+//! Profiles are the knobs of the MIT-BIH substitution (DESIGN.md §5): a
+//! sinus-arrhythmia profile has strong respiratory (HF) modulation so its
+//! LFP/HFP ratio sits well below 1 (the paper's samples measure ≈ 0.45);
+//! a healthy profile is LF-dominated with a ratio well above 1.
+
+use crate::ipfm::ipfm_beat_times;
+use crate::modulation::{Modulation, SpectralComponent};
+use crate::rr::RrSeries;
+use rand::Rng;
+use std::fmt;
+
+/// Clinical condition simulated by a profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// Normal sinus rhythm, LF-dominated spectrum.
+    Healthy,
+    /// (Respiratory) sinus arrhythmia: dominant HF power, LF/HF ≪ 1.
+    SinusArrhythmia,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Healthy => f.write_str("healthy"),
+            Condition::SinusArrhythmia => f.write_str("sinus-arrhythmia"),
+        }
+    }
+}
+
+/// Generative parameters of one synthetic patient.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatientProfile {
+    /// Simulated condition.
+    pub condition: Condition,
+    /// Mean RR interval (seconds).
+    pub mean_rr: f64,
+    /// LF (Mayer-wave) modulation: frequency (Hz) and depth.
+    pub lf: SpectralComponent,
+    /// HF (respiratory) modulation: frequency (Hz) and depth.
+    pub hf: SpectralComponent,
+    /// Very-low-frequency drift component.
+    pub vlf: SpectralComponent,
+    /// Standard deviation of the broadband rate noise.
+    pub noise_sd: f64,
+}
+
+impl PatientProfile {
+    /// Draws a randomised profile of the given condition.
+    ///
+    /// Parameter ranges follow standard HRV physiology: heart rate
+    /// 55–85 bpm, respiration 0.2–0.33 Hz, Mayer waves 0.08–0.12 Hz.
+    pub fn sample(condition: Condition, rng: &mut impl Rng) -> Self {
+        let mean_rr = rng.gen_range(0.7..1.05);
+        let lf_freq = rng.gen_range(0.08..0.12);
+        let hf_freq = rng.gen_range(0.2..0.33);
+        let vlf = SpectralComponent {
+            freq: rng.gen_range(0.01..0.03),
+            amplitude: rng.gen_range(0.005..0.015),
+            phase: rng.gen_range(0.0..std::f64::consts::TAU),
+        };
+        let (lf_amp, hf_amp) = match condition {
+            // LF-dominated: injected LF/HF power ratio ≈ 2–6.
+            Condition::Healthy => {
+                let hf = rng.gen_range(0.012..0.02);
+                let lf = hf * rng.gen_range(1.5..2.4);
+                (lf, hf)
+            }
+            // HF-dominated: injected LF/HF power ratio ≈ 0.35–0.55,
+            // matching the paper's measured ≈ 0.45 operating point.
+            Condition::SinusArrhythmia => {
+                let hf = rng.gen_range(0.045..0.065);
+                let lf = hf * rng.gen_range(0.52..0.64);
+                (lf, hf)
+            }
+        };
+        PatientProfile {
+            condition,
+            mean_rr,
+            lf: SpectralComponent {
+                freq: lf_freq,
+                amplitude: lf_amp,
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            },
+            hf: SpectralComponent {
+                freq: hf_freq,
+                amplitude: hf_amp,
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            },
+            vlf,
+            noise_sd: rng.gen_range(0.004..0.009),
+        }
+    }
+
+    /// The full modulation signal of this profile.
+    pub fn modulation(&self) -> Modulation {
+        Modulation::new(vec![self.vlf, self.lf, self.hf])
+    }
+
+    /// Injected LF/HF power ratio (the design target; the measured
+    /// spectral ratio will scatter around it).
+    pub fn injected_lf_hf_ratio(&self) -> f64 {
+        (self.lf.amplitude * self.lf.amplitude) / (self.hf.amplitude * self.hf.amplitude)
+    }
+
+    /// Synthesises an RR series of `duration` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive (see
+    /// [`crate::ipfm_beat_times`]).
+    pub fn synthesize_rr(&self, duration: f64, rng: &mut impl Rng) -> RrSeries {
+        let beats = ipfm_beat_times(self.mean_rr, &self.modulation(), duration, self.noise_sd, rng);
+        RrSeries::from_beat_times(&beats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrhythmia_profiles_are_hf_dominated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = PatientProfile::sample(Condition::SinusArrhythmia, &mut rng);
+            let r = p.injected_lf_hf_ratio();
+            assert!((0.25..0.45).contains(&r), "injected ratio {r}");
+        }
+    }
+
+    #[test]
+    fn healthy_profiles_are_lf_dominated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = PatientProfile::sample(Condition::Healthy, &mut rng);
+            let r = p.injected_lf_hf_ratio();
+            assert!(r > 2.0, "injected ratio {r}");
+        }
+    }
+
+    #[test]
+    fn physiologic_parameter_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for condition in [Condition::Healthy, Condition::SinusArrhythmia] {
+            let p = PatientProfile::sample(condition, &mut rng);
+            assert!((0.7..1.05).contains(&p.mean_rr));
+            assert!((0.08..0.12).contains(&p.lf.freq));
+            assert!((0.2..0.33).contains(&p.hf.freq));
+            assert!(p.noise_sd > 0.0);
+        }
+    }
+
+    #[test]
+    fn synthesized_series_has_expected_rate_and_variability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PatientProfile::sample(Condition::SinusArrhythmia, &mut rng);
+        let rr = p.synthesize_rr(300.0, &mut rng);
+        assert!((rr.mean_rr() - p.mean_rr).abs() < 0.03);
+        // RSA must produce visible short-term variability.
+        assert!(rr.rmssd() > 0.01, "rmssd {}", rr.rmssd());
+        assert!(rr.duration() > 295.0);
+    }
+
+    #[test]
+    fn modulation_carries_three_components() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = PatientProfile::sample(Condition::Healthy, &mut rng);
+        assert_eq!(p.modulation().components().len(), 3);
+    }
+
+    #[test]
+    fn condition_display() {
+        assert_eq!(Condition::Healthy.to_string(), "healthy");
+        assert_eq!(Condition::SinusArrhythmia.to_string(), "sinus-arrhythmia");
+    }
+}

@@ -1,0 +1,270 @@
+//! RR-interval series: the input of the PSA pipeline.
+
+/// A sequence of RR intervals with their (uneven) beat times.
+///
+/// `times[i]` is the time of the beat that *ends* interval `intervals[i]`,
+/// matching how a delineator timestamps detections.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_ecg::RrSeries;
+///
+/// let rr = RrSeries::from_beat_times(&[0.0, 0.8, 1.7, 2.5]);
+/// assert_eq!(rr.len(), 3);
+/// assert!((rr.intervals()[1] - 0.9).abs() < 1e-12);
+/// assert!((rr.mean_rr() - 2.5 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RrSeries {
+    times: Vec<f64>,
+    intervals: Vec<f64>,
+}
+
+impl RrSeries {
+    /// Builds a series from matching time/interval vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, the series is empty, times are not
+    /// strictly increasing, or any interval is non-positive.
+    pub fn new(times: Vec<f64>, intervals: Vec<f64>) -> Self {
+        assert_eq!(times.len(), intervals.len(), "times and intervals must match");
+        assert!(!times.is_empty(), "RR series must be non-empty");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "beat times must be strictly increasing"
+        );
+        assert!(
+            intervals.iter().all(|&rr| rr > 0.0),
+            "RR intervals must be positive"
+        );
+        RrSeries { times, intervals }
+    }
+
+    /// Derives the series from raw beat times (needs ≥ 2 beats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two beats are given or times are not strictly
+    /// increasing.
+    pub fn from_beat_times(beats: &[f64]) -> Self {
+        assert!(beats.len() >= 2, "need at least two beats");
+        let times = beats[1..].to_vec();
+        let intervals = beats.windows(2).map(|w| w[1] - w[0]).collect();
+        Self::new(times, intervals)
+    }
+
+    /// Beat times (seconds), one per interval.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// RR intervals (seconds).
+    pub fn intervals(&self) -> &[f64] {
+        &self.intervals
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// `true` when the series holds no intervals (impossible by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Time span from first to last beat.
+    pub fn duration(&self) -> f64 {
+        self.times.last().expect("non-empty") - (self.times[0] - self.intervals[0])
+    }
+
+    /// Mean RR interval (seconds).
+    pub fn mean_rr(&self) -> f64 {
+        self.intervals.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Mean heart rate in beats per minute.
+    pub fn mean_hr_bpm(&self) -> f64 {
+        60.0 / self.mean_rr()
+    }
+
+    /// SDNN: standard deviation of the intervals (seconds), the classic
+    /// time-domain HRV index.
+    pub fn sdnn(&self) -> f64 {
+        let mean = self.mean_rr();
+        let var = self
+            .intervals
+            .iter()
+            .map(|&rr| (rr - mean) * (rr - mean))
+            .sum::<f64>()
+            / self.len() as f64;
+        var.sqrt()
+    }
+
+    /// RMSSD: root mean square of successive differences (seconds), a
+    /// vagally-mediated short-term HRV index.
+    ///
+    /// Returns 0 for a single-interval series.
+    pub fn rmssd(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let ss: f64 = self
+            .intervals
+            .windows(2)
+            .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+            .sum();
+        (ss / (self.len() - 1) as f64).sqrt()
+    }
+
+    /// Resamples the tachogram (interval vs beat time) onto `n` uniform
+    /// grid points spanning the recording — the "RR intervals extrapolated
+    /// to N values" representation of the paper's Fig. 3(a). Linear
+    /// interpolation between beats; constant extrapolation at the edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn resample(&self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "need at least one output sample");
+        let t0 = self.times[0];
+        let t1 = *self.times.last().expect("non-empty");
+        if self.len() == 1 || t1 == t0 {
+            return vec![self.intervals[0]; n];
+        }
+        (0..n)
+            .map(|i| {
+                let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+                let hi = self.times.partition_point(|&bt| bt < t).min(self.len() - 1);
+                if hi == 0 {
+                    return self.intervals[0];
+                }
+                let lo = hi - 1;
+                let span = self.times[hi] - self.times[lo];
+                let frac = if span > 0.0 { (t - self.times[lo]) / span } else { 0.0 };
+                self.intervals[lo] * (1.0 - frac.clamp(0.0, 1.0))
+                    + self.intervals[hi] * frac.clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Extracts the sub-series with beat times in `[start, start + dur)`.
+    ///
+    /// Returns `None` when no beats fall in the window.
+    pub fn window(&self, start: f64, dur: f64) -> Option<RrSeries> {
+        let lo = self.times.partition_point(|&t| t < start);
+        let hi = self.times.partition_point(|&t| t < start + dur);
+        if lo == hi {
+            return None;
+        }
+        Some(RrSeries {
+            times: self.times[lo..hi].to_vec(),
+            intervals: self.intervals[lo..hi].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RrSeries {
+        RrSeries::from_beat_times(&[0.0, 0.8, 1.7, 2.5, 3.5, 4.2])
+    }
+
+    #[test]
+    fn from_beat_times_derives_intervals() {
+        let rr = sample();
+        assert_eq!(rr.len(), 5);
+        assert!(!rr.is_empty());
+        let expect = [0.8, 0.9, 0.8, 1.0, 0.7];
+        for (a, b) in rr.intervals().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(rr.times(), &[0.8, 1.7, 2.5, 3.5, 4.2]);
+    }
+
+    #[test]
+    fn duration_spans_first_to_last_beat() {
+        assert!((sample().duration() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let rr = sample();
+        assert!((rr.mean_rr() - 4.2 / 5.0).abs() < 1e-12);
+        assert!((rr.mean_hr_bpm() - 60.0 / 0.84).abs() < 1e-9);
+        assert!(rr.sdnn() > 0.0 && rr.sdnn() < 0.2);
+        assert!(rr.rmssd() > 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_variability() {
+        let rr = RrSeries::from_beat_times(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(rr.sdnn(), 0.0);
+        assert_eq!(rr.rmssd(), 0.0);
+    }
+
+    #[test]
+    fn windowing_selects_by_time() {
+        let rr = sample();
+        let w = rr.window(1.0, 2.0).expect("window exists");
+        assert_eq!(w.times(), &[1.7, 2.5]);
+        assert!(rr.window(100.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let rr = sample();
+        // [0.75, 1.25): includes the beat at 0.8, excludes 1.7 (bounds
+        // chosen exactly representable to avoid fp edge ambiguity).
+        let w = rr.window(0.75, 0.5).expect("window exists");
+        assert_eq!(w.times(), &[0.8]);
+    }
+
+    #[test]
+    fn resampling_interpolates_the_tachogram() {
+        let rr = sample();
+        let grid = rr.resample(32);
+        assert_eq!(grid.len(), 32);
+        // Endpoints hit the first and last interval values.
+        assert!((grid[0] - 0.8).abs() < 1e-12);
+        assert!((grid[31] - 0.7).abs() < 1e-12);
+        // All values stay inside the observed interval range.
+        assert!(grid.iter().all(|&v| (0.7..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn resampling_constant_series_is_flat() {
+        let rr = RrSeries::from_beat_times(&[0.0, 1.0, 2.0, 3.0]);
+        let grid = rr.resample(8);
+        assert!(grid.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output sample")]
+    fn resample_zero_rejected() {
+        let _ = sample().resample(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_times_rejected() {
+        let _ = RrSeries::new(vec![1.0, 0.5], vec![0.8, 0.8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_interval_rejected() {
+        let _ = RrSeries::new(vec![1.0, 2.0], vec![0.8, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two beats")]
+    fn single_beat_rejected() {
+        let _ = RrSeries::from_beat_times(&[1.0]);
+    }
+}

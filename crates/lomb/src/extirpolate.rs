@@ -1,0 +1,209 @@
+//! Press–Rybicki extirpolation ("extrapolation" in the paper's wording).
+//!
+//! Fast-Lomb replaces each unevenly-timed sample by `order` weighted
+//! contributions on a regular mesh, chosen so that **any** polynomial of
+//! degree < `order` sums identically over mesh and sample: for all such
+//! polynomials `p`, `Σ_i grid[i]·p(i) = value·p(position)`. Trigonometric
+//! sums over the irregular times then become plain FFT sums over the mesh,
+//! with controllable error.
+
+use hrv_dsp::OpCount;
+
+/// Default interpolation order used by the classic `fasper` routine.
+pub const DEFAULT_ORDER: usize = 4;
+
+/// Spreads `value` at fractional `position` onto `grid` using Lagrange
+/// weights of the given `order`.
+///
+/// `position` is zero-based and must satisfy `0 ≤ position < grid.len()`.
+/// Integer positions are deposited exactly.
+///
+/// # Panics
+///
+/// Panics if `order` is 0, larger than the grid, or `position` is out of
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::OpCount;
+/// use hrv_lomb::extirpolate;
+///
+/// let mut grid = vec![0.0; 16];
+/// extirpolate(2.0, 5.3, &mut grid, 4, &mut OpCount::default());
+/// // Total deposited weight equals the sample value.
+/// let total: f64 = grid.iter().sum();
+/// assert!((total - 2.0).abs() < 1e-12);
+/// ```
+pub fn extirpolate(value: f64, position: f64, grid: &mut [f64], order: usize, ops: &mut OpCount) {
+    let n = grid.len();
+    assert!(order >= 1, "order must be at least 1");
+    assert!(order <= n, "order {order} exceeds grid length {n}");
+    assert!(
+        position >= 0.0 && position < n as f64,
+        "position {position} outside grid [0, {n})"
+    );
+
+    let ix = position as usize;
+    if position == ix as f64 {
+        grid[ix] += value;
+        ops.add += 1;
+        ops.store += 1;
+        return;
+    }
+
+    // Window of `order` consecutive mesh points centred on the position.
+    let ilo = ((position - 0.5 * order as f64 + 1.0).max(0.0) as usize).min(n - order);
+    let ihi = ilo + order - 1;
+
+    // fac = Π_{j=ilo..=ihi} (position − j)
+    let mut fac = position - ilo as f64;
+    ops.add += 1;
+    for j in (ilo + 1)..=ihi {
+        fac *= position - j as f64;
+        ops.add += 1;
+        ops.mul += 1;
+    }
+
+    // nden = (order − 1)!
+    let mut nden: f64 = (1..order as u64).product::<u64>() as f64;
+
+    grid[ihi] += value * fac / (nden * (position - ihi as f64));
+    ops.add += 2;
+    ops.mul += 2;
+    ops.div += 1;
+    ops.store += 1;
+    for j in (ilo..ihi).rev() {
+        nden = (nden / (j + 1 - ilo) as f64) * (j as f64 - ihi as f64);
+        grid[j] += value * fac / (nden * (position - j as f64));
+        ops.add += 2;
+        ops.mul += 3;
+        ops.div += 2;
+        ops.store += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_for(position: f64, n: usize, order: usize) -> Vec<f64> {
+        let mut grid = vec![0.0; n];
+        extirpolate(1.0, position, &mut grid, order, &mut OpCount::default());
+        grid
+    }
+
+    #[test]
+    fn integer_position_is_exact() {
+        let mut grid = vec![0.0; 8];
+        extirpolate(3.5, 4.0, &mut grid, 4, &mut OpCount::default());
+        assert_eq!(grid[4], 3.5);
+        assert_eq!(grid.iter().filter(|&&v| v != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn weights_sum_to_value() {
+        for &pos in &[0.5, 1.3, 6.9, 10.5, 14.2] {
+            let grid = weights_for(pos, 16, 4);
+            let total: f64 = grid.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "position {pos}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials_up_to_order() {
+        // The defining property: Σ w_i · p(i) = p(position) for all
+        // polynomials p with deg p < order.
+        let order = 4;
+        for &pos in &[2.7, 5.5, 9.1] {
+            let grid = weights_for(pos, 16, order);
+            for deg in 0..order as i32 {
+                let lhs: f64 = grid
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| w * (i as f64).powi(deg))
+                    .sum();
+                let rhs = pos.powi(deg);
+                assert!(
+                    (lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0),
+                    "pos {pos} deg {deg}: {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximates_sinusoid_sums() {
+        // Σ w_i e^{iωi} ≈ e^{iω·pos} for ω well below the mesh Nyquist.
+        let pos = 7.37;
+        let grid = weights_for(pos, 64, 4);
+        for &omega in &[0.05, 0.2, 0.5] {
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, &w) in grid.iter().enumerate() {
+                re += w * (omega * i as f64).cos();
+                im += w * (omega * i as f64).sin();
+            }
+            let err = ((re - (omega * pos).cos()).powi(2) + (im - (omega * pos).sin()).powi(2))
+                .sqrt();
+            assert!(err < 2e-3 * (1.0 + omega), "ω={omega}: err {err}");
+        }
+    }
+
+    #[test]
+    fn window_clamps_at_grid_edges() {
+        // Near the edges the window shifts inward but weights still sum
+        // to the value.
+        for &pos in &[0.2, 15.7] {
+            let grid = weights_for(pos, 16, 4);
+            let total: f64 = grid.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "edge position {pos}");
+        }
+    }
+
+    #[test]
+    fn deposits_are_additive() {
+        let mut grid = vec![0.0; 16];
+        let mut ops = OpCount::default();
+        extirpolate(1.0, 3.3, &mut grid, 4, &mut ops);
+        extirpolate(2.0, 3.3, &mut grid, 4, &mut ops);
+        let mut expect = vec![0.0; 16];
+        extirpolate(3.0, 3.3, &mut expect, 4, &mut OpCount::default());
+        for (a, b) in grid.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(ops.mul > 0 && ops.store > 0);
+    }
+
+    #[test]
+    fn higher_order_is_more_accurate() {
+        let pos = 21.42;
+        let omega = 0.6;
+        let mut errs = Vec::new();
+        for order in [2usize, 4, 6] {
+            let grid = weights_for(pos, 64, order);
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, &w) in grid.iter().enumerate() {
+                re += w * (omega * i as f64).cos();
+                im += w * (omega * i as f64).sin();
+            }
+            errs.push(
+                ((re - (omega * pos).cos()).powi(2) + (im - (omega * pos).sin()).powi(2)).sqrt(),
+            );
+        }
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors {errs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn out_of_range_position_rejected() {
+        let mut grid = vec![0.0; 8];
+        extirpolate(1.0, 8.0, &mut grid, 4, &mut OpCount::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid")]
+    fn oversized_order_rejected() {
+        let mut grid = vec![0.0; 2];
+        extirpolate(1.0, 0.5, &mut grid, 4, &mut OpCount::default());
+    }
+}

@@ -1,0 +1,262 @@
+//! Energy model of the sensor node (90 nm low-leakage flavour).
+//!
+//! Published per-instruction energies for the paper's platform ([14]) are
+//! not available; the constants here are representative of 90 nm
+//! low-leakage embedded cores with on-chip SRAM and are used *relatively*:
+//! every result in the harness compares proposed vs conventional on the
+//! same model (DESIGN.md §5).
+
+use crate::cost::CostModel;
+use hrv_dsp::OpCount;
+use std::fmt;
+
+/// A voltage/frequency operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage (volts).
+    pub voltage: f64,
+    /// Clock frequency (hertz).
+    pub frequency: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal point of the node model: 1.0 V, 100 MHz.
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            voltage: 1.0,
+            frequency: 100.0e6,
+        }
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} V @ {:.1} MHz",
+            self.voltage,
+            self.frequency / 1e6
+        )
+    }
+}
+
+/// Energy decomposition of one workload execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core switching energy (joules).
+    pub dynamic: f64,
+    /// SRAM access energy (joules).
+    pub sram: f64,
+    /// Leakage over the execution interval (joules).
+    pub leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.sram + self.leakage
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dyn={:.3} µJ sram={:.3} µJ leak={:.3} µJ total={:.3} µJ",
+            self.dynamic * 1e6,
+            self.sram * 1e6,
+            self.leakage * 1e6,
+            self.total() * 1e6
+        )
+    }
+}
+
+/// The node's energy parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Core energy per cycle at the nominal voltage (joules).
+    pub energy_per_cycle: f64,
+    /// Energy per SRAM read at nominal voltage (joules).
+    pub sram_read: f64,
+    /// Energy per SRAM write at nominal voltage (joules).
+    pub sram_write: f64,
+    /// Leakage power at nominal voltage (watts).
+    pub leakage_power: f64,
+    /// Nominal voltage the above constants are quoted at.
+    pub nominal_voltage: f64,
+}
+
+impl EnergyModel {
+    /// Representative 90 nm low-leakage constants: 32 pJ/cycle core,
+    /// 11/13 pJ SRAM read/write (64 KB array), 40 µW leakage at 1.0 V.
+    pub fn ninety_nm_low_leakage() -> Self {
+        EnergyModel {
+            energy_per_cycle: 32e-12,
+            sram_read: 11e-12,
+            sram_write: 13e-12,
+            leakage_power: 40e-6,
+            nominal_voltage: 1.0,
+        }
+    }
+
+    /// Energy of executing `ops` at `opp`, with the workload occupying
+    /// `interval_s` of wall-clock time (the leakage window — for a
+    /// real-time task this is the deadline period, not the busy time).
+    ///
+    /// Dynamic and SRAM energies scale with `(V/V0)²`; leakage power with
+    /// `(V/V0)³` (linear supply × roughly quadratic sub-threshold current
+    /// reduction — a standard compact approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is negative or the voltage non-positive.
+    pub fn energy(
+        &self,
+        ops: &OpCount,
+        cost: &CostModel,
+        opp: &OperatingPoint,
+        interval_s: f64,
+    ) -> EnergyBreakdown {
+        assert!(interval_s >= 0.0, "interval must be non-negative");
+        assert!(opp.voltage > 0.0, "voltage must be positive");
+        let vr = opp.voltage / self.nominal_voltage;
+        let v2 = vr * vr;
+        let cycles = cost.cycles(ops) as f64;
+        EnergyBreakdown {
+            dynamic: cycles * self.energy_per_cycle * v2,
+            sram: (ops.load as f64 * self.sram_read + ops.store as f64 * self.sram_write) * v2,
+            leakage: self.leakage_power * v2 * vr * interval_s,
+        }
+    }
+
+    /// Busy time of `ops` at `opp` (seconds).
+    pub fn busy_time(&self, ops: &OpCount, cost: &CostModel, opp: &OperatingPoint) -> f64 {
+        cost.cycles(ops) as f64 / opp.frequency
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::ninety_nm_low_leakage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> OpCount {
+        OpCount {
+            add: 10_000,
+            mul: 4_000,
+            load: 3_000,
+            store: 1_500,
+            ..OpCount::new()
+        }
+    }
+
+    #[test]
+    fn energy_components_are_positive() {
+        let model = EnergyModel::default();
+        let e = model.energy(
+            &workload(),
+            &CostModel::default(),
+            &OperatingPoint::nominal(),
+            0.01,
+        );
+        assert!(e.dynamic > 0.0 && e.sram > 0.0 && e.leakage > 0.0);
+        assert!((e.total() - (e.dynamic + e.sram + e.leakage)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn voltage_scaling_is_quadratic_for_dynamic() {
+        let model = EnergyModel::default();
+        let cost = CostModel::default();
+        let full = model.energy(&workload(), &cost, &OperatingPoint::nominal(), 0.0);
+        let half = model.energy(
+            &workload(),
+            &cost,
+            &OperatingPoint {
+                voltage: 0.5,
+                frequency: 25e6,
+            },
+            0.0,
+        );
+        assert!((half.dynamic / full.dynamic - 0.25).abs() < 1e-12);
+        assert!((half.sram / full.sram - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scales_cubically_and_with_time() {
+        let model = EnergyModel::default();
+        let cost = CostModel::default();
+        let zero = OpCount::new();
+        let nominal = model.energy(&zero, &cost, &OperatingPoint::nominal(), 1.0);
+        assert!((nominal.leakage - 40e-6).abs() < 1e-12);
+        let low = model.energy(
+            &zero,
+            &cost,
+            &OperatingPoint {
+                voltage: 0.5,
+                frequency: 10e6,
+            },
+            1.0,
+        );
+        assert!((low.leakage / nominal.leakage - 0.125).abs() < 1e-9);
+        let longer = model.energy(&zero, &cost, &OperatingPoint::nominal(), 2.0);
+        assert!((longer.leakage / nominal.leakage - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_ops_cost_less_energy() {
+        let model = EnergyModel::default();
+        let cost = CostModel::default();
+        let opp = OperatingPoint::nominal();
+        let full = model.energy(&workload(), &cost, &opp, 0.01).total();
+        let mut smaller = workload();
+        smaller.mul /= 2;
+        let less = model.energy(&smaller, &cost, &opp, 0.01).total();
+        assert!(less < full);
+    }
+
+    #[test]
+    fn busy_time_follows_frequency() {
+        let model = EnergyModel::default();
+        let cost = CostModel::unit();
+        let ops = OpCount { add: 1_000_000, ..OpCount::new() };
+        let t_fast = model.busy_time(&ops, &cost, &OperatingPoint::nominal());
+        assert!((t_fast - 0.01).abs() < 1e-9);
+        let slow = OperatingPoint {
+            voltage: 0.8,
+            frequency: 50e6,
+        };
+        assert!((model.busy_time(&ops, &cost, &slow) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let opp = OperatingPoint::nominal();
+        assert_eq!(opp.to_string(), "1.00 V @ 100.0 MHz");
+        let e = EnergyBreakdown {
+            dynamic: 1e-6,
+            sram: 2e-6,
+            leakage: 3e-6,
+        };
+        assert!(e.to_string().contains("total=6.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn bad_voltage_rejected() {
+        let model = EnergyModel::default();
+        let _ = model.energy(
+            &OpCount::new(),
+            &CostModel::default(),
+            &OperatingPoint {
+                voltage: 0.0,
+                frequency: 1e6,
+            },
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # hrv-node-sim
+//!
+//! The "typical sensor node" of the paper's evaluation (§II.B, §VI):
+//! a single-issue RISC core with 64 KB SRAM in a 90 nm low-leakage
+//! process, with voltage/frequency scaling.
+//!
+//! Two levels of modelling are provided and cross-validated:
+//!
+//! * **Analytic** — [`CostModel`] maps kernel operation tallies
+//!   ([`hrv_dsp::OpCount`]) to cycles, [`EnergyModel`] maps cycles and
+//!   memory traffic to joules at an [`OperatingPoint`], and [`DvfsModel`]
+//!   converts pruning slack into lower operating points (paper §VI.B).
+//! * **Instruction-level** — a small RISC [`Vm`] executes real kernels
+//!   (built with [`ProgramBuilder`]) counting every loop and branch, which
+//!   pins the analytic model's control-overhead factor.
+//!
+//! [`EnergyProfile`] renders the per-block breakdown of paper Fig. 1(b).
+//!
+//! # Examples
+//!
+//! ```
+//! use hrv_dsp::OpCount;
+//! use hrv_node_sim::{CostModel, DvfsModel, EnergyModel};
+//!
+//! let ops = OpCount { add: 12_000, mul: 3_000, ..OpCount::default() };
+//! let cost = CostModel::typical_sensor_node();
+//! let energy = EnergyModel::ninety_nm_low_leakage();
+//! let dvfs = DvfsModel::ninety_nm();
+//!
+//! // Full-speed energy vs the same work with 50 % cycle slack + DVFS:
+//! let nominal = energy.energy(&ops, &cost, &dvfs.nominal(), 0.01).total();
+//! let scaled_opp = dvfs.opp_for_slack(0.5);
+//! let scaled = energy.energy(&ops, &cost, &scaled_opp, 0.01).total();
+//! assert!(scaled < 0.6 * nominal); // quadratic voltage savings
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod dvfs;
+mod energy;
+mod profile;
+mod program;
+mod vm;
+
+pub use cost::CostModel;
+pub use dvfs::DvfsModel;
+pub use energy::{EnergyBreakdown, EnergyModel, OperatingPoint};
+pub use profile::{BlockShare, EnergyProfile};
+pub use program::{kernels, ProgramBuilder};
+pub use vm::{Instr, Vm, VmError, VmLatencies, VmRun, MEM_WORDS, NUM_REGS};

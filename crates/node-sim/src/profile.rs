@@ -1,0 +1,185 @@
+//! Per-block cycle/energy profiling — the data behind paper Fig. 1(b).
+
+use crate::cost::CostModel;
+use crate::energy::{EnergyModel, OperatingPoint};
+use hrv_dsp::BlockOps;
+use std::fmt;
+
+/// Cycle and energy share of one pipeline block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockShare {
+    /// Block name (e.g. `"fft"`).
+    pub name: String,
+    /// Cycles spent in the block.
+    pub cycles: u64,
+    /// Energy spent in the block (joules), leakage included
+    /// proportionally to busy time.
+    pub energy: f64,
+}
+
+/// A profiled breakdown of the whole pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnergyProfile {
+    shares: Vec<BlockShare>,
+}
+
+impl EnergyProfile {
+    /// Profiles `blocks` at `opp`: each block's leakage share is its busy
+    /// time at that operating point.
+    pub fn from_blocks(
+        blocks: &BlockOps,
+        cost: &CostModel,
+        energy: &EnergyModel,
+        opp: &OperatingPoint,
+    ) -> Self {
+        let shares = blocks
+            .iter()
+            .map(|(name, ops)| {
+                let cycles = cost.cycles(ops);
+                let busy = cycles as f64 / opp.frequency;
+                let e = energy.energy(ops, cost, opp, busy);
+                BlockShare {
+                    name: name.to_string(),
+                    cycles,
+                    energy: e.total(),
+                }
+            })
+            .collect();
+        EnergyProfile { shares }
+    }
+
+    /// The blocks in insertion order.
+    pub fn shares(&self) -> &[BlockShare] {
+        &self.shares
+    }
+
+    /// Total cycles over all blocks.
+    pub fn total_cycles(&self) -> u64 {
+        self.shares.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total energy over all blocks (joules).
+    pub fn total_energy(&self) -> f64 {
+        self.shares.iter().map(|s| s.energy).sum()
+    }
+
+    /// Energy fraction of one block, in `[0, 1]`.
+    pub fn energy_fraction(&self, name: &str) -> f64 {
+        let total = self.total_energy();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.shares
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| s.energy / total)
+    }
+
+    /// Cycle fraction of one block, in `[0, 1]`.
+    pub fn cycle_fraction(&self, name: &str) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shares
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| s.cycles as f64 / total as f64)
+    }
+}
+
+impl fmt::Display for EnergyProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>8} {:>12} {:>8}",
+            "block", "cycles", "cyc%", "energy[uJ]", "en%"
+        )?;
+        let tc = self.total_cycles().max(1) as f64;
+        let te = self.total_energy().max(f64::MIN_POSITIVE);
+        for s in &self.shares {
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>7.1}% {:>12.3} {:>7.1}%",
+                s.name,
+                s.cycles,
+                100.0 * s.cycles as f64 / tc,
+                s.energy * 1e6,
+                100.0 * s.energy / te
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_dsp::OpCount;
+
+    fn sample_blocks() -> BlockOps {
+        let mut blocks = BlockOps::new();
+        blocks.record("fft", OpCount { add: 12_000, mul: 3_000, ..OpCount::new() });
+        blocks.record("lomb", OpCount { add: 2_000, mul: 1_500, div: 500, ..OpCount::new() });
+        blocks.record("extirpolate", OpCount { add: 1_000, mul: 800, ..OpCount::new() });
+        blocks
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let profile = EnergyProfile::from_blocks(
+            &sample_blocks(),
+            &CostModel::default(),
+            &EnergyModel::default(),
+            &OperatingPoint::nominal(),
+        );
+        let sum: f64 = ["fft", "lomb", "extirpolate"]
+            .iter()
+            .map(|b| profile.energy_fraction(b))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let sum_cyc: f64 = ["fft", "lomb", "extirpolate"]
+            .iter()
+            .map(|b| profile.cycle_fraction(b))
+            .sum();
+        assert!((sum_cyc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_dominates_this_workload() {
+        let profile = EnergyProfile::from_blocks(
+            &sample_blocks(),
+            &CostModel::default(),
+            &EnergyModel::default(),
+            &OperatingPoint::nominal(),
+        );
+        assert!(profile.energy_fraction("fft") > 0.5);
+        assert!(profile.cycle_fraction("fft") > 0.5);
+        assert_eq!(profile.shares().len(), 3);
+        assert!(profile.total_cycles() > 0);
+    }
+
+    #[test]
+    fn unknown_block_has_zero_fraction() {
+        let profile = EnergyProfile::from_blocks(
+            &sample_blocks(),
+            &CostModel::default(),
+            &EnergyModel::default(),
+            &OperatingPoint::nominal(),
+        );
+        assert_eq!(profile.energy_fraction("radio"), 0.0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let profile = EnergyProfile::from_blocks(
+            &sample_blocks(),
+            &CostModel::default(),
+            &EnergyModel::default(),
+            &OperatingPoint::nominal(),
+        );
+        let table = profile.to_string();
+        assert!(table.contains("fft"));
+        assert!(table.contains("cyc%"));
+    }
+}

@@ -1,0 +1,470 @@
+//! A small in-order RISC virtual machine.
+//!
+//! The analytic cost model (`CostModel`) maps operation tallies to cycles
+//! with a control-overhead factor. To keep that factor honest, this VM
+//! executes real kernels instruction by instruction — integer loop
+//! control included — with the same per-class latencies, and the tests in
+//! `program.rs` check that analytic and instruction-level cycle counts
+//! agree within the documented overhead band.
+//!
+//! The machine: 16 integer registers (addresses, counters), 16 f64
+//! registers (data), a 64 KB data SRAM (8192 × f64 words), and a flat
+//! instruction list.
+
+use std::fmt;
+
+/// Number of integer and floating-point registers.
+pub const NUM_REGS: usize = 16;
+/// Data memory size in f64 words (8192 × 8 B = 64 KB, the paper's SRAM).
+pub const MEM_WORDS: usize = 8192;
+
+/// One machine instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// `ri[rd] = imm`
+    Li(usize, i64),
+    /// `ri[rd] = ri[ra] + ri[rb]`
+    Add(usize, usize, usize),
+    /// `ri[rd] = ri[ra] + imm`
+    Addi(usize, usize, i64),
+    /// `rf[rd] = imm`
+    Fli(usize, f64),
+    /// `rf[rd] = rf[ra] + rf[rb]`
+    Fadd(usize, usize, usize),
+    /// `rf[rd] = rf[ra] − rf[rb]`
+    Fsub(usize, usize, usize),
+    /// `rf[rd] = rf[ra] × rf[rb]`
+    Fmul(usize, usize, usize),
+    /// `rf[rd] = rf[ra] ÷ rf[rb]`
+    Fdiv(usize, usize, usize),
+    /// `rf[rd] = mem[ri[base] + offset]`
+    Flw(usize, usize, i64),
+    /// `mem[ri[base] + offset] = rf[rs]`
+    Fsw(usize, usize, i64),
+    /// `if ri[ra] < ri[rb] { pc = target }`
+    Blt(usize, usize, usize),
+    /// `if ri[ra] ≥ ri[rb] { pc = target }`
+    Bge(usize, usize, usize),
+    /// `pc = target`
+    Jump(usize),
+    /// Stop execution.
+    Halt,
+}
+
+/// Per-class instruction latencies (cycles), aligned with
+/// [`crate::CostModel::typical_sensor_node`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VmLatencies {
+    /// Integer ALU / immediate / branch.
+    pub int_op: u64,
+    /// FP add/subtract.
+    pub fadd: u64,
+    /// FP multiply.
+    pub fmul: u64,
+    /// FP divide.
+    pub fdiv: u64,
+    /// Memory load.
+    pub load: u64,
+    /// Memory store.
+    pub store: u64,
+}
+
+impl Default for VmLatencies {
+    fn default() -> Self {
+        VmLatencies {
+            int_op: 1,
+            fadd: 1,
+            fmul: 1, // single-cycle MAC, matching CostModel
+            fdiv: 18,
+            load: 2,
+            store: 2,
+        }
+    }
+}
+
+/// Errors surfaced by VM execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Memory access outside the 64 KB SRAM.
+    OutOfBoundsAccess {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Faulting word address.
+        address: i64,
+    },
+    /// Branch/jump target outside the program.
+    BadJumpTarget {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Invalid target.
+        target: usize,
+    },
+    /// Register index outside the register file.
+    BadRegister {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// Execution exceeded the step budget (runaway loop).
+    StepLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBoundsAccess { pc, address } => {
+                write!(f, "out-of-bounds SRAM access to word {address} at pc {pc}")
+            }
+            VmError::BadJumpTarget { pc, target } => {
+                write!(f, "jump to invalid target {target} at pc {pc}")
+            }
+            VmError::BadRegister { pc } => write!(f, "register index out of range at pc {pc}"),
+            VmError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Summary of one program execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VmRun {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Retired integer/control instructions (loop overhead).
+    pub int_ops: u64,
+    /// Retired FP adds/subs.
+    pub fadds: u64,
+    /// Retired FP multiplies.
+    pub fmuls: u64,
+    /// Retired FP divides.
+    pub fdivs: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+}
+
+/// The virtual machine: registers + SRAM.
+#[derive(Clone)]
+pub struct Vm {
+    /// Integer register file.
+    pub iregs: [i64; NUM_REGS],
+    /// Floating-point register file.
+    pub fregs: [f64; NUM_REGS],
+    mem: Vec<f64>,
+    latencies: VmLatencies,
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vm {{ iregs: {:?}, mem: {} words }}", self.iregs, self.mem.len())
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Creates a VM with zeroed registers and SRAM.
+    pub fn new() -> Self {
+        Vm {
+            iregs: [0; NUM_REGS],
+            fregs: [0.0; NUM_REGS],
+            mem: vec![0.0; MEM_WORDS],
+            latencies: VmLatencies::default(),
+        }
+    }
+
+    /// Reads SRAM word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range (test/setup convenience; guest
+    /// accesses return [`VmError`] instead).
+    pub fn read_mem(&self, addr: usize) -> f64 {
+        self.mem[addr]
+    }
+
+    /// Writes SRAM word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_mem(&mut self, addr: usize, value: f64) {
+        self.mem[addr] = value;
+    }
+
+    /// Copies a slice into SRAM starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not fit.
+    pub fn load_slice(&mut self, addr: usize, data: &[f64]) {
+        self.mem[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` words starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_slice(&self, addr: usize, len: usize) -> Vec<f64> {
+        self.mem[addr..addr + len].to_vec()
+    }
+
+    /// Executes `program` from pc 0 until `Halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on invalid memory access, bad jump target,
+    /// bad register index, or when `max_steps` instructions retire
+    /// without halting.
+    pub fn run(&mut self, program: &[Instr], max_steps: u64) -> Result<VmRun, VmError> {
+        let lat = self.latencies;
+        let mut stats = VmRun::default();
+        let mut pc = 0usize;
+        loop {
+            if stats.instructions >= max_steps {
+                return Err(VmError::StepLimitExceeded { limit: max_steps });
+            }
+            let Some(&instr) = program.get(pc) else {
+                return Err(VmError::BadJumpTarget { pc, target: pc });
+            };
+            stats.instructions += 1;
+            match instr {
+                Instr::Li(rd, imm) => {
+                    check_reg(rd, pc)?;
+                    self.iregs[rd] = imm;
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                }
+                Instr::Add(rd, ra, rb) => {
+                    check_reg(rd.max(ra).max(rb), pc)?;
+                    self.iregs[rd] = self.iregs[ra] + self.iregs[rb];
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                }
+                Instr::Addi(rd, ra, imm) => {
+                    check_reg(rd.max(ra), pc)?;
+                    self.iregs[rd] = self.iregs[ra] + imm;
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                }
+                Instr::Fli(rd, imm) => {
+                    check_reg(rd, pc)?;
+                    self.fregs[rd] = imm;
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                }
+                Instr::Fadd(rd, ra, rb) | Instr::Fsub(rd, ra, rb) => {
+                    check_reg(rd.max(ra).max(rb), pc)?;
+                    self.fregs[rd] = if matches!(instr, Instr::Fadd(..)) {
+                        self.fregs[ra] + self.fregs[rb]
+                    } else {
+                        self.fregs[ra] - self.fregs[rb]
+                    };
+                    stats.fadds += 1;
+                    stats.cycles += lat.fadd;
+                }
+                Instr::Fmul(rd, ra, rb) => {
+                    check_reg(rd.max(ra).max(rb), pc)?;
+                    self.fregs[rd] = self.fregs[ra] * self.fregs[rb];
+                    stats.fmuls += 1;
+                    stats.cycles += lat.fmul;
+                }
+                Instr::Fdiv(rd, ra, rb) => {
+                    check_reg(rd.max(ra).max(rb), pc)?;
+                    self.fregs[rd] = self.fregs[ra] / self.fregs[rb];
+                    stats.fdivs += 1;
+                    stats.cycles += lat.fdiv;
+                }
+                Instr::Flw(rd, base, offset) => {
+                    check_reg(rd.max(base), pc)?;
+                    let addr = self.iregs[base] + offset;
+                    let Ok(idx) = usize::try_from(addr) else {
+                        return Err(VmError::OutOfBoundsAccess { pc, address: addr });
+                    };
+                    if idx >= MEM_WORDS {
+                        return Err(VmError::OutOfBoundsAccess { pc, address: addr });
+                    }
+                    self.fregs[rd] = self.mem[idx];
+                    stats.loads += 1;
+                    stats.cycles += lat.load;
+                }
+                Instr::Fsw(rs, base, offset) => {
+                    check_reg(rs.max(base), pc)?;
+                    let addr = self.iregs[base] + offset;
+                    let Ok(idx) = usize::try_from(addr) else {
+                        return Err(VmError::OutOfBoundsAccess { pc, address: addr });
+                    };
+                    if idx >= MEM_WORDS {
+                        return Err(VmError::OutOfBoundsAccess { pc, address: addr });
+                    }
+                    self.mem[idx] = self.fregs[rs];
+                    stats.stores += 1;
+                    stats.cycles += lat.store;
+                }
+                Instr::Blt(ra, rb, target) | Instr::Bge(ra, rb, target) => {
+                    check_reg(ra.max(rb), pc)?;
+                    if target > program.len() {
+                        return Err(VmError::BadJumpTarget { pc, target });
+                    }
+                    let taken = if matches!(instr, Instr::Blt(..)) {
+                        self.iregs[ra] < self.iregs[rb]
+                    } else {
+                        self.iregs[ra] >= self.iregs[rb]
+                    };
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                    if taken {
+                        pc = target;
+                        continue;
+                    }
+                }
+                Instr::Jump(target) => {
+                    if target > program.len() {
+                        return Err(VmError::BadJumpTarget { pc, target });
+                    }
+                    stats.int_ops += 1;
+                    stats.cycles += lat.int_op;
+                    pc = target;
+                    continue;
+                }
+                Instr::Halt => return Ok(stats),
+            }
+            pc += 1;
+        }
+    }
+}
+
+fn check_reg(r: usize, pc: usize) -> Result<(), VmError> {
+    if r < NUM_REGS {
+        Ok(())
+    } else {
+        Err(VmError::BadRegister { pc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut vm = Vm::new();
+        let program = [
+            Instr::Fli(0, 3.0),
+            Instr::Fli(1, 4.0),
+            Instr::Fmul(2, 0, 1),
+            Instr::Fadd(3, 2, 0),
+            Instr::Halt,
+        ];
+        let run = vm.run(&program, 100).expect("runs");
+        assert_eq!(vm.fregs[2], 12.0);
+        assert_eq!(vm.fregs[3], 15.0);
+        assert_eq!(run.instructions, 5);
+        // 2 li (1) + mul (1) + add (1) = 2 + 1 + 1 = 4 cycles.
+        assert_eq!(run.cycles, 4);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut vm = Vm::new();
+        vm.load_slice(100, &[1.5, 2.5]);
+        let program = [
+            Instr::Li(0, 100),
+            Instr::Flw(0, 0, 0),
+            Instr::Flw(1, 0, 1),
+            Instr::Fadd(2, 0, 1),
+            Instr::Fsw(2, 0, 2),
+            Instr::Halt,
+        ];
+        vm.run(&program, 100).expect("runs");
+        assert_eq!(vm.read_mem(102), 4.0);
+        assert_eq!(vm.read_slice(100, 3), vec![1.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn loop_executes_expected_count() {
+        // Sum 0..10 via a counted loop.
+        let mut vm = Vm::new();
+        let program = [
+            Instr::Li(0, 0),       // i = 0
+            Instr::Li(1, 10),      // n = 10
+            Instr::Fli(0, 0.0),    // acc = 0
+            Instr::Fli(1, 1.0),    // one
+            // loop:
+            Instr::Bge(0, 1, 7),   // if i >= n goto end
+            Instr::Fadd(0, 0, 1),  // acc += 1
+            Instr::Addi(0, 0, 1),  // i += 1
+        ];
+        let mut program = program.to_vec();
+        program.push(Instr::Jump(4));
+        // end:
+        program[4] = Instr::Bge(0, 1, 8);
+        program.push(Instr::Halt);
+        let run = vm.run(&program, 1000).expect("runs");
+        assert_eq!(vm.fregs[0], 10.0);
+        assert_eq!(run.fadds, 10);
+        assert!(run.int_ops > 20, "loop overhead visible: {}", run.int_ops);
+    }
+
+    #[test]
+    fn out_of_bounds_load_is_reported() {
+        let mut vm = Vm::new();
+        let program = [Instr::Li(0, MEM_WORDS as i64), Instr::Flw(0, 0, 0), Instr::Halt];
+        let err = vm.run(&program, 10).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBoundsAccess { pc: 1, .. }));
+        assert!(err.to_string().contains("out-of-bounds"));
+    }
+
+    #[test]
+    fn negative_address_is_reported() {
+        let mut vm = Vm::new();
+        let program = [Instr::Li(0, 0), Instr::Fsw(0, 0, -5), Instr::Halt];
+        let err = vm.run(&program, 10).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBoundsAccess { .. }));
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let mut vm = Vm::new();
+        let program = [Instr::Jump(0)];
+        let err = vm.run(&program, 1000).unwrap_err();
+        assert_eq!(err, VmError::StepLimitExceeded { limit: 1000 });
+    }
+
+    #[test]
+    fn bad_jump_target_is_reported() {
+        let mut vm = Vm::new();
+        let program = [Instr::Jump(99)];
+        let err = vm.run(&program, 10).unwrap_err();
+        assert!(matches!(err, VmError::BadJumpTarget { target: 99, .. }));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_error() {
+        let mut vm = Vm::new();
+        let program = [Instr::Li(0, 1)];
+        assert!(vm.run(&program, 10).is_err());
+    }
+
+    #[test]
+    fn division_latency_dominates() {
+        let mut vm = Vm::new();
+        let program = [Instr::Fli(0, 1.0), Instr::Fli(1, 2.0), Instr::Fdiv(2, 0, 1), Instr::Halt];
+        let run = vm.run(&program, 10).expect("runs");
+        assert_eq!(run.cycles, 1 + 1 + 18);
+        assert_eq!(vm.fregs[2], 0.5);
+    }
+}

@@ -1,0 +1,299 @@
+//! Orthonormal wavelet bases and their conjugate-quadrature filter pairs.
+//!
+//! The paper evaluates Haar, Db2 and Db4 (§IV.A, Fig. 5); Db6 is included as
+//! an extension point. All filters are normalised to `Σ h² = 1`
+//! (`Σ h = √2`), the convention under which the single-stage analysis
+//! operator is orthonormal and the wavelet-FFT twiddle magnitudes peak at
+//! `√2` (Fig. 6's 0–1.5 range).
+
+use std::fmt;
+
+/// Daubechies-family scaling (lowpass) coefficients, orthonormal scaling.
+const HAAR: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+
+const DB2: [f64; 4] = [
+    0.482_962_913_144_690_25,
+    0.836_516_303_737_469,
+    0.224_143_868_041_857_35,
+    -0.129_409_522_550_921_45,
+];
+
+const DB4: [f64; 8] = [
+    0.230_377_813_308_855_23,
+    0.714_846_570_552_541_5,
+    0.630_880_767_929_590_4,
+    -0.027_983_769_416_983_85,
+    -0.187_034_811_718_881_14,
+    0.030_841_381_835_986_965,
+    0.032_883_011_666_982_945,
+    -0.010_597_401_784_997_278,
+];
+
+const DB6: [f64; 12] = [
+    0.111_540_743_350_080_17,
+    0.494_623_890_398_385_4,
+    0.751_133_908_021_577_5,
+    0.315_250_351_709_243_2,
+    -0.226_264_693_965_169_13,
+    -0.129_766_867_567_095_63,
+    0.097_501_605_587_079_36,
+    0.027_522_865_530_016_29,
+    -0.031_582_039_318_031_156,
+    0.000_553_842_200_993_801_6,
+    0.004_777_257_511_010_651,
+    -0.001_077_301_084_995_58,
+];
+
+/// A supported orthonormal wavelet basis.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_wavelet::WaveletBasis;
+///
+/// assert_eq!(WaveletBasis::Haar.taps(), 2);
+/// assert_eq!(WaveletBasis::Db2.taps(), 4);
+/// assert_eq!(WaveletBasis::Db4.taps(), 8);
+/// let sum: f64 = WaveletBasis::Db4.lowpass().iter().sum();
+/// assert!((sum - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WaveletBasis {
+    /// 2-tap Haar basis — the paper's final choice (lowest complexity, §V.B).
+    #[default]
+    Haar,
+    /// 4-tap Daubechies-2.
+    Db2,
+    /// 8-tap Daubechies-4.
+    Db4,
+    /// 12-tap Daubechies-6 (extension beyond the paper).
+    Db6,
+}
+
+impl WaveletBasis {
+    /// The bases evaluated in the paper, in presentation order.
+    pub const PAPER: [WaveletBasis; 3] = [WaveletBasis::Haar, WaveletBasis::Db2, WaveletBasis::Db4];
+
+    /// All supported bases.
+    pub const ALL: [WaveletBasis; 4] = [
+        WaveletBasis::Haar,
+        WaveletBasis::Db2,
+        WaveletBasis::Db4,
+        WaveletBasis::Db6,
+    ];
+
+    /// Scaling (lowpass analysis) coefficients `h0`.
+    pub fn lowpass(self) -> &'static [f64] {
+        match self {
+            WaveletBasis::Haar => &HAAR,
+            WaveletBasis::Db2 => &DB2,
+            WaveletBasis::Db4 => &DB4,
+            WaveletBasis::Db6 => &DB6,
+        }
+    }
+
+    /// Filter length `L`.
+    pub fn taps(self) -> usize {
+        self.lowpass().len()
+    }
+}
+
+impl fmt::Display for WaveletBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WaveletBasis::Haar => "haar",
+            WaveletBasis::Db2 => "db2",
+            WaveletBasis::Db4 => "db4",
+            WaveletBasis::Db6 => "db6",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An analysis filter pair `(h0, h1)` forming a conjugate quadrature (CQF)
+/// bank: `h1[n] = (−1)ⁿ·h0[L−1−n]`.
+///
+/// The pair is validated on construction, so a `FilterPair` always describes
+/// an orthonormal two-channel bank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilterPair {
+    h0: Vec<f64>,
+    h1: Vec<f64>,
+}
+
+/// Error returned when lowpass coefficients do not form an orthonormal CQF
+/// bank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvalidFilterError {
+    reason: String,
+}
+
+impl fmt::Display for InvalidFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid wavelet filter: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidFilterError {}
+
+impl FilterPair {
+    /// Builds the filter pair for a named basis.
+    pub fn new(basis: WaveletBasis) -> Self {
+        Self::from_lowpass(basis.lowpass().to_vec())
+            .expect("built-in bases are orthonormal by construction")
+    }
+
+    /// Builds a pair from custom lowpass coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFilterError`] if the length is odd or < 2, if
+    /// `Σ h² ≠ 1`, if `Σ h ≠ √2`, or if the double-shift orthogonality
+    /// `Σ h[n]·h[n+2k] = 0 (k ≠ 0)` fails.
+    pub fn from_lowpass(h0: Vec<f64>) -> Result<Self, InvalidFilterError> {
+        let l = h0.len();
+        if l < 2 || l % 2 != 0 {
+            return Err(InvalidFilterError {
+                reason: format!("filter length must be even and ≥ 2, got {l}"),
+            });
+        }
+        let norm: f64 = h0.iter().map(|v| v * v).sum();
+        if (norm - 1.0).abs() > 1e-8 {
+            return Err(InvalidFilterError {
+                reason: format!("Σh² = {norm}, expected 1 (orthonormal scaling)"),
+            });
+        }
+        let dc: f64 = h0.iter().sum();
+        if (dc - std::f64::consts::SQRT_2).abs() > 1e-8 {
+            return Err(InvalidFilterError {
+                reason: format!("Σh = {dc}, expected √2"),
+            });
+        }
+        for k in 1..l / 2 {
+            let dot: f64 = (0..l - 2 * k).map(|n| h0[n] * h0[n + 2 * k]).sum();
+            if dot.abs() > 1e-8 {
+                return Err(InvalidFilterError {
+                    reason: format!("double-shift orthogonality fails at shift {k}: {dot}"),
+                });
+            }
+        }
+        let h1 = (0..l)
+            .map(|n| if n % 2 == 0 { h0[l - 1 - n] } else { -h0[l - 1 - n] })
+            .collect();
+        Ok(FilterPair { h0, h1 })
+    }
+
+    /// Lowpass (scaling) analysis coefficients.
+    pub fn h0(&self) -> &[f64] {
+        &self.h0
+    }
+
+    /// Highpass (wavelet) analysis coefficients.
+    pub fn h1(&self) -> &[f64] {
+        &self.h1
+    }
+
+    /// Filter length `L`.
+    pub fn taps(&self) -> usize {
+        self.h0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bases_are_orthonormal() {
+        for basis in WaveletBasis::ALL {
+            let pair = FilterPair::new(basis);
+            let norm0: f64 = pair.h0().iter().map(|v| v * v).sum();
+            let norm1: f64 = pair.h1().iter().map(|v| v * v).sum();
+            assert!((norm0 - 1.0).abs() < 1e-10, "{basis} h0 norm");
+            assert!((norm1 - 1.0).abs() < 1e-10, "{basis} h1 norm");
+        }
+    }
+
+    #[test]
+    fn highpass_has_zero_dc() {
+        for basis in WaveletBasis::ALL {
+            let pair = FilterPair::new(basis);
+            let dc: f64 = pair.h1().iter().sum();
+            assert!(dc.abs() < 1e-10, "{basis} highpass DC = {dc}");
+        }
+    }
+
+    #[test]
+    fn lowpass_and_highpass_are_orthogonal() {
+        for basis in WaveletBasis::ALL {
+            let pair = FilterPair::new(basis);
+            // Cross-orthogonality at all even shifts.
+            let l = pair.taps();
+            for k in 0..l / 2 {
+                let dot: f64 = (0..l)
+                    .map(|n| {
+                        let m = n as isize + 2 * k as isize;
+                        if (m as usize) < l {
+                            pair.h0()[n] * pair.h1()[m as usize]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum();
+                assert!(dot.abs() < 1e-10, "{basis} cross shift {k}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn haar_coefficients_are_exact() {
+        let pair = FilterPair::new(WaveletBasis::Haar);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert_eq!(pair.h0(), &[s, s]);
+        assert_eq!(pair.h1(), &[s, -s]);
+    }
+
+    #[test]
+    fn tap_counts() {
+        assert_eq!(WaveletBasis::Haar.taps(), 2);
+        assert_eq!(WaveletBasis::Db2.taps(), 4);
+        assert_eq!(WaveletBasis::Db4.taps(), 8);
+        assert_eq!(WaveletBasis::Db6.taps(), 12);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        let err = FilterPair::from_lowpass(vec![1.0, 0.0, 0.0]).unwrap_err();
+        assert!(err.to_string().contains("even"));
+    }
+
+    #[test]
+    fn rejects_unnormalised() {
+        let err = FilterPair::from_lowpass(vec![1.0, 1.0]).unwrap_err();
+        assert!(err.to_string().contains("Σh²"));
+    }
+
+    #[test]
+    fn rejects_non_orthogonal_shift() {
+        // Normalised and DC-correct but violates double-shift orthogonality.
+        let a = 0.6f64;
+        let b = (1.0 - 2.0 * a * a).sqrt(); // fudge: not a valid CQF
+        let candidate = vec![a, b, a, std::f64::consts::SQRT_2 - 2.0 * a - b];
+        assert!(FilterPair::from_lowpass(candidate).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WaveletBasis::Haar.to_string(), "haar");
+        assert_eq!(WaveletBasis::Db6.to_string(), "db6");
+        assert_eq!(WaveletBasis::default(), WaveletBasis::Haar);
+    }
+
+    #[test]
+    fn paper_set_matches_figure5() {
+        assert_eq!(
+            WaveletBasis::PAPER,
+            [WaveletBasis::Haar, WaveletBasis::Db2, WaveletBasis::Db4]
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Dense matrix form of the single-stage DWT operator.
+//!
+//! Equation (4) of the paper writes the decomposition as a linear
+//! transformation matrix `W_N` built from the low- and highpass filters.
+//! The dense form is only used for verification: the tests check that
+//! `W_N` is orthogonal (`W·Wᵀ = I`) and that applying it reproduces the
+//! fast stage in `dwt.rs`, pinning the analysis convention used by the
+//! wavelet-FFT factorisation.
+
+use crate::basis::FilterPair;
+
+/// Dense `N×N` single-stage analysis matrix: rows `0..N/2` are the lowpass
+/// (shift-by-2 circulant) rows, rows `N/2..N` the highpass rows.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or zero.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_wavelet::{analysis_matrix, FilterPair, WaveletBasis};
+///
+/// let w = analysis_matrix(&FilterPair::new(WaveletBasis::Haar), 4);
+/// assert_eq!(w.len(), 4);
+/// // First lowpass row averages samples 0 and 3 (circular convolution).
+/// assert!((w[0][0] - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn analysis_matrix(filters: &FilterPair, n: usize) -> Vec<Vec<f64>> {
+    assert!(n >= 2 && n % 2 == 0, "matrix size must be even and ≥ 2, got {n}");
+    let half = n / 2;
+    let l = filters.taps();
+    let mut w = vec![vec![0.0; n]; n];
+    for m in 0..half {
+        for j in 0..l {
+            let col = (2 * m + n - (j % n)) % n;
+            w[m][col] += filters.h0()[j];
+            w[half + m][col] += filters.h1()[j];
+        }
+    }
+    w
+}
+
+/// Multiplies a dense matrix by a vector.
+///
+/// # Panics
+///
+/// Panics if dimensions are incompatible.
+pub fn mat_vec(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    w.iter()
+        .map(|row| {
+            assert_eq!(row.len(), x.len(), "dimension mismatch");
+            row.iter().zip(x).map(|(a, b)| a * b).sum()
+        })
+        .collect()
+}
+
+/// Maximum absolute deviation of `W·Wᵀ` from the identity — zero (to
+/// rounding) exactly when the stage is orthonormal.
+pub fn orthogonality_defect(w: &[Vec<f64>]) -> f64 {
+    let n = w.len();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let dot: f64 = (0..n).map(|k| w[i][k] * w[j][k]).sum();
+            let expect = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((dot - expect).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::WaveletBasis;
+    use crate::dwt::analysis_stage_real;
+    use hrv_dsp::OpCount;
+
+    #[test]
+    fn all_bases_give_orthogonal_matrices() {
+        for basis in WaveletBasis::ALL {
+            let w = analysis_matrix(&FilterPair::new(basis), 32);
+            let defect = orthogonality_defect(&w);
+            assert!(defect < 1e-10, "{basis}: defect {defect}");
+        }
+    }
+
+    #[test]
+    fn matrix_application_matches_fast_stage() {
+        for basis in WaveletBasis::ALL {
+            let pair = FilterPair::new(basis);
+            let n = 16;
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+            let w = analysis_matrix(&pair, n);
+            let dense = mat_vec(&w, &x);
+            let mut ops = OpCount::default();
+            let (low, high) = analysis_stage_real(&x, &pair, &mut ops);
+            for m in 0..n / 2 {
+                assert!((dense[m] - low[m]).abs() < 1e-12, "{basis} low {m}");
+                assert!((dense[n / 2 + m] - high[m]).abs() < 1e-12, "{basis} high {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn haar_matrix_n4_is_known() {
+        let w = analysis_matrix(&FilterPair::new(WaveletBasis::Haar), 4);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        // Row 0: zL[0] = h0[0]x[0] + h0[1]x[3] (circular).
+        assert!((w[0][0] - s).abs() < 1e-12);
+        assert!((w[0][3] - s).abs() < 1e-12);
+        // Row 2 (first highpass): zH[0] = h1[0]x[0] + h1[1]x[3].
+        assert!((w[2][0] - s).abs() < 1e-12);
+        assert!((w[2][3] + s).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_size_rejected() {
+        let _ = analysis_matrix(&FilterPair::new(WaveletBasis::Haar), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mat_vec_checks_dimensions() {
+        let w = analysis_matrix(&FilterPair::new(WaveletBasis::Haar), 4);
+        let _ = mat_vec(&w, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-level DWT decomposition of real signals.
+//!
+//! The classic Mallat pyramid: the lowpass band is recursively split,
+//! producing one approximation band and a ladder of detail bands. The
+//! paper uses the single-level split to expose RR sparsity (Fig. 3); the
+//! multilevel form is provided for completeness and for the sparsity
+//! diagnostics in the benchmark harness.
+
+use crate::basis::{FilterPair, WaveletBasis};
+use crate::dwt::{analysis_stage_real, synthesis_stage_real};
+use hrv_dsp::OpCount;
+
+/// A multi-level real DWT decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_wavelet::{Decomposition, WaveletBasis};
+/// use hrv_dsp::OpCount;
+///
+/// let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+/// let mut ops = OpCount::default();
+/// let dec = Decomposition::analyze(&x, WaveletBasis::Haar, 3, &mut ops);
+/// assert_eq!(dec.levels(), 3);
+/// assert_eq!(dec.approximation().len(), 8);
+/// let rec = dec.reconstruct(&mut ops);
+/// assert!(x.iter().zip(&rec).all(|(a, b)| (a - b).abs() < 1e-9));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    basis: WaveletBasis,
+    /// Coarsest lowpass band.
+    approximation: Vec<f64>,
+    /// Detail bands from coarsest (index 0) to finest.
+    details: Vec<Vec<f64>>,
+}
+
+impl Decomposition {
+    /// Decomposes `x` to `levels` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or if `x.len()` is not divisible by
+    /// `2^levels`.
+    pub fn analyze(x: &[f64], basis: WaveletBasis, levels: usize, ops: &mut OpCount) -> Self {
+        assert!(levels > 0, "need at least one level");
+        assert!(
+            x.len() % (1 << levels) == 0 && x.len() >= (1 << levels),
+            "length {} not divisible by 2^{levels}",
+            x.len()
+        );
+        let filters = FilterPair::new(basis);
+        let mut current = x.to_vec();
+        let mut details_fine_to_coarse = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let (low, high) = analysis_stage_real(&current, &filters, ops);
+            details_fine_to_coarse.push(high);
+            current = low;
+        }
+        details_fine_to_coarse.reverse();
+        Decomposition {
+            basis,
+            approximation: current,
+            details: details_fine_to_coarse,
+        }
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Basis used for the decomposition.
+    pub fn basis(&self) -> WaveletBasis {
+        self.basis
+    }
+
+    /// The coarsest approximation (lowpass) band.
+    pub fn approximation(&self) -> &[f64] {
+        &self.approximation
+    }
+
+    /// Detail band at `level` (0 = coarsest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn detail(&self, level: usize) -> &[f64] {
+        &self.details[level]
+    }
+
+    /// Inverse transform back to the original signal length.
+    pub fn reconstruct(&self, ops: &mut OpCount) -> Vec<f64> {
+        let filters = FilterPair::new(self.basis);
+        let mut current = self.approximation.clone();
+        for detail in &self.details {
+            current = synthesis_stage_real(&current, detail, &filters, ops);
+        }
+        current
+    }
+
+    /// Fraction of total signal energy held in the approximation band —
+    /// the "approximate sparsity" the paper exploits (§III/IV.A).
+    pub fn approximation_energy_fraction(&self) -> f64 {
+        let approx: f64 = self.approximation.iter().map(|v| v * v).sum();
+        let details: f64 = self
+            .details
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|v| v * v)
+            .sum();
+        let total = approx + details;
+        if total == 0.0 {
+            0.0
+        } else {
+            approx / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 1.0 + 0.3 * (i as f64 * 0.05).sin() + 0.1 * (i as f64 * 0.11).cos())
+            .collect()
+    }
+
+    #[test]
+    fn reconstruction_roundtrips_all_bases() {
+        for basis in WaveletBasis::ALL {
+            let x = smooth_signal(128);
+            let mut ops = OpCount::default();
+            let dec = Decomposition::analyze(&x, basis, 4, &mut ops);
+            let rec = dec.reconstruct(&mut ops);
+            assert_eq!(rec.len(), x.len());
+            for (a, b) in x.iter().zip(&rec) {
+                assert!((a - b).abs() < 1e-9, "{basis}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_lengths_halve() {
+        let x = smooth_signal(256);
+        let mut ops = OpCount::default();
+        let dec = Decomposition::analyze(&x, WaveletBasis::Db2, 3, &mut ops);
+        assert_eq!(dec.levels(), 3);
+        assert_eq!(dec.approximation().len(), 32);
+        assert_eq!(dec.detail(0).len(), 32); // coarsest detail
+        assert_eq!(dec.detail(1).len(), 64);
+        assert_eq!(dec.detail(2).len(), 128); // finest detail
+        assert_eq!(dec.basis(), WaveletBasis::Db2);
+    }
+
+    #[test]
+    fn smooth_signals_concentrate_energy_in_approximation() {
+        let x = smooth_signal(512);
+        let mut ops = OpCount::default();
+        let dec = Decomposition::analyze(&x, WaveletBasis::Haar, 1, &mut ops);
+        let frac = dec.approximation_energy_fraction();
+        assert!(
+            frac > 0.95,
+            "smooth signal should be approximately sparse, got {frac}"
+        );
+    }
+
+    #[test]
+    fn white_noise_splits_energy_evenly_at_one_level() {
+        // Deterministic pseudo-noise.
+        let mut state = 0x12345678u64;
+        let x: Vec<f64> = (0..1024)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let mut ops = OpCount::default();
+        let dec = Decomposition::analyze(&x, WaveletBasis::Haar, 1, &mut ops);
+        let frac = dec.approximation_energy_fraction();
+        assert!((frac - 0.5).abs() < 0.06, "white noise fraction {frac}");
+    }
+
+    #[test]
+    fn zero_signal_has_zero_fraction() {
+        let mut ops = OpCount::default();
+        let dec = Decomposition::analyze(&[0.0; 32], WaveletBasis::Haar, 2, &mut ops);
+        assert_eq!(dec.approximation_energy_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_length() {
+        let mut ops = OpCount::default();
+        let _ = Decomposition::analyze(&smooth_signal(48), WaveletBasis::Haar, 5, &mut ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn rejects_zero_levels() {
+        let mut ops = OpCount::default();
+        let _ = Decomposition::analyze(&smooth_signal(16), WaveletBasis::Haar, 0, &mut ops);
+    }
+}

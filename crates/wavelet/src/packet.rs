@@ -1,0 +1,140 @@
+//! Full binary-tree wavelet packet transform.
+//!
+//! The wavelet-based FFT of the paper is "equivalent to a binary tree
+//! wavelet packet followed by modified FFT butterfly operations" (§IV.B,
+//! Fig. 4). This module provides that tree on its own, both as a reusable
+//! transform and as the reference structure the `hrv-wfft` recursion is
+//! tested against.
+
+use crate::basis::{FilterPair, WaveletBasis};
+use crate::dwt::analysis_stage;
+use hrv_dsp::{Cx, OpCount};
+
+/// Complete wavelet packet decomposition of complex data down to `depth`
+/// levels. Returns the `2^depth` leaf bands in *natural* (filter-path)
+/// order: index `b`'s bits, read MSB-first, give the lowpass(0)/highpass(1)
+/// path from the root.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not divisible by `2^depth` or `depth == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_wavelet::{wavelet_packet, WaveletBasis};
+/// use hrv_dsp::{Cx, OpCount};
+///
+/// let x: Vec<Cx> = (0..16).map(|i| Cx::real(i as f64)).collect();
+/// let mut ops = OpCount::default();
+/// let leaves = wavelet_packet(&x, WaveletBasis::Haar, 2, &mut ops);
+/// assert_eq!(leaves.len(), 4);
+/// assert_eq!(leaves[0].len(), 4);
+/// ```
+pub fn wavelet_packet(
+    x: &[Cx],
+    basis: WaveletBasis,
+    depth: usize,
+    ops: &mut OpCount,
+) -> Vec<Vec<Cx>> {
+    assert!(depth > 0, "depth must be positive");
+    assert!(
+        x.len() % (1 << depth) == 0 && x.len() >= (1 << depth),
+        "length {} not divisible by 2^{depth}",
+        x.len()
+    );
+    let filters = FilterPair::new(basis);
+    let mut bands: Vec<Vec<Cx>> = vec![x.to_vec()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(bands.len() * 2);
+        for band in &bands {
+            let (low, high) = analysis_stage(band, &filters, ops);
+            next.push(low);
+            next.push(high);
+        }
+        bands = next;
+    }
+    bands
+}
+
+/// Total energy of a packet decomposition (Σ|coef|² over all leaves).
+pub fn packet_energy(leaves: &[Vec<Cx>]) -> f64 {
+    leaves
+        .iter()
+        .flat_map(|band| band.iter())
+        .map(|z| z.norm_sqr())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_signal(n: usize) -> Vec<Cx> {
+        (0..n)
+            .map(|i| Cx::new((i as f64 * 0.21).sin(), (i as f64 * 0.13).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn leaf_count_and_lengths() {
+        let x = test_signal(64);
+        let mut ops = OpCount::default();
+        let leaves = wavelet_packet(&x, WaveletBasis::Db2, 3, &mut ops);
+        assert_eq!(leaves.len(), 8);
+        assert!(leaves.iter().all(|band| band.len() == 8));
+    }
+
+    #[test]
+    fn energy_preserved_for_all_bases() {
+        for basis in WaveletBasis::ALL {
+            let x = test_signal(64);
+            let e_in: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let mut ops = OpCount::default();
+            let leaves = wavelet_packet(&x, basis, 3, &mut ops);
+            let e_out = packet_energy(&leaves);
+            assert!((e_in - e_out).abs() < 1e-9 * e_in, "{basis}");
+        }
+    }
+
+    #[test]
+    fn depth_one_matches_single_stage() {
+        let x = test_signal(32);
+        let mut ops1 = OpCount::default();
+        let mut ops2 = OpCount::default();
+        let leaves = wavelet_packet(&x, WaveletBasis::Haar, 1, &mut ops1);
+        let filters = FilterPair::new(WaveletBasis::Haar);
+        let (low, high) = analysis_stage(&x, &filters, &mut ops2);
+        assert_eq!(leaves[0], low);
+        assert_eq!(leaves[1], high);
+        assert_eq!(ops1, ops2);
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_all_lowpass_leaf() {
+        let x = vec![Cx::real(1.0); 64];
+        let mut ops = OpCount::default();
+        let leaves = wavelet_packet(&x, WaveletBasis::Haar, 3, &mut ops);
+        let energies: Vec<f64> = leaves
+            .iter()
+            .map(|band| band.iter().map(|z| z.norm_sqr()).sum())
+            .collect();
+        let total: f64 = energies.iter().sum();
+        // Leaf 0 is the all-lowpass path.
+        assert!(energies[0] / total > 1.0 - 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let mut ops = OpCount::default();
+        let _ = wavelet_packet(&test_signal(8), WaveletBasis::Haar, 0, &mut ops);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_length_rejected() {
+        let mut ops = OpCount::default();
+        let _ = wavelet_packet(&test_signal(24), WaveletBasis::Haar, 4, &mut ops);
+    }
+}

@@ -1,0 +1,55 @@
+//! # hrv-wfft
+//!
+//! The paper's modified FFT: a wavelet-based fast Fourier transform
+//! (Guo–Burrus factorisation) whose butterfly twiddle factors are the
+//! frequency responses of the wavelet filters — *not* unit-magnitude — so
+//! operations can be classified by significance and pruned for
+//! energy/quality trade-offs.
+//!
+//! * [`WfftPlan`] — the exact transform (eq. (6), Fig. 4);
+//! * [`PrunedWfft`] / [`PruneConfig`] — band-drop (eq. (7)) and
+//!   twiddle-set pruning (Set1/2/3 = 20/40/60 %), static or dynamic
+//!   ([`DynamicThresholds`]);
+//! * [`twiddle_sensitivity`] — the MSE-vs-degree sweep of Fig. 7;
+//! * [`WaveletFftBackend`] — [`hrv_dsp::FftBackend`] adapter for the Lomb
+//!   pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use hrv_dsp::{Cx, OpCount, FftBackend, SplitRadixFft};
+//! use hrv_wavelet::WaveletBasis;
+//! use hrv_wfft::{PruneConfig, PrunedWfft, PruneSet, WfftPlan};
+//!
+//! // Exactness: the unpruned wavelet FFT equals the DFT.
+//! let n = 64;
+//! let x: Vec<Cx> = (0..n).map(|i| Cx::real(0.9 + 0.05 * (i as f64 * 0.3).sin())).collect();
+//! let plan = WfftPlan::new(n, WaveletBasis::Haar);
+//! let spectrum = plan.forward(&x, &mut OpCount::default());
+//!
+//! let mut reference = x.clone();
+//! SplitRadixFft::new(n).forward(&mut reference, &mut OpCount::default());
+//! assert!(hrv_dsp::max_deviation(&spectrum, &reference) < 1e-9);
+//!
+//! // Pruning: band drop + Set3 trades accuracy for operations.
+//! let pruned = PrunedWfft::new(plan, PruneConfig::with_set(PruneSet::Set3));
+//! let mut ops = OpCount::default();
+//! let _ = pruned.forward(&x, &mut ops);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+mod plan;
+mod prune;
+mod sensitivity;
+mod twiddle;
+
+pub use backend::WaveletFftBackend;
+pub use plan::WfftPlan;
+pub use prune::{DynamicThresholds, PruneConfig, PruneMode, PrunedWfft, PruneSet};
+pub use sensitivity::{
+    spectral_mse, twiddle_sensitivity, twiddle_sensitivity_vs, SensitivityPoint,
+    SensitivityReference,
+};
+pub use twiddle::{Factor, FactorClass, LevelTwiddles};

@@ -1,0 +1,229 @@
+//! Sensitivity analysis of twiddle-factor pruning (paper §V.B, Fig. 7).
+//!
+//! The paper determines its three pruning sets by sweeping the pruned
+//! fraction and measuring the mean-square error between the exact and the
+//! approximated spectra over a cohort of cardiac samples. This module
+//! reproduces that sweep.
+
+use crate::plan::WfftPlan;
+use crate::prune::{PruneConfig, PrunedWfft};
+use hrv_dsp::{Cx, OpCount};
+
+/// One point of the pruning-degree → distortion curve.
+#[derive(Clone, Debug)]
+pub struct SensitivityPoint {
+    /// Fraction of twiddle factors pruned.
+    pub fraction: f64,
+    /// Average spectral MSE against the exact transform, over all inputs.
+    pub mse: f64,
+    /// Operation tally of one pruned transform at this degree.
+    pub ops: OpCount,
+    /// Operation tally of the exact reference transform.
+    pub exact_ops: OpCount,
+}
+
+impl SensitivityPoint {
+    /// Fraction of arithmetic saved versus the exact wavelet transform.
+    pub fn arithmetic_saving(&self) -> f64 {
+        1.0 - self.ops.arithmetic() as f64 / self.exact_ops.arithmetic() as f64
+    }
+}
+
+/// Mean squared error between two spectra (averaged over complex bins).
+pub fn spectral_mse(a: &[Cx], b: &[Cx]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spectra must have equal length");
+    assert!(!a.is_empty(), "spectra must be non-empty");
+    a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>() / a.len() as f64
+}
+
+/// Which transform the approximated spectra are compared against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SensitivityReference {
+    /// The exact DFT (the paper's Fig. 7 convention). Note that this curve
+    /// is *not* guaranteed monotone: the band drop leaves uncancelled
+    /// `A·XL` products near `N/2`, and pruning precisely those small `A`
+    /// factors moves the output *closer* to the exact spectrum.
+    #[default]
+    ExactFft,
+    /// The band-drop-only output. Prune sets are nested by magnitude rank,
+    /// so this curve is monotone by construction — it isolates the
+    /// distortion added by the twiddle stage alone.
+    BandDropBaseline,
+}
+
+/// Sweeps twiddle-pruning fractions (with the band drop enabled, as in the
+/// paper) and reports the distortion/saving trade-off on `inputs`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, a fraction is outside `[0, 1]`, or input
+/// lengths mismatch the plan.
+pub fn twiddle_sensitivity(
+    plan: &WfftPlan,
+    inputs: &[Vec<Cx>],
+    fractions: &[f64],
+) -> Vec<SensitivityPoint> {
+    twiddle_sensitivity_vs(plan, inputs, fractions, SensitivityReference::ExactFft)
+}
+
+/// [`twiddle_sensitivity`] with an explicit distortion reference.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, a fraction is outside `[0, 1]`, or input
+/// lengths mismatch the plan.
+pub fn twiddle_sensitivity_vs(
+    plan: &WfftPlan,
+    inputs: &[Vec<Cx>],
+    fractions: &[f64],
+    reference: SensitivityReference,
+) -> Vec<SensitivityPoint> {
+    assert!(!inputs.is_empty(), "need at least one input");
+    let reference_transform = match reference {
+        SensitivityReference::ExactFft => PrunedWfft::new(plan.clone(), PruneConfig::exact()),
+        SensitivityReference::BandDropBaseline => {
+            PrunedWfft::new(plan.clone(), PruneConfig::band_drop_only())
+        }
+    };
+    // Exact-transform cost is always the savings baseline, whatever the
+    // distortion reference.
+    let exact = PrunedWfft::new(plan.clone(), PruneConfig::exact());
+    let mut exact_ops = OpCount::default();
+    for x in inputs.iter().take(1) {
+        let _ = exact.forward(x, &mut exact_ops);
+    }
+    let references: Vec<Vec<Cx>> = inputs
+        .iter()
+        .map(|x| reference_transform.forward(x, &mut OpCount::default()))
+        .collect();
+
+    fractions
+        .iter()
+        .map(|&fraction| {
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "fraction must be in [0, 1], got {fraction}"
+            );
+            let pruned = PrunedWfft::new(
+                plan.clone(),
+                PruneConfig {
+                    band_drop: true,
+                    twiddle_fraction: fraction,
+                },
+            );
+            let mut ops = OpCount::default();
+            let mut total_mse = 0.0;
+            for (x, reference) in inputs.iter().zip(&references) {
+                ops = OpCount::default();
+                let approx = pruned.forward(x, &mut ops);
+                total_mse += spectral_mse(reference, &approx);
+            }
+            SensitivityPoint {
+                fraction,
+                mse: total_mse / inputs.len() as f64,
+                ops,
+                exact_ops,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_wavelet::WaveletBasis;
+
+    fn rr_like(n: usize, seed: u64) -> Vec<Cx> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Cx::real(0.9 + 0.06 * (0.2 * t).sin() + 0.003 * next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mse_is_monotone_in_fraction_vs_band_drop_baseline() {
+        let plan = WfftPlan::new(256, WaveletBasis::Haar);
+        let inputs: Vec<Vec<Cx>> = (0..4).map(|s| rr_like(256, s)).collect();
+        let points = twiddle_sensitivity_vs(
+            &plan,
+            &inputs,
+            &[0.0, 0.2, 0.4, 0.6, 0.8],
+            SensitivityReference::BandDropBaseline,
+        );
+        assert_eq!(points[0].mse, 0.0, "no sets pruned = the baseline itself");
+        for w in points.windows(2) {
+            assert!(
+                w[1].mse >= w[0].mse - 1e-12,
+                "MSE not monotone: {} then {}",
+                w[0].mse,
+                w[1].mse
+            );
+        }
+    }
+
+    #[test]
+    fn exact_reference_dips_at_small_fractions() {
+        // Document the cancellation-restoration effect: against the exact
+        // FFT, a small prune fraction *reduces* the band-drop error.
+        let plan = WfftPlan::new(256, WaveletBasis::Haar);
+        let inputs: Vec<Vec<Cx>> = (0..4).map(|s| rr_like(256, s)).collect();
+        let points = twiddle_sensitivity(&plan, &inputs, &[0.0, 0.2]);
+        assert!(
+            points[1].mse < points[0].mse,
+            "expected Set1 to repair band-drop cancellation: {} -> {}",
+            points[0].mse,
+            points[1].mse
+        );
+    }
+
+    #[test]
+    fn savings_are_monotone_in_fraction() {
+        let plan = WfftPlan::new(256, WaveletBasis::Haar);
+        let inputs = vec![rr_like(256, 9)];
+        let points = twiddle_sensitivity(&plan, &inputs, &[0.2, 0.4, 0.6]);
+        for w in points.windows(2) {
+            assert!(w[1].arithmetic_saving() > w[0].arithmetic_saving());
+        }
+    }
+
+    #[test]
+    fn zero_fraction_still_approximates_only_via_band_drop() {
+        let plan = WfftPlan::new(128, WaveletBasis::Haar);
+        let inputs = vec![rr_like(128, 2)];
+        let points = twiddle_sensitivity(&plan, &inputs, &[0.0]);
+        // Small but non-zero error from the dropped highpass band.
+        assert!(points[0].mse > 0.0);
+        assert!(points[0].mse < 1.0);
+    }
+
+    #[test]
+    fn spectral_mse_basics() {
+        let a = vec![Cx::ONE, Cx::ZERO];
+        let b = vec![Cx::ONE, Cx::new(0.0, 2.0)];
+        assert!((spectral_mse(&a, &b) - 2.0).abs() < 1e-12);
+        assert_eq!(spectral_mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn rejects_bad_fraction() {
+        let plan = WfftPlan::new(64, WaveletBasis::Haar);
+        let _ = twiddle_sensitivity(&plan, &[rr_like(64, 1)], &[1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_empty_inputs() {
+        let plan = WfftPlan::new(64, WaveletBasis::Haar);
+        let _ = twiddle_sensitivity(&plan, &[], &[0.2]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Twiddle-factor tables of the wavelet-based FFT.
+//!
+//! For a transform of size `n` built on an orthonormal CQF pair
+//! `(h0, h1)`, the combine stage of the factorisation (paper eq. (6)) uses
+//! four diagonal matrices whose entries are samples of the filters'
+//! frequency responses:
+//!
+//! ```text
+//! A(k) = conj(H0(k))        B(k) = conj(H1(k))          k = 0 .. n/2-1
+//! C(k) = conj(H0(k + n/2))  D(k) = conj(H1(k + n/2))
+//! ```
+//!
+//! where `H(k)` is the length-`n` DFT of the (zero-padded, circularly
+//! aliased) filter. Unlike conventional FFT twiddles these do **not** lie on
+//! the unit circle: `|A|` falls from `√2` to `0` with `k` while `|C|` rises
+//! from `0` to `√2` (paper Fig. 6) — the property that makes
+//! significance-driven pruning possible.
+
+use hrv_dsp::Cx;
+use hrv_wavelet::FilterPair;
+
+/// Classification of a twiddle factor by multiplication cost.
+///
+/// Precomputed at plan time so the execution path applies (and counts) the
+/// cheapest correct multiplication for each factor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorClass {
+    /// `|z| ≈ 0`: the product is skipped entirely.
+    Zero,
+    /// `z ≈ +1`: multiplication is free.
+    One,
+    /// `z ≈ −1`: a sign flip, free.
+    NegOne,
+    /// `z ≈ ±i`: a component swap with sign flip, free.
+    ImagUnit,
+    /// Purely real (non-unit): 2 real multiplications.
+    Real,
+    /// Purely imaginary (non-unit): 2 real multiplications.
+    Imag,
+    /// Full complex multiplication: 4 muls + 2 adds.
+    Generic,
+}
+
+const CLASS_EPS: f64 = 1e-12;
+
+impl FactorClass {
+    /// Classifies a factor value.
+    pub fn of(z: Cx) -> FactorClass {
+        let re0 = z.re.abs() < CLASS_EPS;
+        let im0 = z.im.abs() < CLASS_EPS;
+        match (re0, im0) {
+            (true, true) => FactorClass::Zero,
+            (false, true) => {
+                if (z.re - 1.0).abs() < CLASS_EPS {
+                    FactorClass::One
+                } else if (z.re + 1.0).abs() < CLASS_EPS {
+                    FactorClass::NegOne
+                } else {
+                    FactorClass::Real
+                }
+            }
+            (true, false) => {
+                if (z.im.abs() - 1.0).abs() < CLASS_EPS {
+                    FactorClass::ImagUnit
+                } else {
+                    FactorClass::Imag
+                }
+            }
+            (false, false) => FactorClass::Generic,
+        }
+    }
+}
+
+/// One classified twiddle factor.
+#[derive(Clone, Copy, Debug)]
+pub struct Factor {
+    /// The complex value.
+    pub value: Cx,
+    /// Cost class of `value`.
+    pub class: FactorClass,
+}
+
+impl Factor {
+    fn new(value: Cx) -> Self {
+        Factor {
+            value,
+            class: FactorClass::of(value),
+        }
+    }
+
+    /// Magnitude of the factor — the significance measure used for pruning.
+    pub fn magnitude(&self) -> f64 {
+        self.value.norm()
+    }
+
+    /// Applies the factor to `z`, adding the cost of the cheapest correct
+    /// multiplication to `ops`.
+    #[inline]
+    pub fn apply(&self, z: Cx, ops: &mut hrv_dsp::OpCount) -> Cx {
+        match self.class {
+            FactorClass::Zero => Cx::ZERO,
+            FactorClass::One => z,
+            FactorClass::NegOne => -z,
+            FactorClass::ImagUnit => {
+                if self.value.im > 0.0 {
+                    z.mul_i()
+                } else {
+                    z.mul_neg_i()
+                }
+            }
+            FactorClass::Real => {
+                ops.cmul_real();
+                z.scale(self.value.re)
+            }
+            FactorClass::Imag => {
+                ops.cmul_real();
+                z.scale(self.value.im).mul_i()
+            }
+            FactorClass::Generic => {
+                ops.cmul();
+                self.value * z
+            }
+        }
+    }
+}
+
+/// The `A, B, C, D` diagonals for one combine level of size `n`
+/// (each vector has `n/2` entries).
+#[derive(Clone, Debug)]
+pub struct LevelTwiddles {
+    /// Block size `n` this level combines to.
+    pub size: usize,
+    /// `A(k) = conj(H0(k))` — lowpass response, upper output half.
+    pub a: Vec<Factor>,
+    /// `B(k) = conj(H1(k))` — highpass response, upper output half.
+    pub b: Vec<Factor>,
+    /// `C(k) = conj(H0(k+n/2))` — lowpass response, lower output half.
+    pub c: Vec<Factor>,
+    /// `D(k) = conj(H1(k+n/2))` — highpass response, lower output half.
+    pub d: Vec<Factor>,
+}
+
+/// Length-`n` DFT of a real filter, evaluated directly (filters are short).
+/// Indices beyond `n` alias circularly, which is exactly the periodised
+/// filter the circular DWT implements.
+fn filter_dft(coeffs: &[f64], n: usize) -> Vec<Cx> {
+    (0..n)
+        .map(|k| {
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(j, &h)| Cx::cis(-2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64).scale(h))
+                .sum()
+        })
+        .collect()
+}
+
+impl LevelTwiddles {
+    /// Computes the tables for a combine level of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n` is odd.
+    pub fn compute(filters: &FilterPair, n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "level size must be even and ≥ 2, got {n}");
+        let h0 = filter_dft(filters.h0(), n);
+        let h1 = filter_dft(filters.h1(), n);
+        let half = n / 2;
+        let a = (0..half).map(|k| Factor::new(h0[k].conj())).collect();
+        let b = (0..half).map(|k| Factor::new(h1[k].conj())).collect();
+        let c = (0..half).map(|k| Factor::new(h0[k + half].conj())).collect();
+        let d = (0..half).map(|k| Factor::new(h1[k + half].conj())).collect();
+        LevelTwiddles { size: n, a, b, c, d }
+    }
+
+    /// Magnitudes of the `A` diagonal (paper Fig. 6, decreasing series).
+    pub fn a_magnitudes(&self) -> Vec<f64> {
+        self.a.iter().map(Factor::magnitude).collect()
+    }
+
+    /// Magnitudes of the `C` diagonal (paper Fig. 6, increasing series).
+    pub fn c_magnitudes(&self) -> Vec<f64> {
+        self.c.iter().map(Factor::magnitude).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_dsp::OpCount;
+    use hrv_wavelet::WaveletBasis;
+
+    #[test]
+    fn factor_classification() {
+        assert_eq!(FactorClass::of(Cx::ZERO), FactorClass::Zero);
+        assert_eq!(FactorClass::of(Cx::ONE), FactorClass::One);
+        assert_eq!(FactorClass::of(-Cx::ONE), FactorClass::NegOne);
+        assert_eq!(FactorClass::of(Cx::I), FactorClass::ImagUnit);
+        assert_eq!(FactorClass::of(-Cx::I), FactorClass::ImagUnit);
+        assert_eq!(FactorClass::of(Cx::real(1.4)), FactorClass::Real);
+        assert_eq!(FactorClass::of(Cx::new(0.0, 0.5)), FactorClass::Imag);
+        assert_eq!(FactorClass::of(Cx::new(0.3, 0.4)), FactorClass::Generic);
+    }
+
+    #[test]
+    fn apply_matches_direct_multiplication() {
+        let z = Cx::new(0.7, -1.3);
+        for value in [
+            Cx::ZERO,
+            Cx::ONE,
+            -Cx::ONE,
+            Cx::I,
+            -Cx::I,
+            Cx::real(std::f64::consts::SQRT_2),
+            Cx::new(0.0, -0.8),
+            Cx::new(0.6, 0.9),
+        ] {
+            let f = Factor::new(value);
+            let mut ops = OpCount::default();
+            let got = f.apply(z, &mut ops);
+            assert!(got.approx_eq(value * z, 1e-12), "factor {value}");
+        }
+    }
+
+    #[test]
+    fn apply_costs_reflect_class() {
+        let z = Cx::new(1.0, 2.0);
+        let mut free = OpCount::default();
+        Factor::new(Cx::ONE).apply(z, &mut free);
+        Factor::new(Cx::I).apply(z, &mut free);
+        assert_eq!(free.arithmetic(), 0);
+
+        let mut real = OpCount::default();
+        Factor::new(Cx::real(1.4)).apply(z, &mut real);
+        assert_eq!(real.mul, 2);
+        assert_eq!(real.add, 0);
+
+        let mut generic = OpCount::default();
+        Factor::new(Cx::new(0.5, 0.5)).apply(z, &mut generic);
+        assert_eq!(generic.mul, 4);
+        assert_eq!(generic.add, 2);
+    }
+
+    #[test]
+    fn dc_factors_are_sqrt2_and_zero() {
+        for basis in WaveletBasis::ALL {
+            let filters = FilterPair::new(basis);
+            let tw = LevelTwiddles::compute(&filters, 64);
+            // A(0) = conj(H0(0)) = Σh0 = √2; B(0) = Σh1 = 0;
+            // C(0) = H0(Nyquist) = 0; |D(0)| = √2.
+            assert!((tw.a[0].value.re - std::f64::consts::SQRT_2).abs() < 1e-10, "{basis}");
+            assert!(tw.b[0].magnitude() < 1e-10, "{basis}");
+            assert!(tw.c[0].magnitude() < 1e-10, "{basis}");
+            assert!((tw.d[0].magnitude() - std::f64::consts::SQRT_2).abs() < 1e-10, "{basis}");
+        }
+    }
+
+    #[test]
+    fn magnitude_profiles_match_figure6() {
+        // |A| decreases with k, |C| increases; both bounded by √2.
+        let filters = FilterPair::new(WaveletBasis::Haar);
+        let tw = LevelTwiddles::compute(&filters, 512);
+        let a = tw.a_magnitudes();
+        let c = tw.c_magnitudes();
+        for k in 1..256 {
+            assert!(a[k] <= a[k - 1] + 1e-12, "A not decreasing at {k}");
+            assert!(c[k] >= c[k - 1] - 1e-12, "C not increasing at {k}");
+        }
+        assert!(a.iter().chain(c.iter()).all(|&m| m <= std::f64::consts::SQRT_2 + 1e-9));
+    }
+
+    #[test]
+    fn power_complementarity_holds() {
+        // |A(k)|² + |C(k)|² = 2 (CQF power complementarity), every basis.
+        for basis in WaveletBasis::ALL {
+            let filters = FilterPair::new(basis);
+            let tw = LevelTwiddles::compute(&filters, 128);
+            for k in 0..64 {
+                let s = tw.a[k].magnitude().powi(2) + tw.c[k].magnitude().powi(2);
+                assert!((s - 2.0).abs() < 1e-9, "{basis} k={k}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn unitarity_of_combine_matrix() {
+        // The per-k 2×2 combine matrix [[A,B],[C,D]] must satisfy
+        // M·Mᴴ = 2I — this is what makes the factorisation exact.
+        for basis in WaveletBasis::ALL {
+            let filters = FilterPair::new(basis);
+            let tw = LevelTwiddles::compute(&filters, 32);
+            for k in 0..16 {
+                let (a, b) = (tw.a[k].value, tw.b[k].value);
+                let (c, d) = (tw.c[k].value, tw.d[k].value);
+                let m00 = a * a.conj() + b * b.conj();
+                let m01 = a * c.conj() + b * d.conj();
+                let m11 = c * c.conj() + d * d.conj();
+                assert!(m00.approx_eq(Cx::real(2.0), 1e-9), "{basis} k={k}");
+                assert!(m01.approx_eq(Cx::ZERO, 1e-9), "{basis} k={k}");
+                assert!(m11.approx_eq(Cx::real(2.0), 1e-9), "{basis} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn aliased_filter_dft_matches_definition() {
+        // For L > n the direct evaluation must equal the DFT of the folded
+        // filter (Db4, 8 taps, at n = 4).
+        let filters = FilterPair::new(WaveletBasis::Db4);
+        let n = 4;
+        let spectral = filter_dft(filters.h0(), n);
+        let mut folded = vec![0.0; n];
+        for (j, &h) in filters.h0().iter().enumerate() {
+            folded[j % n] += h;
+        }
+        for k in 0..n {
+            let direct: Cx = folded
+                .iter()
+                .enumerate()
+                .map(|(j, &h)| Cx::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64).scale(h))
+                .sum();
+            assert!(spectral[k].approx_eq(direct, 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_size() {
+        let filters = FilterPair::new(WaveletBasis::Haar);
+        let _ = LevelTwiddles::compute(&filters, 7);
+    }
+}

@@ -1,0 +1,58 @@
+//! Energy–quality exploration: the full design-space sweep of the paper's
+//! Fig. 9 on a synthetic cohort, plus the Q_DES-driven controller picking
+//! an operating point for several distortion budgets.
+//!
+//! Run with: `cargo run --release --example energy_explorer`
+
+use hrv_psa::prelude::*;
+
+fn main() -> Result<(), PsaError> {
+    let db = SyntheticDatabase::new(2014);
+    let cohort: Vec<RrSeries> = (0..6)
+        .map(|i| db.record(i, Condition::SinusArrhythmia, 360.0).rr)
+        .collect();
+
+    let node = NodeModel::default();
+    let sweep = energy_quality_sweep(
+        &cohort,
+        WaveletBasis::Haar,
+        &node,
+        &PsaConfig::conventional(),
+    )?;
+
+    println!(
+        "conventional system: LF/HF = {:.3}, energy = {:.2} mJ\n",
+        sweep.conventional_ratio,
+        sweep.conventional_energy * 1e3
+    );
+    println!(
+        "{:<18} {:<8} {:<5} {:>9} {:>10} {:>10}",
+        "mode", "policy", "vfs", "LF/HF", "err[%]", "savings[%]"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:<18} {:<8} {:<5} {:>9.3} {:>10.2} {:>10.1}",
+            p.mode.to_string(),
+            p.policy.to_string(),
+            p.vfs,
+            p.avg_ratio,
+            p.ratio_error_pct,
+            p.savings_pct
+        );
+    }
+
+    // The Fig. 2 controller: pick the best configuration for a given
+    // acceptable distortion Q_DES.
+    let controller = QualityController::from_sweep(&sweep, true);
+    println!("\nQ_DES-driven selection (VFS enabled):");
+    for qdes in [2.0, 5.0, 10.0, 20.0] {
+        match controller.select(qdes) {
+            Some(choice) => println!(
+                "  Q_DES = {qdes:>4.1}% -> {} / {} ({:.1}% savings at {:.1}% expected error)",
+                choice.mode, choice.policy, choice.expected_savings_pct, choice.expected_error_pct
+            ),
+            None => println!("  Q_DES = {qdes:>4.1}% -> exact system (no approximation fits)"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Cross-crate equivalence tests: the numerical identities the
+//! reproduction rests on.
+
+use hrv_psa::dsp::{dft_naive, max_deviation, Cx, Direction, FftBackend, OpCount, SplitRadixFft};
+use hrv_psa::ecg::{Condition, SyntheticDatabase};
+use hrv_psa::lomb::{lomb_direct, FastLomb};
+use hrv_psa::wavelet::WaveletBasis;
+use hrv_psa::wfft::{PruneConfig, PrunedWfft, WfftPlan};
+
+fn rr_window() -> (Vec<f64>, Vec<f64>) {
+    let rr = SyntheticDatabase::new(11)
+        .record(0, Condition::SinusArrhythmia, 150.0)
+        .rr;
+    let rel: Vec<f64> = rr.times().iter().map(|&t| t - rr.times()[0]).collect();
+    (rel, rr.intervals().to_vec())
+}
+
+#[test]
+fn wavelet_fft_equals_split_radix_on_real_cardiac_meshes() {
+    let (times, values) = rr_window();
+    let est = FastLomb::new(512, 2.0);
+    let mesh = est.packed_mesh(&times, &values);
+
+    let mut reference = mesh.clone();
+    SplitRadixFft::new(512).forward(&mut reference, &mut OpCount::default());
+
+    for basis in WaveletBasis::ALL {
+        let plan = WfftPlan::new(512, basis);
+        let got = plan.forward(&mesh, &mut OpCount::default());
+        let dev = max_deviation(&got, &reference);
+        assert!(dev < 1e-7, "{basis}: deviation {dev}");
+    }
+}
+
+#[test]
+fn split_radix_equals_naive_dft_on_cardiac_mesh() {
+    let (times, values) = rr_window();
+    let mesh = FastLomb::new(256, 2.0).packed_mesh(&times, &values);
+    let expect = dft_naive(&mesh, Direction::Forward);
+    let mut got = mesh;
+    SplitRadixFft::new(256).forward(&mut got, &mut OpCount::default());
+    assert!(max_deviation(&got, &expect) < 1e-8);
+}
+
+#[test]
+fn fast_lomb_tracks_direct_lomb_on_cardiac_data() {
+    let (times, values) = rr_window();
+    let backend = SplitRadixFft::new(512);
+    let fast = FastLomb::new(512, 2.0).periodogram(&backend, &times, &values, &mut OpCount::default());
+    let direct = lomb_direct(&times, &values, 2.0, fast.len(), &mut OpCount::default());
+    for (lo, hi) in [(0.04, 0.15), (0.15, 0.4)] {
+        let pf = fast.band_power(lo, hi);
+        let pd = direct.band_power(lo, hi);
+        let rel = (pf - pd).abs() / pd.max(1e-12);
+        assert!(rel < 0.05, "band {lo}-{hi}: rel {rel}");
+    }
+}
+
+#[test]
+fn exact_pruned_transform_is_identical_to_plan() {
+    let (times, values) = rr_window();
+    let mesh = FastLomb::new(512, 2.0).packed_mesh(&times, &values);
+    let plan = WfftPlan::new(512, WaveletBasis::Db2);
+    let exact = plan.forward(&mesh, &mut OpCount::default());
+    let pruned = PrunedWfft::new(plan, PruneConfig::exact());
+    let got = pruned.forward(&mesh, &mut OpCount::default());
+    assert!(max_deviation(&got, &exact) < 1e-12);
+}
+
+#[test]
+fn band_drop_error_is_confined_to_high_bins_for_cardiac_meshes() {
+    // The reason the paper's approximation works: on the smooth resampled
+    // mesh the HRV bands live in the low bins where |A| ≈ √2 and |B| ≈ 0,
+    // so dropping the highpass band barely moves them.
+    let (times, values) = rr_window();
+    let mesh = FastLomb::new(512, 2.0)
+        .with_resampled_mesh()
+        .packed_mesh(&times, &values);
+    let mut reference = mesh.clone();
+    SplitRadixFft::new(512).forward(&mut reference, &mut OpCount::default());
+    let pruned = PrunedWfft::new(
+        WfftPlan::new(512, WaveletBasis::Haar),
+        PruneConfig::band_drop_only(),
+    );
+    let approx = pruned.forward(&mesh, &mut OpCount::default());
+
+    let band_err = |lo: usize, hi: usize| -> f64 {
+        let num: f64 = (lo..hi).map(|k| (reference[k] - approx[k]).norm_sqr()).sum();
+        let den: f64 = (lo..hi).map(|k| reference[k].norm_sqr()).sum();
+        (num / den.max(1e-30)).sqrt()
+    };
+    // Low bins (HRV bands: ≤ 0.5 Hz is bin ≤ 75 at the 4 Hz mesh).
+    let low = band_err(1, 75);
+    // Bins near N/2: the dropped content lives here.
+    let high = band_err(200, 256);
+    assert!(low < 0.15, "low-bin relative error {low}");
+    assert!(high > low, "high bins should absorb the band-drop error");
+}
+
+#[test]
+fn op_counts_are_additive_across_pipeline() {
+    // The sum of per-block ops equals the aggregate count.
+    let (times, values) = rr_window();
+    let backend = SplitRadixFft::new(512);
+    let est = FastLomb::new(512, 2.0);
+    let mut total = OpCount::default();
+    let _ = est.periodogram(&backend, &times, &values, &mut total);
+    let mut blocks = hrv_psa::dsp::BlockOps::new();
+    let _ = est.periodogram_profiled(&backend, &times, &values, &mut blocks);
+    assert_eq!(total, blocks.grand_total());
+}
+
+#[test]
+fn packed_mesh_spectrum_unpacks_to_real_spectra() {
+    // Hermitian-unpack invariant: transforming the packed mesh and
+    // unpacking must match transforming wk1/wk2 separately.
+    let (times, values) = rr_window();
+    let est = FastLomb::new(256, 2.0);
+    let mesh = est.packed_mesh(&times, &values);
+    let wk1: Vec<f64> = mesh.iter().map(|z| z.re).collect();
+    let wk2: Vec<f64> = mesh.iter().map(|z| z.im).collect();
+    let backend = SplitRadixFft::new(256);
+    let spectra =
+        hrv_psa::dsp::fft_real_pair(&backend, &wk1, &wk2, &mut OpCount::default());
+
+    let w1c: Vec<Cx> = wk1.iter().map(|&v| Cx::real(v)).collect();
+    let full = dft_naive(&w1c, Direction::Forward);
+    for k in 0..=128 {
+        assert!(spectra.first[k].approx_eq(full[k], 1e-8), "bin {k}");
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end pipeline tests over the synthetic cohort: detection
+//! invariance under pruning, energy ordering, dynamic-vs-static
+//! behaviour, and the full ECG → delineation → PSA chain.
+
+use hrv_psa::delineate::{rr_from_peaks, QrsDetector};
+use hrv_psa::dsp::OpCount;
+use hrv_psa::ecg::EcgSynthesizer;
+use hrv_psa::prelude::*;
+use rand::SeedableRng;
+
+fn cohort(n: usize, condition: Condition, seconds: f64) -> Vec<RrSeries> {
+    let db = SyntheticDatabase::new(2014);
+    (0..n).map(|i| db.record(i, condition, seconds).rr).collect()
+}
+
+#[test]
+fn detection_is_invariant_across_modes_and_policies() {
+    let sick = cohort(4, Condition::SinusArrhythmia, 400.0);
+    let well = cohort(4, Condition::Healthy, 400.0);
+    for mode in ApproximationMode::ALL {
+        for policy in [PruningPolicy::Static, PruningPolicy::Dynamic] {
+            let config = PsaConfig::proposed(WaveletBasis::Haar, mode, policy);
+            let system = match policy {
+                PruningPolicy::Static => PsaSystem::new(config).expect("system"),
+                PruningPolicy::Dynamic => {
+                    PsaSystem::with_calibration(config, &sick).expect("system")
+                }
+            };
+            for rr in &sick {
+                let analysis = system.analyze(rr).expect("analysis");
+                assert!(
+                    analysis.arrhythmia,
+                    "{mode}/{policy}: missed arrhythmia (ratio {})",
+                    analysis.lf_hf_ratio()
+                );
+            }
+            for rr in &well {
+                let analysis = system.analyze(rr).expect("analysis");
+                assert!(
+                    !analysis.arrhythmia,
+                    "{mode}/{policy}: false alarm (ratio {})",
+                    analysis.lf_hf_ratio()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ratio_error_grows_gently_with_pruning() {
+    // Table I shape: the cohort-average ratio drifts slightly upward with
+    // the pruning degree and stays well inside the detection margin.
+    let rrs = cohort(5, Condition::SinusArrhythmia, 400.0);
+    let conventional = PsaSystem::new(PsaConfig::conventional()).expect("system");
+    let conv_ratio: f64 = rrs
+        .iter()
+        .map(|rr| conventional.analyze(rr).expect("analysis").lf_hf_ratio())
+        .sum::<f64>()
+        / rrs.len() as f64;
+
+    let mut last_err: f64 = 0.0;
+    for mode in ApproximationMode::TABLE1 {
+        let system = PsaSystem::new(PsaConfig::proposed(
+            WaveletBasis::Haar,
+            mode,
+            PruningPolicy::Static,
+        ))
+        .expect("system");
+        let ratio: f64 = rrs
+            .iter()
+            .map(|rr| system.analyze(rr).expect("analysis").lf_hf_ratio())
+            .sum::<f64>()
+            / rrs.len() as f64;
+        let err = (ratio - conv_ratio).abs() / conv_ratio;
+        assert!(err < 0.2, "{mode}: ratio error {err}");
+        last_err = last_err.max(err);
+    }
+    assert!(last_err > 0.0, "pruning should perturb the ratio at least slightly");
+}
+
+#[test]
+fn dynamic_ratio_stays_closer_to_band_drop_than_static() {
+    // Table I: dynamic pruning rows stay near the band-drop value while
+    // static rows drift with the set size.
+    let rrs = cohort(4, Condition::SinusArrhythmia, 400.0);
+    let band_drop = PsaSystem::new(PsaConfig::proposed(
+        WaveletBasis::Haar,
+        ApproximationMode::BandDrop,
+        PruningPolicy::Static,
+    ))
+    .expect("system");
+    let bd_ratio: f64 = rrs
+        .iter()
+        .map(|rr| band_drop.analyze(rr).expect("a").lf_hf_ratio())
+        .sum::<f64>()
+        / rrs.len() as f64;
+
+    let avg_ratio = |system: &PsaSystem| -> f64 {
+        rrs.iter()
+            .map(|rr| system.analyze(rr).expect("a").lf_hf_ratio())
+            .sum::<f64>()
+            / rrs.len() as f64
+    };
+
+    let static3 = PsaSystem::new(PsaConfig::proposed(
+        WaveletBasis::Haar,
+        ApproximationMode::BandDropSet3,
+        PruningPolicy::Static,
+    ))
+    .expect("system");
+    let dynamic3 = PsaSystem::with_calibration(
+        PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet3,
+            PruningPolicy::Dynamic,
+        ),
+        &rrs,
+    )
+    .expect("system");
+
+    let static_drift = (avg_ratio(&static3) - bd_ratio).abs();
+    let dynamic_drift = (avg_ratio(&dynamic3) - bd_ratio).abs();
+    assert!(
+        dynamic_drift <= static_drift + 1e-9,
+        "dynamic drift {dynamic_drift} vs static {static_drift}"
+    );
+}
+
+#[test]
+fn energy_sweep_reaches_paper_scale_savings() {
+    // Fig. 9 shape: static Set3 + VFS lands in the high-savings regime
+    // (paper: up to 82 %); without VFS savings stay linear (paper: 51 %).
+    let rrs = cohort(3, Condition::SinusArrhythmia, 360.0);
+    let sweep = energy_quality_sweep(
+        &rrs,
+        WaveletBasis::Haar,
+        &NodeModel::default(),
+        &PsaConfig::conventional(),
+    )
+    .expect("sweep");
+
+    let no_vfs = sweep
+        .point(ApproximationMode::BandDropSet3, PruningPolicy::Static, false)
+        .expect("point");
+    let with_vfs = sweep
+        .point(ApproximationMode::BandDropSet3, PruningPolicy::Static, true)
+        .expect("point");
+    // FFT-block scope — where the paper's "FFT dominates" premise holds
+    // (paper: 51 % static, 82 % with VFS; see EXPERIMENTS.md for the gap).
+    assert!(
+        (25.0..60.0).contains(&no_vfs.fft_savings_pct),
+        "static-only FFT savings {}%",
+        no_vfs.fft_savings_pct
+    );
+    assert!(
+        (50.0..90.0).contains(&with_vfs.fft_savings_pct),
+        "VFS FFT savings {}%",
+        with_vfs.fft_savings_pct
+    );
+    // Whole-pipeline scope: diluted by the resampler and Lomb combine,
+    // but still clearly positive and VFS-amplified.
+    assert!(
+        no_vfs.savings_pct > 8.0,
+        "pipeline savings {}%",
+        no_vfs.savings_pct
+    );
+    assert!(with_vfs.savings_pct > no_vfs.savings_pct + 8.0);
+    assert!(with_vfs.fft_savings_pct > no_vfs.fft_savings_pct + 15.0);
+}
+
+#[test]
+fn full_chain_from_ecg_reaches_same_diagnosis() {
+    let record = SyntheticDatabase::new(3).record(1, Condition::SinusArrhythmia, 300.0);
+    let mut beats = vec![record.rr.times()[0] - record.rr.intervals()[0]];
+    beats.extend_from_slice(record.rr.times());
+
+    let fs = 250.0;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let duration = beats.last().unwrap() + 1.0;
+    let ecg = EcgSynthesizer::new(fs)
+        .with_noise(0.02)
+        .synthesize(&beats, duration, &mut rng);
+    let peaks = QrsDetector::new(fs).detect(&ecg, &mut OpCount::default());
+    let detected_rr = rr_from_peaks(&peaks).expect("rr series");
+
+    let system = PsaSystem::new(PsaConfig::proposed(
+        WaveletBasis::Haar,
+        ApproximationMode::BandDropSet3,
+        PruningPolicy::Static,
+    ))
+    .expect("system");
+    let from_truth = system.analyze(&record.rr).expect("analysis");
+    let from_ecg = system.analyze(&detected_rr).expect("analysis");
+    assert_eq!(from_truth.arrhythmia, from_ecg.arrhythmia);
+    let rel = (from_truth.lf_hf_ratio() - from_ecg.lf_hf_ratio()).abs()
+        / from_truth.lf_hf_ratio();
+    assert!(rel < 0.25, "delineation-induced ratio drift {rel}");
+}
+
+#[test]
+fn quality_controller_budget_is_respected_out_of_sample() {
+    // Calibrate the controller on one cohort, verify its expected-error
+    // promise on a fresh cohort (same generative family).
+    let train = cohort(4, Condition::SinusArrhythmia, 360.0);
+    let sweep = energy_quality_sweep(
+        &train,
+        WaveletBasis::Haar,
+        &NodeModel::default(),
+        &PsaConfig::conventional(),
+    )
+    .expect("sweep");
+    let controller = QualityController::from_sweep(&sweep, true);
+    let choice = controller.select(15.0).expect("choice");
+
+    let db = SyntheticDatabase::new(777);
+    let test: Vec<RrSeries> = (0..3)
+        .map(|i| db.record(i, Condition::SinusArrhythmia, 360.0).rr)
+        .collect();
+    let conventional = PsaSystem::new(PsaConfig::conventional()).expect("system");
+    let chosen = PsaSystem::new(PsaConfig::proposed(
+        WaveletBasis::Haar,
+        choice.mode,
+        PruningPolicy::Static,
+    ))
+    .expect("system");
+    for rr in &test {
+        let c = conventional.analyze(rr).expect("a").lf_hf_ratio();
+        let p = chosen.analyze(rr).expect("a").lf_hf_ratio();
+        let err = 100.0 * (p - c).abs() / c;
+        assert!(err < 30.0, "out-of-sample error {err}% too large");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the core numerical invariants.
+
+use hrv_psa::dsp::{
+    dequantize, max_deviation, quantize, Cx, FftBackend, OpCount, Q15, Radix2Fft, SplitRadixFft,
+};
+use hrv_psa::lomb::extirpolate;
+use hrv_psa::wavelet::{
+    analysis_stage_real, synthesis_stage_real, FilterPair, WaveletBasis,
+};
+use hrv_psa::wfft::{PruneConfig, PrunedWfft, PruneSet, WfftPlan};
+use proptest::prelude::*;
+
+fn basis_strategy() -> impl Strategy<Value = WaveletBasis> {
+    prop_oneof![
+        Just(WaveletBasis::Haar),
+        Just(WaveletBasis::Db2),
+        Just(WaveletBasis::Db4),
+        Just(WaveletBasis::Db6),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_radix_matches_radix2_on_random_data(
+        values in prop::collection::vec(-10.0f64..10.0, 128),
+    ) {
+        let input: Vec<Cx> = values.chunks(2).map(|c| Cx::new(c[0], c[1])).collect();
+        let n = input.len();
+        let mut a = input.clone();
+        let mut b = input;
+        SplitRadixFft::new(n).forward(&mut a, &mut OpCount::default());
+        Radix2Fft::new(n).forward(&mut b, &mut OpCount::default());
+        prop_assert!(max_deviation(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-5.0f64..5.0, 128)) {
+        let input: Vec<Cx> = values.chunks(2).map(|c| Cx::new(c[0], c[1])).collect();
+        let n = input.len();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = input;
+        SplitRadixFft::new(n).forward(&mut spec, &mut OpCount::default());
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn dwt_roundtrips_for_every_basis(
+        basis in basis_strategy(),
+        values in prop::collection::vec(-3.0f64..3.0, 64),
+    ) {
+        let filters = FilterPair::new(basis);
+        let mut ops = OpCount::default();
+        let (low, high) = analysis_stage_real(&values, &filters, &mut ops);
+        let rec = synthesis_stage_real(&low, &high, &filters, &mut ops);
+        for (a, b) in values.iter().zip(&rec) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dwt_preserves_energy_for_every_basis(
+        basis in basis_strategy(),
+        values in prop::collection::vec(-3.0f64..3.0, 64),
+    ) {
+        let filters = FilterPair::new(basis);
+        let mut ops = OpCount::default();
+        let (low, high) = analysis_stage_real(&values, &filters, &mut ops);
+        let e_in: f64 = values.iter().map(|v| v * v).sum();
+        let e_out: f64 = low.iter().chain(&high).map(|v| v * v).sum();
+        prop_assert!((e_in - e_out).abs() <= 1e-9 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn wavelet_fft_is_exact_for_any_input(
+        basis in basis_strategy(),
+        values in prop::collection::vec(-2.0f64..2.0, 128),
+    ) {
+        let input: Vec<Cx> = values.chunks(2).map(|c| Cx::new(c[0], c[1])).collect();
+        let n = input.len();
+        let plan = WfftPlan::new(n, basis);
+        let got = plan.forward(&input, &mut OpCount::default());
+        let mut expect = input;
+        SplitRadixFft::new(n).forward(&mut expect, &mut OpCount::default());
+        prop_assert!(max_deviation(&got, &expect) < 1e-7);
+    }
+
+    #[test]
+    fn pruned_op_counts_never_exceed_exact(
+        values in prop::collection::vec(-2.0f64..2.0, 256),
+        band_drop in any::<bool>(),
+    ) {
+        let input: Vec<Cx> = values.chunks(2).map(|c| Cx::new(c[0], c[1])).collect();
+        let n = input.len();
+        let plan = WfftPlan::new(n, WaveletBasis::Haar);
+        let mut exact_ops = OpCount::default();
+        let _ = plan.forward(&input, &mut exact_ops);
+        for set in PruneSet::ALL {
+            let config = PruneConfig {
+                band_drop,
+                twiddle_fraction: set.fraction(),
+            };
+            let pruned = PrunedWfft::new(plan.clone(), config);
+            let mut ops = OpCount::default();
+            let _ = pruned.forward(&input, &mut ops);
+            prop_assert!(
+                ops.arithmetic() < exact_ops.arithmetic(),
+                "{set} band_drop={band_drop}: {} !< {}",
+                ops.arithmetic(),
+                exact_ops.arithmetic()
+            );
+        }
+    }
+
+    #[test]
+    fn extirpolation_conserves_mass(
+        value in -10.0f64..10.0,
+        // Keep away from exact integers where the fast path triggers.
+        position in 0.51f64..62.49,
+    ) {
+        let mut grid = vec![0.0; 64];
+        extirpolate(value, position, &mut grid, 4, &mut OpCount::default());
+        let total: f64 = grid.iter().sum();
+        prop_assert!((total - value).abs() < 1e-9 * value.abs().max(1.0));
+    }
+
+    #[test]
+    fn q15_roundtrip_error_is_bounded(value in -1.0f64..0.9999) {
+        let q = Q15::from_f64(value);
+        prop_assert!((q.to_f64() - value).abs() <= Q15::epsilon());
+    }
+
+    #[test]
+    fn q15_vector_roundtrip(values in prop::collection::vec(-0.99f64..0.99, 1..64)) {
+        let back = dequantize(&quantize(&values));
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= Q15::epsilon());
+        }
+    }
+
+    #[test]
+    fn fft_of_real_signal_is_hermitian(values in prop::collection::vec(-4.0f64..4.0, 64)) {
+        let input: Vec<Cx> = values.iter().map(|&v| Cx::real(v)).collect();
+        let n = input.len();
+        let mut spec = input;
+        SplitRadixFft::new(n).forward(&mut spec, &mut OpCount::default());
+        for k in 1..n / 2 {
+            prop_assert!(spec[k].approx_eq(spec[n - k].conj(), 1e-8), "bin {k}");
+        }
+    }
+}
