@@ -15,9 +15,7 @@ fn bench_dwt(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("analysis_stage", basis.to_string()),
             &basis,
-            |b, _| {
-                b.iter(|| black_box(analysis_stage(&input, &filters, &mut OpCount::default())))
-            },
+            |b, _| b.iter(|| black_box(analysis_stage(&input, &filters, &mut OpCount::default()))),
         );
     }
     group.finish();

@@ -11,7 +11,11 @@ fn bench_lomb(c: &mut Criterion) {
     group.sample_size(20);
     let rr = &arrhythmia_cohort(1, 150.0)[0];
     let window = rr.window(0.0, 120.0).expect("window");
-    let times: Vec<f64> = window.times().iter().map(|&t| t - window.times()[0]).collect();
+    let times: Vec<f64> = window
+        .times()
+        .iter()
+        .map(|&t| t - window.times()[0])
+        .collect();
     let values = window.intervals().to_vec();
 
     group.bench_function("direct_120bins", |b| {
@@ -33,7 +37,9 @@ fn bench_lomb(c: &mut Criterion) {
             black_box(extirpolated.periodogram(&backend, &times, &values, &mut OpCount::default()))
         })
     });
-    let resampled = FastLomb::new(512, 2.0).with_resampled_mesh().with_span(120.0);
+    let resampled = FastLomb::new(512, 2.0)
+        .with_resampled_mesh()
+        .with_span(120.0);
     group.bench_function("fast_resampled", |b| {
         b.iter(|| {
             black_box(resampled.periodogram(&backend, &times, &values, &mut OpCount::default()))

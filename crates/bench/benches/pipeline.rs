@@ -12,7 +12,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let rr = &arrhythmia_cohort(1, 360.0)[0];
 
     let systems = [
-        ("conventional", PsaSystem::new(PsaConfig::conventional()).expect("config")),
+        (
+            "conventional",
+            PsaSystem::new(PsaConfig::conventional()).expect("config"),
+        ),
         (
             "proposed_set3",
             PsaSystem::new(PsaConfig::proposed(

@@ -9,22 +9,23 @@ use std::hint::black_box;
 fn bench_prune(c: &mut Criterion) {
     let mut group = c.benchmark_group("wfft_prune");
     group.sample_size(30);
-    let n = 512;
-    let input: Vec<Cx> = (0..n)
-        .map(|i| Cx::real(0.9 + 0.05 * (i as f64 * 0.1).sin()))
-        .collect();
-    let configs = [
-        ("exact", PruneConfig::exact()),
-        ("band_drop", PruneConfig::band_drop_only()),
-        ("set1", PruneConfig::with_set(PruneSet::Set1)),
-        ("set2", PruneConfig::with_set(PruneSet::Set2)),
-        ("set3", PruneConfig::with_set(PruneSet::Set3)),
-    ];
-    for (name, config) in configs {
-        let pruned = PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), config);
-        group.bench_with_input(BenchmarkId::new("haar", name), &name, |b, _| {
-            b.iter(|| black_box(pruned.forward(&input, &mut OpCount::default())))
-        });
+    for &n in &[512usize, 1024] {
+        let input: Vec<Cx> = (0..n)
+            .map(|i| Cx::real(0.9 + 0.05 * (i as f64 * 0.1).sin()))
+            .collect();
+        let configs = [
+            ("exact", PruneConfig::exact()),
+            ("band_drop", PruneConfig::band_drop_only()),
+            ("set1", PruneConfig::with_set(PruneSet::Set1)),
+            ("set2", PruneConfig::with_set(PruneSet::Set2)),
+            ("set3", PruneConfig::with_set(PruneSet::Set3)),
+        ];
+        for (name, config) in configs {
+            let pruned = PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), config);
+            group.bench_with_input(BenchmarkId::new(format!("haar_{name}"), n), &n, |b, _| {
+                b.iter(|| black_box(pruned.forward(&input, &mut OpCount::default())))
+            });
+        }
     }
     group.finish();
 }

@@ -39,7 +39,9 @@ fn mesh_ablation() {
         ("extirpolate", FastLomb::new(512, 2.0).with_span(120.0)),
         (
             "resample",
-            FastLomb::new(512, 2.0).with_resampled_mesh().with_span(120.0),
+            FastLomb::new(512, 2.0)
+                .with_resampled_mesh()
+                .with_span(120.0),
         ),
     ] {
         let exact = est.periodogram(&backend, &rel, values, &mut OpCount::default());
@@ -60,14 +62,8 @@ fn mesh_ablation() {
 fn basis_ablation() {
     println!("== Ablation 2: wavelet basis under band drop + Set3 (N = 512) ==\n");
     let mut reference_ops = OpCount::default();
-    SplitRadixFft::new(512).forward(
-        &mut vec![hrv_dsp::Cx::ONE; 512],
-        &mut reference_ops,
-    );
-    println!(
-        "{:<8} {:>10} {:>16}",
-        "basis", "taps", "ops vs split-radix"
-    );
+    SplitRadixFft::new(512).forward(&mut vec![hrv_dsp::Cx::ONE; 512], &mut reference_ops);
+    println!("{:<8} {:>10} {:>16}", "basis", "taps", "ops vs split-radix");
     for basis in WaveletBasis::ALL {
         let pruned = PrunedWfft::new(
             WfftPlan::new(512, basis),

@@ -17,8 +17,14 @@ fn main() {
         window.len()
     );
 
-    let rel_times: Vec<f64> = window.times().iter().map(|&t| t - window.times()[0]).collect();
-    let est = FastLomb::new(512, 2.0).with_resampled_mesh().with_span(120.0);
+    let rel_times: Vec<f64> = window
+        .times()
+        .iter()
+        .map(|&t| t - window.times()[0])
+        .collect();
+    let est = FastLomb::new(512, 2.0)
+        .with_resampled_mesh()
+        .with_span(120.0);
     let mesh = est.packed_mesh(&rel_times, window.intervals());
 
     let filters = FilterPair::new(WaveletBasis::Haar);

@@ -49,7 +49,9 @@ fn main() {
     println!("\npaper: no-approx overhead Haar +36% / Db2 +49% / Db4 +76%;");
     println!("       band-drop savings Haar -28% / Db2 -21% / Db4 -8%\n");
 
-    println!("== Fig. 5(b): complexity with 2nd-stage twiddle pruning (modes on top of band drop) ==\n");
+    println!(
+        "== Fig. 5(b): complexity with 2nd-stage twiddle pruning (modes on top of band drop) ==\n"
+    );
     row("split-radix FFT", &reference, &reference);
     for basis in WaveletBasis::PAPER {
         for set in PruneSet::ALL {
@@ -72,7 +74,11 @@ fn main() {
     println!("== §V scaling note: N = 1024 ==\n");
     let n2 = 1024;
     let ref2 = count_split_radix(n2);
-    let haar3_1024 = count_wfft(n2, WaveletBasis::Haar, PruneConfig::with_set(PruneSet::Set3));
+    let haar3_1024 = count_wfft(
+        n2,
+        WaveletBasis::Haar,
+        PruneConfig::with_set(PruneSet::Set3),
+    );
     row("split-radix FFT (1024)", &ref2, &ref2);
     row("haar set3 (1024)", &haar3_1024, &ref2);
     let mult_512 = haar3.mul as f64 / reference.mul as f64;

@@ -25,7 +25,10 @@ fn main() {
             bar(count as f64, max, 40)
         );
     }
-    println!("\ntotal factors: {} (256 A + 256 C), range 0..√2 ≈ 1.414", hist.total());
+    println!(
+        "\ntotal factors: {} (256 A + 256 C), range 0..√2 ≈ 1.414",
+        hist.total()
+    );
 
     println!("\nmagnitude thresholds of the paper's pruning sets:");
     for set in PruneSet::ALL {

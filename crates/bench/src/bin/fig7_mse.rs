@@ -9,7 +9,9 @@ use hrv_wfft::{twiddle_sensitivity_vs, SensitivityReference, WfftPlan};
 
 fn main() {
     println!("== Fig. 7: MSE vs degree of 2nd-stage pruning (Haar, N = 512) ==\n");
-    let est = FastLomb::new(512, 2.0).with_resampled_mesh().with_span(120.0);
+    let est = FastLomb::new(512, 2.0)
+        .with_resampled_mesh()
+        .with_span(120.0);
     let mut meshes = Vec::new();
     for rr in arrhythmia_cohort(6, 150.0) {
         let win = rr.window(0.0, 120.0).expect("window");
@@ -19,13 +21,12 @@ fn main() {
     let plan = WfftPlan::new(512, WaveletBasis::Haar);
     let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
 
-    println!("{:<10} {:>14} {:>14} {:>10}", "pruned", "MSE(exact)", "MSE(banddrop)", "ops saved");
-    let vs_exact = twiddle_sensitivity_vs(
-        &plan,
-        &meshes,
-        &fractions,
-        SensitivityReference::ExactFft,
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "pruned", "MSE(exact)", "MSE(banddrop)", "ops saved"
     );
+    let vs_exact =
+        twiddle_sensitivity_vs(&plan, &meshes, &fractions, SensitivityReference::ExactFft);
     let vs_baseline = twiddle_sensitivity_vs(
         &plan,
         &meshes,

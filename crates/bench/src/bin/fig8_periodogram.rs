@@ -40,12 +40,19 @@ fn main() {
     let avg_ref = reference.welch.averaged();
     let avg_apx = approximate.welch.averaged();
     let max = avg_ref.power().iter().cloned().fold(0.0f64, f64::max);
-    println!("{:>7}  {:<26} {:<26}", "f [Hz]", "conventional", "proposed (60% dropped)");
+    println!(
+        "{:>7}  {:<26} {:<26}",
+        "f [Hz]", "conventional", "proposed (60% dropped)"
+    );
     for (i, &f) in avg_ref.freqs().iter().enumerate().step_by(3) {
         if f > 0.45 {
             break;
         }
-        let apx = if i < avg_apx.len() { avg_apx.power()[i] } else { 0.0 };
+        let apx = if i < avg_apx.len() {
+            avg_apx.power()[i]
+        } else {
+            0.0
+        };
         println!(
             "{f:>7.3}  {:<26} {:<26}",
             bar(avg_ref.power()[i], max, 24),

@@ -11,8 +11,7 @@
 
 use hrv_bench::arrhythmia_cohort;
 use hrv_core::{
-    energy_quality_sweep, ApproximationMode, NodeModel, PruningPolicy, PsaConfig,
-    QualityController,
+    energy_quality_sweep, ApproximationMode, NodeModel, PruningPolicy, PsaConfig, QualityController,
 };
 use hrv_wavelet::WaveletBasis;
 

@@ -30,10 +30,18 @@ fn main() {
         "", "orig. FFT", "band drop", "set1", "set2", "set3"
     );
     for policy in [PruningPolicy::Static, PruningPolicy::Dynamic] {
-        let mut row = format!("{:<10} {:>10.3}", policy.to_string(), sweep.conventional_ratio);
+        let mut row = format!(
+            "{:<10} {:>10.3}",
+            policy.to_string(),
+            sweep.conventional_ratio
+        );
         for mode in ApproximationMode::TABLE1 {
             let p = sweep.point(mode, policy, false).expect("point");
-            let width = if mode == ApproximationMode::BandDrop { 12 } else { 8 };
+            let width = if mode == ApproximationMode::BandDrop {
+                12
+            } else {
+                8
+            };
             row.push_str(&format!(" {:>width$.3}", p.avg_ratio, width = width));
         }
         println!("{row}");

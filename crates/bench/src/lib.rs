@@ -44,7 +44,10 @@ pub fn mixed_cohort(n_each: usize, seconds: f64) -> Vec<(Condition, RrSeries)> {
             Condition::SinusArrhythmia,
             db.record(i, Condition::SinusArrhythmia, seconds).rr,
         ));
-        records.push((Condition::Healthy, db.record(i, Condition::Healthy, seconds).rr));
+        records.push((
+            Condition::Healthy,
+            db.record(i, Condition::Healthy, seconds).rr,
+        ));
     }
     records
 }

@@ -156,7 +156,11 @@ impl PsaConfig {
     /// The proposed system with a given basis, mode and policy.
     pub fn proposed(basis: WaveletBasis, mode: ApproximationMode, policy: PruningPolicy) -> Self {
         PsaConfig {
-            backend: BackendChoice::Wavelet { basis, mode, policy },
+            backend: BackendChoice::Wavelet {
+                basis,
+                mode,
+                policy,
+            },
             ..Self::conventional()
         }
     }
@@ -176,10 +180,15 @@ impl PsaConfig {
             )));
         }
         if self.ofac < 1.0 {
-            return Err(PsaError::InvalidConfig(format!("ofac must be ≥ 1, got {}", self.ofac)));
+            return Err(PsaError::InvalidConfig(format!(
+                "ofac must be ≥ 1, got {}",
+                self.ofac
+            )));
         }
         if self.window_duration <= 0.0 {
-            return Err(PsaError::InvalidConfig("window duration must be positive".into()));
+            return Err(PsaError::InvalidConfig(
+                "window duration must be positive".into(),
+            ));
         }
         if !(0.0..1.0).contains(&self.overlap) {
             return Err(PsaError::InvalidConfig(format!(
@@ -223,7 +232,11 @@ mod tests {
             PruningPolicy::Dynamic,
         );
         match c.backend {
-            BackendChoice::Wavelet { basis, mode, policy } => {
+            BackendChoice::Wavelet {
+                basis,
+                mode,
+                policy,
+            } => {
                 assert_eq!(basis, WaveletBasis::Haar);
                 assert_eq!(mode, ApproximationMode::BandDropSet2);
                 assert_eq!(policy, PruningPolicy::Dynamic);
@@ -237,7 +250,9 @@ mod tests {
         assert!(ApproximationMode::Exact.prune_config().is_exact());
         assert!(ApproximationMode::BandDrop.prune_config().band_drop);
         assert_eq!(
-            ApproximationMode::BandDropSet3.prune_config().twiddle_fraction,
+            ApproximationMode::BandDropSet3
+                .prune_config()
+                .twiddle_fraction,
             0.6
         );
         assert_eq!(ApproximationMode::ALL.len(), 5);
@@ -265,11 +280,17 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(ApproximationMode::BandDropSet1.to_string(), "band-drop+set1");
+        assert_eq!(
+            ApproximationMode::BandDropSet1.to_string(),
+            "band-drop+set1"
+        );
         assert_eq!(PruningPolicy::Dynamic.to_string(), "dynamic");
         assert!(matches!(
             BackendChoice::proposed_set3(),
-            BackendChoice::Wavelet { policy: PruningPolicy::Static, .. }
+            BackendChoice::Wavelet {
+                policy: PruningPolicy::Static,
+                ..
+            }
         ));
     }
 }

@@ -55,7 +55,7 @@ impl NodeModel {
         let nominal = self.dvfs.nominal();
         let interval = ref_cycles as f64 / nominal.frequency;
         let opp = if vfs {
-            let ratio = (cycles as f64 / ref_cycles as f64).min(1.0).max(1e-6);
+            let ratio = (cycles as f64 / ref_cycles as f64).clamp(1e-6, 1.0);
             self.dvfs.opp_for_slack(ratio)
         } else {
             nominal

@@ -31,7 +31,10 @@ impl fmt::Display for PsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PsaError::RecordingTooShort { got, need } => {
-                write!(f, "recording of {got:.1} s is shorter than one {need:.1} s window")
+                write!(
+                    f,
+                    "recording of {got:.1} s is shorter than one {need:.1} s window"
+                )
             }
             PsaError::TooFewSamples { got, need } => {
                 write!(f, "only {got} RR samples, need at least {need}")
@@ -54,7 +57,10 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_informative() {
         let errs: Vec<PsaError> = vec![
-            PsaError::RecordingTooShort { got: 10.0, need: 120.0 },
+            PsaError::RecordingTooShort {
+                got: 10.0,
+                need: 120.0,
+            },
             PsaError::TooFewSamples { got: 2, need: 16 },
             PsaError::ConstantSignal,
             PsaError::NeedsCalibration,

@@ -124,10 +124,34 @@ mod tests {
             conventional_energy: 1.0,
             conventional_cycles: 1_000_000,
             points: vec![
-                fake_point(ApproximationMode::BandDrop, PruningPolicy::Static, true, 3.0, 55.0),
-                fake_point(ApproximationMode::BandDropSet3, PruningPolicy::Static, true, 9.2, 82.0),
-                fake_point(ApproximationMode::BandDropSet3, PruningPolicy::Dynamic, true, 4.5, 72.0),
-                fake_point(ApproximationMode::BandDrop, PruningPolicy::Static, false, 3.0, 30.0),
+                fake_point(
+                    ApproximationMode::BandDrop,
+                    PruningPolicy::Static,
+                    true,
+                    3.0,
+                    55.0,
+                ),
+                fake_point(
+                    ApproximationMode::BandDropSet3,
+                    PruningPolicy::Static,
+                    true,
+                    9.2,
+                    82.0,
+                ),
+                fake_point(
+                    ApproximationMode::BandDropSet3,
+                    PruningPolicy::Dynamic,
+                    true,
+                    4.5,
+                    72.0,
+                ),
+                fake_point(
+                    ApproximationMode::BandDrop,
+                    PruningPolicy::Static,
+                    false,
+                    3.0,
+                    30.0,
+                ),
             ],
         }
     }

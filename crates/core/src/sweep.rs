@@ -116,7 +116,10 @@ pub fn energy_quality_sweep(
     for policy in [PruningPolicy::Static, PruningPolicy::Dynamic] {
         for mode in ApproximationMode::TABLE1 {
             let config = PsaConfig::proposed(basis, mode, policy);
-            let config = PsaConfig { backend: config.backend, ..base.clone() };
+            let config = PsaConfig {
+                backend: config.backend,
+                ..base.clone()
+            };
             let system = match policy {
                 PruningPolicy::Static => PsaSystem::new(config)?,
                 PruningPolicy::Dynamic => PsaSystem::with_calibration(config, cohort)?,
@@ -145,8 +148,7 @@ pub fn energy_quality_sweep(
                 / ratios.len() as f64;
             let cycles = node.cost.cycles(&ops);
             let cycle_ratio = cycles as f64 / conv_cycles as f64;
-            let fft_cycle_ratio =
-                node.cost.cycles(&fft_ops) as f64 / conv_fft_cycles as f64;
+            let fft_cycle_ratio = node.cost.cycles(&fft_ops) as f64 / conv_fft_cycles as f64;
             for vfs in [false, true] {
                 let assessment = node.assess(&ops, conv_cycles, vfs);
                 let fft_assessment = node.assess(&fft_ops, conv_fft_cycles, vfs);
@@ -234,7 +236,9 @@ mod tests {
             assert!(p.savings_pct > prev, "{mode}: {}", p.savings_pct);
             prev = p.savings_pct;
 
-            let v = sweep.point(mode, PruningPolicy::Static, true).expect("point");
+            let v = sweep
+                .point(mode, PruningPolicy::Static, true)
+                .expect("point");
             assert!(
                 v.savings_pct > p.savings_pct,
                 "{mode}: VFS {} vs static {}",

@@ -71,7 +71,10 @@ impl PsaSystem {
         config.validate()?;
         if matches!(
             config.backend,
-            BackendChoice::Wavelet { policy: PruningPolicy::Dynamic, .. }
+            BackendChoice::Wavelet {
+                policy: PruningPolicy::Dynamic,
+                ..
+            }
         ) {
             return Err(PsaError::NeedsCalibration);
         }
@@ -99,7 +102,9 @@ impl PsaSystem {
                 let plan = WfftPlan::new(config.fft_len, basis);
                 let pruned = PrunedWfft::new(plan, mode.prune_config());
                 let thresholds = pruned.calibrate_dynamic(&meshes);
-                Box::new(WaveletFftBackend::from_pruned(pruned.with_dynamic(thresholds)))
+                Box::new(WaveletFftBackend::from_pruned(
+                    pruned.with_dynamic(thresholds),
+                ))
             }
             _ => Self::static_backend(&config),
         };
@@ -167,7 +172,10 @@ impl PsaSystem {
             });
         }
         if rr.len() < 16 {
-            return Err(PsaError::TooFewSamples { got: rr.len(), need: 16 });
+            return Err(PsaError::TooFewSamples {
+                got: rr.len(),
+                need: 16,
+            });
         }
         // Sub-nanosecond variability is numerically constant (a perfectly
         // regular synthetic series still carries ~1e-17 s of fp jitter).
@@ -222,7 +230,11 @@ mod tests {
     fn conventional_system_detects_arrhythmia() {
         let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
         let analysis = system.analyze(&arrhythmia_rr(480.0)).expect("analysis");
-        assert!(analysis.lf_hf_ratio() < 1.0, "ratio {}", analysis.lf_hf_ratio());
+        assert!(
+            analysis.lf_hf_ratio() < 1.0,
+            "ratio {}",
+            analysis.lf_hf_ratio()
+        );
         assert!(analysis.arrhythmia);
         assert_eq!(system.backend_name(), "split-radix");
         assert!(!analysis.per_window.is_empty());
@@ -233,7 +245,11 @@ mod tests {
     fn conventional_system_clears_healthy_subject() {
         let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
         let analysis = system.analyze(&healthy_rr(480.0)).expect("analysis");
-        assert!(analysis.lf_hf_ratio() > 1.0, "ratio {}", analysis.lf_hf_ratio());
+        assert!(
+            analysis.lf_hf_ratio() > 1.0,
+            "ratio {}",
+            analysis.lf_hf_ratio()
+        );
         assert!(!analysis.arrhythmia);
     }
 
@@ -273,8 +289,8 @@ mod tests {
         .expect("valid")
         .analyze(&rr)
         .expect("analysis");
-        let rel = (conventional.lf_hf_ratio() - wavelet.lf_hf_ratio()).abs()
-            / conventional.lf_hf_ratio();
+        let rel =
+            (conventional.lf_hf_ratio() - wavelet.lf_hf_ratio()).abs() / conventional.lf_hf_ratio();
         assert!(rel < 1e-9, "exact backends disagree: {rel}");
     }
 
@@ -294,7 +310,11 @@ mod tests {
                 PruningPolicy::Static,
             ))
             .expect("valid");
-            let ops = system.analyze(&rr).expect("analysis").total_ops().arithmetic();
+            let ops = system
+                .analyze(&rr)
+                .expect("analysis")
+                .total_ops()
+                .arithmetic();
             assert!(ops < prev, "{mode}: {ops} ops");
             prev = ops;
         }
@@ -315,7 +335,10 @@ mod tests {
             ApproximationMode::BandDropSet2,
             PruningPolicy::Dynamic,
         );
-        assert_eq!(PsaSystem::new(config.clone()).unwrap_err(), PsaError::NeedsCalibration);
+        assert_eq!(
+            PsaSystem::new(config.clone()).unwrap_err(),
+            PsaError::NeedsCalibration
+        );
         let training = vec![arrhythmia_rr(300.0), healthy_rr(300.0)];
         let system = PsaSystem::with_calibration(config, &training).expect("calibrated");
         let analysis = system.analyze(&arrhythmia_rr(480.0)).expect("analysis");

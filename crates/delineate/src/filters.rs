@@ -109,11 +109,12 @@ mod tests {
         let half = len / 2;
         let mut ops = OpCount::default();
         let fast = moving_average(&x, len, &mut ops);
-        for i in 0..x.len() {
+        assert_eq!(fast.len(), x.len());
+        for (i, &got) in fast.iter().enumerate() {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(x.len());
             let naive: f64 = x[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-            assert!((fast[i] - naive).abs() < 1e-10, "index {i}");
+            assert!((got - naive).abs() < 1e-10, "index {i}");
         }
     }
 

@@ -115,8 +115,7 @@ impl QrsDetector {
                 let threshold = npki + 0.25 * (spki - npki);
                 ops.mul += 1;
                 ops.add += 2;
-                let far_enough =
-                    peaks.last().map_or(true, |&last| i - last >= refractory);
+                let far_enough = peaks.last().is_none_or(|&last| i - last >= refractory);
                 ops.cmp += 1;
                 if env[i] > threshold && far_enough {
                     peaks.push(i);
@@ -124,8 +123,7 @@ impl QrsDetector {
                     ops.mul += 2;
                     ops.add += 1;
                     if peaks.len() >= 2 {
-                        let last_rr = (peaks[peaks.len() - 1]
-                            - peaks[peaks.len() - 2]) as f64;
+                        let last_rr = (peaks[peaks.len() - 1] - peaks[peaks.len() - 2]) as f64;
                         rr_avg = 0.875 * rr_avg + 0.125 * last_rr;
                         ops.mul += 2;
                         ops.add += 1;
@@ -225,7 +223,11 @@ mod tests {
             .synthesize(&beats, 20.5, &mut rng);
         let mut ops = OpCount::default();
         let peaks = QrsDetector::new(fs).detect(&ecg, &mut ops);
-        assert!(sensitivity(&peaks, &beats) > 0.95, "sens {}", sensitivity(&peaks, &beats));
+        assert!(
+            sensitivity(&peaks, &beats) > 0.95,
+            "sens {}",
+            sensitivity(&peaks, &beats)
+        );
         assert!(ops.arithmetic() > 0);
     }
 
@@ -263,7 +265,11 @@ mod tests {
         let fs = 250.0;
         let flat = vec![0.0; (fs * 10.0) as usize];
         let peaks = QrsDetector::new(fs).detect(&flat, &mut OpCount::default());
-        assert!(peaks.len() <= 1, "got {} peaks on a flat trace", peaks.len());
+        assert!(
+            peaks.len() <= 1,
+            "got {} peaks on a flat trace",
+            peaks.len()
+        );
     }
 
     #[test]

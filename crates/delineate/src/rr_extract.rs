@@ -87,11 +87,7 @@ impl DetectionQuality {
 /// # Panics
 ///
 /// Panics if `tolerance` is not positive.
-pub fn evaluate_detection(
-    detected: &[f64],
-    reference: &[f64],
-    tolerance: f64,
-) -> DetectionQuality {
+pub fn evaluate_detection(detected: &[f64], reference: &[f64], tolerance: f64) -> DetectionQuality {
     assert!(tolerance > 0.0, "tolerance must be positive");
     let mut used = vec![false; detected.len()];
     let mut tp = 0usize;

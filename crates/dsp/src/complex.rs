@@ -190,6 +190,8 @@ impl Mul<Cx> for f64 {
 
 impl Div for Cx {
     type Output = Cx;
+    // Complex division is multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Cx) -> Cx {
         self * rhs.recip()

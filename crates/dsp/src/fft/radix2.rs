@@ -37,7 +37,10 @@ impl Radix2Fft {
     ///
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+        assert!(
+            is_power_of_two(n),
+            "FFT length must be a power of two, got {n}"
+        );
         Radix2Fft {
             n,
             twiddles: forward_twiddles(n),
@@ -113,7 +116,9 @@ mod tests {
         // Small deterministic LCG so the dsp crate stays dependency-free.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| Cx::new(next(), next())).collect()

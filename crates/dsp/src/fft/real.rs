@@ -114,8 +114,14 @@ mod tests {
             let ra = reference_half_spectrum(&a);
             let rb = reference_half_spectrum(&b);
             for k in 0..=n / 2 {
-                assert!(spectra.first[k].approx_eq(ra[k], 1e-8), "first bin {k} (n={n})");
-                assert!(spectra.second[k].approx_eq(rb[k], 1e-8), "second bin {k} (n={n})");
+                assert!(
+                    spectra.first[k].approx_eq(ra[k], 1e-8),
+                    "first bin {k} (n={n})"
+                );
+                assert!(
+                    spectra.second[k].approx_eq(rb[k], 1e-8),
+                    "second bin {k} (n={n})"
+                );
             }
         }
     }
@@ -129,8 +135,9 @@ mod tests {
         let mut ops = OpCount::default();
         let spectra = fft_real_pair(&plan, &a, &b, &mut ops);
         let ra = reference_half_spectrum(&a);
-        for k in 0..=n / 2 {
-            assert!(spectra.first[k].approx_eq(ra[k], 1e-8));
+        assert_eq!(spectra.first.len(), ra.len());
+        for (got, want) in spectra.first.iter().zip(&ra) {
+            assert!(got.approx_eq(*want, 1e-8));
         }
         assert!(ops.arithmetic() > 0);
     }

@@ -45,7 +45,10 @@ impl SplitRadixFft {
     ///
     /// Panics if `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+        assert!(
+            is_power_of_two(n),
+            "FFT length must be a power of two, got {n}"
+        );
         let master = (0..n)
             .map(|j| Cx::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
             .collect();
@@ -85,7 +88,14 @@ impl SplitRadixFft {
                 let mut odd3 = vec![Cx::ZERO; quarter];
                 self.recurse(input, offset, stride * 2, half, &mut even, ops);
                 self.recurse(input, offset + stride, stride * 4, quarter, &mut odd1, ops);
-                self.recurse(input, offset + 3 * stride, stride * 4, quarter, &mut odd3, ops);
+                self.recurse(
+                    input,
+                    offset + 3 * stride,
+                    stride * 4,
+                    quarter,
+                    &mut odd3,
+                    ops,
+                );
 
                 for k in 0..quarter {
                     let (t1, t2) = if k == 0 {
@@ -109,7 +119,10 @@ impl SplitRadixFft {
                         (t1, t2)
                     } else {
                         ops.cmul_n(2);
-                        (odd1[k] * self.twiddle(k, len), odd3[k] * self.twiddle(3 * k, len))
+                        (
+                            odd1[k] * self.twiddle(k, len),
+                            odd3[k] * self.twiddle(3 * k, len),
+                        )
                     };
                     let s = t1 + t2;
                     let d = (t1 - t2).mul_neg_i();
@@ -153,7 +166,9 @@ mod tests {
     fn random_signal(n: usize, seed: u64) -> Vec<Cx> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         (0..n).map(|_| Cx::new(next(), next())).collect()

@@ -132,7 +132,10 @@ pub fn dequantize(x: &[Q15]) -> Vec<f64> {
 ///
 /// Panics if `x.len()` is odd or zero.
 pub fn haar_stage_q15(x: &[Q15]) -> (Vec<Q15>, Vec<Q15>) {
-    assert!(!x.is_empty() && x.len() % 2 == 0, "need a non-empty even-length input");
+    assert!(
+        !x.is_empty() && x.len().is_multiple_of(2),
+        "need a non-empty even-length input"
+    );
     let inv_sqrt2 = Q15::from_f64(std::f64::consts::FRAC_1_SQRT_2);
     let half = x.len() / 2;
     let mut low = Vec::with_capacity(half);

@@ -51,7 +51,6 @@ pub use fft::{
 pub use fixed::{dequantize, haar_stage_q15, quantize, Q15};
 pub use ops::{BlockOps, OpCount};
 pub use stats::{
-    max_abs_error, mean, mse, quantile, relative_error, rmse, sample_variance, variance,
-    Histogram,
+    max_abs_error, mean, mse, quantile, relative_error, rmse, sample_variance, variance, Histogram,
 };
 pub use window::Window;

@@ -246,7 +246,13 @@ mod tests {
     fn complex_op_conventions() {
         let mut ops = OpCount::new();
         ops.cadd();
-        assert_eq!(ops, OpCount { add: 2, ..OpCount::new() });
+        assert_eq!(
+            ops,
+            OpCount {
+                add: 2,
+                ..OpCount::new()
+            }
+        );
         ops.cmul();
         assert_eq!(ops.mul, 4);
         assert_eq!(ops.add, 4);
@@ -278,8 +284,16 @@ mod tests {
 
     #[test]
     fn add_and_scale() {
-        let a = OpCount { add: 1, mul: 2, ..OpCount::new() };
-        let b = OpCount { add: 3, cmp: 4, ..OpCount::new() };
+        let a = OpCount {
+            add: 1,
+            mul: 2,
+            ..OpCount::new()
+        };
+        let b = OpCount {
+            add: 3,
+            cmp: 4,
+            ..OpCount::new()
+        };
         let c = a + b;
         assert_eq!(c.add, 4);
         assert_eq!(c.mul, 2);
@@ -291,8 +305,16 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        let a = OpCount { add: 5, mul: 1, ..OpCount::new() };
-        let b = OpCount { add: 2, mul: 9, ..OpCount::new() };
+        let a = OpCount {
+            add: 5,
+            mul: 1,
+            ..OpCount::new()
+        };
+        let b = OpCount {
+            add: 2,
+            mul: 9,
+            ..OpCount::new()
+        };
         let d = a.saturating_sub(&b);
         assert_eq!(d.add, 3);
         assert_eq!(d.mul, 0);
@@ -301,9 +323,27 @@ mod tests {
     #[test]
     fn block_ops_accumulates_in_order() {
         let mut blocks = BlockOps::new();
-        blocks.record("fft", OpCount { add: 10, ..OpCount::new() });
-        blocks.record("lomb", OpCount { mul: 4, ..OpCount::new() });
-        blocks.record("fft", OpCount { add: 5, ..OpCount::new() });
+        blocks.record(
+            "fft",
+            OpCount {
+                add: 10,
+                ..OpCount::new()
+            },
+        );
+        blocks.record(
+            "lomb",
+            OpCount {
+                mul: 4,
+                ..OpCount::new()
+            },
+        );
+        blocks.record(
+            "fft",
+            OpCount {
+                add: 5,
+                ..OpCount::new()
+            },
+        );
         assert_eq!(blocks.len(), 2);
         assert!(!blocks.is_empty());
         let names: Vec<&str> = blocks.iter().map(|(n, _)| n).collect();

@@ -60,7 +60,11 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices differ in length.
 pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "max_abs_error requires equal-length slices");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "max_abs_error requires equal-length slices"
+    );
     a.iter()
         .zip(b)
         .map(|(&x, &y)| (x - y).abs())

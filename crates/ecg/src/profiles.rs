@@ -112,7 +112,13 @@ impl PatientProfile {
     /// Panics if `duration` is not positive (see
     /// [`crate::ipfm_beat_times`]).
     pub fn synthesize_rr(&self, duration: f64, rng: &mut impl Rng) -> RrSeries {
-        let beats = ipfm_beat_times(self.mean_rr, &self.modulation(), duration, self.noise_sd, rng);
+        let beats = ipfm_beat_times(
+            self.mean_rr,
+            &self.modulation(),
+            duration,
+            self.noise_sd,
+            rng,
+        );
         RrSeries::from_beat_times(&beats)
     }
 }

@@ -29,7 +29,11 @@ impl RrSeries {
     /// Panics if lengths differ, the series is empty, times are not
     /// strictly increasing, or any interval is non-positive.
     pub fn new(times: Vec<f64>, intervals: Vec<f64>) -> Self {
-        assert_eq!(times.len(), intervals.len(), "times and intervals must match");
+        assert_eq!(
+            times.len(),
+            intervals.len(),
+            "times and intervals must match"
+        );
         assert!(!times.is_empty(), "RR series must be non-empty");
         assert!(
             times.windows(2).all(|w| w[1] > w[0]),
@@ -144,7 +148,11 @@ impl RrSeries {
                 }
                 let lo = hi - 1;
                 let span = self.times[hi] - self.times[lo];
-                let frac = if span > 0.0 { (t - self.times[lo]) / span } else { 0.0 };
+                let frac = if span > 0.0 {
+                    (t - self.times[lo]) / span
+                } else {
+                    0.0
+                };
                 self.intervals[lo] * (1.0 - frac.clamp(0.0, 1.0))
                     + self.intervals[hi] * frac.clamp(0.0, 1.0)
             })

@@ -21,11 +21,31 @@ struct Wave {
 
 /// Standard PQRST morphology (amplitudes in mV, lead-II-like).
 const MORPHOLOGY: [Wave; 5] = [
-    Wave { offset_frac: -0.22, amplitude: 0.15, sigma: 0.028 }, // P
-    Wave { offset_frac: -0.03, amplitude: -0.12, sigma: 0.010 }, // Q
-    Wave { offset_frac: 0.0, amplitude: 1.10, sigma: 0.011 },   // R
-    Wave { offset_frac: 0.03, amplitude: -0.28, sigma: 0.010 }, // S
-    Wave { offset_frac: 0.30, amplitude: 0.33, sigma: 0.055 },  // T
+    Wave {
+        offset_frac: -0.22,
+        amplitude: 0.15,
+        sigma: 0.028,
+    }, // P
+    Wave {
+        offset_frac: -0.03,
+        amplitude: -0.12,
+        sigma: 0.010,
+    }, // Q
+    Wave {
+        offset_frac: 0.0,
+        amplitude: 1.10,
+        sigma: 0.011,
+    }, // R
+    Wave {
+        offset_frac: 0.03,
+        amplitude: -0.28,
+        sigma: 0.010,
+    }, // S
+    Wave {
+        offset_frac: 0.30,
+        amplitude: 0.33,
+        sigma: 0.055,
+    }, // T
 ];
 
 /// Synthesises ECG samples from beat times.
@@ -77,7 +97,10 @@ impl EcgSynthesizer {
 
     /// Sets the baseline-wander amplitude (mV).
     pub fn with_baseline(mut self, baseline_mv: f64) -> Self {
-        assert!(baseline_mv >= 0.0, "baseline amplitude must be non-negative");
+        assert!(
+            baseline_mv >= 0.0,
+            "baseline amplitude must be non-negative"
+        );
         self.baseline_mv = baseline_mv;
         self
     }
@@ -105,8 +128,8 @@ impl EcgSynthesizer {
         // Baseline wander + noise floor.
         for (i, sample) in ecg.iter_mut().enumerate() {
             let t = i as f64 / self.fs;
-            *sample = self.baseline_mv
-                * (2.0 * std::f64::consts::PI * self.baseline_freq * t).sin();
+            *sample =
+                self.baseline_mv * (2.0 * std::f64::consts::PI * self.baseline_freq * t).sin();
             if self.noise_mv > 0.0 {
                 *sample += (rng.gen::<f64>() - 0.5) * 2.0 * self.noise_mv;
             }
@@ -149,7 +172,9 @@ mod tests {
 
     #[test]
     fn r_peaks_dominate_the_trace() {
-        let synth = EcgSynthesizer::new(360.0).with_noise(0.0).with_baseline(0.0);
+        let synth = EcgSynthesizer::new(360.0)
+            .with_noise(0.0)
+            .with_baseline(0.0);
         let mut rng = StdRng::seed_from_u64(1);
         let ecg = synth.synthesize(&beats(), 10.0, &mut rng);
         // The global maximum should sit within 10 ms of some beat.

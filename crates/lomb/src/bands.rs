@@ -20,7 +20,10 @@ pub struct FreqBand {
 
 impl FreqBand {
     /// Ultra-low-frequency band (below the LF edge).
-    pub const ULF: FreqBand = FreqBand { lo: 0.003, hi: 0.04 };
+    pub const ULF: FreqBand = FreqBand {
+        lo: 0.003,
+        hi: 0.04,
+    };
     /// Low-frequency band, 0.04–0.15 Hz (paper §VI).
     pub const LF: FreqBand = FreqBand { lo: 0.04, hi: 0.15 };
     /// High-frequency band, 0.15–0.4 Hz (paper §VI).

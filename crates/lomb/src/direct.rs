@@ -85,8 +85,7 @@ pub fn lomb_direct(
             ops.mul += 4;
             ops.add += 6;
         }
-        let p = 0.5 * (cterm_num * cterm_num / cterm_den + sterm_num * sterm_num / sterm_den)
-            / var;
+        let p = 0.5 * (cterm_num * cterm_num / cterm_den + sterm_num * sterm_num / sterm_den) / var;
         ops.mul += 3;
         ops.div += 3;
         ops.add += 1;
@@ -198,7 +197,10 @@ mod tests {
             .collect();
         let p = lomb_direct(&times, &values, 1.0, 150, &mut OpCount::default());
         let mean_power = p.power().iter().sum::<f64>() / p.len() as f64;
-        assert!((0.6..1.5).contains(&mean_power), "mean noise power {mean_power}");
+        assert!(
+            (0.6..1.5).contains(&mean_power),
+            "mean noise power {mean_power}"
+        );
     }
 
     #[test]

@@ -143,8 +143,8 @@ mod tests {
                 re += w * (omega * i as f64).cos();
                 im += w * (omega * i as f64).sin();
             }
-            let err = ((re - (omega * pos).cos()).powi(2) + (im - (omega * pos).sin()).powi(2))
-                .sqrt();
+            let err =
+                ((re - (omega * pos).cos()).powi(2) + (im - (omega * pos).sin()).powi(2)).sqrt();
             assert!(err < 2e-3 * (1.0 + omega), "ω={omega}: err {err}");
         }
     }

@@ -92,7 +92,9 @@ impl FastLomb {
             fft_len,
             ofac,
             order: DEFAULT_ORDER,
-            mesh: MeshStrategy::Extirpolate { order: DEFAULT_ORDER },
+            mesh: MeshStrategy::Extirpolate {
+                order: DEFAULT_ORDER,
+            },
             window: Window::Rectangular,
             span_override: None,
             max_freq: None,
@@ -119,7 +121,10 @@ impl FastLomb {
     ///
     /// Panics if `order` is 0 or larger than the mesh.
     pub fn with_order(mut self, order: usize) -> Self {
-        assert!(order >= 1 && order <= self.fft_len, "invalid extirpolation order {order}");
+        assert!(
+            order >= 1 && order <= self.fft_len,
+            "invalid extirpolation order {order}"
+        );
         self.order = order;
         if let MeshStrategy::Extirpolate { .. } = self.mesh {
             self.mesh = MeshStrategy::Extirpolate { order };
@@ -362,8 +367,7 @@ impl FastLomb {
             let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
             let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
             let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
-            let sterm =
-                (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
+            let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
             ops.mul += 12;
             ops.add += 7;
             ops.div += 4;
@@ -510,7 +514,11 @@ mod tests {
         let est = FastLomb::new(512, 2.0);
         let backend = SplitRadixFft::new(512);
         let p = est.periodogram(&backend, &times, &values, &mut OpCount::default());
-        assert!((p.peak_frequency() - 0.3).abs() < 0.02, "peak {}", p.peak_frequency());
+        assert!(
+            (p.peak_frequency() - 0.3).abs() < 0.02,
+            "peak {}",
+            p.peak_frequency()
+        );
     }
 
     #[test]
@@ -529,7 +537,10 @@ mod tests {
             let pf = fast.band_power(lo, hi);
             let pd = direct.band_power(lo, hi);
             let rel = (pf - pd).abs() / pd.max(1e-12);
-            assert!(rel < 0.05, "band {lo}-{hi}: fast {pf} vs direct {pd} (rel {rel})");
+            assert!(
+                rel < 0.05,
+                "band {lo}-{hi}: fast {pf} vs direct {pd} (rel {rel})"
+            );
         }
     }
 
@@ -542,9 +553,13 @@ mod tests {
         let fast = est.periodogram(&backend, &times, &values, &mut OpCount::default());
         let direct = lomb_direct(&times, &values, 2.0, 120, &mut OpCount::default());
         for j in 0..100 {
-            let rel = (fast.power()[j] - direct.power()[j]).abs()
-                / direct.power()[j].max(1.0);
-            assert!(rel < 0.03, "bin {j}: {} vs {}", fast.power()[j], direct.power()[j]);
+            let rel = (fast.power()[j] - direct.power()[j]).abs() / direct.power()[j].max(1.0);
+            assert!(
+                rel < 0.03,
+                "bin {j}: {} vs {}",
+                fast.power()[j],
+                direct.power()[j]
+            );
         }
     }
 
@@ -613,7 +628,11 @@ mod tests {
         assert_eq!(est.mesh_strategy(), MeshStrategy::Resample);
         let backend = SplitRadixFft::new(512);
         let p = est.periodogram(&backend, &times, &values, &mut OpCount::default());
-        assert!((p.peak_frequency() - 0.25).abs() < 0.02, "peak {}", p.peak_frequency());
+        assert!(
+            (p.peak_frequency() - 0.25).abs() < 0.02,
+            "peak {}",
+            p.peak_frequency()
+        );
     }
 
     #[test]
@@ -633,7 +652,13 @@ mod tests {
         let est = FastLomb::new(512, 2.0).with_resampled_mesh();
         let backend = SplitRadixFft::new(512);
         let fast = est.periodogram(&backend, &times, &values, &mut OpCount::default());
-        let direct = lomb_direct(&times, &values, 1.0, fast.len().min(110), &mut OpCount::default());
+        let direct = lomb_direct(
+            &times,
+            &values,
+            1.0,
+            fast.len().min(110),
+            &mut OpCount::default(),
+        );
         let ratio = |p: &crate::periodogram::Periodogram| {
             p.band_power(0.04, 0.15) / p.band_power(0.15, 0.4)
         };

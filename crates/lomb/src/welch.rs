@@ -145,9 +145,9 @@ impl WelchLomb {
                 let seg_times: Vec<f64> = times[lo..hi].iter().map(|&t| t - start).collect();
                 let seg_values = &values[lo..hi];
                 if sample_variance(seg_values) > 0.0 && seg_times.last() > seg_times.first() {
-                    let p =
-                        self.estimator
-                            .periodogram_profiled(backend, &seg_times, seg_values, profile);
+                    let p = self
+                        .estimator
+                        .periodogram_profiled(backend, &seg_times, seg_values, profile);
                     // De-normalise by 2σ²/N so segment variance re-enters
                     // the average (paper §II.A).
                     let var = sample_variance(seg_values);
@@ -233,9 +233,7 @@ mod tests {
     #[test]
     fn averaged_spectrum_peaks_at_respiratory_frequency() {
         let (times, values) = rr_series(600.0, 2);
-        let welch = WelchLomb::paper_default(
-            FastLomb::new(512, 2.0).with_max_freq(0.5),
-        );
+        let welch = WelchLomb::paper_default(FastLomb::new(512, 2.0).with_max_freq(0.5));
         let backend = SplitRadixFft::new(512);
         let analysis = welch.process(&backend, &times, &values, &mut OpCount::default());
         let peak = analysis.averaged().peak_frequency();

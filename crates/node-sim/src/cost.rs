@@ -113,11 +113,20 @@ mod tests {
     #[test]
     fn typical_model_penalises_division() {
         let model = CostModel::typical_sensor_node();
-        let adds = OpCount { add: 18, ..OpCount::new() };
-        let div = OpCount { div: 1, ..OpCount::new() };
+        let adds = OpCount {
+            add: 18,
+            ..OpCount::new()
+        };
+        let div = OpCount {
+            div: 1,
+            ..OpCount::new()
+        };
         assert_eq!(model.cycles(&adds), model.cycles(&div));
         // Single-cycle MAC: multiplies cost the same as adds.
-        let muls = OpCount { mul: 18, ..OpCount::new() };
+        let muls = OpCount {
+            mul: 18,
+            ..OpCount::new()
+        };
         assert_eq!(model.cycles(&muls), model.cycles(&adds));
     }
 
@@ -125,7 +134,10 @@ mod tests {
     fn overhead_scales_total() {
         let mut model = CostModel::unit();
         model.control_overhead = 2.0;
-        let ops = OpCount { add: 10, ..OpCount::new() };
+        let ops = OpCount {
+            add: 10,
+            ..OpCount::new()
+        };
         assert_eq!(model.cycles(&ops), 20);
     }
 
@@ -137,7 +149,11 @@ mod tests {
     #[test]
     fn more_ops_never_cost_less() {
         let model = CostModel::typical_sensor_node();
-        let small = OpCount { add: 100, mul: 50, ..OpCount::new() };
+        let small = OpCount {
+            add: 100,
+            mul: 50,
+            ..OpCount::new()
+        };
         let mut big = small;
         big.mul += 1;
         assert!(model.cycles(&big) > model.cycles(&small));

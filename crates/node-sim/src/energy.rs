@@ -31,12 +31,7 @@ impl OperatingPoint {
 
 impl fmt::Display for OperatingPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:.2} V @ {:.1} MHz",
-            self.voltage,
-            self.frequency / 1e6
-        )
+        write!(f, "{:.2} V @ {:.1} MHz", self.voltage, self.frequency / 1e6)
     }
 }
 
@@ -223,7 +218,10 @@ mod tests {
     fn busy_time_follows_frequency() {
         let model = EnergyModel::default();
         let cost = CostModel::unit();
-        let ops = OpCount { add: 1_000_000, ..OpCount::new() };
+        let ops = OpCount {
+            add: 1_000_000,
+            ..OpCount::new()
+        };
         let t_fast = model.busy_time(&ops, &cost, &OperatingPoint::nominal());
         assert!((t_fast - 0.01).abs() < 1e-9);
         let slow = OperatingPoint {

@@ -119,9 +119,31 @@ mod tests {
 
     fn sample_blocks() -> BlockOps {
         let mut blocks = BlockOps::new();
-        blocks.record("fft", OpCount { add: 12_000, mul: 3_000, ..OpCount::new() });
-        blocks.record("lomb", OpCount { add: 2_000, mul: 1_500, div: 500, ..OpCount::new() });
-        blocks.record("extirpolate", OpCount { add: 1_000, mul: 800, ..OpCount::new() });
+        blocks.record(
+            "fft",
+            OpCount {
+                add: 12_000,
+                mul: 3_000,
+                ..OpCount::new()
+            },
+        );
+        blocks.record(
+            "lomb",
+            OpCount {
+                add: 2_000,
+                mul: 1_500,
+                div: 500,
+                ..OpCount::new()
+            },
+        );
+        blocks.record(
+            "extirpolate",
+            OpCount {
+                add: 1_000,
+                mul: 800,
+                ..OpCount::new()
+            },
+        );
         blocks
     }
 

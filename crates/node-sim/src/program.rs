@@ -136,7 +136,7 @@ pub mod kernels {
     /// (n even): lowpass to `dst_low`, highpass to `dst_high`, both
     /// length `n/2`, scaled by `1/√2`.
     pub fn haar_stage(src: usize, dst_low: usize, dst_high: usize, n: usize) -> Vec<Instr> {
-        assert!(n >= 2 && n % 2 == 0, "need an even length ≥ 2");
+        assert!(n >= 2 && n.is_multiple_of(2), "need an even length ≥ 2");
         let mut p = ProgramBuilder::new();
         p.emit(Instr::Li(0, src as i64));
         p.emit(Instr::Li(1, dst_low as i64));
@@ -194,14 +194,14 @@ pub mod kernels {
         p.emit(Instr::Flw(1, 0, 1)); // ai
         p.emit(Instr::Flw(2, 1, 0)); // br
         p.emit(Instr::Flw(3, 1, 1)); // bi
-        // t = w·b (4 mul, 2 add)
+                                     // t = w·b (4 mul, 2 add)
         p.emit(Instr::Fmul(4, 2, 6)); // br·wr
         p.emit(Instr::Fmul(5, 3, 7)); // bi·wi
         p.emit(Instr::Fsub(4, 4, 5)); // tr
         p.emit(Instr::Fmul(5, 2, 7)); // br·wi
         p.emit(Instr::Fmul(8, 3, 6)); // bi·wr
         p.emit(Instr::Fadd(5, 5, 8)); // ti
-        // outputs
+                                      // outputs
         p.emit(Instr::Fsub(9, 0, 4)); // ar − tr
         p.emit(Instr::Fsw(9, 1, 0));
         p.emit(Instr::Fsub(9, 1, 5)); // ai − ti
@@ -302,8 +302,8 @@ mod tests {
         vm.load_slice(100, &x);
         let program = kernels::vector_scale(100, 600, n, 2.5);
         vm.run(&program, 100_000).expect("runs");
-        for i in 0..n {
-            assert!((vm.read_mem(600 + i) - 2.5 * x[i]).abs() < 1e-12);
+        for (i, &xv) in x.iter().enumerate() {
+            assert!((vm.read_mem(600 + i) - 2.5 * xv).abs() < 1e-12);
         }
     }
 
@@ -330,9 +330,18 @@ mod tests {
             let tr = br * wr - bi * wi;
             let ti = br * wi + bi * wr;
             assert!((vm.read_mem(2 * i) - (ar + tr)).abs() < 1e-12, "top re {i}");
-            assert!((vm.read_mem(2 * i + 1) - (ai + ti)).abs() < 1e-12, "top im {i}");
-            assert!((vm.read_mem(1000 + 2 * i) - (ar - tr)).abs() < 1e-12, "bot re {i}");
-            assert!((vm.read_mem(1000 + 2 * i + 1) - (ai - ti)).abs() < 1e-12, "bot im {i}");
+            assert!(
+                (vm.read_mem(2 * i + 1) - (ai + ti)).abs() < 1e-12,
+                "top im {i}"
+            );
+            assert!(
+                (vm.read_mem(1000 + 2 * i) - (ar - tr)).abs() < 1e-12,
+                "bot re {i}"
+            );
+            assert!(
+                (vm.read_mem(1000 + 2 * i + 1) - (ai - ti)).abs() < 1e-12,
+                "bot im {i}"
+            );
         }
     }
 
@@ -345,7 +354,10 @@ mod tests {
         vm.load_slice(0, &vec![0.1; 2 * pairs]);
         vm.load_slice(1000, &vec![0.2; 2 * pairs]);
         let run = vm
-            .run(&kernels::butterfly_pass(0, 1000, pairs, 0.6, 0.8), 1_000_000)
+            .run(
+                &kernels::butterfly_pass(0, 1000, pairs, 0.6, 0.8),
+                1_000_000,
+            )
             .expect("runs");
         let ops = OpCount {
             add: 6 * pairs as u64,
@@ -357,7 +369,10 @@ mod tests {
         let mut model = CostModel::typical_sensor_node();
         model.control_overhead = 1.0;
         let ratio = run.cycles as f64 / model.cycles(&ops) as f64;
-        assert!((1.0..1.6).contains(&ratio), "butterfly overhead ratio {ratio}");
+        assert!(
+            (1.0..1.6).contains(&ratio),
+            "butterfly overhead ratio {ratio}"
+        );
     }
 
     #[test]

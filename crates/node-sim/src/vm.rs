@@ -164,7 +164,12 @@ pub struct Vm {
 
 impl fmt::Debug for Vm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Vm {{ iregs: {:?}, mem: {} words }}", self.iregs, self.mem.len())
+        write!(
+            f,
+            "Vm {{ iregs: {:?}, mem: {} words }}",
+            self.iregs,
+            self.mem.len()
+        )
     }
 }
 
@@ -399,14 +404,14 @@ mod tests {
         // Sum 0..10 via a counted loop.
         let mut vm = Vm::new();
         let program = [
-            Instr::Li(0, 0),       // i = 0
-            Instr::Li(1, 10),      // n = 10
-            Instr::Fli(0, 0.0),    // acc = 0
-            Instr::Fli(1, 1.0),    // one
+            Instr::Li(0, 0),    // i = 0
+            Instr::Li(1, 10),   // n = 10
+            Instr::Fli(0, 0.0), // acc = 0
+            Instr::Fli(1, 1.0), // one
             // loop:
-            Instr::Bge(0, 1, 7),   // if i >= n goto end
-            Instr::Fadd(0, 0, 1),  // acc += 1
-            Instr::Addi(0, 0, 1),  // i += 1
+            Instr::Bge(0, 1, 7),  // if i >= n goto end
+            Instr::Fadd(0, 0, 1), // acc += 1
+            Instr::Addi(0, 0, 1), // i += 1
         ];
         let mut program = program.to_vec();
         program.push(Instr::Jump(4));
@@ -422,7 +427,11 @@ mod tests {
     #[test]
     fn out_of_bounds_load_is_reported() {
         let mut vm = Vm::new();
-        let program = [Instr::Li(0, MEM_WORDS as i64), Instr::Flw(0, 0, 0), Instr::Halt];
+        let program = [
+            Instr::Li(0, MEM_WORDS as i64),
+            Instr::Flw(0, 0, 0),
+            Instr::Halt,
+        ];
         let err = vm.run(&program, 10).unwrap_err();
         assert!(matches!(err, VmError::OutOfBoundsAccess { pc: 1, .. }));
         assert!(err.to_string().contains("out-of-bounds"));
@@ -462,7 +471,12 @@ mod tests {
     #[test]
     fn division_latency_dominates() {
         let mut vm = Vm::new();
-        let program = [Instr::Fli(0, 1.0), Instr::Fli(1, 2.0), Instr::Fdiv(2, 0, 1), Instr::Halt];
+        let program = [
+            Instr::Fli(0, 1.0),
+            Instr::Fli(1, 2.0),
+            Instr::Fdiv(2, 0, 1),
+            Instr::Halt,
+        ];
         let run = vm.run(&program, 10).expect("runs");
         assert_eq!(run.cycles, 1 + 1 + 18);
         assert_eq!(vm.fregs[2], 0.5);

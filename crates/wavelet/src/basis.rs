@@ -9,7 +9,10 @@
 use std::fmt;
 
 /// Daubechies-family scaling (lowpass) coefficients, orthonormal scaling.
-const HAAR: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+const HAAR: [f64; 2] = [
+    std::f64::consts::FRAC_1_SQRT_2,
+    std::f64::consts::FRAC_1_SQRT_2,
+];
 
 const DB2: [f64; 4] = [
     0.482_962_913_144_690_25,
@@ -152,7 +155,7 @@ impl FilterPair {
     /// `Σ h[n]·h[n+2k] = 0 (k ≠ 0)` fails.
     pub fn from_lowpass(h0: Vec<f64>) -> Result<Self, InvalidFilterError> {
         let l = h0.len();
-        if l < 2 || l % 2 != 0 {
+        if l < 2 || !l.is_multiple_of(2) {
             return Err(InvalidFilterError {
                 reason: format!("filter length must be even and ≥ 2, got {l}"),
             });
@@ -178,7 +181,13 @@ impl FilterPair {
             }
         }
         let h1 = (0..l)
-            .map(|n| if n % 2 == 0 { h0[l - 1 - n] } else { -h0[l - 1 - n] })
+            .map(|n| {
+                if n % 2 == 0 {
+                    h0[l - 1 - n]
+                } else {
+                    -h0[l - 1 - n]
+                }
+            })
             .collect();
         Ok(FilterPair { h0, h1 })
     }

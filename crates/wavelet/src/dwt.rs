@@ -24,7 +24,10 @@ use hrv_dsp::{Cx, OpCount};
 /// Panics if `x.len()` is odd, zero, or shorter than the filter.
 pub fn analysis_stage(x: &[Cx], filters: &FilterPair, ops: &mut OpCount) -> (Vec<Cx>, Vec<Cx>) {
     let n = x.len();
-    assert!(n >= 2 && n % 2 == 0, "input length must be even and ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "input length must be even and ≥ 2, got {n}"
+    );
     let half = n / 2;
     let l = filters.taps();
     let mut low = Vec::with_capacity(half);
@@ -76,7 +79,10 @@ pub fn analysis_stage(x: &[Cx], filters: &FilterPair, ops: &mut OpCount) -> (Vec
 /// Panics if `x.len()` is odd or zero.
 pub fn analysis_lowpass(x: &[Cx], filters: &FilterPair, ops: &mut OpCount) -> Vec<Cx> {
     let n = x.len();
-    assert!(n >= 2 && n % 2 == 0, "input length must be even and ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "input length must be even and ≥ 2, got {n}"
+    );
     let half = n / 2;
     let l = filters.taps();
     let mut low = Vec::with_capacity(half);
@@ -121,7 +127,10 @@ pub fn analysis_stage_real(
     ops: &mut OpCount,
 ) -> (Vec<f64>, Vec<f64>) {
     let n = x.len();
-    assert!(n >= 2 && n % 2 == 0, "input length must be even and ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "input length must be even and ≥ 2, got {n}"
+    );
     let half = n / 2;
     let l = filters.taps();
     let mut low = Vec::with_capacity(half);
@@ -280,7 +289,10 @@ mod tests {
             }
             // Lowpass of a constant is constant·√2.
             for l in &low {
-                assert!((l - 3.0 * std::f64::consts::SQRT_2).abs() < 1e-10, "{basis}");
+                assert!(
+                    (l - 3.0 * std::f64::consts::SQRT_2).abs() < 1e-10,
+                    "{basis}"
+                );
             }
         }
     }

@@ -27,7 +27,10 @@ use crate::basis::FilterPair;
 /// assert!((w[0][0] - 1.0 / 2f64.sqrt()).abs() < 1e-12);
 /// ```
 pub fn analysis_matrix(filters: &FilterPair, n: usize) -> Vec<Vec<f64>> {
-    assert!(n >= 2 && n % 2 == 0, "matrix size must be even and ≥ 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "matrix size must be even and ≥ 2, got {n}"
+    );
     let half = n / 2;
     let l = filters.taps();
     let mut w = vec![vec![0.0; n]; n];
@@ -98,7 +101,10 @@ mod tests {
             let (low, high) = analysis_stage_real(&x, &pair, &mut ops);
             for m in 0..n / 2 {
                 assert!((dense[m] - low[m]).abs() < 1e-12, "{basis} low {m}");
-                assert!((dense[n / 2 + m] - high[m]).abs() < 1e-12, "{basis} high {m}");
+                assert!(
+                    (dense[n / 2 + m] - high[m]).abs() < 1e-12,
+                    "{basis} high {m}"
+                );
             }
         }
     }

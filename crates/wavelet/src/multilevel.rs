@@ -45,7 +45,7 @@ impl Decomposition {
     pub fn analyze(x: &[f64], basis: WaveletBasis, levels: usize, ops: &mut OpCount) -> Self {
         assert!(levels > 0, "need at least one level");
         assert!(
-            x.len() % (1 << levels) == 0 && x.len() >= (1 << levels),
+            x.len().is_multiple_of(1 << levels) && x.len() >= (1 << levels),
             "length {} not divisible by 2^{levels}",
             x.len()
         );

@@ -39,7 +39,7 @@ pub fn wavelet_packet(
 ) -> Vec<Vec<Cx>> {
     assert!(depth > 0, "depth must be positive");
     assert!(
-        x.len() % (1 << depth) == 0 && x.len() >= (1 << depth),
+        x.len().is_multiple_of(1 << depth) && x.len() >= (1 << depth),
         "length {} not divisible by 2^{depth}",
         x.len()
     );

@@ -90,7 +90,9 @@ mod tests {
     #[test]
     fn exact_backend_matches_split_radix() {
         let n = 128;
-        let x: Vec<Cx> = (0..n).map(|i| Cx::new((i as f64 * 0.4).sin(), 0.0)).collect();
+        let x: Vec<Cx> = (0..n)
+            .map(|i| Cx::new((i as f64 * 0.4).sin(), 0.0))
+            .collect();
         let backend = WaveletFftBackend::new(n, WaveletBasis::Db2, PruneConfig::exact());
         assert!(backend.is_exact());
         let mut got = x.clone();
@@ -104,8 +106,11 @@ mod tests {
     fn names_describe_configuration() {
         let exact = WaveletFftBackend::new(64, WaveletBasis::Haar, PruneConfig::exact());
         assert_eq!(exact.name(), "wfft-haar");
-        let pruned =
-            WaveletFftBackend::new(64, WaveletBasis::Haar, PruneConfig::with_set(PruneSet::Set3));
+        let pruned = WaveletFftBackend::new(
+            64,
+            WaveletBasis::Haar,
+            PruneConfig::with_set(PruneSet::Set3),
+        );
         assert_eq!(pruned.name(), "wfft-haar+banddrop+prune60%");
         assert!(!pruned.is_exact());
         assert_eq!(pruned.len(), 64);
@@ -114,8 +119,7 @@ mod tests {
 
     #[test]
     fn pruned_accessor_exposes_configuration() {
-        let backend =
-            WaveletFftBackend::new(64, WaveletBasis::Haar, PruneConfig::band_drop_only());
+        let backend = WaveletFftBackend::new(64, WaveletBasis::Haar, PruneConfig::band_drop_only());
         assert!(backend.pruned().config().band_drop);
     }
 }

@@ -47,7 +47,7 @@ mod twiddle;
 
 pub use backend::WaveletFftBackend;
 pub use plan::WfftPlan;
-pub use prune::{DynamicThresholds, PruneConfig, PruneMode, PrunedWfft, PruneSet};
+pub use prune::{DynamicThresholds, PruneConfig, PruneMode, PruneSet, PrunedWfft};
 pub use sensitivity::{
     spectral_mse, twiddle_sensitivity, twiddle_sensitivity_vs, SensitivityPoint,
     SensitivityReference,

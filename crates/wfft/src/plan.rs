@@ -257,9 +257,11 @@ mod tests {
             let plan = WfftPlan::new(n, basis);
             let mut ops = OpCount::default();
             let _ = plan.forward(&x, &mut ops);
-            let overhead =
-                ops.arithmetic() as f64 / sr_ops.arithmetic() as f64 - 1.0;
-            assert!(overhead > 0.0, "{basis}: wavelet FFT should cost more, got {overhead}");
+            let overhead = ops.arithmetic() as f64 / sr_ops.arithmetic() as f64 - 1.0;
+            assert!(
+                overhead > 0.0,
+                "{basis}: wavelet FFT should cost more, got {overhead}"
+            );
             assert!(
                 overhead > prev_overhead,
                 "{basis}: overhead should grow with taps"

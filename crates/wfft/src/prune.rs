@@ -332,7 +332,11 @@ impl PrunedWfft {
     ///
     /// Panics if `input.len()` differs from the plan length.
     pub fn forward(&self, input: &[Cx], ops: &mut OpCount) -> Vec<Cx> {
-        assert_eq!(input.len(), self.plan.len(), "input length must match plan length");
+        assert_eq!(
+            input.len(),
+            self.plan.len(),
+            "input length must match plan length"
+        );
         let half = self.plan.len() / 2;
         let tw = self.plan.level(0);
 
@@ -341,9 +345,22 @@ impl PrunedWfft {
             let xl = exact_subtree(&self.plan, &zl, ops);
             let mut out = vec![Cx::ZERO; self.plan.len()];
             for k in 0..half {
-                out[k] = self.pruned_product(&tw.a[k], self.masks.a[k], self.candidates.a[k], xl[k], k, ops);
-                out[k + half] =
-                    self.pruned_product(&tw.c[k], self.masks.c[k], self.candidates.c[k], xl[k], k, ops);
+                out[k] = self.pruned_product(
+                    &tw.a[k],
+                    self.masks.a[k],
+                    self.candidates.a[k],
+                    xl[k],
+                    k,
+                    ops,
+                );
+                out[k + half] = self.pruned_product(
+                    &tw.c[k],
+                    self.masks.c[k],
+                    self.candidates.c[k],
+                    xl[k],
+                    k,
+                    ops,
+                );
             }
             out
         } else {
@@ -352,11 +369,39 @@ impl PrunedWfft {
             let xh = exact_subtree(&self.plan, &zh, ops);
             let mut out = vec![Cx::ZERO; self.plan.len()];
             for k in 0..half {
-                let ta = self.pruned_product(&tw.a[k], self.masks.a[k], self.candidates.a[k], xl[k], k, ops);
-                let tb = self.pruned_product(&tw.b[k], self.masks.b[k], self.candidates.b[k], xh[k], k, ops);
+                let ta = self.pruned_product(
+                    &tw.a[k],
+                    self.masks.a[k],
+                    self.candidates.a[k],
+                    xl[k],
+                    k,
+                    ops,
+                );
+                let tb = self.pruned_product(
+                    &tw.b[k],
+                    self.masks.b[k],
+                    self.candidates.b[k],
+                    xh[k],
+                    k,
+                    ops,
+                );
                 out[k] = checked_add(ta, tb, ops);
-                let tc = self.pruned_product(&tw.c[k], self.masks.c[k], self.candidates.c[k], xl[k], k, ops);
-                let td = self.pruned_product(&tw.d[k], self.masks.d[k], self.candidates.d[k], xh[k], k, ops);
+                let tc = self.pruned_product(
+                    &tw.c[k],
+                    self.masks.c[k],
+                    self.candidates.c[k],
+                    xl[k],
+                    k,
+                    ops,
+                );
+                let td = self.pruned_product(
+                    &tw.d[k],
+                    self.masks.d[k],
+                    self.candidates.d[k],
+                    xh[k],
+                    k,
+                    ops,
+                );
                 out[k + half] = checked_add(tc, td, ops);
             }
             out
@@ -512,10 +557,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64;
-                let v = 0.85
-                    + 0.05 * (0.07 * t).sin()
-                    + 0.08 * (0.21 * t).sin()
-                    + 0.004 * next();
+                let v = 0.85 + 0.05 * (0.07 * t).sin() + 0.08 * (0.21 * t).sin() + 0.004 * next();
                 Cx::real(v)
             })
             .collect()
@@ -560,19 +602,27 @@ mod tests {
 
         let mut last_saving = f64::INFINITY;
         for basis in WaveletBasis::PAPER {
-            let pruned =
-                PrunedWfft::new(WfftPlan::new(n, basis), PruneConfig::band_drop_only());
+            let pruned = PrunedWfft::new(WfftPlan::new(n, basis), PruneConfig::band_drop_only());
             let mut ops = OpCount::default();
             let _ = pruned.forward(&x, &mut ops);
             let saving = 1.0 - ops.arithmetic() as f64 / sr_ops.arithmetic() as f64;
-            assert!(saving < last_saving, "{basis}: savings should shrink with taps");
+            assert!(
+                saving < last_saving,
+                "{basis}: savings should shrink with taps"
+            );
             // Haar and Db2 must beat split-radix outright; Db4's longer
             // filters eat most of the gain (paper: -8 %, ours lands near
             // break-even under the packed-complex counting convention).
             if basis != WaveletBasis::Db4 {
-                assert!(saving > 0.0, "{basis}: band drop should save ops, got {saving}");
+                assert!(
+                    saving > 0.0,
+                    "{basis}: band drop should save ops, got {saving}"
+                );
             } else {
-                assert!(saving > -0.2, "db4: band drop should be near break-even, got {saving}");
+                assert!(
+                    saving > -0.2,
+                    "db4: band drop should be near break-even, got {saving}"
+                );
             }
             last_saving = saving;
         }
@@ -588,8 +638,7 @@ mod tests {
             PruneConfig::band_drop_only(),
         );
         let approx = pruned.forward(&x, &mut OpCount::default());
-        let signal_power: f64 =
-            reference.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        let signal_power: f64 = reference.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
         let err = spectrum_mse(&reference, &approx);
         assert!(
             err / signal_power < 0.02,
@@ -605,12 +654,17 @@ mod tests {
         let mut prev_ops = u64::MAX;
         let mut prev_pruned = 0usize;
         for set in PruneSet::ALL {
-            let pruned =
-                PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), PruneConfig::with_set(set));
+            let pruned = PrunedWfft::new(
+                WfftPlan::new(n, WaveletBasis::Haar),
+                PruneConfig::with_set(set),
+            );
             let mut ops = OpCount::default();
             let _ = pruned.forward(&x, &mut ops);
             assert!(ops.arithmetic() < prev_ops, "{set} should cost less");
-            assert!(pruned.pruned_factor_count() > prev_pruned, "{set} should prune more");
+            assert!(
+                pruned.pruned_factor_count() > prev_pruned,
+                "{set} should prune more"
+            );
             prev_ops = ops.arithmetic();
             prev_pruned = pruned.pruned_factor_count();
         }
@@ -620,8 +674,10 @@ mod tests {
     fn set_fractions_match_counts() {
         let n = 512;
         for set in PruneSet::ALL {
-            let pruned =
-                PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), PruneConfig::with_set(set));
+            let pruned = PrunedWfft::new(
+                WfftPlan::new(n, WaveletBasis::Haar),
+                PruneConfig::with_set(set),
+            );
             // Candidates after band drop: n/2 A factors + n/2 C factors.
             let expect = ((n as f64) * set.fraction()).floor() as usize;
             assert_eq!(pruned.pruned_factor_count(), expect, "{set}");
@@ -690,8 +746,10 @@ mod tests {
         let n = 512;
         let mut prev = 0.0;
         for set in PruneSet::ALL {
-            let pruned =
-                PrunedWfft::new(WfftPlan::new(n, WaveletBasis::Haar), PruneConfig::with_set(set));
+            let pruned = PrunedWfft::new(
+                WfftPlan::new(n, WaveletBasis::Haar),
+                PruneConfig::with_set(set),
+            );
             let th = pruned.magnitude_threshold();
             assert!(th > prev, "{set}: threshold {th}");
             prev = th;

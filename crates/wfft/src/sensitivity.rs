@@ -33,7 +33,11 @@ impl SensitivityPoint {
 pub fn spectral_mse(a: &[Cx], b: &[Cx]) -> f64 {
     assert_eq!(a.len(), b.len(), "spectra must have equal length");
     assert!(!a.is_empty(), "spectra must be non-empty");
-    a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>() / a.len() as f64
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 /// Which transform the approximated spectra are compared against.

@@ -149,7 +149,9 @@ fn filter_dft(coeffs: &[f64], n: usize) -> Vec<Cx> {
             coeffs
                 .iter()
                 .enumerate()
-                .map(|(j, &h)| Cx::cis(-2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64).scale(h))
+                .map(|(j, &h)| {
+                    Cx::cis(-2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64).scale(h)
+                })
                 .sum()
         })
         .collect()
@@ -162,15 +164,28 @@ impl LevelTwiddles {
     ///
     /// Panics if `n < 2` or `n` is odd.
     pub fn compute(filters: &FilterPair, n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "level size must be even and ≥ 2, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "level size must be even and ≥ 2, got {n}"
+        );
         let h0 = filter_dft(filters.h0(), n);
         let h1 = filter_dft(filters.h1(), n);
         let half = n / 2;
         let a = (0..half).map(|k| Factor::new(h0[k].conj())).collect();
         let b = (0..half).map(|k| Factor::new(h1[k].conj())).collect();
-        let c = (0..half).map(|k| Factor::new(h0[k + half].conj())).collect();
-        let d = (0..half).map(|k| Factor::new(h1[k + half].conj())).collect();
-        LevelTwiddles { size: n, a, b, c, d }
+        let c = (0..half)
+            .map(|k| Factor::new(h0[k + half].conj()))
+            .collect();
+        let d = (0..half)
+            .map(|k| Factor::new(h1[k + half].conj()))
+            .collect();
+        LevelTwiddles {
+            size: n,
+            a,
+            b,
+            c,
+            d,
+        }
     }
 
     /// Magnitudes of the `A` diagonal (paper Fig. 6, decreasing series).
@@ -248,10 +263,16 @@ mod tests {
             let tw = LevelTwiddles::compute(&filters, 64);
             // A(0) = conj(H0(0)) = Σh0 = √2; B(0) = Σh1 = 0;
             // C(0) = H0(Nyquist) = 0; |D(0)| = √2.
-            assert!((tw.a[0].value.re - std::f64::consts::SQRT_2).abs() < 1e-10, "{basis}");
+            assert!(
+                (tw.a[0].value.re - std::f64::consts::SQRT_2).abs() < 1e-10,
+                "{basis}"
+            );
             assert!(tw.b[0].magnitude() < 1e-10, "{basis}");
             assert!(tw.c[0].magnitude() < 1e-10, "{basis}");
-            assert!((tw.d[0].magnitude() - std::f64::consts::SQRT_2).abs() < 1e-10, "{basis}");
+            assert!(
+                (tw.d[0].magnitude() - std::f64::consts::SQRT_2).abs() < 1e-10,
+                "{basis}"
+            );
         }
     }
 
@@ -266,7 +287,10 @@ mod tests {
             assert!(a[k] <= a[k - 1] + 1e-12, "A not decreasing at {k}");
             assert!(c[k] >= c[k - 1] - 1e-12, "C not increasing at {k}");
         }
-        assert!(a.iter().chain(c.iter()).all(|&m| m <= std::f64::consts::SQRT_2 + 1e-9));
+        assert!(a
+            .iter()
+            .chain(c.iter())
+            .all(|&m| m <= std::f64::consts::SQRT_2 + 1e-9));
     }
 
     #[test]
@@ -309,17 +333,20 @@ mod tests {
         let filters = FilterPair::new(WaveletBasis::Db4);
         let n = 4;
         let spectral = filter_dft(filters.h0(), n);
+        assert_eq!(spectral.len(), n);
         let mut folded = vec![0.0; n];
         for (j, &h) in filters.h0().iter().enumerate() {
             folded[j % n] += h;
         }
-        for k in 0..n {
+        for (k, &got) in spectral.iter().enumerate() {
             let direct: Cx = folded
                 .iter()
                 .enumerate()
-                .map(|(j, &h)| Cx::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64).scale(h))
+                .map(|(j, &h)| {
+                    Cx::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64).scale(h)
+                })
                 .sum();
-            assert!(spectral[k].approx_eq(direct, 1e-12), "k={k}");
+            assert!(got.approx_eq(direct, 1e-12), "k={k}");
         }
     }
 

@@ -9,7 +9,10 @@ use hrv_psa::prelude::*;
 fn main() -> Result<(), PsaError> {
     let db = SyntheticDatabase::new(42);
     let cohort = db.cohort(8, 8, 480.0); // 8 arrhythmia + 8 healthy, 8 min
-    println!("screening {} patients (8 arrhythmia, 8 healthy)\n", cohort.len());
+    println!(
+        "screening {} patients (8 arrhythmia, 8 healthy)\n",
+        cohort.len()
+    );
 
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>12}",

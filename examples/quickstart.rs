@@ -45,10 +45,9 @@ fn main() -> Result<(), PsaError> {
     }
 
     let savings = 1.0
-        - approximate.total_ops().arithmetic() as f64
-            / reference.total_ops().arithmetic() as f64;
-    let ratio_err = (approximate.lf_hf_ratio() - reference.lf_hf_ratio()).abs()
-        / reference.lf_hf_ratio();
+        - approximate.total_ops().arithmetic() as f64 / reference.total_ops().arithmetic() as f64;
+    let ratio_err =
+        (approximate.lf_hf_ratio() - reference.lf_hf_ratio()).abs() / reference.lf_hf_ratio();
     println!(
         "\npruning saved {:.1}% of the arithmetic at {:.1}% LF/HF distortion — detection preserved: {}",
         100.0 * savings,

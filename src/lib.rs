@@ -63,5 +63,5 @@ pub mod prelude {
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
     pub use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, FreqBand, WelchLomb};
     pub use hrv_wavelet::WaveletBasis;
-    pub use hrv_wfft::{PruneConfig, PrunedWfft, PruneSet, WfftPlan};
+    pub use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
 }

@@ -46,7 +46,8 @@ fn split_radix_equals_naive_dft_on_cardiac_mesh() {
 fn fast_lomb_tracks_direct_lomb_on_cardiac_data() {
     let (times, values) = rr_window();
     let backend = SplitRadixFft::new(512);
-    let fast = FastLomb::new(512, 2.0).periodogram(&backend, &times, &values, &mut OpCount::default());
+    let fast =
+        FastLomb::new(512, 2.0).periodogram(&backend, &times, &values, &mut OpCount::default());
     let direct = lomb_direct(&times, &values, 2.0, fast.len(), &mut OpCount::default());
     for (lo, hi) in [(0.04, 0.15), (0.15, 0.4)] {
         let pf = fast.band_power(lo, hi);
@@ -85,7 +86,9 @@ fn band_drop_error_is_confined_to_high_bins_for_cardiac_meshes() {
     let approx = pruned.forward(&mesh, &mut OpCount::default());
 
     let band_err = |lo: usize, hi: usize| -> f64 {
-        let num: f64 = (lo..hi).map(|k| (reference[k] - approx[k]).norm_sqr()).sum();
+        let num: f64 = (lo..hi)
+            .map(|k| (reference[k] - approx[k]).norm_sqr())
+            .sum();
         let den: f64 = (lo..hi).map(|k| reference[k].norm_sqr()).sum();
         (num / den.max(1e-30)).sqrt()
     };
@@ -120,12 +123,16 @@ fn packed_mesh_spectrum_unpacks_to_real_spectra() {
     let wk1: Vec<f64> = mesh.iter().map(|z| z.re).collect();
     let wk2: Vec<f64> = mesh.iter().map(|z| z.im).collect();
     let backend = SplitRadixFft::new(256);
-    let spectra =
-        hrv_psa::dsp::fft_real_pair(&backend, &wk1, &wk2, &mut OpCount::default());
+    let spectra = hrv_psa::dsp::fft_real_pair(&backend, &wk1, &wk2, &mut OpCount::default());
 
     let w1c: Vec<Cx> = wk1.iter().map(|&v| Cx::real(v)).collect();
     let full = dft_naive(&w1c, Direction::Forward);
-    for k in 0..=128 {
-        assert!(spectra.first[k].approx_eq(full[k], 1e-8), "bin {k}");
+    assert_eq!(
+        spectra.first.len(),
+        129,
+        "half spectrum must cover DC..=Nyquist"
+    );
+    for (k, (got, want)) in spectra.first.iter().zip(&full).enumerate() {
+        assert!(got.approx_eq(*want, 1e-8), "bin {k}");
     }
 }

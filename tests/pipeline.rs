@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 fn cohort(n: usize, condition: Condition, seconds: f64) -> Vec<RrSeries> {
     let db = SyntheticDatabase::new(2014);
-    (0..n).map(|i| db.record(i, condition, seconds).rr).collect()
+    (0..n)
+        .map(|i| db.record(i, condition, seconds).rr)
+        .collect()
 }
 
 #[test]
@@ -75,7 +77,10 @@ fn ratio_error_grows_gently_with_pruning() {
         assert!(err < 0.2, "{mode}: ratio error {err}");
         last_err = last_err.max(err);
     }
-    assert!(last_err > 0.0, "pruning should perturb the ratio at least slightly");
+    assert!(
+        last_err > 0.0,
+        "pruning should perturb the ratio at least slightly"
+    );
 }
 
 #[test]
@@ -140,7 +145,11 @@ fn energy_sweep_reaches_paper_scale_savings() {
     .expect("sweep");
 
     let no_vfs = sweep
-        .point(ApproximationMode::BandDropSet3, PruningPolicy::Static, false)
+        .point(
+            ApproximationMode::BandDropSet3,
+            PruningPolicy::Static,
+            false,
+        )
         .expect("point");
     let with_vfs = sweep
         .point(ApproximationMode::BandDropSet3, PruningPolicy::Static, true)
@@ -192,8 +201,7 @@ fn full_chain_from_ecg_reaches_same_diagnosis() {
     let from_truth = system.analyze(&record.rr).expect("analysis");
     let from_ecg = system.analyze(&detected_rr).expect("analysis");
     assert_eq!(from_truth.arrhythmia, from_ecg.arrhythmia);
-    let rel = (from_truth.lf_hf_ratio() - from_ecg.lf_hf_ratio()).abs()
-        / from_truth.lf_hf_ratio();
+    let rel = (from_truth.lf_hf_ratio() - from_ecg.lf_hf_ratio()).abs() / from_truth.lf_hf_ratio();
     assert!(rel < 0.25, "delineation-induced ratio drift {rel}");
 }
 

@@ -1,13 +1,11 @@
 //! Property-based tests on the core numerical invariants.
 
 use hrv_psa::dsp::{
-    dequantize, max_deviation, quantize, Cx, FftBackend, OpCount, Q15, Radix2Fft, SplitRadixFft,
+    dequantize, max_deviation, quantize, Cx, FftBackend, OpCount, Radix2Fft, SplitRadixFft, Q15,
 };
 use hrv_psa::lomb::extirpolate;
-use hrv_psa::wavelet::{
-    analysis_stage_real, synthesis_stage_real, FilterPair, WaveletBasis,
-};
-use hrv_psa::wfft::{PruneConfig, PrunedWfft, PruneSet, WfftPlan};
+use hrv_psa::wavelet::{analysis_stage_real, synthesis_stage_real, FilterPair, WaveletBasis};
+use hrv_psa::wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
 use proptest::prelude::*;
 
 fn basis_strategy() -> impl Strategy<Value = WaveletBasis> {

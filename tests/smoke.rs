@@ -1,0 +1,47 @@
+//! Smoke test of the paper's headline claim: the proposed
+//! quality-scalable system preserves arrhythmia detection while spending
+//! measurably fewer arithmetic operations than the conventional one.
+
+use hrv_psa::prelude::*;
+
+/// Runs `SyntheticDatabase` record 0 through the conventional system and
+/// the proposed `BandDropSet3` + `Static` system (the paper's deepest
+/// static operating point) and checks the Fig. 9 / Table I invariant.
+#[test]
+fn record0_detection_preserved_while_ops_drop() {
+    let record = SyntheticDatabase::new(2014).record(0, Condition::SinusArrhythmia, 360.0);
+
+    let conventional = PsaSystem::new(PsaConfig::conventional()).expect("conventional config");
+    let reference = conventional
+        .analyze(&record.rr)
+        .expect("conventional analysis");
+
+    let proposed = PsaSystem::new(PsaConfig::proposed(
+        WaveletBasis::Haar,
+        ApproximationMode::BandDropSet3,
+        PruningPolicy::Static,
+    ))
+    .expect("proposed config");
+    let approximate = proposed.analyze(&record.rr).expect("proposed analysis");
+
+    // Quality preserved: both systems flag the sinus-arrhythmia record.
+    assert!(
+        reference.arrhythmia,
+        "conventional system must detect the arrhythmia (LF/HF ratio {})",
+        reference.powers.lf_hf_ratio()
+    );
+    assert!(
+        approximate.arrhythmia,
+        "proposed system must preserve detection (LF/HF ratio {})",
+        approximate.powers.lf_hf_ratio()
+    );
+
+    // Energy proxy drops: strictly fewer arithmetic operations.
+    let ref_ops = reference.total_ops().arithmetic();
+    let approx_ops = approximate.total_ops().arithmetic();
+    assert!(ref_ops > 0, "conventional pipeline must count operations");
+    assert!(
+        approx_ops < ref_ops,
+        "pruned pipeline must cost fewer ops: {approx_ops} !< {ref_ops}"
+    );
+}

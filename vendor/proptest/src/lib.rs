@@ -1,0 +1,313 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest 1.x this workspace's property tests
+//! use: the [`proptest!`] macro, [`Strategy`] with range / `Just` /
+//! union / `vec` / `any::<bool>()` strategies, [`prop_assert!`], and
+//! [`ProptestConfig::with_cases`]. Inputs are generated from a
+//! deterministic per-test seed, so failures reproduce exactly; there is
+//! no shrinking — the failing input is printed verbatim instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type carried out of a failing property body (a message).
+pub type TestCaseError = String;
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Execution parameters for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic generator for one test case (used by the
+/// [`proptest!`] expansion; public so the macro can reach it).
+#[doc(hidden)]
+pub fn rng_for_case(seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed.wrapping_add(u64::from(case)))
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between several strategies of the same type
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<S: Strategy> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Builds a union over `options`; panics if empty.
+    pub fn new(options: Vec<S>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+/// Types with a canonical random strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_range(0..2usize) == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Size specifier for [`vec`]: a fixed length or a `usize` range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy generating `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S: Strategy, Z: SizeRange> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Namespace mirror so `prop::collection::vec` resolves as it does
+    /// with the real crate's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniformly picks one of several same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not
+/// unwinding) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from
+/// strategies, running each body over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@block $config; $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block)*
+    ) => {
+        $crate::proptest!(@block $crate::ProptestConfig::default();
+            $(#[test] fn $name ( $($arg in $strategy),* ) $body)*);
+    };
+    (@block $config:expr;
+        $(#[test] fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Per-test deterministic seed derived from the test name.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= b as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for_case(seed, case);
+                    $(
+                        let $arg = $crate::Strategy::new_value(&$strategy, &mut rng);
+                    )*
+                    let debugged = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(&$arg),*
+                    );
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            message,
+                            debugged,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_respects_fixed_len(values in prop::collection::vec(-1.0f64..1.0, 32)) {
+            prop_assert_eq!(values.len(), 32);
+        }
+
+        #[test]
+        fn vec_respects_len_range(values in prop::collection::vec(0.0f64..1.0, 1..8)) {
+            prop_assert!(!values.is_empty() && values.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_any_generate(choice in prop_oneof![Just(1u8), Just(2u8)], flag in any::<bool>()) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(u8::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let strategy = crate::collection::vec(0.0f64..1.0, 16);
+        let a = crate::Strategy::new_value(&strategy, &mut crate::rng_for_case(99, 3));
+        let b = crate::Strategy::new_value(&strategy, &mut crate::rng_for_case(99, 3));
+        assert_eq!(a, b);
+    }
+}
