@@ -35,4 +35,7 @@ mod rr_extract;
 
 pub use filters::{derivative, moving_average, square, window_integral};
 pub use pan_tompkins::QrsDetector;
-pub use rr_extract::{evaluate_detection, rr_from_peaks, DetectionQuality};
+pub use rr_extract::{
+    evaluate_detection, rr_from_peaks, BeatOutcome, DetectionQuality, StreamingRrFilter, MAX_RR,
+    MIN_RR,
+};

@@ -18,31 +18,115 @@ use hrv_ecg::RrSeries;
 /// assert_eq!(rr.len(), 3);
 /// ```
 pub fn rr_from_peaks(peaks: &[f64]) -> Option<RrSeries> {
-    const MIN_RR: f64 = 0.25;
-    const MAX_RR: f64 = 2.5;
     if peaks.len() < 2 {
         return None;
     }
     let mut times = Vec::new();
     let mut intervals = Vec::new();
-    let mut prev = peaks[0];
-    for &t in &peaks[1..] {
-        let rr = t - prev;
-        if rr < MIN_RR {
-            // Double detection: skip this peak, keep the anchor.
-            continue;
-        }
-        if rr <= MAX_RR {
-            times.push(t);
+    let mut filter = StreamingRrFilter::new();
+    for &t in peaks {
+        if let BeatOutcome::Accepted { time, rr } = filter.push(t) {
+            times.push(time);
             intervals.push(rr);
         }
-        // rr > MAX_RR: dropout — restart from this beat without emitting.
-        prev = t;
     }
     if times.is_empty() {
         None
     } else {
         Some(RrSeries::new(times, intervals))
+    }
+}
+
+/// Shortest physiologically plausible RR interval (seconds, 240 bpm).
+pub const MIN_RR: f64 = 0.25;
+
+/// Longest physiologically plausible RR interval (seconds, 24 bpm).
+pub const MAX_RR: f64 = 2.5;
+
+/// Outcome of pushing one beat into a [`StreamingRrFilter`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BeatOutcome {
+    /// First beat seen: it anchors the series, no interval yet.
+    Anchor,
+    /// A plausible interval ending at `time`.
+    Accepted {
+        /// Time of the beat that ends the interval (seconds).
+        time: f64,
+        /// The RR interval (seconds).
+        rr: f64,
+    },
+    /// Interval below [`MIN_RR`]: a double detection (or ectopic beat);
+    /// the beat is discarded and the previous anchor kept.
+    DoubleDetection,
+    /// Interval above [`MAX_RR`]: a dropout; no interval is emitted and
+    /// the chain restarts from this beat.
+    Dropout,
+    /// Beat time does not advance past the previous beat (out of order in
+    /// a live feed); discarded.
+    OutOfOrder,
+}
+
+/// Streaming counterpart of [`rr_from_peaks`]: the same plausibility rules
+/// applied one beat at a time, for live ingestion (`hrv-stream`).
+///
+/// [`rr_from_peaks`] is implemented on top of this filter, so the batch and
+/// streaming paths can never drift apart.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_delineate::{BeatOutcome, StreamingRrFilter};
+///
+/// let mut filter = StreamingRrFilter::new();
+/// assert_eq!(filter.push(0.0), BeatOutcome::Anchor);
+/// assert_eq!(
+///     filter.push(0.8),
+///     BeatOutcome::Accepted { time: 0.8, rr: 0.8 }
+/// );
+/// assert_eq!(filter.push(0.82), BeatOutcome::DoubleDetection);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamingRrFilter {
+    anchor: Option<f64>,
+}
+
+impl StreamingRrFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes the next detected beat time and classifies it.
+    pub fn push(&mut self, t: f64) -> BeatOutcome {
+        let Some(prev) = self.anchor else {
+            self.anchor = Some(t);
+            return BeatOutcome::Anchor;
+        };
+        let rr = t - prev;
+        if t <= prev {
+            return BeatOutcome::OutOfOrder;
+        }
+        if rr < MIN_RR {
+            // Double detection: skip this peak, keep the anchor.
+            return BeatOutcome::DoubleDetection;
+        }
+        self.anchor = Some(t);
+        if rr <= MAX_RR {
+            BeatOutcome::Accepted { time: t, rr }
+        } else {
+            // Dropout — restart from this beat without emitting.
+            BeatOutcome::Dropout
+        }
+    }
+
+    /// The most recent anchor beat time, if any.
+    pub fn anchor(&self) -> Option<f64> {
+        self.anchor
+    }
+
+    /// Forgets all state (e.g. after a sensor re-attachment).
+    pub fn reset(&mut self) {
+        self.anchor = None;
     }
 }
 
@@ -142,6 +226,55 @@ mod tests {
         // 4.0 s gap dropped; only 0.8 s intervals survive.
         assert_eq!(rr.len(), 2);
         assert!(rr.intervals().iter().all(|&v| (v - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn streaming_filter_matches_batch_extraction() {
+        // A deliberately messy detection stream: double detections,
+        // dropouts, and clean runs.
+        let peaks = [
+            0.0, 0.8, 0.82, 1.6, 2.4, 6.5, 7.3, 7.31, 7.32, 8.1, 8.9, 9.7,
+        ];
+        let batch = rr_from_peaks(&peaks).expect("series");
+        let mut filter = StreamingRrFilter::new();
+        let mut times = Vec::new();
+        let mut intervals = Vec::new();
+        for &t in &peaks {
+            if let BeatOutcome::Accepted { time, rr } = filter.push(t) {
+                times.push(time);
+                intervals.push(rr);
+            }
+        }
+        assert_eq!(times, batch.times());
+        assert_eq!(intervals, batch.intervals());
+    }
+
+    #[test]
+    fn streaming_filter_classifies_outcomes() {
+        let mut filter = StreamingRrFilter::new();
+        assert_eq!(filter.push(10.0), BeatOutcome::Anchor);
+        assert_eq!(filter.anchor(), Some(10.0));
+        assert_eq!(filter.push(9.5), BeatOutcome::OutOfOrder);
+        assert_eq!(filter.push(10.1), BeatOutcome::DoubleDetection);
+        match filter.push(10.9) {
+            BeatOutcome::Accepted { time, rr } => {
+                assert_eq!(time, 10.9);
+                assert!((rr - 0.9).abs() < 1e-12);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert_eq!(filter.push(14.0), BeatOutcome::Dropout);
+        // The dropout beat becomes the new anchor.
+        match filter.push(14.8) {
+            BeatOutcome::Accepted { time, rr } => {
+                assert_eq!(time, 14.8);
+                assert!((rr - 0.8).abs() < 1e-12);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        filter.reset();
+        assert_eq!(filter.anchor(), None);
+        assert_eq!(filter.push(20.0), BeatOutcome::Anchor);
     }
 
     #[test]

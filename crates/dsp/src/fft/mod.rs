@@ -17,7 +17,7 @@ mod real;
 mod split_radix;
 
 pub use radix2::Radix2Fft;
-pub use real::{fft_real_pair, RealPairSpectra};
+pub use real::{fft_real_pair, fft_real_pair_into, RealFft, RealPairSpectra};
 pub use split_radix::SplitRadixFft;
 
 use crate::complex::Cx;
@@ -74,6 +74,19 @@ pub trait FftBackend: std::fmt::Debug + Send + Sync {
     ///
     /// Implementations panic if `data.len() != self.len()`.
     fn forward(&self, data: &mut [Cx], ops: &mut OpCount);
+
+    /// Like [`FftBackend::forward`], reusing `scratch` for any working
+    /// memory the kernel needs. Long-running callers (the streaming
+    /// engine) pass the same buffer every window so steady-state
+    /// transforms allocate nothing; the default implementation simply
+    /// ignores the scratch for kernels that are already in-place.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FftBackend::forward`].
+    fn forward_with_scratch(&self, data: &mut [Cx], _scratch: &mut Vec<Cx>, ops: &mut OpCount) {
+        self.forward(data, ops);
+    }
 }
 
 /// Reference DFT evaluated directly from the definition, O(N²).

@@ -48,17 +48,55 @@ pub fn fft_real_pair(
     b: &[f64],
     ops: &mut OpCount,
 ) -> RealPairSpectra {
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    fft_real_pair_into(
+        backend,
+        a,
+        b,
+        &mut first,
+        &mut second,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        ops,
+    );
+    RealPairSpectra { first, second }
+}
+
+/// Like [`fft_real_pair`] but writing the half-spectra into caller-owned
+/// buffers, reusing `packed` for the complex signal and `fft_scratch` for
+/// the backend's working set. Long-running callers (the streaming engine)
+/// pass the same buffers every window so steady-state transforms allocate
+/// nothing.
+///
+/// # Panics
+///
+/// Same conditions as [`fft_real_pair`].
+#[allow(clippy::too_many_arguments)]
+pub fn fft_real_pair_into(
+    backend: &dyn FftBackend,
+    a: &[f64],
+    b: &[f64],
+    first: &mut Vec<Cx>,
+    second: &mut Vec<Cx>,
+    packed: &mut Vec<Cx>,
+    fft_scratch: &mut Vec<Cx>,
+    ops: &mut OpCount,
+) {
     assert_eq!(a.len(), b.len(), "real sequences must have equal length");
     let n = a.len();
     assert_eq!(n, backend.len(), "sequence length must match FFT plan");
     assert!(n >= 2, "need at least two samples");
 
-    let mut packed: Vec<Cx> = a.iter().zip(b).map(|(&re, &im)| Cx::new(re, im)).collect();
-    backend.forward(&mut packed, ops);
+    packed.clear();
+    packed.extend(a.iter().zip(b).map(|(&re, &im)| Cx::new(re, im)));
+    backend.forward_with_scratch(packed, fft_scratch, ops);
 
     let half = n / 2;
-    let mut first = Vec::with_capacity(half + 1);
-    let mut second = Vec::with_capacity(half + 1);
+    first.clear();
+    second.clear();
+    first.reserve(half + 1);
+    second.reserve(half + 1);
 
     // DC and Nyquist bins separate exactly.
     first.push(Cx::real(packed[0].re));
@@ -76,8 +114,140 @@ pub fn fft_real_pair(
     }
     first.push(Cx::real(packed[half].re));
     second.push(Cx::real(packed[half].im));
+}
 
-    RealPairSpectra { first, second }
+/// Spectrum of a single length-`n` real sequence via one length-`n/2`
+/// complex split-radix FFT — roughly half the work of transforming the
+/// zero-padded complex signal.
+///
+/// This is the kernel behind the streaming Fast-Lomb fast path: under the
+/// paper's resampling front end the Lomb *weight* mesh is all-ones for
+/// every window, its spectrum is known once and for all, and only the data
+/// mesh needs transforming each hop — by this half-length plan.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::{OpCount, RealFft};
+///
+/// let plan = RealFft::new(8);
+/// let x = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// let spectrum = plan.forward(&x, &mut OpCount::default());
+/// assert_eq!(spectrum.len(), 5); // bins 0..=n/2
+/// assert!(spectrum.iter().all(|z| (z.re - 1.0).abs() < 1e-12));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RealFft {
+    n: usize,
+    half_plan: crate::fft::SplitRadixFft,
+    /// `e^{-2πik/n}` for `k = 0..n/2`.
+    twiddles: Vec<Cx>,
+}
+
+impl RealFft {
+    /// Plans a real-input transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            crate::fft::is_power_of_two(n) && n >= 4,
+            "real FFT length must be a power of two ≥ 4, got {n}"
+        );
+        let twiddles = (0..=n / 2)
+            .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        RealFft {
+            n,
+            half_plan: crate::fft::SplitRadixFft::new(n / 2),
+            twiddles,
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward transform returning bins `0..=n/2` (the rest follow from
+    /// Hermitian symmetry), allocating the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn forward(&self, x: &[f64], ops: &mut OpCount) -> Vec<Cx> {
+        let mut out = Vec::new();
+        self.forward_into(x, &mut out, &mut Vec::new(), &mut Vec::new(), ops);
+        out
+    }
+
+    /// Forward transform writing bins `0..=n/2` into `out`, reusing
+    /// `packed` for the half-length complex signal and `fft_scratch` for
+    /// the split-radix working set (steady-state allocation-free once all
+    /// buffers have grown to capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn forward_into(
+        &self,
+        x: &[f64],
+        out: &mut Vec<Cx>,
+        packed: &mut Vec<Cx>,
+        fft_scratch: &mut Vec<Cx>,
+        ops: &mut OpCount,
+    ) {
+        assert_eq!(x.len(), self.n, "input length must match plan length");
+        let h = self.n / 2;
+
+        // Pack even/odd samples into a half-length complex signal.
+        packed.resize(h, Cx::ZERO);
+        let z = &mut packed[..];
+        for (m, zm) in z.iter_mut().enumerate() {
+            *zm = Cx::new(x[2 * m], x[2 * m + 1]);
+        }
+        self.half_plan.forward_with_scratch(z, fft_scratch, ops);
+
+        out.clear();
+        out.resize(h + 1, Cx::ZERO);
+        // DC and Nyquist separate exactly: Z[0] = Σeven + i·Σodd.
+        out[0] = Cx::real(z[0].re + z[0].im);
+        out[h] = Cx::real(z[0].re - z[0].im);
+        ops.add += 2;
+        // Bin n/4 (k == h/2): E = conj-symmetric point, W^{h/2} = -i.
+        let q = h / 2;
+        if q >= 1 {
+            let zq = z[q];
+            // E[q] = (Z[q] + conj(Z[q]))/2 = (re, 0); O[q] = -i(Z[q]-conj(Z[q]))/2 = (im, 0).
+            // X[q] = E[q] + W^q·O[q] with W^q = e^{-iπ/2·...}; use the table.
+            let e = Cx::real(zq.re);
+            let o = Cx::real(zq.im);
+            out[q] = e + self.twiddles[q] * o;
+            ops.cmul_real();
+            ops.cadd();
+        }
+        // Remaining bins in conjugate pairs (k, h-k): one twiddle multiply
+        // serves both.
+        for k in 1..q {
+            let zk = z[k];
+            let zm = z[h - k].conj();
+            let e = (zk + zm).scale(0.5);
+            let o = (zk - zm).mul_neg_i().scale(0.5);
+            ops.cadd_n(2);
+            ops.mul += 4;
+            let t = self.twiddles[k] * o;
+            ops.cmul();
+            out[k] = e + t;
+            out[h - k] = (e - t).conj();
+            ops.cadd_n(2);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +331,77 @@ mod tests {
         let spectra = fft_real_pair(&plan, &vec![0.0; n], &vec![0.0; n], &mut ops);
         assert_eq!(spectra.first.len(), n / 2 + 1);
         assert_eq!(spectra.second.len(), n / 2 + 1);
+    }
+
+    #[test]
+    fn real_fft_matches_naive_dft() {
+        for &n in &[4usize, 8, 16, 64, 256, 512] {
+            let x = random_real(n, n as u64 + 17);
+            let plan = RealFft::new(n);
+            let mut ops = OpCount::default();
+            let got = plan.forward(&x, &mut ops);
+            let want = reference_half_spectrum(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(g.approx_eq(*w, 1e-8), "n={n} bin {k}: {g:?} vs {w:?}");
+            }
+            assert!(ops.arithmetic() > 0);
+        }
+    }
+
+    #[test]
+    fn real_fft_costs_less_than_packed_full_transform() {
+        let n = 512;
+        let x = random_real(n, 9);
+        let mut half_ops = OpCount::default();
+        let _ = RealFft::new(n).forward(&x, &mut half_ops);
+        let mut full_ops = OpCount::default();
+        let _ = fft_real_pair(&SplitRadixFft::new(n), &x, &x, &mut full_ops);
+        assert!(
+            half_ops.arithmetic() * 3 < full_ops.arithmetic() * 2,
+            "real FFT {} ops should be well below packed transform {}",
+            half_ops.arithmetic(),
+            full_ops.arithmetic()
+        );
+    }
+
+    #[test]
+    fn real_fft_into_reuses_buffers_without_growth() {
+        let n = 64;
+        let plan = RealFft::new(n);
+        let (mut out, mut packed, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        let x = random_real(n, 5);
+        plan.forward_into(
+            &x,
+            &mut out,
+            &mut packed,
+            &mut scratch,
+            &mut OpCount::default(),
+        );
+        let caps = (out.capacity(), packed.capacity(), scratch.capacity());
+        for seed in 0..8 {
+            let x = random_real(n, 100 + seed);
+            plan.forward_into(
+                &x,
+                &mut out,
+                &mut packed,
+                &mut scratch,
+                &mut OpCount::default(),
+            );
+        }
+        assert_eq!(
+            caps,
+            (out.capacity(), packed.capacity(), scratch.capacity()),
+            "steady-state capacities must not change"
+        );
+        assert_eq!(plan.len(), n);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn real_fft_rejects_bad_length() {
+        let _ = RealFft::new(12);
     }
 
     #[test]

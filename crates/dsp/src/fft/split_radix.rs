@@ -61,6 +61,11 @@ impl SplitRadixFft {
         self.master[(k % len) * (self.n / len)]
     }
 
+    /// Depth-first split-radix recursion. Temporaries for the three
+    /// sub-transforms are carved out of `arena` with stack discipline
+    /// (`len` cells per live node, ≤ `2n` in total), so a transform
+    /// performs no heap allocation beyond the caller-provided scratch.
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
         input: &[Cx],
@@ -68,6 +73,7 @@ impl SplitRadixFft {
         stride: usize,
         len: usize,
         out: &mut [Cx],
+        arena: &mut [Cx],
         ops: &mut OpCount,
     ) {
         debug_assert_eq!(out.len(), len);
@@ -80,20 +86,39 @@ impl SplitRadixFft {
                 out[1] = a - b;
                 ops.cadd_n(2);
             }
+            4 => {
+                // Unrolled leaf (identical arithmetic and tally to the
+                // general branch): even half is a length-2 transform, both
+                // odd twiddles are w⁰ = 1.
+                let e0 = input[offset] + input[offset + 2 * stride];
+                let e1 = input[offset] - input[offset + 2 * stride];
+                ops.cadd_n(2);
+                let t1 = input[offset + stride];
+                let t2 = input[offset + 3 * stride];
+                let s = t1 + t2;
+                let d = (t1 - t2).mul_neg_i();
+                ops.cadd_n(2);
+                out[0] = e0 + s;
+                out[2] = e0 - s;
+                out[1] = e1 + d;
+                out[3] = e1 - d;
+                ops.cadd_n(4);
+            }
             _ => {
                 let quarter = len / 4;
                 let half = len / 2;
-                let mut even = vec![Cx::ZERO; half];
-                let mut odd1 = vec![Cx::ZERO; quarter];
-                let mut odd3 = vec![Cx::ZERO; quarter];
-                self.recurse(input, offset, stride * 2, half, &mut even, ops);
-                self.recurse(input, offset + stride, stride * 4, quarter, &mut odd1, ops);
+                let (tmp, rest) = arena.split_at_mut(len);
+                let (even, odds) = tmp.split_at_mut(half);
+                let (odd1, odd3) = odds.split_at_mut(quarter);
+                self.recurse(input, offset, stride * 2, half, even, rest, ops);
+                self.recurse(input, offset + stride, stride * 4, quarter, odd1, rest, ops);
                 self.recurse(
                     input,
                     offset + 3 * stride,
                     stride * 4,
                     quarter,
-                    &mut odd3,
+                    odd3,
+                    rest,
                     ops,
                 );
 
@@ -148,12 +173,23 @@ impl FftBackend for SplitRadixFft {
     }
 
     fn forward(&self, data: &mut [Cx], ops: &mut OpCount) {
+        let mut scratch = Vec::new();
+        self.forward_with_scratch(data, &mut scratch, ops);
+    }
+
+    fn forward_with_scratch(&self, data: &mut [Cx], scratch: &mut Vec<Cx>, ops: &mut OpCount) {
         assert_eq!(data.len(), self.n, "data length must match plan length");
         if self.n == 1 {
             return;
         }
-        let input = data.to_vec();
-        self.recurse(&input, 0, 1, self.n, data, ops);
+        // One scratch region instead of per-recursion vectors (the original
+        // recursive layout allocated three temporaries per node, which
+        // dominated wall time — see BENCH_baseline.json): `n` cells hold the
+        // input copy, `2n` serve as the recursion arena.
+        scratch.resize(3 * self.n, Cx::ZERO);
+        let (input, arena) = scratch.split_at_mut(self.n);
+        input.copy_from_slice(data);
+        self.recurse(input, 0, 1, self.n, data, arena, ops);
     }
 }
 

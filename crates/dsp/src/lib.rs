@@ -45,8 +45,8 @@ mod window;
 
 pub use complex::{max_deviation, Cx};
 pub use fft::{
-    bit_reverse_permute, dft_naive, fft_real_pair, is_power_of_two, log2_exact, Direction,
-    FftBackend, Radix2Fft, RealPairSpectra, SplitRadixFft,
+    bit_reverse_permute, dft_naive, fft_real_pair, fft_real_pair_into, is_power_of_two, log2_exact,
+    Direction, FftBackend, Radix2Fft, RealFft, RealPairSpectra, SplitRadixFft,
 };
 pub use fixed::{dequantize, haar_stage_q15, quantize, Q15};
 pub use ops::{BlockOps, OpCount};

@@ -11,7 +11,35 @@
 
 use crate::extirpolate::{extirpolate, DEFAULT_ORDER};
 use crate::periodogram::Periodogram;
-use hrv_dsp::{fft_real_pair, mean, sample_variance, BlockOps, FftBackend, OpCount, Window};
+use hrv_dsp::{fft_real_pair, mean, sample_variance, BlockOps, Cx, FftBackend, OpCount, Window};
+
+/// Reusable working memory for the mesh-construction and prepare stages.
+///
+/// The batch pipeline allocates one of these per call; long-running callers
+/// (the `hrv-stream` engine) keep a single instance per scratch slot so the
+/// per-window hot path performs no heap allocation in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct MeshScratch {
+    tapered: Vec<f64>,
+    grid: Vec<f64>,
+    inv_h: Vec<f64>,
+    slope: Vec<f64>,
+    m: Vec<f64>,
+    c_prime: Vec<f64>,
+    d_prime: Vec<f64>,
+    c0: Vec<f64>,
+    c1: Vec<f64>,
+    c2: Vec<f64>,
+    c3: Vec<f64>,
+}
+
+impl MeshScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Block names used in profiled runs (paper Fig. 1(b)).
 pub mod blocks {
@@ -180,11 +208,50 @@ impl FastLomb {
         values: &[f64],
         ops: &mut OpCount,
     ) -> (Vec<f64>, Vec<f64>) {
+        let mut wk1 = Vec::new();
+        let mut wk2 = Vec::new();
+        self.meshes_into(
+            times,
+            values,
+            &mut wk1,
+            &mut wk2,
+            &mut MeshScratch::new(),
+            ops,
+        );
+        (wk1, wk2)
+    }
+
+    /// Fills `wk1`/`wk2` with the data and weight meshes for
+    /// `(times, values)` under the active strategy, reusing `scratch` for
+    /// spline intermediates; the cost is accounted into `ops`.
+    ///
+    /// This is the mesh-construction stage of
+    /// [`FastLomb::periodogram_profiled`], exposed so the streaming engine
+    /// can run the identical arithmetic without per-window allocation.
+    ///
+    /// # Panics
+    ///
+    /// Same input conditions as [`FastLomb::periodogram_profiled`]
+    /// (lengths, sample count, positive span).
+    pub fn meshes_into(
+        &self,
+        times: &[f64],
+        values: &[f64],
+        wk1: &mut Vec<f64>,
+        wk2: &mut Vec<f64>,
+        scratch: &mut MeshScratch,
+        ops: &mut OpCount,
+    ) {
+        assert_eq!(times.len(), values.len(), "times and values must match");
+        assert!(times.len() >= 3, "need at least 3 samples");
         let t0 = times[0];
         let observed_span = times.last().expect("non-empty") - t0;
         let span = self.span_override.unwrap_or(observed_span);
-        let mut wk1 = vec![0.0; self.fft_len];
-        let mut wk2 = vec![0.0; self.fft_len];
+        assert!(span > 0.0, "time span must be positive");
+        wk1.clear();
+        wk1.resize(self.fft_len, 0.0);
+        wk2.clear();
+        wk2.resize(self.fft_len, 0.0);
         match self.mesh {
             MeshStrategy::Extirpolate { order } => {
                 let ave = mean(values);
@@ -198,8 +265,8 @@ impl FastLomb {
                     let ckk = (2.0 * ck) % ndim;
                     ops.add += 2;
                     ops.mul += 3;
-                    extirpolate((x - ave) * w, ck, &mut wk1, order, ops);
-                    extirpolate(1.0, ckk, &mut wk2, order, ops);
+                    extirpolate((x - ave) * w, ck, wk1, order, ops);
+                    extirpolate(1.0, ckk, wk2, order, ops);
                 }
             }
             MeshStrategy::Resample => {
@@ -209,11 +276,11 @@ impl FastLomb {
                 // for the 512-point / 2-minute configuration). Splines
                 // are the Task-Force-recommended HRV resampler: linear
                 // interpolation would attenuate the HF band noticeably.
-                let grid = spline_resample(times, values, t0, span, n, ops);
-                let ave = mean(&grid);
+                spline_resample(times, values, t0, span, n, scratch, ops);
+                let ave = mean(&scratch.grid);
                 ops.add += n as u64;
                 ops.div += 1;
-                for (i, &v) in grid.iter().enumerate() {
+                for (i, &v) in scratch.grid.iter().enumerate() {
                     let w = self.window.evaluate(i as f64 / (n - 1) as f64);
                     wk1[i] = (v - ave) * w;
                     ops.add += 1;
@@ -225,7 +292,109 @@ impl FastLomb {
                 }
             }
         }
-        (wk1, wk2)
+    }
+
+    /// The prepare stage of the pipeline: variance of the tapered,
+    /// de-meaned series (σ² of eq. (1)), with the same operation
+    /// accounting as [`FastLomb::periodogram_profiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a constant (zero-variance) input.
+    pub fn prepare_variance(
+        &self,
+        times: &[f64],
+        values: &[f64],
+        scratch: &mut MeshScratch,
+        ops: &mut OpCount,
+    ) -> f64 {
+        assert_eq!(times.len(), values.len(), "times and values must match");
+        let t0 = times[0];
+        let observed_span = times.last().expect("non-empty") - t0;
+        let span = self.span_override.unwrap_or(observed_span);
+        let ave = mean(values);
+        ops.add += values.len() as u64;
+        ops.div += 1;
+        scratch.tapered.clear();
+        scratch
+            .tapered
+            .extend(times.iter().zip(values).map(|(&t, &x)| {
+                let w = self.window.evaluate((t - t0) / span);
+                ops.add += 2;
+                ops.mul += 1;
+                (x - ave) * w
+            }));
+        // Variance of the tapered, de-meaned series (σ² of eq. (1)).
+        let var = {
+            let v = sample_variance(&scratch.tapered);
+            ops.mul += scratch.tapered.len() as u64;
+            ops.add += 2 * scratch.tapered.len() as u64;
+            ops.div += 1;
+            v
+        };
+        assert!(var > 0.0, "constant input has no spectrum");
+        var
+    }
+
+    /// The Lomb-calculator stage: combines the data spectrum `first` and
+    /// weight spectrum `second` (bins `0..=fft_len/2`) into the normalised
+    /// periodogram, writing the grid into `freqs`/`power`.
+    ///
+    /// `span` is the segment span in seconds (the `with_span` value, or
+    /// the observed time range when no override is set); `n_times` is the
+    /// number of raw samples in the window (the effective data count under
+    /// [`MeshStrategy::Resample`] is the mesh length and is substituted
+    /// internally); `var` is the prepare-stage variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frequency cap leaves no output bins.
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine_into(
+        &self,
+        first: &[Cx],
+        second: &[Cx],
+        span: f64,
+        n_times: usize,
+        var: f64,
+        freqs: &mut Vec<f64>,
+        power: &mut Vec<f64>,
+        ops: &mut OpCount,
+    ) {
+        let df = 1.0 / (span * self.effective_ofac());
+        let mut nout = self.fft_len / 2 - 1;
+        if let Some(fmax) = self.max_freq {
+            nout = nout.min((fmax / df).floor() as usize);
+        }
+        assert!(nout >= 1, "frequency cap leaves no output bins");
+        let n_data = match self.mesh {
+            MeshStrategy::Extirpolate { .. } => n_times as f64,
+            // The resampled series has fft_len uniform "samples".
+            MeshStrategy::Resample => self.fft_len as f64,
+        };
+        freqs.clear();
+        power.clear();
+        freqs.reserve(nout);
+        power.reserve(nout);
+        for j in 1..=nout {
+            let z1 = first[j];
+            let z2 = second[j];
+            let hypo = z2.norm().max(f64::MIN_POSITIVE);
+            let hc2wt = 0.5 * z2.re / hypo;
+            let hs2wt = 0.5 * z2.im / hypo;
+            let cwt = (0.5 + hc2wt).max(0.0).sqrt();
+            let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
+            let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
+            let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
+            let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
+            ops.mul += 12;
+            ops.add += 7;
+            ops.div += 4;
+            ops.sqrt += 3;
+            ops.cmp += 1;
+            freqs.push(j as f64 * df);
+            power.push((cterm + sterm) / (2.0 * var));
+        }
     }
 
     /// Effective oversampling factor (`Resample` pins it to 1).
@@ -307,34 +476,16 @@ impl FastLomb {
         let span = self.span_override.unwrap_or(observed_span);
 
         // ---- prepare: variance for the Lomb normalisation ---------------
+        let mut scratch = MeshScratch::new();
         let mut ops = OpCount::default();
-        let ave = mean(values);
-        ops.add += values.len() as u64;
-        ops.div += 1;
-        let tapered: Vec<f64> = times
-            .iter()
-            .zip(values)
-            .map(|(&t, &x)| {
-                let w = self.window.evaluate((t - t0) / span);
-                ops.add += 2;
-                ops.mul += 1;
-                (x - ave) * w
-            })
-            .collect();
-        // Variance of the tapered, de-meaned series (σ² of eq. (1)).
-        let var = {
-            let v = sample_variance(&tapered);
-            ops.mul += tapered.len() as u64;
-            ops.add += 2 * tapered.len() as u64;
-            ops.div += 1;
-            v
-        };
-        assert!(var > 0.0, "constant input has no spectrum");
+        let var = self.prepare_variance(times, values, &mut scratch, &mut ops);
         profile.record(blocks::PREPARE, ops);
 
         // ---- mesh construction (extirpolation or resampling) ------------
         let mut ops = OpCount::default();
-        let (wk1, wk2) = self.build_meshes(times, values, &mut ops);
+        let mut wk1 = Vec::new();
+        let mut wk2 = Vec::new();
+        self.meshes_into(times, values, &mut wk1, &mut wk2, &mut scratch, &mut ops);
         profile.record(blocks::EXTIRPOLATE, ops);
 
         // ---- one packed complex FFT for both meshes ---------------------
@@ -344,38 +495,18 @@ impl FastLomb {
 
         // ---- Lomb calculator --------------------------------------------
         let mut ops = OpCount::default();
-        let df = 1.0 / (span * self.effective_ofac());
-        let mut nout = self.fft_len / 2 - 1;
-        if let Some(fmax) = self.max_freq {
-            nout = nout.min((fmax / df).floor() as usize);
-        }
-        assert!(nout >= 1, "frequency cap leaves no output bins");
-        let n_data = match self.mesh {
-            MeshStrategy::Extirpolate { .. } => times.len() as f64,
-            // The resampled series has fft_len uniform "samples".
-            MeshStrategy::Resample => self.fft_len as f64,
-        };
-        let mut freqs = Vec::with_capacity(nout);
-        let mut power = Vec::with_capacity(nout);
-        for j in 1..=nout {
-            let z1 = spectra.first[j];
-            let z2 = spectra.second[j];
-            let hypo = z2.norm().max(f64::MIN_POSITIVE);
-            let hc2wt = 0.5 * z2.re / hypo;
-            let hs2wt = 0.5 * z2.im / hypo;
-            let cwt = (0.5 + hc2wt).max(0.0).sqrt();
-            let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
-            let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
-            let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
-            let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
-            ops.mul += 12;
-            ops.add += 7;
-            ops.div += 4;
-            ops.sqrt += 3;
-            ops.cmp += 1;
-            freqs.push(j as f64 * df);
-            power.push((cterm + sterm) / (2.0 * var));
-        }
+        let mut freqs = Vec::new();
+        let mut power = Vec::new();
+        self.combine_into(
+            &spectra.first,
+            &spectra.second,
+            span,
+            times.len(),
+            var,
+            &mut freqs,
+            &mut power,
+            &mut ops,
+        );
         profile.record(blocks::LOMB, ops);
 
         Periodogram::new(freqs, power)
@@ -383,25 +514,30 @@ impl FastLomb {
 }
 
 /// Natural cubic-spline resampling of `(times, values)` onto `n` uniform
-/// points over `[t0, t0 + span]`, with constant extrapolation outside the
-/// observed knots. The Thomas-algorithm solve and the per-point evaluation
-/// are charged to `ops`.
+/// points over `[t0, t0 + span]` into `scratch.grid`, with constant
+/// extrapolation outside the observed knots. The Thomas-algorithm solve and
+/// the per-point evaluation are charged to `ops`.
 fn spline_resample(
     times: &[f64],
     values: &[f64],
     t0: f64,
     span: f64,
     n: usize,
+    scratch: &mut MeshScratch,
     ops: &mut OpCount,
-) -> Vec<f64> {
+) {
     let k = times.len();
     debug_assert!(k >= 3, "caller validates sample count");
 
     // Per-interval tables: widths, their reciprocals, slopes. One division
     // per knot interval; the dense evaluation loop is division-free, as an
     // embedded implementation would arrange it.
-    let mut inv_h = vec![0.0; k - 1];
-    let mut slope = vec![0.0; k - 1];
+    let inv_h = &mut scratch.inv_h;
+    inv_h.clear();
+    inv_h.resize(k - 1, 0.0);
+    let slope = &mut scratch.slope;
+    slope.clear();
+    slope.resize(k - 1, 0.0);
     for i in 0..k - 1 {
         let h = times[i + 1] - times[i];
         inv_h[i] = 1.0 / h;
@@ -413,9 +549,15 @@ fn spline_resample(
 
     // Second derivatives M_i of the natural spline (M_0 = M_{k-1} = 0),
     // via the Thomas algorithm on the tridiagonal system.
-    let mut m = vec![0.0; k];
-    let mut c_prime = vec![0.0; k];
-    let mut d_prime = vec![0.0; k];
+    let m = &mut scratch.m;
+    m.clear();
+    m.resize(k, 0.0);
+    let c_prime = &mut scratch.c_prime;
+    c_prime.clear();
+    c_prime.resize(k, 0.0);
+    let d_prime = &mut scratch.d_prime;
+    d_prime.clear();
+    d_prime.resize(k, 0.0);
     for i in 1..k - 1 {
         let h_prev = times[i] - times[i - 1];
         let h_next = times[i + 1] - times[i];
@@ -436,10 +578,18 @@ fn spline_resample(
 
     // Per-interval cubic coefficients so the dense loop is a 3-mul/4-add
     // Horner evaluation: s(u) = ((c3·u + c2)·u + c1)·u + c0, u = t − t_i.
-    let mut c0 = vec![0.0; k - 1];
-    let mut c1 = vec![0.0; k - 1];
-    let mut c2 = vec![0.0; k - 1];
-    let mut c3 = vec![0.0; k - 1];
+    let c0 = &mut scratch.c0;
+    c0.clear();
+    c0.resize(k - 1, 0.0);
+    let c1 = &mut scratch.c1;
+    c1.clear();
+    c1.resize(k - 1, 0.0);
+    let c2 = &mut scratch.c2;
+    c2.clear();
+    c2.resize(k - 1, 0.0);
+    let c3 = &mut scratch.c3;
+    c3.clear();
+    c3.resize(k - 1, 0.0);
     for i in 0..k - 1 {
         let h = times[i + 1] - times[i];
         c0[i] = values[i];
@@ -453,30 +603,29 @@ fn spline_resample(
 
     let step = span / (n - 1) as f64;
     let mut seg = 0usize;
-    (0..n)
-        .map(|j| {
-            let t = t0 + step * j as f64;
-            ops.add += 1;
-            ops.mul += 1;
-            if t <= times[0] {
-                return values[0];
-            }
-            if t >= times[k - 1] {
-                return values[k - 1];
-            }
-            // The query points are monotone: advance the segment cursor
-            // instead of binary-searching (counted as comparisons).
-            while times[seg + 1] < t {
-                seg += 1;
-                ops.cmp += 1;
-            }
+    scratch.grid.clear();
+    scratch.grid.extend((0..n).map(|j| {
+        let t = t0 + step * j as f64;
+        ops.add += 1;
+        ops.mul += 1;
+        if t <= times[0] {
+            return values[0];
+        }
+        if t >= times[k - 1] {
+            return values[k - 1];
+        }
+        // The query points are monotone: advance the segment cursor
+        // instead of binary-searching (counted as comparisons).
+        while times[seg + 1] < t {
+            seg += 1;
             ops.cmp += 1;
-            let u = t - times[seg];
-            ops.add += 4;
-            ops.mul += 3;
-            ((c3[seg] * u + c2[seg]) * u + c1[seg]) * u + c0[seg]
-        })
-        .collect()
+        }
+        ops.cmp += 1;
+        let u = t - times[seg];
+        ops.add += 4;
+        ops.mul += 3;
+        ((c3[seg] * u + c2[seg]) * u + c1[seg]) * u + c0[seg]
+    }));
 }
 
 #[cfg(test)]

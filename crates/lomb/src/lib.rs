@@ -46,6 +46,6 @@ mod welch;
 pub use bands::{ArrhythmiaDetector, BandPowers, FreqBand};
 pub use direct::lomb_direct;
 pub use extirpolate::{extirpolate, DEFAULT_ORDER};
-pub use fast::{blocks, FastLomb, MeshStrategy};
+pub use fast::{blocks, FastLomb, MeshScratch, MeshStrategy};
 pub use periodogram::Periodogram;
 pub use welch::{Segment, WelchAnalysis, WelchLomb};

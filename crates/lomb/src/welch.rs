@@ -94,6 +94,22 @@ impl WelchLomb {
         self.overlap
     }
 
+    /// Hop between consecutive window starts in seconds.
+    pub fn hop(&self) -> f64 {
+        self.window_duration * (1.0 - self.overlap)
+    }
+
+    /// Minimum number of RR samples for a segment to be analysed.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    /// The per-segment Fast-Lomb estimator (span already fixed to the
+    /// window duration).
+    pub fn estimator(&self) -> &FastLomb {
+        &self.estimator
+    }
+
     /// Runs the sliding-window analysis, aggregating operation counts.
     ///
     /// # Panics

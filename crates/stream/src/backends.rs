@@ -1,0 +1,100 @@
+//! Mapping controller choices onto runnable FFT kernels.
+
+use hrv_core::{ApproximationMode, OperatingChoice, PruningPolicy};
+use hrv_dsp::{Cx, FftBackend, SplitRadixFft};
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::{PrunedWfft, WaveletFftBackend, WfftPlan};
+use std::sync::Arc;
+
+/// The exact split-radix kernel of length `fft_len`.
+pub fn exact_backend(fft_len: usize) -> Arc<dyn FftBackend> {
+    Arc::new(SplitRadixFft::new(fft_len))
+}
+
+/// Builds the kernel an [`OperatingChoice`] stands for, so the streaming
+/// engine can switch to it at run time.
+///
+/// Dynamic-pruning choices need the calibration meshes a design-time pass
+/// produced (see [`hrv_core::training_meshes`]); without them the choice
+/// cannot be instantiated and `None` is returned.
+pub fn backend_for_choice(
+    fft_len: usize,
+    basis: WaveletBasis,
+    choice: &OperatingChoice,
+    training: Option<&[Vec<Cx>]>,
+) -> Option<Arc<dyn FftBackend>> {
+    if choice.mode == ApproximationMode::Exact {
+        return Some(exact_backend(fft_len));
+    }
+    match choice.policy {
+        PruningPolicy::Static => Some(Arc::new(WaveletFftBackend::new(
+            fft_len,
+            basis,
+            choice.mode.prune_config(),
+        ))),
+        PruningPolicy::Dynamic => {
+            let meshes = training?;
+            let pruned = PrunedWfft::new(WfftPlan::new(fft_len, basis), choice.mode.prune_config());
+            let thresholds = pruned.calibrate_dynamic(meshes);
+            Some(Arc::new(WaveletFftBackend::from_pruned(
+                pruned.with_dynamic(thresholds),
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choice(mode: ApproximationMode, policy: PruningPolicy) -> OperatingChoice {
+        OperatingChoice {
+            mode,
+            policy,
+            vfs: true,
+            expected_error_pct: 4.0,
+            expected_savings_pct: 50.0,
+        }
+    }
+
+    #[test]
+    fn static_choices_build_directly() {
+        let b = backend_for_choice(
+            64,
+            WaveletBasis::Haar,
+            &choice(ApproximationMode::BandDropSet2, PruningPolicy::Static),
+            None,
+        )
+        .expect("static choice");
+        assert!(!b.is_exact());
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn exact_choice_is_split_radix() {
+        let b = backend_for_choice(
+            64,
+            WaveletBasis::Haar,
+            &choice(ApproximationMode::Exact, PruningPolicy::Static),
+            None,
+        )
+        .expect("exact choice");
+        assert!(b.is_exact());
+        assert_eq!(b.name(), "split-radix");
+    }
+
+    #[test]
+    fn dynamic_choice_requires_training() {
+        let c = choice(ApproximationMode::BandDrop, PruningPolicy::Dynamic);
+        assert!(backend_for_choice(64, WaveletBasis::Haar, &c, None).is_none());
+        let meshes: Vec<Vec<Cx>> = (0..4)
+            .map(|s| {
+                (0..64)
+                    .map(|i| Cx::real(((i + s) as f64 * 0.3).sin()))
+                    .collect()
+            })
+            .collect();
+        let b = backend_for_choice(64, WaveletBasis::Haar, &c, Some(&meshes)).expect("calibrated");
+        assert!(!b.is_exact());
+    }
+}

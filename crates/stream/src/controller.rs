@@ -1,0 +1,401 @@
+//! The run-time quality controller, made *online*.
+//!
+//! The batch [`hrv_core::QualityController`] picks one configuration from
+//! design-time sweep expectations. On a live stream the signal drifts, so
+//! [`OnlineQualityController`] re-evaluates the pick per emitted window
+//! against a **rolling distortion estimate** fed by periodic audit windows
+//! (the engine computes the exact reference spectrum every few hops and
+//! reports the observed LF/HF error). Two mechanisms keep the
+//! configuration from thrashing:
+//!
+//! * a **dwell** requirement — a new target must win for several
+//!   consecutive windows before the switch happens;
+//! * a **hysteresis band** around the exact-fallback decision — once the
+//!   estimate exceeds `Q_DES` the controller drops to the exact kernel and
+//!   only re-enters approximation after the estimate decays below
+//!   `reentry · Q_DES`.
+//!
+//! Observed distortion also *tightens* the budget: the controller tracks
+//! the ratio of observed to expected error for the running configuration
+//! and deflates `Q_DES` by that inflation factor (clamped ≥ 1, so the
+//! design-time expectation is never trusted less than the evidence).
+
+use hrv_core::{OperatingChoice, QualityController};
+
+/// Online wrapper around [`QualityController`]; see the module docs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hrv_core::QualityController;
+/// use hrv_stream::OnlineQualityController;
+/// # let sweep: hrv_core::SweepResult = unimplemented!();
+///
+/// let inner = QualityController::from_sweep(&sweep, true);
+/// let mut ctrl = OnlineQualityController::new(inner, 5.0).with_audit_period(8);
+/// // per emitted window:
+/// let choice = ctrl.observe_window(0.45, Some(0.46));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineQualityController {
+    inner: QualityController,
+    qdes_pct: f64,
+    audit_period: u64,
+    dwell: usize,
+    alpha: f64,
+    reentry: f64,
+    current: Option<OperatingChoice>,
+    pending: Option<Option<OperatingChoice>>,
+    pending_streak: usize,
+    err_ewma_pct: f64,
+    inflation: f64,
+    seeded: bool,
+    forced_exact: bool,
+    windows: u64,
+    audits: u64,
+    switches: u64,
+}
+
+impl OnlineQualityController {
+    /// Wraps a design-time controller with an online distortion budget of
+    /// `qdes_pct` percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qdes_pct` is not positive.
+    pub fn new(inner: QualityController, qdes_pct: f64) -> Self {
+        assert!(qdes_pct > 0.0, "Q_DES must be positive");
+        let current = inner.select(qdes_pct);
+        OnlineQualityController {
+            inner,
+            qdes_pct,
+            audit_period: 8,
+            dwell: 3,
+            alpha: 0.25,
+            reentry: 0.6,
+            current,
+            pending: None,
+            pending_streak: 0,
+            err_ewma_pct: 0.0,
+            inflation: 1.0,
+            seeded: false,
+            forced_exact: false,
+            windows: 0,
+            audits: 0,
+            switches: 0,
+        }
+    }
+
+    /// Audit every `period` windows (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_audit_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "audit period must be positive");
+        self.audit_period = period;
+        self
+    }
+
+    /// Windows a new target must persist before switching (default 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell` is zero.
+    pub fn with_dwell(mut self, dwell: usize) -> Self {
+        assert!(dwell > 0, "dwell must be positive");
+        self.dwell = dwell;
+        self
+    }
+
+    /// EWMA weight of a new audit observation (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Fraction of `Q_DES` the estimate must decay below before leaving
+    /// the exact fallback (default 0.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < reentry < 1`.
+    pub fn with_reentry_fraction(mut self, reentry: f64) -> Self {
+        assert!(reentry > 0.0 && reentry < 1.0, "reentry must be in (0, 1)");
+        self.reentry = reentry;
+        self
+    }
+
+    /// The distortion budget in percent.
+    pub fn qdes_pct(&self) -> f64 {
+        self.qdes_pct
+    }
+
+    /// The configuration in force (`None` = exact fallback).
+    pub fn current(&self) -> Option<OperatingChoice> {
+        self.current
+    }
+
+    /// Rolling distortion estimate in percent.
+    pub fn distortion_estimate_pct(&self) -> f64 {
+        self.err_ewma_pct
+    }
+
+    /// Number of configuration switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Number of audited windows so far.
+    pub fn audits(&self) -> u64 {
+        self.audits
+    }
+
+    /// Windows observed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// `true` when the *next* window should carry an exact reference
+    /// (drive [`crate::SlidingLomb::request_audit`] with this).
+    pub fn should_audit(&self) -> bool {
+        self.windows.is_multiple_of(self.audit_period)
+    }
+
+    /// Feeds one emitted window's LF/HF ratio (plus the exact-kernel ratio
+    /// on audit windows) and returns the configuration to use for the next
+    /// window (`None` = exact).
+    pub fn observe_window(
+        &mut self,
+        lf_hf: f64,
+        exact_lf_hf: Option<f64>,
+    ) -> Option<OperatingChoice> {
+        self.windows += 1;
+        if let Some(exact) = exact_lf_hf {
+            self.audits += 1;
+            let err_pct = 100.0 * (lf_hf - exact).abs() / exact.abs().max(1e-9);
+            if self.seeded {
+                self.err_ewma_pct = self.alpha * err_pct + (1.0 - self.alpha) * self.err_ewma_pct;
+            } else {
+                self.err_ewma_pct = err_pct;
+                self.seeded = true;
+            }
+            // How far reality deviates from the design-time expectation of
+            // the configuration that produced this window. While the exact
+            // fallback runs, audits carry no information about the
+            // approximate kernels, so model mistrust ages out slowly
+            // (slower than the distortion EWMA: re-entry lands on a safer
+            // configuration than the one that overran the budget).
+            match self.current {
+                Some(current) if current.expected_error_pct > 0.0 => {
+                    let observed = (err_pct / current.expected_error_pct).clamp(1.0, 10.0);
+                    self.inflation =
+                        (self.alpha * observed + (1.0 - self.alpha) * self.inflation).max(1.0);
+                }
+                _ => {
+                    const INFLATION_DECAY: f64 = 0.95;
+                    self.inflation = 1.0 + (self.inflation - 1.0) * INFLATION_DECAY;
+                }
+            }
+        }
+
+        let target = self.target();
+        self.apply_hysteresis(target);
+        self.current
+    }
+
+    /// The configuration the evidence currently argues for, before
+    /// dwell-based smoothing.
+    fn target(&mut self) -> Option<OperatingChoice> {
+        if self.err_ewma_pct > self.qdes_pct {
+            self.forced_exact = true;
+        } else if self.forced_exact && self.err_ewma_pct <= self.reentry * self.qdes_pct {
+            self.forced_exact = false;
+        }
+        if self.forced_exact {
+            return None;
+        }
+        self.inner.select(self.qdes_pct / self.inflation)
+    }
+
+    fn apply_hysteresis(&mut self, target: Option<OperatingChoice>) {
+        if target == self.current {
+            self.pending = None;
+            self.pending_streak = 0;
+            return;
+        }
+        if self.pending == Some(target) {
+            self.pending_streak += 1;
+        } else {
+            self.pending = Some(target);
+            self.pending_streak = 1;
+        }
+        // A safety *downgrade* to exact takes effect immediately; upgrades
+        // and lateral moves wait out the dwell.
+        if target.is_none() && self.forced_exact {
+            self.current = None;
+            self.pending = None;
+            self.pending_streak = 0;
+            self.switches += 1;
+            return;
+        }
+        if self.pending_streak >= self.dwell {
+            self.current = target;
+            self.pending = None;
+            self.pending_streak = 0;
+            self.switches += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_core::{ApproximationMode, PruningPolicy, SweepResult, TradeoffPoint};
+
+    fn point(mode: ApproximationMode, err: f64, save: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            mode,
+            policy: PruningPolicy::Static,
+            vfs: true,
+            avg_ratio: 0.46,
+            ratio_error_pct: err,
+            energy_j: 1.0,
+            savings_pct: save,
+            cycle_ratio: 0.5,
+            fft_cycle_ratio: 0.4,
+            fft_savings_pct: save + 10.0,
+            detection_rate: 1.0,
+        }
+    }
+
+    fn controller(qdes: f64) -> OnlineQualityController {
+        let sweep = SweepResult {
+            conventional_ratio: 0.45,
+            conventional_energy: 1.0,
+            conventional_cycles: 1_000_000,
+            points: vec![
+                point(ApproximationMode::BandDrop, 2.0, 40.0),
+                point(ApproximationMode::BandDropSet2, 4.0, 60.0),
+                point(ApproximationMode::BandDropSet3, 8.0, 80.0),
+            ],
+        };
+        OnlineQualityController::new(QualityController::from_sweep(&sweep, true), qdes)
+    }
+
+    #[test]
+    fn starts_from_design_time_selection() {
+        let ctrl = controller(5.0);
+        assert_eq!(
+            ctrl.current().expect("choice").mode,
+            ApproximationMode::BandDropSet2
+        );
+        let generous = controller(10.0);
+        assert_eq!(
+            generous.current().expect("choice").mode,
+            ApproximationMode::BandDropSet3
+        );
+    }
+
+    #[test]
+    fn excess_distortion_forces_exact_then_reenters() {
+        let mut ctrl = controller(5.0).with_audit_period(1).with_ewma_alpha(1.0);
+        // Observed error far above budget → immediate exact fallback.
+        let next = ctrl.observe_window(0.60, Some(0.45));
+        assert_eq!(next, None);
+        assert!(ctrl.distortion_estimate_pct() > 5.0);
+        // While exact, audits read zero error; the estimate must decay
+        // below the re-entry threshold before approximation resumes.
+        let mut ctrl = controller(5.0).with_audit_period(1).with_dwell(1);
+        let _ = ctrl.observe_window(0.60, Some(0.45));
+        assert_eq!(ctrl.current(), None);
+        let mut reentered = None;
+        for i in 0..40 {
+            let c = ctrl.observe_window(0.45, Some(0.45));
+            if c.is_some() {
+                reentered = Some(i);
+                break;
+            }
+        }
+        let lag = reentered.expect("controller must re-enter approximation");
+        assert!(
+            lag >= 2,
+            "re-entry must lag the first clean audit (hysteresis)"
+        );
+    }
+
+    #[test]
+    fn dwell_prevents_thrash_on_oscillating_evidence() {
+        let mut ctrl = controller(5.0).with_audit_period(1).with_dwell(4);
+        // Alternate between clean (3 %) and inflated (6 %) audits: the
+        // inflation-deflated budget flips the instantaneous target across
+        // the Set2/BandDrop boundary, but dwell keeps the configuration
+        // stable.
+        for i in 0..60 {
+            let exact = 0.45;
+            let approx = if i % 2 == 0 { 0.45 * 1.03 } else { 0.45 * 1.06 };
+            let _ = ctrl.observe_window(approx, Some(exact));
+        }
+        assert!(ctrl.current().is_some(), "evidence stays within budget");
+        assert!(
+            ctrl.switches() <= 4,
+            "oscillating evidence caused {} switches",
+            ctrl.switches()
+        );
+        assert_eq!(ctrl.audits(), 60);
+        assert_eq!(ctrl.windows(), 60);
+    }
+
+    #[test]
+    fn reentry_after_overrun_lands_on_a_safer_configuration() {
+        // Start at Set2 (expected 4 %), overrun the budget hard, then feed
+        // clean audits: the controller must come back — but the lingering
+        // inflation must make it re-enter at the safer BandDrop point, not
+        // jump straight back to the configuration that overran.
+        let mut ctrl = controller(5.0).with_audit_period(1).with_dwell(1);
+        assert_eq!(
+            ctrl.current().expect("choice").mode,
+            ApproximationMode::BandDropSet2
+        );
+        let _ = ctrl.observe_window(0.60, Some(0.45)); // ~33 % error
+        assert_eq!(ctrl.current(), None, "over budget → exact fallback");
+        let mut reentered = None;
+        for _ in 0..40 {
+            if let Some(choice) = ctrl.observe_window(0.45, Some(0.45)) {
+                reentered = Some(choice);
+                break;
+            }
+        }
+        let choice = reentered.expect("must re-enter approximation");
+        assert_eq!(
+            choice.mode,
+            ApproximationMode::BandDrop,
+            "re-entry must pick the safer configuration"
+        );
+    }
+
+    #[test]
+    fn audit_schedule_follows_period() {
+        let mut ctrl = controller(5.0).with_audit_period(4);
+        let mut audit_flags = Vec::new();
+        for _ in 0..8 {
+            audit_flags.push(ctrl.should_audit());
+            let _ = ctrl.observe_window(0.45, None);
+        }
+        assert_eq!(
+            audit_flags,
+            vec![true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Q_DES must be positive")]
+    fn zero_budget_rejected() {
+        let _ = controller(0.0);
+    }
+}

@@ -1,0 +1,593 @@
+//! Multiplexing thousands of patient streams on one node.
+//!
+//! [`FleetScheduler`] owns a cohort of independent streams (ingest ring +
+//! sliding engine + optional online quality controller each) and drives
+//! them through a shared [`ScratchPool`] in bounded time slices — the
+//! service-shaped counterpart of the paper's single-patient monitoring
+//! loop. Steady-state per-window work allocates nothing (the
+//! `fleet_throughput` bench measures this with a counting allocator), and
+//! the aggregate cost is reported through `hrv-node-sim`'s cycle/energy
+//! model.
+
+use crate::backends::{backend_for_choice, exact_backend};
+use crate::controller::OnlineQualityController;
+use crate::ingest::RrIngest;
+use crate::scratch::ScratchPool;
+use crate::sliding::{SlidingLomb, WindowView};
+use hrv_core::{NodeModel, OperatingChoice, PsaConfig, PsaError, QualityController, SweepResult};
+use hrv_dsp::OpCount;
+use hrv_ecg::{Condition, SyntheticDatabase};
+use hrv_lomb::ArrhythmiaDetector;
+use hrv_wavelet::WaveletBasis;
+use std::fmt;
+use std::time::Instant;
+
+/// Fleet composition and pacing.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of concurrent patient streams.
+    pub streams: usize,
+    /// Seconds of RR data per stream.
+    pub duration: f64,
+    /// Master seed of the synthetic cohort.
+    pub seed: u64,
+    /// Multiplexing time slice in stream-seconds (every stream advances by
+    /// this much before the next round).
+    pub slice: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            streams: 1000,
+            duration: 600.0,
+            seed: 2014,
+            slice: 30.0,
+        }
+    }
+}
+
+/// One monitored patient inside the fleet.
+#[derive(Debug)]
+struct PatientStream {
+    ingest: RrIngest,
+    engine: SlidingLomb,
+    controller: Option<OnlineQualityController>,
+    /// Engine backend index for each controller choice.
+    choice_backends: Vec<(OperatingChoice, usize)>,
+    exact_index: usize,
+    samples: Vec<(f64, f64)>,
+    cursor: usize,
+    windows: u64,
+    arrhythmia_windows: u64,
+    ops: OpCount,
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Streams multiplexed.
+    pub streams: usize,
+    /// Windows emitted across the fleet.
+    pub windows: u64,
+    /// Stream-seconds of RR data processed.
+    pub stream_seconds: f64,
+    /// Wall-clock seconds spent inside the scheduler.
+    pub wall_seconds: f64,
+    /// Total operations across all windows.
+    pub total_ops: OpCount,
+    /// Node cycles for the total workload.
+    pub cycles: u64,
+    /// Node energy for the total workload at the nominal operating point
+    /// (joules; leakage window = windows × hop).
+    pub energy_j: f64,
+    /// Windows whose LF/HF ratio flagged sinus arrhythmia.
+    pub arrhythmia_windows: u64,
+    /// Configuration switches performed by the online controllers.
+    pub controller_switches: u64,
+    /// Scratch slots the shared pool ever created.
+    pub scratch_slots: usize,
+}
+
+impl FleetReport {
+    /// Windows per wall-clock second.
+    pub fn windows_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.windows as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean arithmetic operations per emitted window.
+    pub fn ops_per_window(&self) -> f64 {
+        if self.windows > 0 {
+            self.total_ops.arithmetic() as f64 / self.windows as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// How many times faster than real time the fleet was processed.
+    pub fn realtime_factor(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.stream_seconds / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} streams: {} windows in {:.2} s wall ({:.0} windows/s, {:.0}x realtime), \
+             {:.0} ops/window, {:.3} J, {} arrhythmia windows, {} controller switches",
+            self.streams,
+            self.windows,
+            self.wall_seconds,
+            self.windows_per_sec(),
+            self.realtime_factor(),
+            self.ops_per_window(),
+            self.energy_j,
+            self.arrhythmia_windows,
+            self.controller_switches
+        )
+    }
+}
+
+/// The multi-patient scheduler; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::PsaConfig;
+/// use hrv_stream::{FleetConfig, FleetScheduler};
+///
+/// let fleet = FleetConfig {
+///     streams: 4,
+///     duration: 300.0,
+///     ..FleetConfig::default()
+/// };
+/// let mut scheduler = FleetScheduler::new(PsaConfig::conventional(), fleet)?;
+/// let report = scheduler.run();
+/// assert_eq!(report.streams, 4);
+/// assert!(report.windows > 0);
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetScheduler {
+    psa: PsaConfig,
+    fleet: FleetConfig,
+    node: NodeModel,
+    patients: Vec<PatientStream>,
+    pool: ScratchPool,
+    detector: ArrhythmiaDetector,
+    fed_until: f64,
+    wall_seconds: f64,
+    finished: bool,
+}
+
+/// What the shared window-accounting sink hands back to the scheduler.
+#[derive(Debug, Default)]
+struct SinkOutcome {
+    /// Last controller decision of this batch of windows.
+    decision: Option<Option<OperatingChoice>>,
+    /// Whether *any* emitted window scheduled an audit for the next one —
+    /// sticky, so a multi-window push (e.g. after a sensor gap) cannot
+    /// drop a scheduled audit.
+    audit_next: bool,
+}
+
+/// The one window-accounting sink both `run_until` and `finish` use:
+/// counts windows/ops, applies the batch arrhythmia detector, and feeds
+/// the online controller when one is attached.
+fn account_windows<'a>(
+    windows: &'a mut u64,
+    ops: &'a mut OpCount,
+    arrhythmia_windows: &'a mut u64,
+    detector: ArrhythmiaDetector,
+    mut controller: Option<&'a mut OnlineQualityController>,
+    outcome: &'a mut SinkOutcome,
+) -> impl FnMut(&WindowView<'_>) + 'a {
+    move |w: &WindowView<'_>| {
+        *windows += 1;
+        *ops += w.ops;
+        if detector.detect(&w.powers) {
+            *arrhythmia_windows += 1;
+        }
+        if let Some(ctrl) = controller.as_deref_mut() {
+            outcome.decision = Some(ctrl.observe_window(w.lf_hf_ratio(), w.exact_lf_hf));
+            outcome.audit_next = outcome.audit_next || ctrl.should_audit();
+        }
+    }
+}
+
+impl FleetScheduler {
+    /// Builds the fleet: a deterministic synthetic cohort (alternating
+    /// sinus-arrhythmia and healthy patients) with one streaming engine
+    /// per patient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError`] when `psa` is invalid, and
+    /// [`PsaError::InvalidConfig`] for an empty fleet or non-positive
+    /// durations.
+    pub fn new(psa: PsaConfig, fleet: FleetConfig) -> Result<Self, PsaError> {
+        psa.validate()?;
+        if fleet.streams == 0 {
+            return Err(PsaError::InvalidConfig("fleet needs ≥ 1 stream".into()));
+        }
+        if fleet.duration <= 0.0 || fleet.slice <= 0.0 {
+            return Err(PsaError::InvalidConfig(
+                "fleet duration and slice must be positive".into(),
+            ));
+        }
+        let db = SyntheticDatabase::new(fleet.seed);
+        let mut patients = Vec::with_capacity(fleet.streams);
+        for id in 0..fleet.streams {
+            let condition = if id % 2 == 0 {
+                Condition::SinusArrhythmia
+            } else {
+                Condition::Healthy
+            };
+            let record = db.record(id, condition, fleet.duration);
+            let samples = record
+                .rr
+                .times()
+                .iter()
+                .copied()
+                .zip(record.rr.intervals().iter().copied())
+                .collect();
+            patients.push(PatientStream {
+                ingest: RrIngest::new(),
+                engine: SlidingLomb::from_config(&psa)?,
+                controller: None,
+                choice_backends: Vec::new(),
+                exact_index: 0,
+                samples,
+                cursor: 0,
+                windows: 0,
+                arrhythmia_windows: 0,
+                ops: OpCount::default(),
+            });
+        }
+        Ok(FleetScheduler {
+            psa,
+            fleet,
+            node: NodeModel::default(),
+            patients,
+            pool: ScratchPool::new(),
+            detector: ArrhythmiaDetector::default(),
+            fed_until: 0.0,
+            wall_seconds: 0.0,
+            finished: false,
+        })
+    }
+
+    /// Attaches an online quality controller (budget `qdes_pct` percent)
+    /// to every stream, instantiating a kernel for each static choice of
+    /// the design-time sweep. Kernels are built once and shared across the
+    /// fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qdes_pct` is not positive.
+    pub fn with_quality_control(mut self, sweep: &SweepResult, qdes_pct: f64) -> Self {
+        let basis = match self.psa.backend {
+            hrv_core::BackendChoice::Wavelet { basis, .. } => basis,
+            hrv_core::BackendChoice::SplitRadix => WaveletBasis::Haar,
+        };
+        let inner = QualityController::from_sweep(sweep, true);
+        let shared: Vec<(OperatingChoice, _)> = inner
+            .choices()
+            .iter()
+            .filter_map(|c| backend_for_choice(self.psa.fft_len, basis, c, None).map(|b| (*c, b)))
+            .collect();
+        let exact = exact_backend(self.psa.fft_len);
+        for patient in &mut self.patients {
+            let exact_index = if patient.engine.active_backend().is_exact() {
+                patient.engine.active_backend_index()
+            } else {
+                patient.engine.add_backend(exact.clone())
+            };
+            patient.exact_index = exact_index;
+            patient.choice_backends = shared
+                .iter()
+                .map(|(c, b)| (*c, patient.engine.add_backend(b.clone())))
+                .collect();
+            let controller = OnlineQualityController::new(inner.clone(), qdes_pct);
+            let start = controller.current();
+            apply_choice(
+                &mut patient.engine,
+                start,
+                &patient.choice_backends,
+                exact_index,
+            );
+            patient.controller = Some(controller);
+        }
+        self
+    }
+
+    /// Overrides the node model used for the energy report.
+    pub fn with_node_model(mut self, node: NodeModel) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Advances every stream to stream-time `t_limit` (seconds). Returns
+    /// `true` while any stream still has samples left.
+    pub fn run_until(&mut self, t_limit: f64) -> bool {
+        let started = Instant::now();
+        let mut remaining = false;
+        let mut scratch = self.pool.acquire();
+        let detector = self.detector;
+        for patient in &mut self.patients {
+            while patient.cursor < patient.samples.len() {
+                let (t, rr) = patient.samples[patient.cursor];
+                if t >= t_limit {
+                    break;
+                }
+                patient.cursor += 1;
+                if !patient.ingest.push_rr(t, rr) {
+                    continue;
+                }
+                while let Some((t, rr)) = patient.ingest.pop() {
+                    let PatientStream {
+                        engine,
+                        controller,
+                        choice_backends,
+                        exact_index,
+                        windows,
+                        arrhythmia_windows,
+                        ops,
+                        ..
+                    } = patient;
+                    let mut outcome = SinkOutcome::default();
+                    {
+                        let mut sink = account_windows(
+                            windows,
+                            ops,
+                            arrhythmia_windows,
+                            detector,
+                            controller.as_mut(),
+                            &mut outcome,
+                        );
+                        engine.push(t, rr, &mut scratch, &mut sink);
+                    }
+                    if let Some(choice) = outcome.decision {
+                        apply_choice(engine, choice, choice_backends, *exact_index);
+                    }
+                    if outcome.audit_next {
+                        engine.request_audit();
+                    }
+                }
+            }
+            if patient.cursor < patient.samples.len() {
+                remaining = true;
+            }
+        }
+        self.pool.release(scratch);
+        self.fed_until = t_limit;
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        remaining
+    }
+
+    /// Flushes the trailing windows of every stream (batch parity).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        let started = Instant::now();
+        let mut scratch = self.pool.acquire();
+        let detector = self.detector;
+        for patient in &mut self.patients {
+            let PatientStream {
+                engine,
+                controller,
+                windows,
+                arrhythmia_windows,
+                ops,
+                ..
+            } = patient;
+            // Trailing windows still feed the controller so its statistics
+            // cover everything the report counts; its decision has nothing
+            // left to steer.
+            let mut outcome = SinkOutcome::default();
+            let mut sink = account_windows(
+                windows,
+                ops,
+                arrhythmia_windows,
+                detector,
+                controller.as_mut(),
+                &mut outcome,
+            );
+            engine.finish(&mut scratch, &mut sink);
+        }
+        self.pool.release(scratch);
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        self.finished = true;
+    }
+
+    /// Runs the whole fleet to completion in `slice`-sized rounds and
+    /// returns the aggregate report.
+    pub fn run(&mut self) -> FleetReport {
+        let mut t = self.fed_until + self.fleet.slice;
+        while self.run_until(t) {
+            t += self.fleet.slice;
+        }
+        self.finish();
+        self.report()
+    }
+
+    /// The aggregate report for everything processed so far.
+    pub fn report(&self) -> FleetReport {
+        let mut total_ops = OpCount::default();
+        let mut windows = 0u64;
+        let mut arrhythmia_windows = 0u64;
+        let mut switches = 0u64;
+        let mut stream_seconds = 0.0;
+        for patient in &self.patients {
+            total_ops += patient.ops;
+            windows += patient.windows;
+            arrhythmia_windows += patient.arrhythmia_windows;
+            if let Some(ctrl) = &patient.controller {
+                switches += ctrl.switches();
+            }
+            if let Some(idx) = patient.cursor.checked_sub(1) {
+                stream_seconds += patient.samples[idx].0;
+            }
+        }
+        let cycles = self.node.cost.cycles(&total_ops);
+        let hop = self.psa.window_duration * (1.0 - self.psa.overlap);
+        let interval = windows as f64 * hop;
+        let energy_j = self
+            .node
+            .energy
+            .energy(
+                &total_ops,
+                &self.node.cost,
+                &self.node.dvfs.nominal(),
+                interval,
+            )
+            .total();
+        FleetReport {
+            streams: self.patients.len(),
+            windows,
+            stream_seconds,
+            wall_seconds: self.wall_seconds,
+            total_ops,
+            cycles,
+            energy_j,
+            arrhythmia_windows,
+            controller_switches: switches,
+            scratch_slots: self.pool.slots_created().max(1),
+        }
+    }
+
+    /// Number of streams in the fleet.
+    pub fn streams(&self) -> usize {
+        self.patients.len()
+    }
+}
+
+/// Installs the kernel a controller decision maps to.
+fn apply_choice(
+    engine: &mut SlidingLomb,
+    choice: Option<OperatingChoice>,
+    choice_backends: &[(OperatingChoice, usize)],
+    exact_index: usize,
+) {
+    let index = choice
+        .and_then(|c| {
+            choice_backends
+                .iter()
+                .find(|(known, _)| *known == c)
+                .map(|(_, idx)| *idx)
+        })
+        .unwrap_or(exact_index);
+    engine.set_active_backend(index);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_core::{energy_quality_sweep, PsaSystem};
+
+    fn small_fleet(streams: usize, duration: f64) -> FleetScheduler {
+        FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams,
+                duration,
+                seed: 7,
+                slice: 60.0,
+            },
+        )
+        .expect("valid fleet")
+    }
+
+    #[test]
+    fn fleet_matches_batch_per_patient() {
+        let mut scheduler = small_fleet(6, 400.0);
+        let report = scheduler.run();
+        // Each patient must emit exactly the windows the batch system
+        // would analyse.
+        let db = SyntheticDatabase::new(7);
+        let system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+        let mut expected = 0u64;
+        let mut expected_arr = 0u64;
+        for id in 0..6 {
+            let condition = if id % 2 == 0 {
+                Condition::SinusArrhythmia
+            } else {
+                Condition::Healthy
+            };
+            let record = db.record(id, condition, 400.0);
+            let analysis = system.analyze(&record.rr).expect("analysis");
+            expected += analysis.per_window.len() as u64;
+            expected_arr += analysis
+                .per_window
+                .iter()
+                .filter(|(_, p)| p.lf_hf_ratio() < 1.0)
+                .count() as u64;
+        }
+        assert_eq!(report.windows, expected);
+        assert_eq!(report.arrhythmia_windows, expected_arr);
+        assert_eq!(report.streams, 6);
+        assert!(report.windows_per_sec() > 0.0);
+        assert!(report.ops_per_window() > 0.0);
+        assert!(report.energy_j > 0.0);
+        assert!(report.realtime_factor() > 1.0);
+    }
+
+    #[test]
+    fn shared_pool_uses_one_slot_for_many_streams() {
+        let mut scheduler = small_fleet(12, 300.0);
+        let report = scheduler.run();
+        assert_eq!(report.scratch_slots, 1);
+        assert!(report.windows > 0);
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn quality_controlled_fleet_runs_and_reports() {
+        let db = SyntheticDatabase::new(3);
+        let cohort: Vec<_> = (0..3)
+            .map(|id| db.record(id, Condition::SinusArrhythmia, 360.0).rr)
+            .collect();
+        let sweep = energy_quality_sweep(
+            &cohort,
+            WaveletBasis::Haar,
+            &NodeModel::default(),
+            &PsaConfig::conventional(),
+        )
+        .expect("sweep");
+        let mut scheduler = small_fleet(4, 400.0).with_quality_control(&sweep, 5.0);
+        let report = scheduler.run();
+        assert!(report.windows > 0);
+        // The controller ran: every patient holds one, and audit windows
+        // were produced (switch count is workload-dependent, may be 0).
+        assert!(scheduler.patients.iter().all(|p| p.controller.is_some()));
+        let audits: u64 = scheduler
+            .patients
+            .iter()
+            .map(|p| p.controller.as_ref().unwrap().audits())
+            .sum();
+        assert!(audits > 0);
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let err = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams: 0,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PsaError::InvalidConfig(_)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Reusable per-window working memory and the shared fleet pool.
+//!
+//! Every buffer the sliding engine touches per emitted window lives here,
+//! so that after a warm-up phase the hot path performs **zero heap
+//! allocations per window** — the property that lets one node multiplex
+//! thousands of patient streams (`fleet_throughput` measures it with a
+//! counting allocator).
+
+use hrv_dsp::Cx;
+use hrv_lomb::MeshScratch;
+
+/// Working buffers for one in-flight window computation.
+///
+/// Acquire from a [`ScratchPool`] (or construct directly); all buffers grow
+/// on first use and are reused afterwards.
+#[derive(Debug, Default)]
+pub struct StreamScratch {
+    /// Window-relative sample times.
+    pub(crate) seg_times: Vec<f64>,
+    /// Window sample values.
+    pub(crate) seg_values: Vec<f64>,
+    /// Data mesh.
+    pub(crate) wk1: Vec<f64>,
+    /// Weight mesh.
+    pub(crate) wk2: Vec<f64>,
+    /// Data half-spectrum.
+    pub(crate) first: Vec<Cx>,
+    /// Weight half-spectrum (full packed path only).
+    pub(crate) second: Vec<Cx>,
+    /// Packed complex FFT input.
+    pub(crate) packed: Vec<Cx>,
+    /// FFT kernel working set.
+    pub(crate) fft: Vec<Cx>,
+    /// Output frequency grid.
+    pub(crate) freqs: Vec<f64>,
+    /// Output power values.
+    pub(crate) power: Vec<f64>,
+    /// Audit-path data spectrum.
+    pub(crate) audit_first: Vec<Cx>,
+    /// Audit-path weight spectrum.
+    pub(crate) audit_second: Vec<Cx>,
+    /// Audit-path frequency grid.
+    pub(crate) audit_freqs: Vec<f64>,
+    /// Audit-path power values.
+    pub(crate) audit_power: Vec<f64>,
+    /// Spline / prepare intermediates.
+    pub(crate) mesh: MeshScratch,
+}
+
+impl StreamScratch {
+    /// Creates an empty scratch slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of the current capacities of all buffers (elements, not bytes) —
+    /// a cheap fingerprint tests use to prove steady-state reuse: once the
+    /// engine has warmed up, this value must stop changing.
+    pub fn capacity_signature(&self) -> usize {
+        self.seg_times.capacity()
+            + self.seg_values.capacity()
+            + self.wk1.capacity()
+            + self.wk2.capacity()
+            + self.first.capacity()
+            + self.second.capacity()
+            + self.packed.capacity()
+            + self.fft.capacity()
+            + self.freqs.capacity()
+            + self.power.capacity()
+            + self.audit_first.capacity()
+            + self.audit_second.capacity()
+            + self.audit_freqs.capacity()
+            + self.audit_power.capacity()
+    }
+}
+
+/// A pool of [`StreamScratch`] slots shared by all streams of a fleet.
+///
+/// Single-threaded multiplexing needs exactly one slot regardless of how
+/// many patient streams are interleaved; the pool keeps warmed-up slots
+/// alive so no stream ever re-grows the buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<StreamScratch>,
+    created: usize,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a slot from the pool, creating one only when none is free.
+    pub fn acquire(&mut self) -> StreamScratch {
+        self.free.pop().unwrap_or_else(|| {
+            self.created += 1;
+            StreamScratch::new()
+        })
+    }
+
+    /// Returns a slot (with its grown buffers) for reuse.
+    pub fn release(&mut self, scratch: StreamScratch) {
+        self.free.push(scratch);
+    }
+
+    /// Number of slots ever created — stays at 1 for a single-threaded
+    /// fleet, however many streams it multiplexes.
+    pub fn slots_created(&self) -> usize {
+        self.created
+    }
+
+    /// Number of slots currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_slots() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.acquire();
+        a.wk1.resize(512, 0.0);
+        let sig = a.capacity_signature();
+        pool.release(a);
+        assert_eq!(pool.slots_created(), 1);
+        assert_eq!(pool.available(), 1);
+        let b = pool.acquire();
+        assert_eq!(pool.slots_created(), 1, "slot must be reused, not created");
+        assert_eq!(b.capacity_signature(), sig, "grown buffers survive reuse");
+    }
+
+    #[test]
+    fn pool_creates_on_demand() {
+        let mut pool = ScratchPool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.slots_created(), 2);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.available(), 2);
+    }
+}

@@ -20,7 +20,10 @@
 //!   surrogate cohort);
 //! * [`delineate`] (`hrv-delineate`) — Pan–Tompkins QRS detection;
 //! * [`node_sim`] (`hrv-node-sim`) — the sensor-node cycle/energy/DVFS
-//!   model and validation VM.
+//!   model and validation VM;
+//! * [`stream`] (`hrv-stream`) — incremental streaming analysis:
+//!   sample-by-sample RR ingestion, the sliding Welch–Lomb engine, the
+//!   online quality controller and the multi-patient fleet scheduler.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use hrv_dsp as dsp;
 pub use hrv_ecg as ecg;
 pub use hrv_lomb as lomb;
 pub use hrv_node_sim as node_sim;
+pub use hrv_stream as stream;
 pub use hrv_wavelet as wavelet;
 pub use hrv_wfft as wfft;
 
@@ -62,6 +66,9 @@ pub mod prelude {
     pub use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft, Window};
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
     pub use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, FreqBand, WelchLomb};
+    pub use hrv_stream::{
+        FleetConfig, FleetScheduler, OnlineQualityController, RrIngest, SlidingLomb, StreamScratch,
+    };
     pub use hrv_wavelet::WaveletBasis;
     pub use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
 }

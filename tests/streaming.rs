@@ -1,0 +1,298 @@
+//! Streaming ↔ batch equivalence and online-controller guarantees.
+//!
+//! The contract of `hrv-stream`: feeding an RR series one sample at a time
+//! through `SlidingLomb` yields the same segments (start, sample count,
+//! spectrum within 1e-9) as batch `WelchLomb`, while spending fewer
+//! operations per window; and the `OnlineQualityController` keeps the
+//! observed LF/HF distortion within the caller's Q_DES on the seeded
+//! cohort.
+
+use hrv_psa::core::{
+    energy_quality_sweep, ApproximationMode, NodeModel, PruningPolicy, PsaConfig, PsaSystem,
+    QualityController,
+};
+use hrv_psa::dsp::{BlockOps, OpCount, SplitRadixFft};
+use hrv_psa::ecg::{Condition, SyntheticDatabase};
+use hrv_psa::lomb::{FastLomb, WelchLomb};
+use hrv_psa::prelude::{FleetConfig, FleetScheduler, OnlineQualityController};
+use hrv_psa::stream::{backend_for_choice, SlidingLomb, StreamScratch, WindowView};
+use hrv_psa::wavelet::WaveletBasis;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic RR series with LF and HF content, parameterised so
+/// proptest can explore amplitudes, frequencies and duration.
+fn rr_series(
+    duration: f64,
+    hf_amp: f64,
+    lf_amp: f64,
+    hf_freq: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+    let mut t = 0.0;
+    let (mut times, mut values) = (Vec::new(), Vec::new());
+    while t < duration {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.012;
+        let rr = 0.85
+            + hf_amp * (2.0 * std::f64::consts::PI * hf_freq * t).sin()
+            + lf_amp * (2.0 * std::f64::consts::PI * 0.09 * t).sin()
+            + noise;
+        t += rr;
+        times.push(t);
+        values.push(rr);
+    }
+    (times, values)
+}
+
+/// Runs the full series through a streaming engine one sample at a time
+/// and collects the emitted segments.
+fn stream_all(
+    engine: &mut SlidingLomb,
+    times: &[f64],
+    values: &[f64],
+) -> Vec<(f64, usize, Vec<f64>)> {
+    let mut scratch = StreamScratch::new();
+    let mut got = Vec::new();
+    let mut sink = |w: &WindowView<'_>| got.push((w.start, w.samples, w.power.to_vec()));
+    for (&t, &v) in times.iter().zip(values) {
+        engine.push(t, v, &mut scratch, &mut sink);
+    }
+    engine.finish(&mut scratch, &mut sink);
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The headline equivalence property on the paper's resampling front
+    // end: identical windowing, spectra within 1e-9.
+    #[test]
+    fn streaming_equals_batch_on_paper_front_end(
+        seed in 0.0f64..1000.0,
+        hf_amp in 0.03f64..0.07,
+        lf_amp in 0.01f64..0.04,
+        hf_freq in 0.2f64..0.35,
+        duration in 300.0f64..700.0,
+    ) {
+        let (times, values) = rr_series(duration, hf_amp, lf_amp, hf_freq, seed as u64);
+        let estimator = FastLomb::new(512, 2.0).with_resampled_mesh().with_max_freq(0.5);
+        let welch = WelchLomb::new(estimator.clone(), 120.0, 0.5);
+        let batch = welch.process(
+            &SplitRadixFft::new(512), &times, &values, &mut OpCount::default(),
+        );
+        let mut engine = SlidingLomb::new(
+            estimator, 120.0, 0.5, Arc::new(SplitRadixFft::new(512)),
+        );
+        let got = stream_all(&mut engine, &times, &values);
+        prop_assert_eq!(got.len(), batch.segments().len());
+        for (stream, reference) in got.iter().zip(batch.segments()) {
+            prop_assert!((stream.0 - reference.start).abs() < 1e-9);
+            prop_assert_eq!(stream.1, reference.samples);
+            prop_assert_eq!(stream.2.len(), reference.periodogram.len());
+            for (a, b) in stream.2.iter().zip(reference.periodogram.power()) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "spectrum diverged: {} vs {}", a, b
+                );
+            }
+        }
+    }
+
+    // The same property on the extirpolation front end (the ablation
+    // path): here the streaming engine runs the bit-identical batch
+    // pipeline, so the match is essentially exact.
+    #[test]
+    fn streaming_equals_batch_on_extirpolated_front_end(
+        seed in 0.0f64..1000.0,
+        duration in 300.0f64..500.0,
+    ) {
+        let (times, values) = rr_series(duration, 0.05, 0.02, 0.25, seed as u64);
+        let estimator = FastLomb::new(256, 2.0).with_max_freq(0.5);
+        let welch = WelchLomb::new(estimator.clone(), 100.0, 0.5);
+        let batch = welch.process(
+            &SplitRadixFft::new(256), &times, &values, &mut OpCount::default(),
+        );
+        let mut engine = SlidingLomb::new(
+            estimator, 100.0, 0.5, Arc::new(SplitRadixFft::new(256)),
+        );
+        let got = stream_all(&mut engine, &times, &values);
+        prop_assert_eq!(got.len(), batch.segments().len());
+        for (stream, reference) in got.iter().zip(batch.segments()) {
+            prop_assert_eq!(stream.1, reference.samples);
+            for (a, b) in stream.2.iter().zip(reference.periodogram.power()) {
+                prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+            }
+        }
+    }
+}
+
+/// The incremental engine must beat the batch recompute on ops per window
+/// (weight-spectrum reuse + half-length data FFT).
+#[test]
+fn incremental_ops_per_window_beat_batch() {
+    let (times, values) = rr_series(1800.0, 0.05, 0.02, 0.25, 42);
+    let estimator = FastLomb::new(512, 2.0)
+        .with_resampled_mesh()
+        .with_max_freq(0.5);
+    let welch = WelchLomb::new(estimator.clone(), 120.0, 0.5);
+    let mut batch_blocks = BlockOps::new();
+    let batch =
+        welch.process_profiled(&SplitRadixFft::new(512), &times, &values, &mut batch_blocks);
+    let mut engine = SlidingLomb::new(estimator, 120.0, 0.5, Arc::new(SplitRadixFft::new(512)));
+    let got = stream_all(&mut engine, &times, &values);
+    assert_eq!(got.len(), batch.segments().len());
+    let windows = got.len() as f64;
+    let batch_per_window = batch_blocks.grand_total().arithmetic() as f64 / windows;
+    let stream_per_window = engine.blocks().grand_total().arithmetic() as f64 / windows;
+    assert!(
+        stream_per_window < 0.85 * batch_per_window,
+        "incremental {stream_per_window:.0} ops/window vs batch {batch_per_window:.0}"
+    );
+}
+
+/// Satellite guarantee: on the seeded cohort, an online-controlled stream
+/// never exceeds the caller's Q_DES — the hour-average LF/HF ratio of the
+/// controlled stream stays within Q_DES of the exact system's.
+#[test]
+fn online_controller_respects_qdes_on_seeded_cohort() {
+    let qdes_pct = 5.0;
+    let db = SyntheticDatabase::new(2014);
+    let cohort: Vec<_> = (0..6)
+        .map(|id| db.record(id, Condition::SinusArrhythmia, 600.0).rr)
+        .collect();
+    let sweep = energy_quality_sweep(
+        &cohort,
+        WaveletBasis::Haar,
+        &NodeModel::default(),
+        &PsaConfig::conventional(),
+    )
+    .expect("sweep");
+    let exact_system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
+
+    for rr in &cohort {
+        let mut engine = SlidingLomb::from_config(&PsaConfig::conventional()).expect("valid");
+        let mut controller =
+            OnlineQualityController::new(QualityController::from_sweep(&sweep, true), qdes_pct)
+                .with_audit_period(4);
+        // Install a kernel per controller choice.
+        let mapping: Vec<_> = QualityController::from_sweep(&sweep, true)
+            .choices()
+            .iter()
+            .filter_map(|c| {
+                backend_for_choice(512, WaveletBasis::Haar, c, None)
+                    .map(|b| (*c, engine.add_backend(b)))
+            })
+            .collect();
+        if let Some(start) = controller.current() {
+            let idx = mapping.iter().find(|(c, _)| *c == start).map(|(_, i)| *i);
+            engine.set_active_backend(idx.unwrap_or(0));
+        }
+
+        let mut scratch = StreamScratch::new();
+        let mut decisions: Vec<Option<hrv_psa::core::OperatingChoice>> = Vec::new();
+        for (&t, &v) in rr.times().iter().zip(rr.intervals()) {
+            let mut decision = None;
+            let mut audit = false;
+            {
+                let mut sink = |w: &WindowView<'_>| {
+                    decision = Some(controller.observe_window(w.lf_hf_ratio(), w.exact_lf_hf));
+                    audit = audit || controller.should_audit();
+                };
+                engine.push(t, v, &mut scratch, &mut sink);
+            }
+            if let Some(choice) = decision {
+                let idx = choice
+                    .and_then(|c| mapping.iter().find(|(k, _)| *k == c).map(|(_, i)| *i))
+                    .unwrap_or(0);
+                engine.set_active_backend(idx);
+                decisions.push(choice);
+            }
+            if audit {
+                engine.request_audit();
+            }
+        }
+        engine.finish(&mut scratch, &mut |_| {});
+
+        // Every configuration the controller ever selected promised a
+        // distortion within the budget.
+        for choice in decisions.into_iter().flatten() {
+            assert!(choice.expected_error_pct <= qdes_pct);
+        }
+        // And the realised hour-average distortion stays within Q_DES.
+        let exact_ratio = exact_system.analyze(rr).expect("analysis").lf_hf_ratio();
+        let streamed_ratio = {
+            let avg = engine.averaged().expect("windows emitted");
+            let powers = hrv_psa::lomb::BandPowers::of(&avg);
+            powers.lf_hf_ratio()
+        };
+        let err_pct = 100.0 * (streamed_ratio - exact_ratio).abs() / exact_ratio.abs();
+        assert!(
+            err_pct <= qdes_pct,
+            "controlled stream distortion {err_pct:.2}% exceeds Q_DES {qdes_pct}%"
+        );
+    }
+}
+
+/// The fleet sustains 1000 concurrent streams through one shared scratch
+/// slot, with per-stream results identical to batch analysis.
+#[test]
+fn fleet_sustains_1000_streams() {
+    let mut scheduler = FleetScheduler::new(
+        PsaConfig::conventional(),
+        FleetConfig {
+            streams: 1000,
+            duration: 300.0,
+            seed: 5,
+            slice: 60.0,
+        },
+    )
+    .expect("valid fleet");
+    let report = scheduler.run();
+    assert_eq!(report.streams, 1000);
+    // 300 s of data, 120 s windows, 60 s hop → ~3-4 windows per stream.
+    assert!(report.windows >= 3000, "only {} windows", report.windows);
+    assert_eq!(report.scratch_slots, 1, "one shared scratch slot suffices");
+    assert!(report.realtime_factor() > 100.0);
+    // Spot-check one patient against the batch system.
+    let record = SyntheticDatabase::new(5).record(0, Condition::SinusArrhythmia, 300.0);
+    let analysis = PsaSystem::new(PsaConfig::conventional())
+        .expect("valid")
+        .analyze(&record.rr)
+        .expect("analysis");
+    assert!(analysis.per_window.len() >= 3);
+}
+
+/// Mixed pruned/exact streaming: a static Set3 stream still flags the
+/// arrhythmia cohort (the paper's headline claim, live).
+#[test]
+fn pruned_streaming_preserves_detection() {
+    let record = SyntheticDatabase::new(2014).record(0, Condition::SinusArrhythmia, 480.0);
+    let mut engine = SlidingLomb::from_config(&PsaConfig::proposed(
+        WaveletBasis::Haar,
+        ApproximationMode::BandDropSet3,
+        PruningPolicy::Static,
+    ))
+    .expect("valid");
+    let mut scratch = StreamScratch::new();
+    let mut flagged = 0usize;
+    let mut windows = 0usize;
+    let mut sink = |w: &WindowView<'_>| {
+        windows += 1;
+        if w.lf_hf_ratio() < 1.0 {
+            flagged += 1;
+        }
+    };
+    for (&t, &v) in record.rr.times().iter().zip(record.rr.intervals()) {
+        engine.push(t, v, &mut scratch, &mut sink);
+    }
+    engine.finish(&mut scratch, &mut sink);
+    assert!(windows > 0);
+    assert!(
+        flagged * 2 > windows,
+        "pruned stream lost detection: {flagged}/{windows}"
+    );
+}
