@@ -6,6 +6,7 @@
 //! Environment knobs (for CI smoke runs):
 //!   HRV_FLEET_STREAMS  concurrent streams in the fleet phase (default 1000)
 //!   HRV_FLEET_SECONDS  seconds of RR data per stream     (default 600)
+//!   HRV_FLEET_WORKERS  comma list of shard counts to run  (default 1,2,4)
 
 use hrv_core::PsaConfig;
 use hrv_dsp::{BlockOps, SplitRadixFft};
@@ -49,9 +50,24 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Comma-separated shard counts, e.g. `HRV_FLEET_WORKERS=1,2,4`.
+fn env_workers(default: &[usize]) -> Vec<usize> {
+    std::env::var("HRV_FLEET_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .filter(|&w| w > 0)
+                .collect()
+        })
+        .filter(|ws: &Vec<usize>| !ws.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
 fn main() {
     let streams = env_usize("HRV_FLEET_STREAMS", 1000);
     let seconds = env_usize("HRV_FLEET_SECONDS", 600) as f64;
+    let worker_counts = env_workers(&[1, 2, 4]);
 
     // ---- single stream: incremental vs batch ------------------------------
     let record = SyntheticDatabase::new(2014).record(0, Condition::SinusArrhythmia, 3600.0);
@@ -137,24 +153,113 @@ fn main() {
         steady_allocs as f64 / steady_windows.max(1) as f64
     );
 
-    // ---- fleet phase -------------------------------------------------------
+    // ---- fleet phase: sharded workers over one shared kernel cache --------
     println!("== fleet: {streams} concurrent streams x {seconds:.0} s ==\n");
-    let mut scheduler = FleetScheduler::new(
-        PsaConfig::conventional(),
-        FleetConfig {
-            streams,
-            duration: seconds,
-            seed: 2014,
-            slice: 60.0,
-        },
-    )
-    .expect("valid fleet");
-    let report = scheduler.run();
-    println!("{report}");
     println!(
-        "scratch slots created: {} (shared across all {} streams)",
-        report.scratch_slots, report.streams
+        "{:>8} {:>10} {:>12} {:>14} {:>14} {:>14} {:>12}",
+        "workers", "windows", "windows/s", "win/s/shard", "kernel builds", "cache hits", "hit rate"
     );
+    // Shard-parity fingerprint: everything the report derives from the
+    // per-window results must be identical at every worker count.
+    let parity =
+        |r: &hrv_stream::FleetReport| (r.windows, r.total_ops, r.energy_j, r.arrhythmia_windows);
+    let mut serial_parity = None;
+    for &workers in &worker_counts {
+        let mut scheduler = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams,
+                duration: seconds,
+                seed: 2014,
+                slice: 60.0,
+                workers,
+            },
+        )
+        .expect("valid fleet");
+        let report = scheduler.run();
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>14.0} {:>14} {:>14} {:>11.1}%",
+            report.workers,
+            report.windows,
+            report.windows_per_sec(),
+            report.windows_per_sec() / report.workers as f64,
+            report.kernel_builds,
+            report.kernel_hits,
+            100.0 * report.kernel_hit_rate()
+        );
+        match &serial_parity {
+            None => serial_parity = Some(parity(&report)),
+            Some(expect) => assert_eq!(
+                &parity(&report),
+                expect,
+                "sharded run must be batch-identical to serial"
+            ),
+        }
+        if workers == *worker_counts.first().expect("non-empty") {
+            println!("\n{report}");
+            println!(
+                "scratch arenas: {} (one per worker; kernels shared across all {} streams)\n",
+                report.scratch_slots, report.streams
+            );
+        }
+    }
+
+    // ---- quality-controlled fleet: switches are cache lookups --------------
+    // Every stream carries an online controller; every operating choice of
+    // the design-time sweep resolves to one cached kernel, so kernel
+    // builds stay flat however many streams run or switches happen.
+    let db = SyntheticDatabase::new(2014);
+    let cohort: Vec<_> = (0..3)
+        .map(|id| db.record(id, Condition::SinusArrhythmia, 360.0).rr)
+        .collect();
+    let sweep = hrv_core::energy_quality_sweep(
+        &cohort,
+        hrv_wavelet::WaveletBasis::Haar,
+        &hrv_core::NodeModel::default(),
+        &PsaConfig::conventional(),
+    )
+    .expect("sweep");
+    println!("\n== quality-controlled fleet (Q_DES = 5%): {streams} streams x {seconds:.0} s ==\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>14} {:>14} {:>12}",
+        "workers", "windows", "windows/s", "switches", "kernel builds", "cache hits", "hit rate"
+    );
+    let mut qc_serial_parity = None;
+    for &workers in &worker_counts {
+        let mut scheduler = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams,
+                duration: seconds,
+                seed: 2014,
+                slice: 60.0,
+                workers,
+            },
+        )
+        .expect("valid fleet")
+        .with_training(&cohort)
+        .expect("training")
+        .with_quality_control(&sweep, 5.0);
+        let report = scheduler.run();
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>10} {:>14} {:>14} {:>11.1}%",
+            report.workers,
+            report.windows,
+            report.windows_per_sec(),
+            report.controller_switches,
+            report.kernel_builds,
+            report.kernel_hits,
+            100.0 * report.kernel_hit_rate()
+        );
+        let fingerprint = (parity(&report), report.controller_switches);
+        match &qc_serial_parity {
+            None => qc_serial_parity = Some(fingerprint),
+            Some(expect) => assert_eq!(
+                &fingerprint, expect,
+                "quality-controlled sharded run must be batch-identical to serial"
+            ),
+        }
+    }
 
     let mut single = FleetScheduler::new(
         PsaConfig::conventional(),
@@ -163,6 +268,7 @@ fn main() {
             duration: seconds,
             seed: 2014,
             slice: 60.0,
+            workers: 1,
         },
     )
     .expect("valid fleet");

@@ -1,5 +1,6 @@
 //! Error type of the PSA system's public API.
 
+use crate::config::ApproximationMode;
 use std::fmt;
 
 /// Errors returned by [`crate::PsaSystem`] and its configuration.
@@ -23,6 +24,14 @@ pub enum PsaError {
     ConstantSignal,
     /// A dynamic-pruning backend was requested without calibration data.
     NeedsCalibration,
+    /// A dynamic-pruning kernel was requested from a
+    /// [`crate::SpectralPlan`] that carries no training meshes — attach
+    /// them with [`crate::SpectralPlan::with_training`] (or build the plan
+    /// via [`crate::SpectralPlan::calibrated`]).
+    MissingCalibration {
+        /// The approximation degree of the kernel that could not be built.
+        mode: ApproximationMode,
+    },
     /// An invalid configuration value.
     InvalidConfig(String),
 }
@@ -42,6 +51,14 @@ impl fmt::Display for PsaError {
             PsaError::ConstantSignal => f.write_str("constant RR series has no spectrum"),
             PsaError::NeedsCalibration => {
                 f.write_str("dynamic pruning requires calibration data; use with_calibration")
+            }
+            PsaError::MissingCalibration { mode } => {
+                write!(
+                    f,
+                    "dynamic-pruning kernel ({mode}) requested from a plan without training \
+                     meshes; attach them with SpectralPlan::with_training or \
+                     SpectralPlan::calibrated"
+                )
             }
             PsaError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
@@ -64,6 +81,9 @@ mod tests {
             PsaError::TooFewSamples { got: 2, need: 16 },
             PsaError::ConstantSignal,
             PsaError::NeedsCalibration,
+            PsaError::MissingCalibration {
+                mode: ApproximationMode::BandDropSet2,
+            },
             PsaError::InvalidConfig("ofac < 1".into()),
         ];
         for e in errs {

@@ -1,0 +1,659 @@
+//! The shared execution layer: one planner and one kernel cache behind
+//! every front-end.
+//!
+//! The paper's run-time controller (Fig. 2) assumes a single spectral
+//! engine whose approximation knobs are swapped cheaply at run time. This
+//! module is that engine's planning half:
+//!
+//! * [`SpectralPlan`] fully describes a runnable configuration — FFT
+//!   length, wavelet basis, [`ApproximationMode`], [`PruningPolicy`], and
+//!   (for dynamic pruning) the calibration [`TrainingSet`] a design-time
+//!   pass produced;
+//! * [`KernelCache`] memoizes built kernels behind `Arc<dyn FftBackend>`,
+//!   so each distinct plan key is constructed **once** (twiddle tables,
+//!   WFFT plans, dynamic-threshold calibrations) and shared by every
+//!   consumer — batch [`crate::PsaSystem`], the streaming engine, the
+//!   online controller's per-window switches, and every shard of a fleet.
+//!
+//! Both the batch and streaming front-ends build through this layer, so a
+//! controller switch is a cache lookup, not a kernel construction.
+
+use crate::calibrate::training_meshes;
+use crate::config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
+use crate::error::PsaError;
+use crate::quality::OperatingChoice;
+use hrv_dsp::{Cx, FftBackend, SplitRadixFft};
+use hrv_ecg::RrSeries;
+use hrv_lomb::{FastLomb, MeshStrategy};
+use hrv_wavelet::WaveletBasis;
+use hrv_wfft::{PrunedWfft, WaveletFftBackend, WfftPlan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What kind of FFT kernel a plan (or an operating choice) stands for.
+///
+/// This is the structural half of a [`PlanKey`]: two consumers that map to
+/// the same `KernelSpec` (and, for dynamic pruning, the same calibration
+/// fingerprint) share one built kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelSpec {
+    /// The exact split-radix kernel (the conventional baseline, and the
+    /// controller's exact fallback).
+    Exact {
+        /// Transform length.
+        fft_len: usize,
+    },
+    /// The wavelet-based FFT with an approximation degree and policy.
+    Wavelet {
+        /// Transform length.
+        fft_len: usize,
+        /// Wavelet basis.
+        basis: WaveletBasis,
+        /// Approximation degree.
+        mode: ApproximationMode,
+        /// Static or dynamic pruning.
+        policy: PruningPolicy,
+    },
+}
+
+/// The full identity of a built kernel: its [`KernelSpec`] plus, for
+/// dynamic pruning, a content fingerprint of the calibration corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    spec: KernelSpec,
+    /// Fingerprint of the training meshes a dynamic kernel was calibrated
+    /// on (0 for static/exact kernels, which need none).
+    calibration: u64,
+}
+
+impl PlanKey {
+    /// The structural kernel description.
+    pub fn spec(&self) -> KernelSpec {
+        self.spec
+    }
+}
+
+/// The calibration corpus for dynamic-pruning kernels: the packed complex
+/// FFT-input meshes a design-time pass extracted (see
+/// [`crate::training_meshes`]), plus a content fingerprint so two plans
+/// calibrated on the same cohort share cached kernels.
+#[derive(Clone, Debug)]
+pub struct TrainingSet {
+    meshes: Vec<Vec<Cx>>,
+    fingerprint: u64,
+}
+
+impl TrainingSet {
+    /// Wraps already-extracted training meshes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meshes` is empty (an empty corpus cannot calibrate
+    /// anything).
+    pub fn new(meshes: Vec<Vec<Cx>>) -> Self {
+        assert!(!meshes.is_empty(), "training set needs at least one mesh");
+        let fingerprint = fingerprint_meshes(&meshes);
+        TrainingSet {
+            meshes,
+            fingerprint,
+        }
+    }
+
+    /// Extracts the per-window training meshes `config` implies from a
+    /// cohort of RR recordings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::TooFewSamples`] when no window in the cohort
+    /// has enough RR samples.
+    pub fn from_cohort(config: &PsaConfig, cohort: &[RrSeries]) -> Result<Self, PsaError> {
+        Ok(Self::new(training_meshes(config, cohort)?))
+    }
+
+    /// The calibration meshes.
+    pub fn meshes(&self) -> &[Vec<Cx>] {
+        &self.meshes
+    }
+
+    /// Content fingerprint (FNV-1a over the mesh bit patterns).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a over the bit patterns of every mesh value: deterministic and
+/// content-based, so identical cohorts share cached dynamic kernels.
+fn fingerprint_meshes(meshes: &[Vec<Cx>]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(meshes.len() as u64);
+    for mesh in meshes {
+        mix(mesh.len() as u64);
+        for z in mesh {
+            mix(z.re.to_bits());
+            mix(z.im.to_bits());
+        }
+    }
+    h.max(1) // 0 is reserved for "no calibration"
+}
+
+/// A fully-described runnable configuration: the validated [`PsaConfig`]
+/// plus the calibration corpus dynamic-pruning kernels need.
+///
+/// Both front-ends construct through a plan — `PsaSystem::from_plan` for
+/// batch and `SlidingLomb::from_plan` (in `hrv-stream`) for streaming —
+/// so their estimator and kernel wiring cannot drift apart.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::{KernelCache, PsaConfig, SpectralPlan};
+///
+/// let plan = SpectralPlan::new(PsaConfig::conventional())?;
+/// let cache = KernelCache::new();
+/// let a = cache.backend(&plan)?;
+/// let b = cache.backend(&plan)?;
+/// assert_eq!(cache.builds(), 1, "second lookup reuses the built kernel");
+/// assert_eq!(a.name(), b.name());
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpectralPlan {
+    config: PsaConfig,
+    training: Option<Arc<TrainingSet>>,
+}
+
+impl SpectralPlan {
+    /// Plans a validated configuration (no calibration attached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for invalid parameters.
+    pub fn new(config: PsaConfig) -> Result<Self, PsaError> {
+        config.validate()?;
+        Ok(SpectralPlan {
+            config,
+            training: None,
+        })
+    }
+
+    /// Plans a configuration and extracts its calibration corpus from
+    /// `cohort`, so dynamic-pruning kernels can be built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for invalid parameters, or
+    /// [`PsaError::TooFewSamples`] when the cohort yields no usable
+    /// windows.
+    pub fn calibrated(config: PsaConfig, cohort: &[RrSeries]) -> Result<Self, PsaError> {
+        config.validate()?;
+        let training = Arc::new(TrainingSet::from_cohort(&config, cohort)?);
+        Ok(SpectralPlan {
+            config,
+            training: Some(training),
+        })
+    }
+
+    /// Attaches an already-extracted (possibly shared) training set.
+    pub fn with_training(mut self, training: Arc<TrainingSet>) -> Self {
+        self.training = Some(training);
+        self
+    }
+
+    /// The planned configuration.
+    pub fn config(&self) -> &PsaConfig {
+        &self.config
+    }
+
+    /// The attached calibration corpus, if any.
+    pub fn training(&self) -> Option<&TrainingSet> {
+        self.training.as_deref()
+    }
+
+    /// FFT/mesh length of the plan.
+    pub fn fft_len(&self) -> usize {
+        self.config.fft_len
+    }
+
+    /// The wavelet basis approximate kernels use (Haar when the base
+    /// configuration is split-radix, matching the paper's final choice).
+    pub fn basis(&self) -> WaveletBasis {
+        match self.config.backend {
+            BackendChoice::Wavelet { basis, .. } => basis,
+            BackendChoice::SplitRadix => WaveletBasis::Haar,
+        }
+    }
+
+    /// `true` when the base configuration demands a dynamic-pruning kernel
+    /// but no training set is attached.
+    pub fn requires_calibration(&self) -> bool {
+        self.training.is_none()
+            && matches!(
+                self.config.backend,
+                BackendChoice::Wavelet {
+                    policy: PruningPolicy::Dynamic,
+                    ..
+                }
+            )
+    }
+
+    /// The Fast-Lomb estimator this plan implies — the single place the
+    /// config→estimator wiring lives for both batch and streaming.
+    pub fn estimator(&self) -> FastLomb {
+        let mut estimator = FastLomb::new(self.config.fft_len, self.config.ofac)
+            .with_window(self.config.window)
+            .with_max_freq(self.config.max_freq);
+        if self.config.mesh == MeshStrategy::Resample {
+            estimator = estimator.with_resampled_mesh();
+        }
+        estimator
+    }
+
+    /// The kernel the base configuration stands for.
+    pub fn base_spec(&self) -> KernelSpec {
+        match self.config.backend {
+            BackendChoice::SplitRadix => KernelSpec::Exact {
+                fft_len: self.config.fft_len,
+            },
+            BackendChoice::Wavelet {
+                basis,
+                mode,
+                policy,
+            } => KernelSpec::Wavelet {
+                fft_len: self.config.fft_len,
+                basis,
+                mode,
+                policy,
+            },
+        }
+    }
+
+    /// The kernel an [`OperatingChoice`] stands for under this plan. A
+    /// choice in `Exact` mode maps to the split-radix kernel (the
+    /// controller's exact fallback), regardless of policy.
+    pub fn spec_for_choice(&self, choice: &OperatingChoice) -> KernelSpec {
+        if choice.mode == ApproximationMode::Exact {
+            KernelSpec::Exact {
+                fft_len: self.config.fft_len,
+            }
+        } else {
+            KernelSpec::Wavelet {
+                fft_len: self.config.fft_len,
+                basis: self.basis(),
+                mode: choice.mode,
+                policy: choice.policy,
+            }
+        }
+    }
+
+    /// The cache key of a kernel spec under this plan's calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] for a dynamic spec when no
+    /// training set is attached.
+    pub fn key_for(&self, spec: KernelSpec) -> Result<PlanKey, PsaError> {
+        let calibration = match spec {
+            KernelSpec::Wavelet {
+                policy: PruningPolicy::Dynamic,
+                mode,
+                ..
+            } => self
+                .training
+                .as_ref()
+                .map(|t| t.fingerprint())
+                .ok_or(PsaError::MissingCalibration { mode })?,
+            _ => 0,
+        };
+        Ok(PlanKey { spec, calibration })
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    kernels: Mutex<HashMap<PlanKey, Arc<dyn FftBackend>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+/// A memoizing, thread-safe store of built FFT kernels.
+///
+/// Cloning a `KernelCache` yields another handle to the **same** cache, so
+/// one cache can back a batch system, a streaming engine and every shard
+/// of a fleet at once. A kernel is built at most once per [`PlanKey`]; all
+/// later lookups (controller switches, fleet scale-up) return the shared
+/// `Arc` — [`KernelCache::builds`] / [`KernelCache::hits`] make that
+/// measurable.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::{ApproximationMode, KernelCache, PruningPolicy, PsaConfig, SpectralPlan};
+/// use hrv_wavelet::WaveletBasis;
+///
+/// let plan = SpectralPlan::new(PsaConfig::proposed(
+///     WaveletBasis::Haar,
+///     ApproximationMode::BandDropSet3,
+///     PruningPolicy::Static,
+/// ))?;
+/// let cache = KernelCache::new();
+/// let kernel = cache.backend(&plan)?;
+/// assert_eq!(kernel.name(), "wfft-haar+banddrop+prune60%");
+/// assert_eq!((cache.builds(), cache.hits()), (1, 0));
+/// let again = cache.backend(&plan)?;
+/// assert_eq!((cache.builds(), cache.hits()), (1, 1));
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KernelCache {
+    inner: Arc<CacheInner>,
+}
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The kernel of the plan's base configuration, built on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] when the base
+    /// configuration demands dynamic pruning and the plan carries no
+    /// training set.
+    pub fn backend(&self, plan: &SpectralPlan) -> Result<Arc<dyn FftBackend>, PsaError> {
+        self.resolve(plan, plan.base_spec())
+    }
+
+    /// The kernel an [`OperatingChoice`] stands for, so run-time
+    /// controllers can switch to it — a cache lookup once warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] for a dynamic-pruning
+    /// choice when the plan carries no training set (previously a silent
+    /// `None`; the misconfiguration is now diagnosable).
+    pub fn backend_for_choice(
+        &self,
+        plan: &SpectralPlan,
+        choice: &OperatingChoice,
+    ) -> Result<Arc<dyn FftBackend>, PsaError> {
+        self.resolve(plan, plan.spec_for_choice(choice))
+    }
+
+    /// The exact split-radix kernel of length `fft_len` (the controller's
+    /// fallback and the audit reference), built on first use.
+    pub fn exact(&self, fft_len: usize) -> Arc<dyn FftBackend> {
+        let key = PlanKey {
+            spec: KernelSpec::Exact { fft_len },
+            calibration: 0,
+        };
+        self.get_or_build(key, || Arc::new(SplitRadixFft::new(fft_len)))
+    }
+
+    /// Resolves a spec to a built kernel under the plan's calibration.
+    fn resolve(
+        &self,
+        plan: &SpectralPlan,
+        spec: KernelSpec,
+    ) -> Result<Arc<dyn FftBackend>, PsaError> {
+        let key = plan.key_for(spec)?;
+        Ok(self.get_or_build(key, || build_kernel(plan, spec)))
+    }
+
+    /// One locked lookup; the builder runs only on a miss.
+    ///
+    /// The lock is held across the build so concurrent shards asking for
+    /// the same key never construct the kernel twice.
+    fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Arc<dyn FftBackend>,
+    ) -> Arc<dyn FftBackend> {
+        let mut kernels = self.inner.kernels.lock().expect("kernel cache poisoned");
+        if let Some(kernel) = kernels.get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(kernel);
+        }
+        self.inner.builds.fetch_add(1, Ordering::Relaxed);
+        let kernel = build();
+        kernels.insert(key, Arc::clone(&kernel));
+        kernel
+    }
+
+    /// Number of kernels constructed so far (== cache misses).
+    pub fn builds(&self) -> u64 {
+        self.inner.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the cache without construction.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served without construction (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.builds();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct kernels currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .kernels
+            .lock()
+            .expect("kernel cache poisoned")
+            .len()
+    }
+
+    /// `true` when no kernel has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Constructs the kernel a spec describes. Dynamic specs calibrate their
+/// run-time thresholds on the plan's training set; callers have already
+/// verified (via [`SpectralPlan::key_for`]) that the set is present.
+fn build_kernel(plan: &SpectralPlan, spec: KernelSpec) -> Arc<dyn FftBackend> {
+    match spec {
+        KernelSpec::Exact { fft_len } => Arc::new(SplitRadixFft::new(fft_len)),
+        KernelSpec::Wavelet {
+            fft_len,
+            basis,
+            mode,
+            policy: PruningPolicy::Static,
+        } => Arc::new(WaveletFftBackend::new(fft_len, basis, mode.prune_config())),
+        KernelSpec::Wavelet {
+            fft_len,
+            basis,
+            mode,
+            policy: PruningPolicy::Dynamic,
+        } => {
+            let training = plan
+                .training()
+                .expect("dynamic kernels are keyed by an attached training set");
+            let pruned = PrunedWfft::new(WfftPlan::new(fft_len, basis), mode.prune_config());
+            let thresholds = pruned.calibrate_dynamic(training.meshes());
+            Arc::new(WaveletFftBackend::from_pruned(
+                pruned.with_dynamic(thresholds),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_ecg::{Condition, SyntheticDatabase};
+
+    fn choice(mode: ApproximationMode, policy: PruningPolicy) -> OperatingChoice {
+        OperatingChoice {
+            mode,
+            policy,
+            vfs: true,
+            expected_error_pct: 4.0,
+            expected_savings_pct: 50.0,
+        }
+    }
+
+    fn cohort(n: usize) -> Vec<RrSeries> {
+        let db = SyntheticDatabase::new(9);
+        (0..n)
+            .map(|i| db.record(i, Condition::SinusArrhythmia, 300.0).rr)
+            .collect()
+    }
+
+    #[test]
+    fn kernels_are_built_once_per_key() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let choices = [
+            choice(ApproximationMode::Exact, PruningPolicy::Static),
+            choice(ApproximationMode::BandDrop, PruningPolicy::Static),
+            choice(ApproximationMode::BandDropSet3, PruningPolicy::Static),
+        ];
+        for c in &choices {
+            cache.backend_for_choice(&plan, c).expect("buildable");
+        }
+        // Exact choice and the conventional base share one kernel.
+        cache.backend(&plan).expect("base");
+        assert_eq!(cache.builds(), 3);
+        for _ in 0..10 {
+            for c in &choices {
+                cache.backend_for_choice(&plan, c).expect("cached");
+            }
+        }
+        assert_eq!(cache.builds(), 3, "warm lookups must not build");
+        assert!(cache.hits() >= 31);
+        assert!(cache.hit_rate() > 0.9);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let handle = cache.clone();
+        handle.backend(&plan).expect("base");
+        assert_eq!(cache.builds(), 1);
+        cache.backend(&plan).expect("cached via other handle");
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn dynamic_choice_without_training_is_a_typed_error() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let err = cache
+            .backend_for_choice(
+                &plan,
+                &choice(ApproximationMode::BandDropSet2, PruningPolicy::Dynamic),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PsaError::MissingCalibration {
+                mode: ApproximationMode::BandDropSet2
+            }
+        );
+        assert!(err.to_string().contains("training"));
+    }
+
+    #[test]
+    fn calibrated_plan_builds_and_caches_dynamic_kernels() {
+        let plan =
+            SpectralPlan::calibrated(PsaConfig::conventional(), &cohort(2)).expect("calibrated");
+        assert!(plan.training().is_some());
+        let cache = KernelCache::new();
+        let c = choice(ApproximationMode::BandDrop, PruningPolicy::Dynamic);
+        let kernel = cache.backend_for_choice(&plan, &c).expect("calibrated");
+        assert!(!kernel.is_exact());
+        cache.backend_for_choice(&plan, &c).expect("cached");
+        assert_eq!((cache.builds(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn training_fingerprint_is_content_based() {
+        let a = TrainingSet::from_cohort(&PsaConfig::conventional(), &cohort(2)).expect("meshes");
+        let b = TrainingSet::from_cohort(&PsaConfig::conventional(), &cohort(2)).expect("meshes");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "identical cohorts share kernels"
+        );
+        let c = TrainingSet::from_cohort(&PsaConfig::conventional(), &cohort(3)).expect("meshes");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert!(!a.meshes().is_empty());
+    }
+
+    #[test]
+    fn exact_choice_maps_to_split_radix_fallback() {
+        let plan = SpectralPlan::new(PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet3,
+            PruningPolicy::Static,
+        ))
+        .expect("valid");
+        let cache = KernelCache::new();
+        let exact = cache
+            .backend_for_choice(
+                &plan,
+                &choice(ApproximationMode::Exact, PruningPolicy::Static),
+            )
+            .expect("exact");
+        assert_eq!(exact.name(), "split-radix");
+        // ...and it is the same kernel the explicit exact accessor returns.
+        let again = cache.exact(512);
+        assert_eq!(cache.builds(), 1);
+        assert!(Arc::ptr_eq(&exact, &again));
+    }
+
+    #[test]
+    fn plan_exposes_wiring() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        assert_eq!(plan.fft_len(), 512);
+        assert_eq!(plan.basis(), WaveletBasis::Haar);
+        assert!(!plan.requires_calibration());
+        assert_eq!(plan.base_spec(), KernelSpec::Exact { fft_len: 512 });
+        assert_eq!(plan.estimator().fft_len(), 512);
+        assert_eq!(
+            plan.key_for(plan.base_spec()).expect("static key").spec(),
+            plan.base_spec()
+        );
+
+        let dynamic = SpectralPlan::new(PsaConfig::proposed(
+            WaveletBasis::Db2,
+            ApproximationMode::BandDrop,
+            PruningPolicy::Dynamic,
+        ))
+        .expect("valid");
+        assert!(dynamic.requires_calibration());
+        assert_eq!(dynamic.basis(), WaveletBasis::Db2);
+        assert!(matches!(
+            dynamic.key_for(dynamic.base_spec()),
+            Err(PsaError::MissingCalibration { .. })
+        ));
+    }
+
+    #[test]
+    fn execution_layer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelCache>();
+        assert_send_sync::<SpectralPlan>();
+        assert_send_sync::<TrainingSet>();
+        assert_send_sync::<Arc<dyn FftBackend>>();
+    }
+}

@@ -11,6 +11,10 @@
 //!   of the thresholds (eq. (3));
 //! * [`NodeModel`] / [`energy_quality_sweep`] — the sensor-node energy
 //!   assessment and the Table I / Fig. 9 trade-off sweep, including VFS;
+//! * [`SpectralPlan`] / [`KernelCache`] — the shared execution layer: one
+//!   planner describing every runnable configuration and one memoizing
+//!   kernel store that batch, streaming and fleet front-ends all
+//!   construct through;
 //! * [`QualityController`] — the Q_DES-driven run-time mode selector of
 //!   Fig. 2.
 //!
@@ -47,6 +51,7 @@ mod calibrate;
 mod config;
 mod energy;
 mod error;
+mod exec;
 mod quality;
 mod sweep;
 mod system;
@@ -55,6 +60,7 @@ pub use calibrate::{training_meshes, BandSignificance};
 pub use config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
 pub use energy::{EnergyAssessment, NodeModel};
 pub use error::PsaError;
+pub use exec::{KernelCache, KernelSpec, PlanKey, SpectralPlan, TrainingSet};
 pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
 pub use system::{HrvAnalysis, PsaSystem};

@@ -74,6 +74,16 @@ impl QualityController {
         &self.choices
     }
 
+    /// A controller restricted to the choices `keep` accepts. Front-ends
+    /// use this to exclude operating points they cannot instantiate (e.g.
+    /// dynamic pruning without a calibration corpus), so the controller
+    /// never selects a configuration that would silently fall back.
+    #[must_use]
+    pub fn retain_choices(mut self, keep: impl FnMut(&OperatingChoice) -> bool) -> Self {
+        self.choices.retain(keep);
+        self
+    }
+
     /// The choice with the highest expected savings whose expected
     /// distortion does not exceed `qdes_pct`. Returns `None` when no
     /// approximating configuration qualifies (the caller should fall back
@@ -179,6 +189,20 @@ mod tests {
     fn very_tight_budget_yields_none() {
         let controller = QualityController::from_sweep(&fake_sweep(), true);
         assert!(controller.select(1.0).is_none());
+    }
+
+    #[test]
+    fn retain_choices_restricts_selection() {
+        let controller = QualityController::from_sweep(&fake_sweep(), true);
+        let restricted = controller
+            .clone()
+            .retain_choices(|c| c.policy == PruningPolicy::Static);
+        assert_eq!(restricted.choices().len(), 2);
+        // The 5 % budget previously picked dynamic Set3; with dynamic
+        // points excluded the static BandDrop point wins instead.
+        let best = restricted.select(5.0).expect("choice");
+        assert_eq!(best.policy, PruningPolicy::Static);
+        assert_eq!(best.mode, ApproximationMode::BandDrop);
     }
 
     #[test]

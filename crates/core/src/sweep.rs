@@ -10,9 +10,11 @@
 use crate::config::{ApproximationMode, PruningPolicy, PsaConfig};
 use crate::energy::NodeModel;
 use crate::error::PsaError;
+use crate::exec::{KernelCache, SpectralPlan, TrainingSet};
 use crate::system::PsaSystem;
 use hrv_ecg::RrSeries;
 use hrv_wavelet::WaveletBasis;
+use std::sync::Arc;
 
 /// One configuration's measured outcome.
 #[derive(Clone, Debug)]
@@ -87,11 +89,20 @@ pub fn energy_quality_sweep(
         return Err(PsaError::TooFewSamples { got: 0, need: 1 });
     }
 
+    // One kernel cache serves every configuration of the sweep, and the
+    // dynamic-pruning calibration corpus is extracted once (it depends on
+    // the mesh parameters only, not on the backend under test).
+    let cache = KernelCache::new();
+    let mut training: Option<Arc<TrainingSet>> = None;
+
     // Reference: the conventional split-radix system.
-    let conventional = PsaSystem::new(PsaConfig {
-        backend: crate::config::BackendChoice::SplitRadix,
-        ..base.clone()
-    })?;
+    let conventional = PsaSystem::from_plan(
+        &SpectralPlan::new(PsaConfig {
+            backend: crate::config::BackendChoice::SplitRadix,
+            ..base.clone()
+        })?,
+        &cache,
+    )?;
     let mut conv_ratios = Vec::with_capacity(cohort.len());
     let mut conv_ops = hrv_dsp::OpCount::default();
     let mut conv_fft_ops = hrv_dsp::OpCount::default();
@@ -120,10 +131,14 @@ pub fn energy_quality_sweep(
                 backend: config.backend,
                 ..base.clone()
             };
-            let system = match policy {
-                PruningPolicy::Static => PsaSystem::new(config)?,
-                PruningPolicy::Dynamic => PsaSystem::with_calibration(config, cohort)?,
-            };
+            let mut plan = SpectralPlan::new(config)?;
+            if policy == PruningPolicy::Dynamic {
+                if training.is_none() {
+                    training = Some(Arc::new(TrainingSet::from_cohort(plan.config(), cohort)?));
+                }
+                plan = plan.with_training(training.clone().expect("extracted above"));
+            }
+            let system = PsaSystem::from_plan(&plan, &cache)?;
             let mut ratios = Vec::with_capacity(cohort.len());
             let mut ops = hrv_dsp::OpCount::default();
             let mut fft_ops = hrv_dsp::OpCount::default();

@@ -1,12 +1,12 @@
 //! The PSA system: configuration → backend → Welch–Lomb → HRV metrics.
 
-use crate::calibrate::training_meshes;
-use crate::config::{BackendChoice, PruningPolicy, PsaConfig};
+use crate::config::PsaConfig;
 use crate::error::PsaError;
-use hrv_dsp::{BlockOps, FftBackend, OpCount, SplitRadixFft};
+use crate::exec::{KernelCache, SpectralPlan};
+use hrv_dsp::{BlockOps, FftBackend, OpCount};
 use hrv_ecg::RrSeries;
-use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, WelchAnalysis, WelchLomb};
-use hrv_wfft::{PrunedWfft, WaveletFftBackend, WfftPlan};
+use hrv_lomb::{ArrhythmiaDetector, BandPowers, WelchAnalysis, WelchLomb};
+use std::sync::Arc;
 
 /// Result of analysing one RR recording.
 #[derive(Clone, Debug)]
@@ -37,7 +37,7 @@ impl HrvAnalysis {
 }
 
 /// The configured spectral-analysis system (paper Fig. 1(a), with the FFT
-/// block chosen by [`BackendChoice`]).
+/// block chosen by [`crate::BackendChoice`]).
 ///
 /// # Examples
 ///
@@ -54,7 +54,7 @@ impl HrvAnalysis {
 #[derive(Debug)]
 pub struct PsaSystem {
     config: PsaConfig,
-    backend: Box<dyn FftBackend>,
+    backend: Arc<dyn FftBackend>,
     welch: WelchLomb,
     detector: ArrhythmiaDetector,
 }
@@ -68,18 +68,11 @@ impl PsaSystem {
     /// [`PsaError::NeedsCalibration`] when the configuration requests
     /// dynamic pruning (use [`PsaSystem::with_calibration`]).
     pub fn new(config: PsaConfig) -> Result<Self, PsaError> {
-        config.validate()?;
-        if matches!(
-            config.backend,
-            BackendChoice::Wavelet {
-                policy: PruningPolicy::Dynamic,
-                ..
-            }
-        ) {
+        let plan = SpectralPlan::new(config)?;
+        if plan.requires_calibration() {
             return Err(PsaError::NeedsCalibration);
         }
-        let backend = Self::static_backend(&config);
-        Ok(Self::assemble(config, backend))
+        Self::from_plan(&plan, &KernelCache::new())
     }
 
     /// Builds a system, calibrating dynamic thresholds on `training`
@@ -91,51 +84,37 @@ impl PsaSystem {
     /// [`PsaError::TooFewSamples`] when the training cohort yields no
     /// usable windows.
     pub fn with_calibration(config: PsaConfig, training: &[RrSeries]) -> Result<Self, PsaError> {
-        config.validate()?;
-        let backend: Box<dyn FftBackend> = match config.backend {
-            BackendChoice::Wavelet {
-                basis,
-                mode,
-                policy: PruningPolicy::Dynamic,
-            } => {
-                let meshes = training_meshes(&config, training)?;
-                let plan = WfftPlan::new(config.fft_len, basis);
-                let pruned = PrunedWfft::new(plan, mode.prune_config());
-                let thresholds = pruned.calibrate_dynamic(&meshes);
-                Box::new(WaveletFftBackend::from_pruned(
-                    pruned.with_dynamic(thresholds),
-                ))
-            }
-            _ => Self::static_backend(&config),
+        let plan = SpectralPlan::new(config)?;
+        let plan = if plan.requires_calibration() {
+            SpectralPlan::calibrated(plan.config().clone(), training)?
+        } else {
+            plan
         };
-        Ok(Self::assemble(config, backend))
+        Self::from_plan(&plan, &KernelCache::new())
     }
 
-    fn static_backend(config: &PsaConfig) -> Box<dyn FftBackend> {
-        match config.backend {
-            BackendChoice::SplitRadix => Box::new(SplitRadixFft::new(config.fft_len)),
-            BackendChoice::Wavelet { basis, mode, .. } => Box::new(WaveletFftBackend::new(
-                config.fft_len,
-                basis,
-                mode.prune_config(),
-            )),
-        }
-    }
-
-    fn assemble(config: PsaConfig, backend: Box<dyn FftBackend>) -> Self {
-        let mut estimator = FastLomb::new(config.fft_len, config.ofac)
-            .with_window(config.window)
-            .with_max_freq(config.max_freq);
-        if config.mesh == hrv_lomb::MeshStrategy::Resample {
-            estimator = estimator.with_resampled_mesh();
-        }
-        let welch = WelchLomb::new(estimator, config.window_duration, config.overlap);
-        PsaSystem {
-            config,
+    /// Builds a system through the shared execution layer: the kernel
+    /// comes from `cache` (constructed once per plan key, shared with any
+    /// other consumer of the same cache — streaming engines, fleets,
+    /// sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] when the plan demands a
+    /// dynamic-pruning kernel but carries no training set.
+    pub fn from_plan(plan: &SpectralPlan, cache: &KernelCache) -> Result<Self, PsaError> {
+        let backend = cache.backend(plan)?;
+        let welch = WelchLomb::new(
+            plan.estimator(),
+            plan.config().window_duration,
+            plan.config().overlap,
+        );
+        Ok(PsaSystem {
+            config: plan.config().clone(),
             backend,
             welch,
             detector: ArrhythmiaDetector::default(),
-        }
+        })
     }
 
     /// The system configuration.
@@ -210,7 +189,7 @@ impl PsaSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ApproximationMode;
+    use crate::config::{ApproximationMode, PruningPolicy};
     use hrv_ecg::{Condition, SyntheticDatabase};
     use hrv_wavelet::WaveletBasis;
 
@@ -345,6 +324,37 @@ mod tests {
         assert!(analysis.arrhythmia);
         // Dynamic mode performs runtime comparisons.
         assert!(analysis.total_ops().cmp > 0);
+    }
+
+    #[test]
+    fn systems_built_from_one_plan_share_a_kernel() {
+        let cache = KernelCache::new();
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let a = PsaSystem::from_plan(&plan, &cache).expect("valid");
+        let b = PsaSystem::from_plan(&plan, &cache).expect("valid");
+        assert_eq!(cache.builds(), 1, "second system reuses the kernel");
+        assert_eq!(cache.hits(), 1);
+        let rr = arrhythmia_rr(480.0);
+        let ra = a.analyze(&rr).expect("analysis").lf_hf_ratio();
+        let rb = b.analyze(&rr).expect("analysis").lf_hf_ratio();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn from_plan_surfaces_missing_calibration() {
+        let plan = SpectralPlan::new(PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet1,
+            PruningPolicy::Dynamic,
+        ))
+        .expect("valid");
+        let err = PsaSystem::from_plan(&plan, &KernelCache::new()).unwrap_err();
+        assert_eq!(
+            err,
+            PsaError::MissingCalibration {
+                mode: ApproximationMode::BandDropSet1
+            }
+        );
     }
 
     #[test]

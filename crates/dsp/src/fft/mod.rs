@@ -234,4 +234,16 @@ mod tests {
         assert_eq!(Direction::Forward.sign(), -1.0);
         assert_eq!(Direction::Inverse.sign(), 1.0);
     }
+
+    #[test]
+    fn kernels_are_send_and_sync() {
+        // The execution layer shares kernels across fleet shards via
+        // `Arc<dyn FftBackend>`; the trait bound and every exact kernel
+        // must stay thread-shareable.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SplitRadixFft>();
+        assert_send_sync::<Radix2Fft>();
+        assert_send_sync::<RealFft>();
+        assert_send_sync::<std::sync::Arc<dyn FftBackend>>();
+    }
 }

@@ -1,25 +1,31 @@
-//! Multiplexing thousands of patient streams on one node.
+//! Multiplexing thousands of patient streams across sharded workers.
 //!
 //! [`FleetScheduler`] owns a cohort of independent streams (ingest ring +
-//! sliding engine + optional online quality controller each) and drives
-//! them through a shared [`ScratchPool`] in bounded time slices — the
-//! service-shaped counterpart of the paper's single-patient monitoring
-//! loop. Steady-state per-window work allocates nothing (the
-//! `fleet_throughput` bench measures this with a counting allocator), and
-//! the aggregate cost is reported through `hrv-node-sim`'s cycle/energy
-//! model.
+//! sliding engine + optional online quality controller each), partitioned
+//! into [`FleetConfig::workers`] shards by a stable hash of the stream id.
+//! Each shard owns one scratch arena and is driven by its own scoped
+//! thread ([`std::thread::scope`]); every kernel — base, exact fallback,
+//! and each controller choice — comes from one [`KernelCache`] shared
+//! across all shards, so fleet scale-up and controller switches never pay
+//! kernel-construction cost. Steady-state per-window work allocates
+//! nothing (the `fleet_throughput` bench measures this with a counting
+//! allocator), report aggregation is id-ordered so a sharded run is
+//! bit-identical to the serial one, and the aggregate cost is reported
+//! through `hrv-node-sim`'s cycle/energy model.
 
-use crate::backends::{backend_for_choice, exact_backend};
 use crate::controller::OnlineQualityController;
 use crate::ingest::RrIngest;
-use crate::scratch::ScratchPool;
+use crate::scratch::StreamScratch;
 use crate::sliding::{SlidingLomb, WindowView};
-use hrv_core::{NodeModel, OperatingChoice, PsaConfig, PsaError, QualityController, SweepResult};
+use hrv_core::{
+    KernelCache, NodeModel, OperatingChoice, PsaConfig, PsaError, QualityController, SpectralPlan,
+    SweepResult, TrainingSet,
+};
 use hrv_dsp::OpCount;
-use hrv_ecg::{Condition, SyntheticDatabase};
+use hrv_ecg::{Condition, RrSeries, SyntheticDatabase};
 use hrv_lomb::ArrhythmiaDetector;
-use hrv_wavelet::WaveletBasis;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Fleet composition and pacing.
@@ -34,6 +40,10 @@ pub struct FleetConfig {
     /// Multiplexing time slice in stream-seconds (every stream advances by
     /// this much before the next round).
     pub slice: f64,
+    /// Worker shards the streams are partitioned across (1 = serial). Each
+    /// shard runs on its own scoped thread with its own scratch arena;
+    /// results are identical for any worker count.
+    pub workers: usize,
 }
 
 impl Default for FleetConfig {
@@ -43,6 +53,7 @@ impl Default for FleetConfig {
             duration: 600.0,
             seed: 2014,
             slice: 30.0,
+            workers: 1,
         }
     }
 }
@@ -50,6 +61,9 @@ impl Default for FleetConfig {
 /// One monitored patient inside the fleet.
 #[derive(Debug)]
 struct PatientStream {
+    /// Stream id — decides the shard (stable hash) and the deterministic
+    /// aggregation order of the report.
+    id: usize,
     ingest: RrIngest,
     engine: SlidingLomb,
     controller: Option<OnlineQualityController>,
@@ -63,11 +77,30 @@ struct PatientStream {
     ops: OpCount,
 }
 
+/// One worker's slice of the fleet: its patients plus a private scratch
+/// arena (kernels stay shared through the fleet-wide [`KernelCache`]).
+#[derive(Debug, Default)]
+struct Shard {
+    patients: Vec<PatientStream>,
+}
+
+/// Stable patient→shard assignment (splitmix64 finalizer), independent of
+/// worker count enumeration order.
+fn shard_of(id: usize, workers: usize) -> usize {
+    let mut x = (id as u64).wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x % workers as u64) as usize
+}
+
 /// Aggregate outcome of a fleet run.
 #[derive(Clone, Debug)]
 pub struct FleetReport {
     /// Streams multiplexed.
     pub streams: usize,
+    /// Worker shards the fleet ran on.
+    pub workers: usize,
     /// Windows emitted across the fleet.
     pub windows: u64,
     /// Stream-seconds of RR data processed.
@@ -85,8 +118,12 @@ pub struct FleetReport {
     pub arrhythmia_windows: u64,
     /// Configuration switches performed by the online controllers.
     pub controller_switches: u64,
-    /// Scratch slots the shared pool ever created.
+    /// Scratch arenas in use (one per worker shard).
     pub scratch_slots: usize,
+    /// Kernels constructed by the shared cache over the fleet's lifetime.
+    pub kernel_builds: u64,
+    /// Kernel lookups served from the cache without construction.
+    pub kernel_hits: u64,
 }
 
 impl FleetReport {
@@ -116,15 +153,27 @@ impl FleetReport {
             0.0
         }
     }
+
+    /// Fraction of kernel lookups served without construction.
+    pub fn kernel_hit_rate(&self) -> f64 {
+        let total = self.kernel_hits + self.kernel_builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.kernel_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} streams: {} windows in {:.2} s wall ({:.0} windows/s, {:.0}x realtime), \
-             {:.0} ops/window, {:.3} J, {} arrhythmia windows, {} controller switches",
+            "{} streams / {} workers: {} windows in {:.2} s wall ({:.0} windows/s, \
+             {:.0}x realtime), {:.0} ops/window, {:.3} J, {} arrhythmia windows, \
+             {} controller switches, {} kernel builds ({:.1}% cache hit rate)",
             self.streams,
+            self.workers,
             self.windows,
             self.wall_seconds,
             self.windows_per_sec(),
@@ -132,7 +181,9 @@ impl fmt::Display for FleetReport {
             self.ops_per_window(),
             self.energy_j,
             self.arrhythmia_windows,
-            self.controller_switches
+            self.controller_switches,
+            self.kernel_builds,
+            100.0 * self.kernel_hit_rate()
         )
     }
 }
@@ -148,21 +199,24 @@ impl fmt::Display for FleetReport {
 /// let fleet = FleetConfig {
 ///     streams: 4,
 ///     duration: 300.0,
+///     workers: 2,
 ///     ..FleetConfig::default()
 /// };
 /// let mut scheduler = FleetScheduler::new(PsaConfig::conventional(), fleet)?;
 /// let report = scheduler.run();
 /// assert_eq!(report.streams, 4);
+/// assert_eq!(report.workers, 2);
 /// assert!(report.windows > 0);
 /// # Ok::<(), hrv_core::PsaError>(())
 /// ```
 #[derive(Debug)]
 pub struct FleetScheduler {
-    psa: PsaConfig,
+    plan: SpectralPlan,
+    cache: KernelCache,
     fleet: FleetConfig,
     node: NodeModel,
-    patients: Vec<PatientStream>,
-    pool: ScratchPool,
+    shards: Vec<Shard>,
+    scratches: Vec<StreamScratch>,
     detector: ArrhythmiaDetector,
     fed_until: f64,
     wall_seconds: f64,
@@ -204,18 +258,125 @@ fn account_windows<'a>(
     }
 }
 
+/// Advances every patient of one shard to stream-time `t_limit`. Returns
+/// `true` while any of the shard's streams still has samples left.
+fn advance_shard(
+    shard: &mut Shard,
+    scratch: &mut StreamScratch,
+    t_limit: f64,
+    detector: ArrhythmiaDetector,
+) -> bool {
+    let mut remaining = false;
+    for patient in &mut shard.patients {
+        while patient.cursor < patient.samples.len() {
+            let (t, rr) = patient.samples[patient.cursor];
+            if t >= t_limit {
+                break;
+            }
+            patient.cursor += 1;
+            if !patient.ingest.push_rr(t, rr) {
+                continue;
+            }
+            while let Some((t, rr)) = patient.ingest.pop() {
+                let PatientStream {
+                    engine,
+                    controller,
+                    choice_backends,
+                    exact_index,
+                    windows,
+                    arrhythmia_windows,
+                    ops,
+                    ..
+                } = patient;
+                let mut outcome = SinkOutcome::default();
+                {
+                    let mut sink = account_windows(
+                        windows,
+                        ops,
+                        arrhythmia_windows,
+                        detector,
+                        controller.as_mut(),
+                        &mut outcome,
+                    );
+                    engine.push(t, rr, scratch, &mut sink);
+                }
+                if let Some(choice) = outcome.decision {
+                    apply_choice(engine, choice, choice_backends, *exact_index);
+                }
+                if outcome.audit_next {
+                    engine.request_audit();
+                }
+            }
+        }
+        if patient.cursor < patient.samples.len() {
+            remaining = true;
+        }
+    }
+    remaining
+}
+
+/// Flushes the trailing windows of one shard's patients (batch parity).
+fn finish_shard(shard: &mut Shard, scratch: &mut StreamScratch, detector: ArrhythmiaDetector) {
+    for patient in &mut shard.patients {
+        let PatientStream {
+            engine,
+            controller,
+            windows,
+            arrhythmia_windows,
+            ops,
+            ..
+        } = patient;
+        // Trailing windows still feed the controller so its statistics
+        // cover everything the report counts; its decision has nothing
+        // left to steer.
+        let mut outcome = SinkOutcome::default();
+        let mut sink = account_windows(
+            windows,
+            ops,
+            arrhythmia_windows,
+            detector,
+            controller.as_mut(),
+            &mut outcome,
+        );
+        engine.finish(scratch, &mut sink);
+    }
+}
+
 impl FleetScheduler {
     /// Builds the fleet: a deterministic synthetic cohort (alternating
-    /// sinus-arrhythmia and healthy patients) with one streaming engine
-    /// per patient.
+    /// sinus-arrhythmia and healthy patients) partitioned across
+    /// [`FleetConfig::workers`] shards, with one streaming engine per
+    /// patient — all engines sharing kernels through one [`KernelCache`].
     ///
     /// # Errors
     ///
-    /// Returns [`PsaError`] when `psa` is invalid, and
-    /// [`PsaError::InvalidConfig`] for an empty fleet or non-positive
-    /// durations.
+    /// Returns [`PsaError`] when `psa` is invalid,
+    /// [`PsaError::NeedsCalibration`] when it demands dynamic pruning
+    /// (build a calibrated [`SpectralPlan`] and use
+    /// [`FleetScheduler::from_plan`] instead), and
+    /// [`PsaError::InvalidConfig`] for an empty fleet, non-positive
+    /// durations or zero workers.
     pub fn new(psa: PsaConfig, fleet: FleetConfig) -> Result<Self, PsaError> {
-        psa.validate()?;
+        let plan = SpectralPlan::new(psa)?;
+        if plan.requires_calibration() {
+            return Err(PsaError::NeedsCalibration);
+        }
+        Self::from_plan(plan, fleet)
+    }
+
+    /// Builds the fleet from an explicit plan — the way to run a
+    /// dynamic-pruning base configuration (pass a plan built with
+    /// [`SpectralPlan::calibrated`]). The plan's training corpus, when
+    /// present, also serves [`FleetScheduler::with_quality_control`]'s
+    /// dynamic operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] when the plan demands a
+    /// dynamic-pruning kernel but carries no training set, and
+    /// [`PsaError::InvalidConfig`] for an empty fleet, non-positive
+    /// durations or zero workers.
+    pub fn from_plan(plan: SpectralPlan, fleet: FleetConfig) -> Result<Self, PsaError> {
         if fleet.streams == 0 {
             return Err(PsaError::InvalidConfig("fleet needs ≥ 1 stream".into()));
         }
@@ -224,8 +385,18 @@ impl FleetScheduler {
                 "fleet duration and slice must be positive".into(),
             ));
         }
+        if fleet.workers == 0 {
+            return Err(PsaError::InvalidConfig("fleet needs ≥ 1 worker".into()));
+        }
+        let workers = fleet.workers.min(fleet.streams);
+        let cache = KernelCache::new();
+        // One prototype engine per fleet; per-patient engines clone it so
+        // the estimator/real-FFT setup is paid once and all kernels are
+        // cache-shared Arcs.
+        let prototype = SlidingLomb::from_plan(&plan, &cache)?;
         let db = SyntheticDatabase::new(fleet.seed);
-        let mut patients = Vec::with_capacity(fleet.streams);
+        let mut shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
+        let scratches = (0..workers).map(|_| StreamScratch::new()).collect();
         for id in 0..fleet.streams {
             let condition = if id % 2 == 0 {
                 Condition::SinusArrhythmia
@@ -240,9 +411,10 @@ impl FleetScheduler {
                 .copied()
                 .zip(record.rr.intervals().iter().copied())
                 .collect();
-            patients.push(PatientStream {
+            shards[shard_of(id, workers)].patients.push(PatientStream {
+                id,
                 ingest: RrIngest::new(),
-                engine: SlidingLomb::from_config(&psa)?,
+                engine: prototype.clone(),
                 controller: None,
                 choice_backends: Vec::new(),
                 exact_index: 0,
@@ -254,11 +426,12 @@ impl FleetScheduler {
             });
         }
         Ok(FleetScheduler {
-            psa,
+            plan,
+            cache,
             fleet,
             node: NodeModel::default(),
-            patients,
-            pool: ScratchPool::new(),
+            shards,
+            scratches,
             detector: ArrhythmiaDetector::default(),
             fed_until: 0.0,
             wall_seconds: 0.0,
@@ -266,46 +439,89 @@ impl FleetScheduler {
         })
     }
 
+    /// Attaches the calibration corpus dynamic-pruning kernels need, so
+    /// [`FleetScheduler::with_quality_control`] can instantiate the
+    /// sweep's dynamic operating points too. Call it **before**
+    /// `with_quality_control` — controllers resolve their kernels when
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::TooFewSamples`] when the cohort yields no
+    /// usable calibration windows, and [`PsaError::InvalidConfig`] when
+    /// quality controllers are already attached (their choice kernels
+    /// were resolved without this corpus, so attaching it now would
+    /// silently change nothing).
+    pub fn with_training(mut self, cohort: &[RrSeries]) -> Result<Self, PsaError> {
+        if self
+            .shards
+            .iter()
+            .flat_map(|s| &s.patients)
+            .any(|p| p.controller.is_some())
+        {
+            return Err(PsaError::InvalidConfig(
+                "attach training before with_quality_control: controllers already \
+                 resolved their operating choices without it"
+                    .into(),
+            ));
+        }
+        let training = Arc::new(TrainingSet::from_cohort(self.plan.config(), cohort)?);
+        self.plan = self.plan.with_training(training);
+        Ok(self)
+    }
+
     /// Attaches an online quality controller (budget `qdes_pct` percent)
-    /// to every stream, instantiating a kernel for each static choice of
-    /// the design-time sweep. Kernels are built once and shared across the
-    /// fleet.
+    /// to every stream. Each distinct operating choice resolves to one
+    /// kernel in the shared [`KernelCache`]; run-time switches are cache
+    /// lookups. Dynamic-pruning choices are offered to the controllers
+    /// only when a training corpus is attached
+    /// ([`FleetScheduler::with_training`]) — without one they are
+    /// excluded up front, so the controller never selects a configuration
+    /// it cannot run (no silent exact fallback).
     ///
     /// # Panics
     ///
     /// Panics if `qdes_pct` is not positive.
     pub fn with_quality_control(mut self, sweep: &SweepResult, qdes_pct: f64) -> Self {
-        let basis = match self.psa.backend {
-            hrv_core::BackendChoice::Wavelet { basis, .. } => basis,
-            hrv_core::BackendChoice::SplitRadix => WaveletBasis::Haar,
-        };
         let inner = QualityController::from_sweep(sweep, true);
-        let shared: Vec<(OperatingChoice, _)> = inner
-            .choices()
-            .iter()
-            .filter_map(|c| backend_for_choice(self.psa.fft_len, basis, c, None).map(|b| (*c, b)))
-            .collect();
-        let exact = exact_backend(self.psa.fft_len);
-        for patient in &mut self.patients {
-            let exact_index = if patient.engine.active_backend().is_exact() {
-                patient.engine.active_backend_index()
-            } else {
-                patient.engine.add_backend(exact.clone())
-            };
-            patient.exact_index = exact_index;
-            patient.choice_backends = shared
-                .iter()
-                .map(|(c, b)| (*c, patient.engine.add_backend(b.clone())))
-                .collect();
-            let controller = OnlineQualityController::new(inner.clone(), qdes_pct);
-            let start = controller.current();
-            apply_choice(
-                &mut patient.engine,
-                start,
-                &patient.choice_backends,
-                exact_index,
-            );
-            patient.controller = Some(controller);
+        let mut shared: Vec<(OperatingChoice, Arc<dyn hrv_dsp::FftBackend>)> = Vec::new();
+        let mut runnable = Vec::new();
+        for choice in inner.choices() {
+            match self.cache.backend_for_choice(&self.plan, choice) {
+                Ok(backend) => {
+                    shared.push((*choice, backend));
+                    runnable.push(*choice);
+                }
+                Err(PsaError::MissingCalibration { .. }) => {
+                    // Deliberately excluded: see the method docs.
+                }
+                Err(err) => unreachable!("plan was validated at construction: {err}"),
+            }
+        }
+        let inner = inner.retain_choices(|c| runnable.contains(c));
+        let exact = self.cache.exact(self.plan.fft_len());
+        for shard in &mut self.shards {
+            for patient in &mut shard.patients {
+                let exact_index = if patient.engine.active_backend().is_exact() {
+                    patient.engine.active_backend_index()
+                } else {
+                    patient.engine.add_backend(exact.clone())
+                };
+                patient.exact_index = exact_index;
+                patient.choice_backends = shared
+                    .iter()
+                    .map(|(c, b)| (*c, patient.engine.add_backend(b.clone())))
+                    .collect();
+                let controller = OnlineQualityController::new(inner.clone(), qdes_pct);
+                let start = controller.current();
+                apply_choice(
+                    &mut patient.engine,
+                    start,
+                    &patient.choice_backends,
+                    exact_index,
+                );
+                patient.controller = Some(controller);
+            }
         }
         self
     }
@@ -316,59 +532,47 @@ impl FleetScheduler {
         self
     }
 
+    /// The kernel cache shared by every shard (construction accounting:
+    /// [`KernelCache::builds`] stays flat once the fleet is warm, however
+    /// often controllers switch).
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// The plan every engine of the fleet was built from.
+    pub fn plan(&self) -> &SpectralPlan {
+        &self.plan
+    }
+
     /// Advances every stream to stream-time `t_limit` (seconds). Returns
-    /// `true` while any stream still has samples left.
+    /// `true` while any stream still has samples left. With more than one
+    /// worker the shards advance on scoped threads in parallel.
     pub fn run_until(&mut self, t_limit: f64) -> bool {
         let started = Instant::now();
-        let mut remaining = false;
-        let mut scratch = self.pool.acquire();
         let detector = self.detector;
-        for patient in &mut self.patients {
-            while patient.cursor < patient.samples.len() {
-                let (t, rr) = patient.samples[patient.cursor];
-                if t >= t_limit {
-                    break;
-                }
-                patient.cursor += 1;
-                if !patient.ingest.push_rr(t, rr) {
-                    continue;
-                }
-                while let Some((t, rr)) = patient.ingest.pop() {
-                    let PatientStream {
-                        engine,
-                        controller,
-                        choice_backends,
-                        exact_index,
-                        windows,
-                        arrhythmia_windows,
-                        ops,
-                        ..
-                    } = patient;
-                    let mut outcome = SinkOutcome::default();
-                    {
-                        let mut sink = account_windows(
-                            windows,
-                            ops,
-                            arrhythmia_windows,
-                            detector,
-                            controller.as_mut(),
-                            &mut outcome,
-                        );
-                        engine.push(t, rr, &mut scratch, &mut sink);
-                    }
-                    if let Some(choice) = outcome.decision {
-                        apply_choice(engine, choice, choice_backends, *exact_index);
-                    }
-                    if outcome.audit_next {
-                        engine.request_audit();
-                    }
-                }
-            }
-            if patient.cursor < patient.samples.len() {
-                remaining = true;
-            }
-        }
-        self.pool.release(scratch);
+        let remaining = if self.shards.len() == 1 {
+            advance_shard(
+                &mut self.shards[0],
+                &mut self.scratches[0],
+                t_limit,
+                detector,
+            )
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(self.scratches.iter_mut())
+                    .map(|(shard, scratch)| {
+                        s.spawn(move || advance_shard(shard, scratch, t_limit, detector))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet worker panicked"))
+                    .fold(false, |acc, r| acc | r)
+            })
+        };
         self.fed_until = t_limit;
         self.wall_seconds += started.elapsed().as_secs_f64();
         remaining
@@ -380,32 +584,22 @@ impl FleetScheduler {
             return;
         }
         let started = Instant::now();
-        let mut scratch = self.pool.acquire();
         let detector = self.detector;
-        for patient in &mut self.patients {
-            let PatientStream {
-                engine,
-                controller,
-                windows,
-                arrhythmia_windows,
-                ops,
-                ..
-            } = patient;
-            // Trailing windows still feed the controller so its statistics
-            // cover everything the report counts; its decision has nothing
-            // left to steer.
-            let mut outcome = SinkOutcome::default();
-            let mut sink = account_windows(
-                windows,
-                ops,
-                arrhythmia_windows,
-                detector,
-                controller.as_mut(),
-                &mut outcome,
-            );
-            engine.finish(&mut scratch, &mut sink);
+        if self.shards.len() == 1 {
+            finish_shard(&mut self.shards[0], &mut self.scratches[0], detector);
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(self.scratches.iter_mut())
+                    .map(|(shard, scratch)| s.spawn(move || finish_shard(shard, scratch, detector)))
+                    .collect();
+                for h in handles {
+                    h.join().expect("fleet worker panicked");
+                }
+            });
         }
-        self.pool.release(scratch);
         self.wall_seconds += started.elapsed().as_secs_f64();
         self.finished = true;
     }
@@ -421,14 +615,18 @@ impl FleetScheduler {
         self.report()
     }
 
-    /// The aggregate report for everything processed so far.
+    /// The aggregate report for everything processed so far. Aggregation
+    /// runs in stream-id order regardless of sharding, so serial and
+    /// sharded runs produce bit-identical reports.
     pub fn report(&self) -> FleetReport {
+        let mut by_id: Vec<&PatientStream> = self.shards.iter().flat_map(|s| &s.patients).collect();
+        by_id.sort_by_key(|p| p.id);
         let mut total_ops = OpCount::default();
         let mut windows = 0u64;
         let mut arrhythmia_windows = 0u64;
         let mut switches = 0u64;
         let mut stream_seconds = 0.0;
-        for patient in &self.patients {
+        for patient in by_id {
             total_ops += patient.ops;
             windows += patient.windows;
             arrhythmia_windows += patient.arrhythmia_windows;
@@ -440,7 +638,8 @@ impl FleetScheduler {
             }
         }
         let cycles = self.node.cost.cycles(&total_ops);
-        let hop = self.psa.window_duration * (1.0 - self.psa.overlap);
+        let psa = self.plan.config();
+        let hop = psa.window_duration * (1.0 - psa.overlap);
         let interval = windows as f64 * hop;
         let energy_j = self
             .node
@@ -453,7 +652,8 @@ impl FleetScheduler {
             )
             .total();
         FleetReport {
-            streams: self.patients.len(),
+            streams: self.streams(),
+            workers: self.shards.len(),
             windows,
             stream_seconds,
             wall_seconds: self.wall_seconds,
@@ -462,13 +662,15 @@ impl FleetScheduler {
             energy_j,
             arrhythmia_windows,
             controller_switches: switches,
-            scratch_slots: self.pool.slots_created().max(1),
+            scratch_slots: self.scratches.len(),
+            kernel_builds: self.cache.builds(),
+            kernel_hits: self.cache.hits(),
         }
     }
 
     /// Number of streams in the fleet.
     pub fn streams(&self) -> usize {
-        self.patients.len()
+        self.shards.iter().map(|s| s.patients.len()).sum()
     }
 }
 
@@ -494,8 +696,13 @@ fn apply_choice(
 mod tests {
     use super::*;
     use hrv_core::{energy_quality_sweep, PsaSystem};
+    use hrv_wavelet::WaveletBasis;
 
     fn small_fleet(streams: usize, duration: f64) -> FleetScheduler {
+        fleet_with_workers(streams, duration, 1)
+    }
+
+    fn fleet_with_workers(streams: usize, duration: f64, workers: usize) -> FleetScheduler {
         FleetScheduler::new(
             PsaConfig::conventional(),
             FleetConfig {
@@ -503,6 +710,7 @@ mod tests {
                 duration,
                 seed: 7,
                 slice: 60.0,
+                workers,
             },
         )
         .expect("valid fleet")
@@ -543,16 +751,51 @@ mod tests {
     }
 
     #[test]
-    fn shared_pool_uses_one_slot_for_many_streams() {
+    fn serial_fleet_uses_one_scratch_and_one_kernel_build() {
         let mut scheduler = small_fleet(12, 300.0);
         let report = scheduler.run();
         assert_eq!(report.scratch_slots, 1);
+        assert_eq!(
+            report.kernel_builds, 1,
+            "12 engines must share one split-radix kernel"
+        );
         assert!(report.windows > 0);
         assert!(!report.to_string().is_empty());
     }
 
     #[test]
-    fn quality_controlled_fleet_runs_and_reports() {
+    fn sharded_fleet_is_identical_to_serial() {
+        let serial = small_fleet(10, 400.0).run();
+        for workers in [2, 4] {
+            let sharded = fleet_with_workers(10, 400.0, workers).run();
+            assert_eq!(sharded.workers, workers);
+            assert_eq!(sharded.scratch_slots, workers);
+            assert_eq!(sharded.windows, serial.windows, "{workers} workers");
+            assert_eq!(sharded.arrhythmia_windows, serial.arrhythmia_windows);
+            assert_eq!(sharded.total_ops, serial.total_ops);
+            assert_eq!(sharded.cycles, serial.cycles);
+            assert_eq!(sharded.energy_j, serial.energy_j);
+            assert_eq!(sharded.stream_seconds, serial.stream_seconds);
+        }
+    }
+
+    #[test]
+    fn workers_are_capped_by_streams_and_zero_rejected() {
+        let scheduler = fleet_with_workers(3, 300.0, 16);
+        assert_eq!(scheduler.shards.len(), 3);
+        let err = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                workers: 0,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PsaError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn quality_controlled_fleet_switches_without_kernel_builds() {
         let db = SyntheticDatabase::new(3);
         let cohort: Vec<_> = (0..3)
             .map(|id| db.record(id, Condition::SinusArrhythmia, 360.0).rr)
@@ -565,17 +808,145 @@ mod tests {
         )
         .expect("sweep");
         let mut scheduler = small_fleet(4, 400.0).with_quality_control(&sweep, 5.0);
+        // All kernels exist before the first sample flows: construction
+        // happened exactly once per distinct operating choice.
+        let builds_before = scheduler.kernel_cache().builds();
         let report = scheduler.run();
         assert!(report.windows > 0);
+        assert_eq!(
+            scheduler.kernel_cache().builds(),
+            builds_before,
+            "controller switches at run time must be cache lookups"
+        );
         // The controller ran: every patient holds one, and audit windows
         // were produced (switch count is workload-dependent, may be 0).
-        assert!(scheduler.patients.iter().all(|p| p.controller.is_some()));
-        let audits: u64 = scheduler
-            .patients
+        assert!(scheduler
+            .shards
             .iter()
+            .flat_map(|s| &s.patients)
+            .all(|p| p.controller.is_some()));
+        let audits: u64 = scheduler
+            .shards
+            .iter()
+            .flat_map(|s| &s.patients)
             .map(|p| p.controller.as_ref().unwrap().audits())
             .sum();
         assert!(audits > 0);
+    }
+
+    #[test]
+    fn quality_controlled_shards_match_serial() {
+        let db = SyntheticDatabase::new(3);
+        let cohort: Vec<_> = (0..3)
+            .map(|id| db.record(id, Condition::SinusArrhythmia, 360.0).rr)
+            .collect();
+        let sweep = energy_quality_sweep(
+            &cohort,
+            WaveletBasis::Haar,
+            &NodeModel::default(),
+            &PsaConfig::conventional(),
+        )
+        .expect("sweep");
+        let serial = small_fleet(6, 400.0)
+            .with_quality_control(&sweep, 5.0)
+            .run();
+        let sharded = fleet_with_workers(6, 400.0, 3)
+            .with_quality_control(&sweep, 5.0)
+            .run();
+        assert_eq!(sharded.windows, serial.windows);
+        assert_eq!(sharded.total_ops, serial.total_ops);
+        assert_eq!(sharded.arrhythmia_windows, serial.arrhythmia_windows);
+        assert_eq!(sharded.controller_switches, serial.controller_switches);
+    }
+
+    #[test]
+    fn training_unlocks_dynamic_choices() {
+        let db = SyntheticDatabase::new(3);
+        let cohort: Vec<_> = (0..3)
+            .map(|id| db.record(id, Condition::SinusArrhythmia, 360.0).rr)
+            .collect();
+        let sweep = energy_quality_sweep(
+            &cohort,
+            WaveletBasis::Haar,
+            &NodeModel::default(),
+            &PsaConfig::conventional(),
+        )
+        .expect("sweep");
+        let dynamic_points = sweep
+            .points
+            .iter()
+            .filter(|p| p.policy == hrv_core::PruningPolicy::Dynamic && p.vfs)
+            .count();
+        assert!(dynamic_points > 0, "sweep must offer dynamic points");
+
+        let untrained = small_fleet(2, 300.0).with_quality_control(&sweep, 5.0);
+        let trained = small_fleet(2, 300.0)
+            .with_training(&cohort)
+            .expect("trained")
+            .with_quality_control(&sweep, 5.0);
+        let count = |s: &FleetScheduler| {
+            s.shards
+                .iter()
+                .flat_map(|sh| &sh.patients)
+                .next()
+                .map(|p| p.choice_backends.len())
+                .unwrap_or(0)
+        };
+        assert!(
+            count(&trained) > count(&untrained),
+            "training must unlock dynamic operating points ({} vs {})",
+            count(&trained),
+            count(&untrained)
+        );
+
+        // Wrong builder order is an error, not a silent no-op: after
+        // with_quality_control the controllers have already resolved
+        // their choices.
+        let err = small_fleet(2, 300.0)
+            .with_quality_control(&sweep, 5.0)
+            .with_training(&cohort)
+            .unwrap_err();
+        assert!(matches!(err, PsaError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn calibrated_plan_builds_a_dynamic_fleet() {
+        use hrv_core::{ApproximationMode, PruningPolicy};
+        let db = SyntheticDatabase::new(3);
+        let cohort: Vec<_> = (0..2)
+            .map(|id| db.record(id, Condition::SinusArrhythmia, 300.0).rr)
+            .collect();
+        let config = PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet2,
+            PruningPolicy::Dynamic,
+        );
+        let fleet = FleetConfig {
+            streams: 2,
+            duration: 300.0,
+            seed: 7,
+            slice: 60.0,
+            workers: 1,
+        };
+        // The config-based constructor refuses (no corpus to calibrate
+        // on); a calibrated plan is the supported path.
+        assert_eq!(
+            FleetScheduler::new(config.clone(), fleet.clone()).unwrap_err(),
+            PsaError::NeedsCalibration
+        );
+        let plan = SpectralPlan::calibrated(config, &cohort).expect("calibrated");
+        let mut scheduler = FleetScheduler::from_plan(plan, fleet).expect("fleet");
+        assert!(!scheduler
+            .shards
+            .iter()
+            .flat_map(|s| &s.patients)
+            .next()
+            .expect("patients")
+            .engine
+            .active_backend()
+            .is_exact());
+        let report = scheduler.run();
+        assert!(report.windows > 0);
     }
 
     #[test]

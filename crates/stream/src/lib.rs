@@ -18,10 +18,18 @@
 //!   `(ApproximationMode, PruningPolicy, VFS)` operating point per window
 //!   from a rolling, audit-fed distortion estimate, with dwell and
 //!   hysteresis so the configuration does not thrash;
-//! * [`FleetScheduler`] — multiplexes thousands of patient streams
-//!   through a shared [`ScratchPool`] (zero steady-state allocations per
-//!   window on the default exact-kernel path) and reports aggregate
-//!   throughput and energy via `hrv-node-sim`.
+//! * [`FleetScheduler`] — multiplexes thousands of patient streams across
+//!   sharded scoped-thread workers (one scratch arena per worker, zero
+//!   steady-state allocations per window on the default exact-kernel
+//!   path) and reports aggregate throughput and energy via
+//!   `hrv-node-sim`.
+//!
+//! All kernels are planned and built through `hrv-core`'s shared
+//! execution layer ([`hrv_core::SpectralPlan`] + [`hrv_core::KernelCache`]):
+//! the streaming engines are a second front-end over the same planner the
+//! batch [`hrv_core::PsaSystem`] uses, so batch/stream equivalence holds
+//! by construction and controller switches are cache lookups, not kernel
+//! constructions.
 //!
 //! # Examples
 //!
@@ -53,14 +61,12 @@
 
 #![warn(missing_docs)]
 
-mod backends;
 mod controller;
 mod fleet;
 mod ingest;
 mod scratch;
 mod sliding;
 
-pub use backends::{backend_for_choice, exact_backend};
 pub use controller::OnlineQualityController;
 pub use fleet::{FleetConfig, FleetReport, FleetScheduler};
 pub use ingest::{IngestStats, RrIngest};

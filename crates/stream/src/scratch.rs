@@ -74,11 +74,13 @@ impl StreamScratch {
     }
 }
 
-/// A pool of [`StreamScratch`] slots shared by all streams of a fleet.
+/// A pool of [`StreamScratch`] slots for callers multiplexing many
+/// engines themselves.
 ///
 /// Single-threaded multiplexing needs exactly one slot regardless of how
 /// many patient streams are interleaved; the pool keeps warmed-up slots
-/// alive so no stream ever re-grows the buffers.
+/// alive so no stream ever re-grows the buffers. (The sharded
+/// [`crate::FleetScheduler`] instead owns one arena per worker directly.)
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     free: Vec<StreamScratch>,
@@ -132,6 +134,14 @@ mod tests {
         let b = pool.acquire();
         assert_eq!(pool.slots_created(), 1, "slot must be reused, not created");
         assert_eq!(b.capacity_signature(), sig, "grown buffers survive reuse");
+    }
+
+    #[test]
+    fn scratch_is_send() {
+        // Each fleet worker owns one scratch arena and carries it into a
+        // scoped thread.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamScratch>();
     }
 
     #[test]

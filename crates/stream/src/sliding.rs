@@ -25,12 +25,11 @@
 //! carry over unchanged.
 
 use crate::scratch::StreamScratch;
-use hrv_core::{BackendChoice, PruningPolicy, PsaConfig, PsaError};
+use hrv_core::{KernelCache, PsaConfig, PsaError, SpectralPlan};
 use hrv_dsp::{
     fft_real_pair_into, sample_variance, BlockOps, Cx, FftBackend, OpCount, RealFft, SplitRadixFft,
 };
 use hrv_lomb::{blocks, BandPowers, FastLomb, FreqBand, MeshStrategy, Periodogram};
-use hrv_wfft::WaveletFftBackend;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -107,8 +106,9 @@ pub struct SlidingLomb {
     /// Cached spectrum of the all-ones weight mesh: `fft_len` at DC, zero
     /// elsewhere — reused for every window.
     weight_spectrum: Vec<Cx>,
-    /// Full-length exact kernel for audit windows.
-    exact: SplitRadixFft,
+    /// Full-length exact kernel for audit windows (shared through the
+    /// kernel cache when the engine is built from a plan).
+    exact: Arc<dyn FftBackend>,
     window: VecDeque<(f64, f64)>,
     next_start: Option<f64>,
     last_time: Option<f64>,
@@ -134,6 +134,20 @@ impl SlidingLomb {
         overlap: f64,
         backend: Arc<dyn FftBackend>,
     ) -> Self {
+        let exact = Arc::new(SplitRadixFft::new(estimator.fft_len()));
+        Self::with_kernels(estimator, window_duration, overlap, backend, exact)
+    }
+
+    /// [`SlidingLomb::new`] with the exact audit kernel supplied by the
+    /// caller — [`SlidingLomb::from_plan`] passes the cache-shared one so
+    /// no throwaway split-radix plan is built.
+    fn with_kernels(
+        estimator: FastLomb,
+        window_duration: f64,
+        overlap: f64,
+        backend: Arc<dyn FftBackend>,
+        exact: Arc<dyn FftBackend>,
+    ) -> Self {
         assert!(window_duration > 0.0, "window duration must be positive");
         assert!(
             (0.0..1.0).contains(&overlap),
@@ -147,6 +161,7 @@ impl SlidingLomb {
             "backend length {} must match fft_len {n}",
             backend.len()
         );
+        assert_eq!(exact.len(), n, "audit kernel length must match fft_len");
         let resampled = estimator.mesh_strategy() == MeshStrategy::Resample;
         let mut weight_spectrum = vec![Cx::ZERO; n / 2 + 1];
         weight_spectrum[0] = Cx::real(n as f64);
@@ -159,7 +174,7 @@ impl SlidingLomb {
             active: 0,
             rfft: resampled.then(|| RealFft::new(n)),
             weight_spectrum,
-            exact: SplitRadixFft::new(n),
+            exact,
             window: VecDeque::new(),
             next_start: None,
             last_time: None,
@@ -187,34 +202,37 @@ impl SlidingLomb {
     /// # Errors
     ///
     /// Returns [`PsaError::InvalidConfig`] for invalid parameters and
-    /// [`PsaError::NeedsCalibration`] for dynamic pruning (build the
-    /// calibrated backend with [`crate::backend_for_choice`] and install it
-    /// via [`SlidingLomb::add_backend`] instead).
+    /// [`PsaError::NeedsCalibration`] for dynamic pruning (build a
+    /// calibrated [`SpectralPlan`] and use [`SlidingLomb::from_plan`]
+    /// instead).
     pub fn from_config(config: &PsaConfig) -> Result<Self, PsaError> {
-        config.validate()?;
-        let backend: Arc<dyn FftBackend> = match config.backend {
-            BackendChoice::SplitRadix => Arc::new(SplitRadixFft::new(config.fft_len)),
-            BackendChoice::Wavelet {
-                policy: PruningPolicy::Dynamic,
-                ..
-            } => return Err(PsaError::NeedsCalibration),
-            BackendChoice::Wavelet { basis, mode, .. } => Arc::new(WaveletFftBackend::new(
-                config.fft_len,
-                basis,
-                mode.prune_config(),
-            )),
-        };
-        let mut estimator = FastLomb::new(config.fft_len, config.ofac)
-            .with_window(config.window)
-            .with_max_freq(config.max_freq);
-        if config.mesh == MeshStrategy::Resample {
-            estimator = estimator.with_resampled_mesh();
+        let plan = SpectralPlan::new(config.clone())?;
+        if plan.requires_calibration() {
+            return Err(PsaError::NeedsCalibration);
         }
-        Ok(SlidingLomb::new(
-            estimator,
-            config.window_duration,
-            config.overlap,
+        Self::from_plan(&plan, &KernelCache::new())
+    }
+
+    /// Builds the engine through the shared execution layer: the active
+    /// kernel and the exact audit kernel both come from `cache`, so a
+    /// fleet of engines built from one plan constructs each kernel once.
+    /// The estimator wiring is [`SpectralPlan::estimator`] — the same the
+    /// batch system uses, so batch/stream equivalence holds by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] when the plan demands a
+    /// dynamic-pruning kernel but carries no training set.
+    pub fn from_plan(plan: &SpectralPlan, cache: &KernelCache) -> Result<Self, PsaError> {
+        let backend = cache.backend(plan)?;
+        let exact = cache.exact(plan.fft_len());
+        Ok(SlidingLomb::with_kernels(
+            plan.estimator(),
+            plan.config().window_duration,
+            plan.config().overlap,
             backend,
+            exact,
         ))
     }
 
@@ -545,7 +563,7 @@ impl SlidingLomb {
             &self.weight_spectrum
         } else {
             fft_real_pair_into(
-                &self.exact,
+                self.exact.as_ref(),
                 &scratch.wk1,
                 &scratch.wk2,
                 &mut scratch.audit_first,
@@ -755,7 +773,7 @@ mod tests {
     #[test]
     fn backend_switching_and_audit_report_exact_ratio() {
         use hrv_wavelet::WaveletBasis;
-        use hrv_wfft::{PruneConfig, PruneSet};
+        use hrv_wfft::{PruneConfig, PruneSet, WaveletFftBackend};
         let (times, values) = rr_series(620.0, 6);
         let mut engine = SlidingLomb::paper_default();
         let pruned = engine.add_backend(Arc::new(WaveletFftBackend::new(
@@ -790,7 +808,7 @@ mod tests {
 
     #[test]
     fn from_config_mirrors_batch_backend_choice() {
-        use hrv_core::ApproximationMode;
+        use hrv_core::{ApproximationMode, PruningPolicy};
         use hrv_wavelet::WaveletBasis;
         let conv = SlidingLomb::from_config(&PsaConfig::conventional()).expect("valid");
         assert_eq!(conv.active_backend().name(), "split-radix");
@@ -807,6 +825,41 @@ mod tests {
             PruningPolicy::Dynamic,
         ));
         assert!(matches!(dynamic, Err(PsaError::NeedsCalibration)));
+    }
+
+    #[test]
+    fn engines_from_one_plan_share_kernels() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let a = SlidingLomb::from_plan(&plan, &cache).expect("valid");
+        let b = SlidingLomb::from_plan(&plan, &cache).expect("valid");
+        // Active kernel and audit kernel of both engines resolve to the
+        // one cached split-radix entry.
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(a.active_backend().name(), b.active_backend().name());
+    }
+
+    #[test]
+    fn calibrated_plan_drives_dynamic_streaming() {
+        use hrv_core::{ApproximationMode, PruningPolicy};
+        use hrv_ecg::{Condition, SyntheticDatabase};
+        use hrv_wavelet::WaveletBasis;
+        let db = SyntheticDatabase::new(21);
+        let cohort: Vec<_> = (0..2)
+            .map(|id| db.record(id, Condition::SinusArrhythmia, 300.0).rr)
+            .collect();
+        let config = PsaConfig::proposed(
+            WaveletBasis::Haar,
+            ApproximationMode::BandDropSet2,
+            PruningPolicy::Dynamic,
+        );
+        let plan = SpectralPlan::calibrated(config, &cohort).expect("calibrated");
+        let mut engine = SlidingLomb::from_plan(&plan, &KernelCache::new()).expect("valid");
+        assert!(!engine.active_backend().is_exact());
+        let (times, values) = rr_series(400.0, 9);
+        let got = stream_segments(&mut engine, &times, &values);
+        assert!(!got.is_empty(), "dynamic engine must emit windows");
     }
 
     #[test]

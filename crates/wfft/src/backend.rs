@@ -122,4 +122,13 @@ mod tests {
         let backend = WaveletFftBackend::new(64, WaveletBasis::Haar, PruneConfig::band_drop_only());
         assert!(backend.pruned().config().band_drop);
     }
+
+    #[test]
+    fn wavelet_kernels_are_send_and_sync() {
+        // Shared across fleet shards through the kernel cache.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WaveletFftBackend>();
+        assert_send_sync::<crate::PrunedWfft>();
+        assert_send_sync::<crate::WfftPlan>();
+    }
 }

@@ -8,7 +8,9 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`core`] (`hrv-core`) — the quality-scalable PSA system: pipeline,
-//!   pruning modes, calibration, quality controller, energy sweep;
+//!   pruning modes, calibration, quality controller, energy sweep, and
+//!   the shared execution layer (`SpectralPlan` + `KernelCache`) both the
+//!   batch and streaming front-ends construct through;
 //! * [`dsp`] (`hrv-dsp`) — complex arithmetic, split-radix FFT, windows,
 //!   operation accounting;
 //! * [`wavelet`] (`hrv-wavelet`) — orthonormal filter banks and DWT;
@@ -60,8 +62,9 @@ pub use hrv_wfft as wfft;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use hrv_core::{
-        energy_quality_sweep, ApproximationMode, BackendChoice, HrvAnalysis, NodeModel,
-        PruningPolicy, PsaConfig, PsaError, PsaSystem, QualityController,
+        energy_quality_sweep, ApproximationMode, BackendChoice, HrvAnalysis, KernelCache,
+        NodeModel, PruningPolicy, PsaConfig, PsaError, PsaSystem, QualityController, SpectralPlan,
+        TrainingSet,
     };
     pub use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft, Window};
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};

@@ -101,6 +101,95 @@ fn band_drop_error_is_confined_to_high_bins_for_cardiac_meshes() {
 }
 
 #[test]
+fn batch_and_stream_agree_for_every_operating_choice() {
+    // The execution-layer contract behind the run-time controller: for
+    // every (mode, policy, vfs) `OperatingChoice`, the batch `PsaSystem`
+    // and the streaming `SlidingLomb` — both built through the shared
+    // planner, the stream switched to the choice's kernel via the shared
+    // `KernelCache` — produce identical per-window spectra within 1e-9.
+    use hrv_psa::core::{
+        ApproximationMode, KernelCache, OperatingChoice, PruningPolicy, PsaConfig, PsaSystem,
+        SpectralPlan, TrainingSet,
+    };
+    use hrv_psa::stream::{SlidingLomb, StreamScratch, WindowView};
+    use std::sync::Arc;
+
+    let db = SyntheticDatabase::new(2014);
+    let record = db.record(0, Condition::SinusArrhythmia, 420.0);
+    let cohort: Vec<_> = (1..3)
+        .map(|id| db.record(id, Condition::SinusArrhythmia, 300.0).rr)
+        .collect();
+    let training =
+        Arc::new(TrainingSet::from_cohort(&PsaConfig::conventional(), &cohort).expect("training"));
+    let cache = KernelCache::new();
+
+    for mode in ApproximationMode::ALL {
+        for policy in [PruningPolicy::Static, PruningPolicy::Dynamic] {
+            for vfs in [false, true] {
+                let choice = OperatingChoice {
+                    mode,
+                    policy,
+                    vfs,
+                    expected_error_pct: 0.0,
+                    expected_savings_pct: 0.0,
+                };
+                // Batch arm: the system the choice's configuration stands
+                // for (the controller's exact fallback is split-radix).
+                let config = if mode == ApproximationMode::Exact {
+                    PsaConfig::conventional()
+                } else {
+                    PsaConfig::proposed(WaveletBasis::Haar, mode, policy)
+                };
+                let mut plan = SpectralPlan::new(config).expect("plan");
+                if policy == PruningPolicy::Dynamic {
+                    plan = plan.with_training(training.clone());
+                }
+                let batch = PsaSystem::from_plan(&plan, &cache)
+                    .expect("system")
+                    .analyze(&record.rr)
+                    .expect("analysis");
+
+                // Streaming arm: a planner-built engine switched onto the
+                // choice's cached kernel.
+                let mut engine = SlidingLomb::from_plan(
+                    &SpectralPlan::new(PsaConfig::conventional()).expect("plan"),
+                    &cache,
+                )
+                .expect("engine");
+                let kernel = cache.backend_for_choice(&plan, &choice).expect("buildable");
+                let idx = engine.add_backend(kernel);
+                engine.set_active_backend(idx);
+
+                let mut scratch = StreamScratch::new();
+                let mut streamed: Vec<(f64, Vec<f64>)> = Vec::new();
+                let mut sink = |w: &WindowView<'_>| streamed.push((w.start, w.power.to_vec()));
+                for (&t, &v) in record.rr.times().iter().zip(record.rr.intervals()) {
+                    engine.push(t, v, &mut scratch, &mut sink);
+                }
+                engine.finish(&mut scratch, &mut sink);
+
+                let label = format!("{mode}/{policy}/vfs={vfs}");
+                let segments = batch.welch.segments();
+                assert_eq!(streamed.len(), segments.len(), "{label}: window count");
+                assert!(!streamed.is_empty(), "{label}: no windows emitted");
+                for (stream, segment) in streamed.iter().zip(segments) {
+                    assert!(
+                        (stream.0 - segment.start).abs() < 1e-9,
+                        "{label}: window start"
+                    );
+                    for (a, b) in stream.1.iter().zip(segment.periodogram.power()) {
+                        assert!(
+                            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                            "{label}: spectra diverged ({a} vs {b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn op_counts_are_additive_across_pipeline() {
     // The sum of per-block ops equals the aggregate count.
     let (times, values) = rr_window();

@@ -8,14 +8,14 @@
 //! cohort.
 
 use hrv_psa::core::{
-    energy_quality_sweep, ApproximationMode, NodeModel, PruningPolicy, PsaConfig, PsaSystem,
-    QualityController,
+    energy_quality_sweep, ApproximationMode, KernelCache, NodeModel, PruningPolicy, PsaConfig,
+    PsaSystem, QualityController, SpectralPlan,
 };
 use hrv_psa::dsp::{BlockOps, OpCount, SplitRadixFft};
 use hrv_psa::ecg::{Condition, SyntheticDatabase};
 use hrv_psa::lomb::{FastLomb, WelchLomb};
 use hrv_psa::prelude::{FleetConfig, FleetScheduler, OnlineQualityController};
-use hrv_psa::stream::{backend_for_choice, SlidingLomb, StreamScratch, WindowView};
+use hrv_psa::stream::{SlidingLomb, StreamScratch, WindowView};
 use hrv_psa::wavelet::WaveletBasis;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -173,18 +173,24 @@ fn online_controller_respects_qdes_on_seeded_cohort() {
     .expect("sweep");
     let exact_system = PsaSystem::new(PsaConfig::conventional()).expect("valid");
 
+    // One plan + one kernel cache serve every stream of the cohort: each
+    // distinct operating choice is built exactly once below.
+    let plan = SpectralPlan::calibrated(PsaConfig::conventional(), &cohort).expect("plan");
+    let cache = KernelCache::new();
+
     for rr in &cohort {
-        let mut engine = SlidingLomb::from_config(&PsaConfig::conventional()).expect("valid");
+        let mut engine = SlidingLomb::from_plan(&plan, &cache).expect("valid");
         let mut controller =
             OnlineQualityController::new(QualityController::from_sweep(&sweep, true), qdes_pct)
                 .with_audit_period(4);
-        // Install a kernel per controller choice.
+        // Install a kernel per controller choice — cache lookups after the
+        // first stream.
         let mapping: Vec<_> = QualityController::from_sweep(&sweep, true)
             .choices()
             .iter()
-            .filter_map(|c| {
-                backend_for_choice(512, WaveletBasis::Haar, c, None)
-                    .map(|b| (*c, engine.add_backend(b)))
+            .map(|c| {
+                let backend = cache.backend_for_choice(&plan, c).expect("buildable");
+                (*c, engine.add_backend(backend))
             })
             .collect();
         if let Some(start) = controller.current() {
@@ -235,10 +241,126 @@ fn online_controller_respects_qdes_on_seeded_cohort() {
             "controlled stream distortion {err_pct:.2}% exceeds Q_DES {qdes_pct}%"
         );
     }
+
+    // Six streams, each installing every operating choice: every kernel
+    // was still built at most once.
+    let distinct = QualityController::from_sweep(&sweep, true).choices().len() as u64 + 1;
+    assert!(
+        cache.builds() <= distinct,
+        "{} builds for {} distinct kernels",
+        cache.builds(),
+        distinct
+    );
+    assert!(cache.hits() > cache.builds());
+}
+
+/// Acceptance guarantee of the execution layer: once the kernel cache is
+/// warm, repeated `OnlineQualityController` switches perform **zero**
+/// kernel builds — a switch is a cache lookup.
+#[test]
+fn warm_kernel_cache_switches_without_builds() {
+    use hrv_psa::core::{SweepResult, TradeoffPoint};
+    let point = |mode, policy, err: f64, save: f64| TradeoffPoint {
+        mode,
+        policy,
+        vfs: true,
+        avg_ratio: 0.46,
+        ratio_error_pct: err,
+        energy_j: 1.0,
+        savings_pct: save,
+        cycle_ratio: 0.5,
+        fft_cycle_ratio: 0.4,
+        fft_savings_pct: save + 10.0,
+        detection_rate: 1.0,
+    };
+    // A sweep with known expectations, so the oscillating evidence below
+    // provably drives the controller through exact → BandDrop → Set2
+    // cycles.
+    let sweep = SweepResult {
+        conventional_ratio: 0.45,
+        conventional_energy: 1.0,
+        conventional_cycles: 1_000_000,
+        points: vec![
+            point(
+                ApproximationMode::BandDrop,
+                PruningPolicy::Static,
+                2.0,
+                40.0,
+            ),
+            point(
+                ApproximationMode::BandDropSet2,
+                PruningPolicy::Static,
+                4.0,
+                60.0,
+            ),
+            point(
+                ApproximationMode::BandDropSet2,
+                PruningPolicy::Dynamic,
+                3.5,
+                55.0,
+            ),
+            point(
+                ApproximationMode::BandDropSet3,
+                PruningPolicy::Static,
+                8.0,
+                80.0,
+            ),
+        ],
+    };
+    let db = SyntheticDatabase::new(2014);
+    let cohort: Vec<_> = (0..2)
+        .map(|id| db.record(id, Condition::SinusArrhythmia, 300.0).rr)
+        .collect();
+    let plan = SpectralPlan::calibrated(PsaConfig::conventional(), &cohort).expect("plan");
+    let cache = KernelCache::new();
+    let inner = QualityController::from_sweep(&sweep, true);
+
+    // Warm-up: resolve every operating choice (and the exact fallback)
+    // once.
+    for choice in inner.choices() {
+        cache.backend_for_choice(&plan, choice).expect("buildable");
+    }
+    cache.exact(plan.fft_len());
+    let builds_after_warmup = cache.builds();
+    assert_eq!(builds_after_warmup, 5, "4 choices + the exact fallback");
+
+    // Drive the controller through oscillating evidence so it actually
+    // switches, resolving its decision through the cache every window —
+    // the fleet's per-window path.
+    let mut controller = OnlineQualityController::new(inner, 5.0)
+        .with_audit_period(1)
+        .with_dwell(2)
+        .with_ewma_alpha(1.0);
+    let mut resolved = 0u64;
+    for i in 0..300 {
+        let exact = 0.45;
+        // A mild overrun (8 % > Q_DES) every 20 windows forces the exact
+        // fallback; clean audits in between re-enter approximation.
+        let observed = if i % 20 == 0 { 0.45 * 1.08 } else { 0.45 };
+        let decision = controller.observe_window(observed, Some(exact));
+        let kernel = match decision {
+            Some(choice) => cache.backend_for_choice(&plan, &choice).expect("cached"),
+            None => cache.exact(plan.fft_len()),
+        };
+        assert_eq!(kernel.len(), 512);
+        resolved += 1;
+    }
+    assert!(
+        controller.switches() >= 4,
+        "evidence must force switches, got {}",
+        controller.switches()
+    );
+    assert_eq!(
+        cache.builds(),
+        builds_after_warmup,
+        "a warm cache must perform zero kernel builds across switches"
+    );
+    assert!(cache.hits() >= resolved);
 }
 
 /// The fleet sustains 1000 concurrent streams through one shared scratch
-/// slot, with per-stream results identical to batch analysis.
+/// slot and **one** kernel build, with per-stream results identical to
+/// batch analysis.
 #[test]
 fn fleet_sustains_1000_streams() {
     let mut scheduler = FleetScheduler::new(
@@ -248,6 +370,7 @@ fn fleet_sustains_1000_streams() {
             duration: 300.0,
             seed: 5,
             slice: 60.0,
+            workers: 1,
         },
     )
     .expect("valid fleet");
@@ -256,6 +379,10 @@ fn fleet_sustains_1000_streams() {
     // 300 s of data, 120 s windows, 60 s hop → ~3-4 windows per stream.
     assert!(report.windows >= 3000, "only {} windows", report.windows);
     assert_eq!(report.scratch_slots, 1, "one shared scratch slot suffices");
+    assert_eq!(
+        report.kernel_builds, 1,
+        "1000 engines must share one cached kernel"
+    );
     assert!(report.realtime_factor() > 100.0);
     // Spot-check one patient against the batch system.
     let record = SyntheticDatabase::new(5).record(0, Condition::SinusArrhythmia, 300.0);
@@ -264,6 +391,41 @@ fn fleet_sustains_1000_streams() {
         .analyze(&record.rr)
         .expect("analysis");
     assert!(analysis.per_window.len() >= 3);
+}
+
+/// The seeded 1000-stream cohort processed by a sharded fleet (≥ 2
+/// workers) is bit-identical to the serial scheduler's result.
+#[test]
+fn sharded_fleet_matches_serial_on_seeded_cohort() {
+    let fleet = |workers: usize| {
+        FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams: 200,
+                duration: 300.0,
+                seed: 5,
+                slice: 60.0,
+                workers,
+            },
+        )
+        .expect("valid fleet")
+        .run()
+    };
+    let serial = fleet(1);
+    for workers in [2, 4] {
+        let sharded = fleet(workers);
+        assert_eq!(sharded.workers, workers);
+        assert_eq!(
+            sharded.scratch_slots, workers,
+            "one scratch arena per worker"
+        );
+        assert_eq!(sharded.windows, serial.windows);
+        assert_eq!(sharded.arrhythmia_windows, serial.arrhythmia_windows);
+        assert_eq!(sharded.total_ops, serial.total_ops);
+        assert_eq!(sharded.cycles, serial.cycles);
+        assert_eq!(sharded.energy_j, serial.energy_j, "{workers} workers");
+        assert_eq!(sharded.stream_seconds, serial.stream_seconds);
+    }
 }
 
 /// Mixed pruned/exact streaming: a static Set3 stream still flags the

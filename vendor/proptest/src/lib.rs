@@ -138,7 +138,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size specifier for [`vec`]: a fixed length or a `usize` range.
+    /// Size specifier for [`vec()`]: a fixed length or a `usize` range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
