@@ -8,7 +8,7 @@
 //!   HRV_FLEET_SECONDS  seconds of RR data per stream     (default 600)
 //!   HRV_FLEET_WORKERS  comma list of shard counts to run  (default 1,2,4)
 
-use hrv_core::PsaConfig;
+use hrv_core::{PsaConfig, Telemetry};
 use hrv_dsp::{BlockOps, SplitRadixFft};
 use hrv_ecg::{Condition, SyntheticDatabase};
 use hrv_lomb::{FastLomb, WelchLomb};
@@ -164,6 +164,10 @@ fn main() {
     let parity =
         |r: &hrv_stream::FleetReport| (r.windows, r.total_ops, r.energy_j, r.arrhythmia_windows);
     let mut serial_parity = None;
+    // The detailed per-run stats flow through the shared Telemetry
+    // registry — the same path the hrv-service gateway exposes over the
+    // wire — instead of ad-hoc println! plumbing.
+    let telemetry = Telemetry::new();
     for &workers in &worker_counts {
         let mut scheduler = FleetScheduler::new(
             PsaConfig::conventional(),
@@ -196,13 +200,21 @@ fn main() {
             ),
         }
         if workers == *worker_counts.first().expect("non-empty") {
-            println!("\n{report}");
-            println!(
-                "scratch arenas: {} (one per worker; kernels shared across all {} streams)\n",
-                report.scratch_slots, report.streams
-            );
+            report.publish(&telemetry);
+            scheduler.kernel_cache().publish(&telemetry);
+            telemetry
+                .gauge(
+                    "hrv_fleet_scratch_arenas",
+                    "scratch arenas in use (one per worker shard)",
+                )
+                .set(report.scratch_slots as f64);
         }
     }
+    println!(
+        "\n== telemetry of the {}-worker run (shared Prometheus exposition) ==\n",
+        worker_counts.first().expect("non-empty")
+    );
+    println!("{}", telemetry.render());
 
     // ---- quality-controlled fleet: switches are cache lookups --------------
     // Every stream carries an online controller; every operating choice of

@@ -1,0 +1,166 @@
+//! Service load generator: replays a synthetic cohort against an
+//! in-process loopback gateway at a target connection count, records
+//! throughput, and **asserts** that the drained per-stream reports are
+//! id-ordered and bit-identical to an equivalent offline
+//! `FleetScheduler` run — the wire boundary must not change a single
+//! operation count.
+//!
+//! Run with: `cargo run --release -p hrv-bench --bin loadgen`
+//! Environment knobs (for CI smoke runs):
+//!   HRV_LOADGEN_STREAMS  concurrent client connections (default 16)
+//!   HRV_LOADGEN_SECONDS  seconds of RR data per stream (default 600)
+//!   HRV_LOADGEN_BATCH    samples per PushRr frame      (default 64)
+//!   HRV_LOADGEN_QUEUE    per-session queue capacity    (default 1024)
+//!   HRV_LOADGEN_WORKERS  fleet worker shards           (default 2)
+
+use hrv_core::PsaConfig;
+use hrv_service::{Gateway, GatewayConfig, ServiceClient, SessionConfig};
+use hrv_stream::{cohort_member, FleetConfig, FleetScheduler};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+const SEED: u64 = 2014;
+
+fn main() {
+    let streams = env_usize("HRV_LOADGEN_STREAMS", 16);
+    let seconds = env_usize("HRV_LOADGEN_SECONDS", 600) as f64;
+    let batch = env_usize("HRV_LOADGEN_BATCH", 64).max(1);
+    let queue = env_usize("HRV_LOADGEN_QUEUE", 1024).max(batch);
+    let workers = env_usize("HRV_LOADGEN_WORKERS", 2).max(1);
+
+    // ---- offline reference: the same cohort through an offline fleet ----
+    let mut offline = FleetScheduler::new(
+        PsaConfig::conventional(),
+        FleetConfig {
+            streams,
+            duration: seconds,
+            seed: SEED,
+            slice: 60.0,
+            workers,
+        },
+    )
+    .expect("valid offline fleet");
+    let offline_started = Instant::now();
+    let offline_report = offline.run();
+    let offline_wall = offline_started.elapsed().as_secs_f64();
+    let offline_reports = offline.stream_reports();
+
+    // ---- the gateway, on an ephemeral loopback port ---------------------
+    let handle = Gateway::start(GatewayConfig {
+        workers,
+        session: SessionConfig {
+            max_sessions: streams.max(1),
+            queue_capacity: queue,
+        },
+        ..GatewayConfig::default()
+    })
+    .expect("gateway start");
+    let addr = handle.local_addr();
+    println!(
+        "loadgen: {streams} connections x {seconds:.0} s ({batch}-sample frames, \
+         {queue}-sample queues, {workers} fleet workers) -> {addr}"
+    );
+
+    // ---- one client thread per stream -----------------------------------
+    let replay_started = Instant::now();
+    let mut samples_sent = 0u64;
+    let mut busy_retries = 0u64;
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..streams)
+            .map(|id| {
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    client.open_stream(id as u64).expect("open stream");
+                    let record = cohort_member(SEED, id, seconds);
+                    let samples: Vec<(f64, f64)> = record
+                        .rr
+                        .times()
+                        .iter()
+                        .copied()
+                        .zip(record.rr.intervals().iter().copied())
+                        .collect();
+                    let (mut sent, mut retries) = (0u64, 0u64);
+                    for chunk in samples.chunks(batch) {
+                        loop {
+                            match client.push_rr(id as u64, chunk) {
+                                Ok(_) => break,
+                                Err(hrv_service::ServiceError::Busy { .. }) => {
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                Err(err) => panic!("stream {id}: {err}"),
+                            }
+                        }
+                        sent += chunk.len() as u64;
+                    }
+                    (sent, retries)
+                })
+            })
+            .collect();
+        for thread in threads {
+            let (sent, retries) = thread.join().expect("client thread");
+            samples_sent += sent;
+            busy_retries += retries;
+        }
+    });
+    let replay_wall = replay_started.elapsed().as_secs_f64();
+
+    // ---- drain and compare ----------------------------------------------
+    let telemetry = handle.telemetry();
+    let mut control = ServiceClient::connect(addr).expect("control connection");
+    // Exercise the wire-level metrics path too (same registry the final
+    // exposition below renders).
+    let live_metrics = control.metrics().expect("metrics");
+    assert!(live_metrics.contains("hrv_service_samples_admitted_total"));
+    let drain_started = Instant::now();
+    let reports = control.shutdown().expect("shutdown");
+    let drain_wall = drain_started.elapsed().as_secs_f64();
+    handle.wait().expect("gateway join");
+
+    let ids: Vec<usize> = reports.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..streams).collect::<Vec<_>>(), "reports id-ordered");
+    assert_eq!(
+        reports, offline_reports,
+        "gateway-drained per-stream reports must be bit-identical to the offline fleet"
+    );
+    let windows: u64 = reports.iter().map(|r| r.windows).sum();
+
+    println!("\n== loopback replay vs offline fleet ==\n");
+    println!(
+        "{:<32} {:>10} {:>12} {:>14}",
+        "path", "windows", "wall [s]", "samples/s"
+    );
+    println!(
+        "{:<32} {:>10} {:>12.3} {:>14}",
+        "offline FleetScheduler", offline_report.windows, offline_wall, "-"
+    );
+    println!(
+        "{:<32} {:>10} {:>12.3} {:>14.0}",
+        "gateway (framed TCP loopback)",
+        windows,
+        replay_wall + drain_wall,
+        samples_sent as f64 / replay_wall
+    );
+    println!(
+        "\n{samples_sent} samples over {streams} connections; {busy_retries} Busy retries \
+         (backpressure), drain {drain_wall:.3} s; per-stream reports bit-identical: yes"
+    );
+
+    println!("\n== final gateway telemetry (shared Prometheus exposition) ==\n");
+    print!(
+        "{}",
+        telemetry
+            .render()
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    println!();
+}

@@ -34,6 +34,20 @@ pub enum PsaError {
     },
     /// An invalid configuration value.
     InvalidConfig(String),
+    /// A stream id that is not (or no longer) registered with a fleet.
+    UnknownStream(u64),
+    /// A stream id that is already registered with a fleet.
+    DuplicateStream(u64),
+    /// An I/O failure (socket, pipe, file) carried into the typed error
+    /// path, so transport problems never surface as panics or silent
+    /// drops. The payload is the formatted [`std::io::Error`].
+    Io(String),
+}
+
+impl From<std::io::Error> for PsaError {
+    fn from(err: std::io::Error) -> Self {
+        PsaError::Io(err.to_string())
+    }
 }
 
 impl fmt::Display for PsaError {
@@ -61,6 +75,9 @@ impl fmt::Display for PsaError {
                 )
             }
             PsaError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            PsaError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            PsaError::DuplicateStream(id) => write!(f, "stream id {id} is already open"),
+            PsaError::Io(reason) => write!(f, "i/o failure: {reason}"),
         }
     }
 }
@@ -85,6 +102,9 @@ mod tests {
                 mode: ApproximationMode::BandDropSet2,
             },
             PsaError::InvalidConfig("ofac < 1".into()),
+            PsaError::UnknownStream(3),
+            PsaError::DuplicateStream(3),
+            PsaError::Io("connection reset".into()),
         ];
         for e in errs {
             let msg = e.to_string();
@@ -97,5 +117,12 @@ mod tests {
     fn implements_error_trait() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(PsaError::ConstantSignal);
+    }
+
+    #[test]
+    fn io_errors_convert_into_the_typed_path() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer went away");
+        let err: PsaError = io.into();
+        assert!(matches!(&err, PsaError::Io(msg) if msg.contains("peer went away")));
     }
 }

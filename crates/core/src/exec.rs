@@ -460,6 +460,31 @@ impl KernelCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Publishes the cache's construction accounting into a
+    /// [`crate::Telemetry`] registry (`hrv_kernel_builds_total`,
+    /// `hrv_kernel_hits_total`, `hrv_kernel_cache_kernels`) — the one
+    /// reporting path the server, benches and examples share.
+    pub fn publish(&self, telemetry: &crate::Telemetry) {
+        telemetry
+            .counter(
+                "hrv_kernel_builds_total",
+                "FFT kernels constructed (cache misses)",
+            )
+            .set(self.builds());
+        telemetry
+            .counter(
+                "hrv_kernel_hits_total",
+                "kernel lookups served without construction",
+            )
+            .set(self.hits());
+        telemetry
+            .gauge(
+                "hrv_kernel_cache_kernels",
+                "distinct kernels currently cached",
+            )
+            .set(self.len() as f64);
+    }
 }
 
 /// Constructs the kernel a spec describes. Dynamic specs calibrate their
@@ -646,6 +671,20 @@ mod tests {
             dynamic.key_for(dynamic.base_spec()),
             Err(PsaError::MissingCalibration { .. })
         ));
+    }
+
+    #[test]
+    fn publish_mirrors_cache_counters_into_telemetry() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        cache.backend(&plan).expect("base");
+        cache.backend(&plan).expect("cached");
+        let telemetry = crate::Telemetry::new();
+        cache.publish(&telemetry);
+        let text = telemetry.render();
+        assert!(text.contains("hrv_kernel_builds_total 1"));
+        assert!(text.contains("hrv_kernel_hits_total 1"));
+        assert!(text.contains("hrv_kernel_cache_kernels 1"));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   kernel store that batch, streaming and fleet front-ends all
 //!   construct through;
 //! * [`QualityController`] — the Q_DES-driven run-time mode selector of
-//!   Fig. 2.
+//!   Fig. 2;
+//! * [`Telemetry`] — the shared counter/gauge registry (Prometheus-style
+//!   text exposition) the server, benches and examples all report
+//!   through.
 //!
 //! # Examples
 //!
@@ -55,6 +58,7 @@ mod exec;
 mod quality;
 mod sweep;
 mod system;
+mod telemetry;
 
 pub use calibrate::{training_meshes, BandSignificance};
 pub use config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
@@ -64,3 +68,4 @@ pub use exec::{KernelCache, KernelSpec, PlanKey, SpectralPlan, TrainingSet};
 pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
 pub use system::{HrvAnalysis, PsaSystem};
+pub use telemetry::{Counter, Gauge, MetricKind, Telemetry};

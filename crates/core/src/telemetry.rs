@@ -1,0 +1,359 @@
+//! A shared observability registry with Prometheus-style exposition.
+//!
+//! Every subsystem that wants to surface operational numbers — the
+//! [`crate::KernelCache`]'s build/hit counters, a fleet's throughput, a
+//! network gateway's per-session queue depths — registers [`Counter`]s
+//! and [`Gauge`]s in one [`Telemetry`] registry and updates them through
+//! lock-free atomic handles. [`Telemetry::render`] serialises the whole
+//! registry in the Prometheus text exposition format, so the server, the
+//! benches and the examples all report through one path instead of
+//! ad-hoc `println!` plumbing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically reported event count.
+    Counter,
+    /// A point-in-time value that can move both ways.
+    Gauge,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One metric family: a help string, a kind, and one atomic cell per
+/// label set.
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Rendered label block (e.g. `{stream="3"}`, empty for no labels)
+    /// → the value cell.
+    series: BTreeMap<String, Arc<AtomicU64>>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    families: BTreeMap<String, Family>,
+}
+
+/// A shared metric registry; see the module docs.
+///
+/// Cloning yields another handle to the **same** registry, so one
+/// `Telemetry` can be threaded through a gateway, its fleet scheduler and
+/// a metrics endpoint at once.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::Telemetry;
+///
+/// let telemetry = Telemetry::new();
+/// let windows = telemetry.counter("hrv_windows_total", "windows emitted");
+/// windows.add(3);
+/// let depth = telemetry.gauge_with(
+///     "hrv_queue_depth",
+///     "buffered samples",
+///     &[("stream", "7")],
+/// );
+/// depth.set(12.0);
+/// let text = telemetry.render();
+/// assert!(text.contains("# TYPE hrv_windows_total counter"));
+/// assert!(text.contains("hrv_windows_total 3"));
+/// assert!(text.contains("hrv_queue_depth{stream=\"7\"} 12"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+/// A monotonically increasing event counter (u64).
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the count — for republishing a counter maintained
+    /// elsewhere (e.g. [`crate::KernelCache::builds`]).
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement (f64, stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// `true` for names matching the Prometheus metric-name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Renders a label set as `{k1="v1",k2="v2"}` (empty string for none),
+/// escaping `\`, `"` and newlines in values as the exposition format
+/// requires.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        assert!(valid_name(k), "invalid label name {k:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-fetches) the cell of one series. Registration is
+    /// idempotent: asking for the same name + labels again returns a
+    /// handle to the same cell.
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+    ) -> Arc<AtomicU64> {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let block = label_block(labels);
+        let mut registry = self.inner.lock().expect("telemetry registry poisoned");
+        let family = registry
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name} already registered as {:?}",
+            family.kind
+        );
+        Arc::clone(
+            family
+                .series
+                .entry(block)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a counter with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name, or when `name` is already
+    /// registered as a gauge.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter {
+            cell: self.series(name, help, MetricKind::Counter, labels),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or re-fetches) a gauge with labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name, or when `name` is already
+    /// registered as a counter.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        // A fresh cell holds raw 0u64, which is also the bit pattern of
+        // 0.0 — a never-set gauge reads as zero.
+        Gauge {
+            cell: self.series(name, help, MetricKind::Gauge, labels),
+        }
+    }
+
+    /// Drops one labelled series (e.g. the queue-depth gauge of a closed
+    /// session). Returns `true` when the series existed. Unlabelled
+    /// series use an empty label slice.
+    pub fn remove_series(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let block = label_block(labels);
+        let mut registry = self.inner.lock().expect("telemetry registry poisoned");
+        registry
+            .families
+            .get_mut(name)
+            .is_some_and(|family| family.series.remove(&block).is_some())
+    }
+
+    /// Serialises every registered series in the Prometheus text
+    /// exposition format (families and series in lexicographic order, so
+    /// the output is deterministic).
+    pub fn render(&self) -> String {
+        let registry = self.inner.lock().expect("telemetry registry poisoned");
+        let mut out = String::new();
+        for (name, family) in &registry.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.exposition_name());
+            for (labels, cell) in &family.series {
+                let raw = cell.load(Ordering::Relaxed);
+                match family.kind {
+                    MetricKind::Counter => {
+                        let _ = writeln!(out, "{name}{labels} {raw}");
+                    }
+                    MetricKind::Gauge => {
+                        let _ = writeln!(out, "{name}{labels} {}", f64::from_bits(raw));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let t = Telemetry::new();
+        let c = t.counter("events_total", "events seen");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = t.gauge("depth", "queue depth");
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let t = Telemetry::new();
+        let a = t.counter("hits_total", "hits");
+        let b = t.clone().counter("hits_total", "hits");
+        a.add(2);
+        assert_eq!(b.get(), 2, "clones and re-registrations share the cell");
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped_and_sorted() {
+        let t = Telemetry::new();
+        t.counter("b_total", "second").add(7);
+        t.gauge_with("a_value", "first", &[("stream", "1")])
+            .set(1.5);
+        t.gauge_with("a_value", "first", &[("stream", "0")])
+            .set(0.5);
+        let text = t.render();
+        let a = text.find("# TYPE a_value gauge").expect("a family");
+        let b = text.find("# TYPE b_total counter").expect("b family");
+        assert!(a < b, "families sorted by name");
+        let s0 = text.find("a_value{stream=\"0\"} 0.5").expect("series 0");
+        let s1 = text.find("a_value{stream=\"1\"} 1.5").expect("series 1");
+        assert!(s0 < s1, "series sorted by label block");
+        assert!(text.contains("b_total 7"));
+        assert!(text.contains("# HELP b_total second"));
+    }
+
+    #[test]
+    fn remove_series_drops_only_that_label_set() {
+        let t = Telemetry::new();
+        t.gauge_with("depth", "d", &[("stream", "1")]).set(1.0);
+        t.gauge_with("depth", "d", &[("stream", "2")]).set(2.0);
+        assert!(t.remove_series("depth", &[("stream", "1")]));
+        assert!(!t.remove_series("depth", &[("stream", "1")]));
+        let text = t.render();
+        assert!(!text.contains("stream=\"1\""));
+        assert!(text.contains("stream=\"2\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let t = Telemetry::new();
+        t.gauge_with("g", "g", &[("k", "a\"b\\c\nd")]).set(1.0);
+        assert!(t.render().contains("g{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_rejected() {
+        Telemetry::new().counter("0bad name", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_rejected() {
+        let t = Telemetry::new();
+        t.counter("x_total", "x");
+        t.gauge("x_total", "x");
+    }
+
+    #[test]
+    fn telemetry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Gauge>();
+    }
+}

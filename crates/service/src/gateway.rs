@@ -1,0 +1,603 @@
+//! The TCP gateway: accept loop, per-connection handlers, and the
+//! analysis pump.
+//!
+//! Three kinds of threads cooperate around two shared structures:
+//!
+//! * **connection handlers** (one per client) decode frames and serve
+//!   requests; pushes land in the session table's bounded queues and
+//!   are answered immediately (`Pushed` or `Busy` — network reads never
+//!   wait on analysis);
+//! * the **pump** moves queued samples into the [`FleetScheduler`]
+//!   (external-ingest mode, kernels from the shared
+//!   [`hrv_core::KernelCache`]) and performs the shutdown drain;
+//! * the **accept loop** admits connections until shutdown begins.
+//!
+//! Lock discipline: whenever session queues are *drained into the
+//! fleet*, the fleet lock is taken **before** the session lock, and the
+//! samples move inside that critical section — so two drainers can never
+//! reorder one stream's samples. Queue *appends* (handlers) only take
+//! the session lock, which is also where the "still admitting?" check
+//! lives; after the drain pass observes `STATE_DRAINING` and empty
+//! queues, no sample can exist outside the fleet, making the final
+//! per-stream reports complete.
+
+use crate::client::ServiceClient;
+use crate::error::ServiceError;
+use crate::frame::{write_frame, FramePoll, FrameReader, MAX_FRAME};
+use crate::proto::{Reply, Request, PROTOCOL_VERSION};
+use crate::session::{SessionConfig, SessionTable, STATE_DONE, STATE_DRAINING, STATE_RUNNING};
+use hrv_core::{Counter, PsaConfig, PsaError, SpectralPlan, Telemetry};
+use hrv_stream::{FleetScheduler, StreamReport};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Hard ceiling on [`SessionConfig::max_sessions`], chosen so the
+/// `ShutdownAck` frame carrying every stream's final report stays under
+/// [`MAX_FRAME`] (256 bytes budgeted per report). [`Gateway::start`]
+/// clamps larger configured values to this.
+pub const MAX_SESSIONS: usize = 4096;
+
+/// Gateway construction parameters.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Bind address; `127.0.0.1:0` (the default) picks a free loopback
+    /// port, reported by [`GatewayHandle::local_addr`].
+    pub addr: String,
+    /// The analysis configuration every stream runs
+    /// ([`PsaConfig::conventional`] by default).
+    pub psa: PsaConfig,
+    /// Worker shards of the backing fleet.
+    pub workers: usize,
+    /// Session admission limits.
+    pub session: SessionConfig,
+    /// How long a connection handler blocks on the socket before
+    /// re-checking the gateway state.
+    pub read_timeout: Duration,
+    /// Pump sleep when every queue was empty.
+    pub pump_idle: Duration,
+    /// Samples the pump moves per session per pass.
+    pub drain_batch: usize,
+    /// Maximum concurrent connections (one handler thread each). A
+    /// connection accepted at the cap is closed immediately after a
+    /// best-effort `ShuttingDown`-style refusal — connections, like
+    /// queues, never grow without bound.
+    pub max_connections: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            psa: PsaConfig::conventional(),
+            workers: 1,
+            session: SessionConfig::default(),
+            read_timeout: Duration::from_millis(20),
+            pump_idle: Duration::from_millis(1),
+            drain_batch: 512,
+            max_connections: 256,
+        }
+    }
+}
+
+/// State shared by every gateway thread.
+struct Shared {
+    state: Arc<AtomicU8>,
+    sessions: SessionTable,
+    fleet: Mutex<FleetScheduler>,
+    telemetry: Telemetry,
+    session_config: SessionConfig,
+    final_reports: Mutex<Option<Vec<StreamReport>>>,
+    connections_total: Counter,
+    frames_total: Counter,
+    errors_total: Counter,
+}
+
+/// The gateway entry point; [`Gateway::start`] returns a
+/// [`GatewayHandle`] for the running instance.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_service::{Gateway, GatewayConfig, ServiceClient};
+///
+/// let handle = Gateway::start(GatewayConfig::default())?;
+/// let mut client = ServiceClient::connect(handle.local_addr())?;
+/// client.open_stream(1)?;
+/// client.push_rr(1, &[(0.8, 0.8), (1.6, 0.8)])?;
+/// let reports = client.shutdown()?;
+/// assert_eq!(reports.len(), 1);
+/// assert_eq!(reports[0].ingest.accepted, 2);
+/// handle.wait()?;
+/// # Ok::<(), hrv_service::ServiceError>(())
+/// ```
+pub struct Gateway;
+
+impl Gateway {
+    /// Starts a gateway from a plain configuration (the plan is built
+    /// internally, like [`FleetScheduler::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PsaError`] of an invalid configuration (dynamic
+    /// pruning needs [`Gateway::start_with_plan`] and a calibrated
+    /// plan), or [`ServiceError::Io`] when binding fails.
+    pub fn start(config: GatewayConfig) -> Result<GatewayHandle, ServiceError> {
+        let plan = SpectralPlan::new(config.psa.clone()).map_err(ServiceError::from)?;
+        if plan.requires_calibration() {
+            return Err(PsaError::NeedsCalibration.into());
+        }
+        Self::start_with_plan(plan, config)
+    }
+
+    /// Starts a gateway whose streams run an explicit (possibly
+    /// calibrated) [`SpectralPlan`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Gateway::start`].
+    pub fn start_with_plan(
+        plan: SpectralPlan,
+        mut config: GatewayConfig,
+    ) -> Result<GatewayHandle, ServiceError> {
+        // Bound the session table so a ShutdownAck carrying every
+        // stream's final report always fits one MAX_FRAME frame
+        // (budgeting 256 bytes per wire report, ~4× the actual size).
+        // The clamped value is what HelloAck advertises.
+        config.session.max_sessions = config.session.max_sessions.min(MAX_SESSIONS);
+        let fleet = FleetScheduler::external(plan, config.workers).map_err(ServiceError::from)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let telemetry = Telemetry::new();
+        let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+        let shared = Arc::new(Shared {
+            state: state.clone(),
+            sessions: SessionTable::new(config.session.clone(), telemetry.clone(), state),
+            fleet: Mutex::new(fleet),
+            telemetry: telemetry.clone(),
+            session_config: config.session.clone(),
+            final_reports: Mutex::new(None),
+            connections_total: telemetry.counter(
+                "hrv_service_connections_total",
+                "client connections accepted",
+            ),
+            frames_total: telemetry.counter("hrv_service_frames_total", "request frames decoded"),
+            errors_total: telemetry.counter("hrv_service_errors_total", "error replies sent"),
+        });
+        let pump = {
+            let shared = Arc::clone(&shared);
+            let (drain_batch, idle) = (config.drain_batch.max(1), config.pump_idle);
+            thread::Builder::new()
+                .name("hrv-service-pump".into())
+                .spawn(move || pump_loop(&shared, drain_batch, idle))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let read_timeout = config.read_timeout;
+            let max_connections = config.max_connections.max(1);
+            thread::Builder::new()
+                .name("hrv-service-accept".into())
+                .spawn(move || accept_loop(&shared, listener, read_timeout, max_connections))?
+        };
+        Ok(GatewayHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            pump: Some(pump),
+        })
+    }
+}
+
+/// A running gateway. Dropping the handle initiates shutdown and joins
+/// the service threads; prefer [`GatewayHandle::shutdown`] (or a client
+/// [`Request::Shutdown`] plus [`GatewayHandle::wait`]) to also receive
+/// the drained reports.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle to the gateway's telemetry registry (shared; render it
+    /// any time, or ask the gateway over the wire via `ReadMetrics`).
+    pub fn telemetry(&self) -> Telemetry {
+        self.shared.telemetry.clone()
+    }
+
+    /// Connects a loopback client to this gateway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/handshake failures.
+    pub fn client(&self) -> Result<ServiceClient, ServiceError> {
+        ServiceClient::connect(self.addr)
+    }
+
+    /// Initiates the drain (idempotent), waits for it to complete and
+    /// returns the final id-ordered per-stream reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when a service thread panicked.
+    pub fn shutdown(mut self) -> Result<Vec<StreamReport>, ServiceError> {
+        let _ = self.shared.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.join()?;
+        let reports = self
+            .shared
+            .final_reports
+            .lock()
+            .expect("final reports poisoned")
+            .clone();
+        reports.ok_or_else(|| ServiceError::Io("gateway drained without reports".into()))
+    }
+
+    /// Blocks until the gateway shuts down (a client sent `Shutdown`, or
+    /// the process is tearing it down another way) and returns the final
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when a service thread panicked.
+    pub fn wait(mut self) -> Result<Vec<StreamReport>, ServiceError> {
+        self.join()?;
+        let reports = self
+            .shared
+            .final_reports
+            .lock()
+            .expect("final reports poisoned")
+            .clone();
+        reports.ok_or_else(|| ServiceError::Io("gateway drained without reports".into()))
+    }
+
+    fn join(&mut self) -> Result<(), ServiceError> {
+        let mut panicked = false;
+        if let Some(pump) = self.pump.take() {
+            panicked |= pump.join().is_err();
+        }
+        if let Some(accept) = self.accept.take() {
+            panicked |= accept.join().is_err();
+        }
+        if panicked {
+            return Err(ServiceError::Io("a gateway thread panicked".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for GatewayHandle {
+    fn drop(&mut self) {
+        let _ = self.shared.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        let _ = self.join();
+    }
+}
+
+/// Accepts connections until the drain begins, then joins every
+/// handler. Finished handlers are reaped each pass and live ones are
+/// capped at `max_connections`, so a long-lived gateway (or a socket
+/// flood) cannot grow threads or join handles without bound.
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    read_timeout: Duration,
+    max_connections: usize,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while shared.state.load(Ordering::SeqCst) == STATE_RUNNING {
+        match listener.accept() {
+            Ok((mut conn, _peer)) => {
+                handlers.retain(|h| !h.is_finished());
+                shared.connections_total.inc();
+                if handlers.len() >= max_connections {
+                    // Typed best-effort refusal, then drop the socket.
+                    shared.errors_total.inc();
+                    let _ = conn.set_nonblocking(false);
+                    let _ = write_frame(
+                        &mut conn,
+                        &Reply::Error(ServiceError::Protocol(format!(
+                            "connection limit reached ({max_connections})"
+                        )))
+                        .encode(),
+                    );
+                    continue;
+                }
+                let worker = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("hrv-service-conn".into())
+                    .spawn(move || serve_connection(&worker, conn, read_timeout));
+                match handle {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => shared.errors_total.inc(),
+                }
+            }
+            // Nonblocking accept: nothing pending (or a transient
+            // error); re-check the state shortly.
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// One connection's request loop.
+fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream, read_timeout: Duration) {
+    // The accepted socket may inherit O_NONBLOCK from the nonblocking
+    // listener on BSD-derived platforms (std does not normalize this,
+    // and read timeouts have no effect on a nonblocking fd — the
+    // Pending arm would spin a core). Force blocking + timeout reads.
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(read_timeout));
+    let mut reader = FrameReader::new();
+    let mut handshaken = false;
+    loop {
+        match reader.poll(&mut conn) {
+            Ok(FramePoll::Frame(body)) => {
+                shared.frames_total.inc();
+                let reply = match Request::decode(&body) {
+                    // Version negotiation is not optional: Hello must
+                    // come before anything else on a connection, so a
+                    // client speaking a future protocol always gets the
+                    // intended version rejection, never a misdecode.
+                    Ok(request) if !handshaken && !matches!(request, Request::Hello { .. }) => {
+                        Reply::Error(ServiceError::Protocol(
+                            "expected Hello before any other request".into(),
+                        ))
+                    }
+                    Ok(request) => {
+                        let reply = handle_request(shared, request);
+                        if matches!(reply, Reply::HelloAck { .. }) {
+                            handshaken = true;
+                        }
+                        reply
+                    }
+                    Err(err) => Reply::Error(err),
+                };
+                if matches!(reply, Reply::Error(_)) {
+                    shared.errors_total.inc();
+                }
+                if write_frame(&mut conn, &reply.encode()).is_err() {
+                    break;
+                }
+                // Re-check after every served frame, not only when idle:
+                // a client that pipelines requests faster than the read
+                // timeout would otherwise keep this handler alive past
+                // the drain and hang the accept loop's join forever.
+                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
+                    break;
+                }
+            }
+            Ok(FramePoll::Pending) => {
+                // Idle: once the gateway has fully drained there is
+                // nothing left to serve.
+                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
+                    break;
+                }
+            }
+            Ok(FramePoll::Closed) => break,
+            Err(err) => {
+                // Framing is broken; best-effort typed goodbye, then drop.
+                shared.errors_total.inc();
+                let _ = write_frame(&mut conn, &Reply::Error(err).encode());
+                break;
+            }
+        }
+    }
+}
+
+/// Serves one decoded request. Every outcome is a typed [`Reply`].
+fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
+    match request {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                Reply::Error(ServiceError::Protocol(format!(
+                    "protocol version {version} unsupported (gateway speaks {PROTOCOL_VERSION})"
+                )))
+            } else {
+                Reply::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    max_frame: MAX_FRAME as u32,
+                    max_sessions: shared.session_config.max_sessions as u32,
+                }
+            }
+        }
+        Request::OpenStream { stream } => match open_stream(shared, stream) {
+            Ok(()) => Reply::StreamOpened { stream },
+            Err(err) => Reply::Error(err),
+        },
+        Request::PushRr { stream, samples } => match shared.sessions.push_rr(stream, &samples) {
+            Ok(pushed) => Reply::Pushed(pushed),
+            Err(err) => Reply::Error(err),
+        },
+        Request::PushBeats { stream, beats } => match shared.sessions.push_beats(stream, &beats) {
+            Ok(pushed) => Reply::Pushed(pushed),
+            Err(err) => Reply::Error(err),
+        },
+        Request::ReadReport { stream } => {
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
+            match fleet.stream_report(stream as usize) {
+                Ok(report) => Reply::Report(report),
+                Err(err) => Reply::Error(err.into()),
+            }
+        }
+        Request::SetQuality { stream, mode } => {
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            // Drain first so the switch applies after the samples the
+            // client already pushed, not in the middle of them.
+            drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
+            match fleet.set_stream_mode(stream as usize, mode) {
+                Ok(backend) => Reply::QualitySet { stream, backend },
+                Err(err) => Reply::Error(err.into()),
+            }
+        }
+        Request::ReadMetrics => {
+            {
+                let fleet = shared.fleet.lock().expect("fleet poisoned");
+                fleet.report().publish(&shared.telemetry);
+                fleet.kernel_cache().publish(&shared.telemetry);
+            }
+            Reply::Metrics(shared.telemetry.render())
+        }
+        Request::CloseStream { stream } => match close_stream(shared, stream) {
+            Ok(report) => Reply::Closed(report),
+            Err(err) => Reply::Error(err),
+        },
+        Request::Shutdown => {
+            let _ = shared.state.compare_exchange(
+                STATE_RUNNING,
+                STATE_DRAINING,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            // The pump performs the drain; hand the reports back once
+            // they exist. If the pump died (its scope guard still moves
+            // the state to DONE), answer with a typed error instead of
+            // hanging the client forever.
+            loop {
+                if let Some(reports) = shared
+                    .final_reports
+                    .lock()
+                    .expect("final reports poisoned")
+                    .clone()
+                {
+                    return Reply::ShutdownAck { reports };
+                }
+                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
+                    return Reply::Error(ServiceError::Io(
+                        "gateway pump failed before publishing final reports".into(),
+                    ));
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Session + fleet admission as one atomic step **under the fleet
+/// lock** (fleet → session, the drain lock order). Holding the fleet
+/// lock across both registrations upholds the drain invariant — a
+/// session visible to any drainer always has its fleet stream — and
+/// closes two races: a concurrent push landing between the two
+/// registrations being drained into a not-yet-open fleet stream, and
+/// the pump's final drain running between them during shutdown.
+fn open_stream(shared: &Arc<Shared>, stream: u64) -> Result<(), ServiceError> {
+    let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+    if shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
+        return Err(ServiceError::ShuttingDown);
+    }
+    shared.sessions.open(stream)?;
+    if let Err(err) = fleet.open_stream(stream as usize) {
+        let _ = shared.sessions.close(stream);
+        return Err(err.into());
+    }
+    Ok(())
+}
+
+/// Removes the session (atomically, so no later push can race), flushes
+/// its leftovers into the fleet, and closes the fleet stream.
+fn close_stream(shared: &Arc<Shared>, stream: u64) -> Result<StreamReport, ServiceError> {
+    let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+    let leftovers = shared.sessions.close(stream)?;
+    fleet
+        .push_rr_batch(stream as usize, &leftovers)
+        .map_err(ServiceError::from)?;
+    fleet
+        .close_stream(stream as usize)
+        .map_err(ServiceError::from)
+}
+
+/// Moves up to `max` queued samples of one session into the fleet,
+/// staging them in `batch` (cleared here; pass a reusable buffer on hot
+/// paths). The caller holds the fleet lock, so concurrent drainers
+/// cannot reorder a stream's samples. Returns the number moved.
+fn drain_session(
+    shared: &Arc<Shared>,
+    fleet: &mut FleetScheduler,
+    stream: u64,
+    max: usize,
+    batch: &mut Vec<(f64, f64)>,
+) -> usize {
+    batch.clear();
+    let n = shared.sessions.take_batch(stream, max, batch);
+    if n > 0 {
+        // Invariant: a queued sample implies its fleet stream exists —
+        // both are registered and removed under the fleet lock the
+        // caller holds. The gate count is ignored deliberately (the
+        // fleet's ingest re-checks the same rules that admitted the
+        // samples); a missing stream, by contrast, would be silent data
+        // loss and must fail loudly.
+        fleet
+            .push_rr_batch(stream as usize, batch)
+            .expect("queued samples for a stream absent from the fleet");
+    }
+    n
+}
+
+/// Moves STATE to DONE even when the pump unwinds, so Shutdown waiters
+/// observe the failure instead of spinning forever.
+struct PumpDoneGuard<'a>(&'a Shared);
+
+impl Drop for PumpDoneGuard<'_> {
+    fn drop(&mut self) {
+        self.0.state.store(STATE_DONE, Ordering::SeqCst);
+    }
+}
+
+/// The analysis pump: moves queued samples into the fleet while the
+/// gateway runs, then performs the shutdown drain.
+fn pump_loop(shared: &Arc<Shared>, drain_batch: usize, idle: Duration) {
+    let done_guard = PumpDoneGuard(shared);
+    let mut batch = Vec::with_capacity(drain_batch);
+    loop {
+        let state = shared.state.load(Ordering::SeqCst);
+        let mut moved = 0usize;
+        {
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            for id in shared.sessions.ids() {
+                moved += drain_session(shared, &mut fleet, id, drain_batch, &mut batch);
+            }
+        }
+        if state == STATE_DRAINING && moved == 0 {
+            // `STATE_DRAINING` was visible before this (empty) sweep, so
+            // every admission since has been refused and every queue is
+            // drained: the fleet now holds all samples that will ever
+            // arrive. Flush trailing windows, publish final telemetry
+            // (before `close_all` empties the fleet), then take reports.
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            fleet.finish();
+            fleet.report().publish(&shared.telemetry);
+            fleet.kernel_cache().publish(&shared.telemetry);
+            let reports = fleet.close_all();
+            shared.sessions.close_all();
+            *shared.final_reports.lock().expect("final reports poisoned") = Some(reports);
+            // The guard flips STATE to DONE — here on the normal path,
+            // and equally during unwind if anything above panicked.
+            drop(done_guard);
+            return;
+        }
+        if moved == 0 {
+            thread::sleep(idle);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Session admission, bounded queues and backpressure.
+//!
+//! A *session* is the gateway-side state of one open stream: a bounded
+//! queue of clean `(beat time, RR)` samples awaiting the analysis pump,
+//! plus the admission gate that keeps implausible data out of the queue
+//! in the first place. The gate reuses `hrv-delineate`'s plausibility
+//! rules ([`hrv_delineate::MIN_RR`]/[`hrv_delineate::MAX_RR`] interval
+//! bounds, monotone beat time; raw
+//! beats go through the same [`StreamingRrFilter`] the batch delineator
+//! uses), so a byte that costs queue space has already passed the same
+//! physiology checks the analysis layer would apply.
+//!
+//! Backpressure is strict: a batch that does not fit the remaining queue
+//! capacity is refused whole with [`ServiceError::Busy`] — the queue
+//! never grows past its bound, whatever a client sends.
+
+use crate::error::ServiceError;
+use crate::proto::Pushed;
+use hrv_core::{Counter, Gauge, Telemetry};
+use hrv_delineate::{BeatOutcome, StreamingRrFilter};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Gateway lifecycle: accepting work.
+pub(crate) const STATE_RUNNING: u8 = 0;
+/// Gateway lifecycle: draining queues; no new work admitted.
+pub(crate) const STATE_DRAINING: u8 = 1;
+/// Gateway lifecycle: drained; final reports published.
+pub(crate) const STATE_DONE: u8 = 2;
+
+/// Admission limits of the session table.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Bounded per-session queue capacity in samples; a push that does
+    /// not fit draws [`ServiceError::Busy`].
+    pub queue_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_sessions: 64,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// One open stream's gateway-side state.
+#[derive(Debug)]
+struct Session {
+    queue: VecDeque<(f64, f64)>,
+    /// Converts raw beat times to gated RR intervals (`PushBeats` path).
+    beats: StreamingRrFilter,
+    /// Last admitted beat time (`PushRr` path monotonicity gate).
+    last_time: Option<f64>,
+    depth_gauge: Gauge,
+}
+
+/// The admission-controlled session store; see the module docs.
+///
+/// All methods take `&self`; the table is internally locked and is the
+/// single place where "is the gateway still admitting work?" is decided
+/// (the check happens under the same lock as the queue append, so the
+/// drain pass that follows `STATE_DRAINING` cannot miss samples).
+#[derive(Debug)]
+pub(crate) struct SessionTable {
+    config: SessionConfig,
+    state: Arc<AtomicU8>,
+    telemetry: Telemetry,
+    inner: Mutex<BTreeMap<u64, Session>>,
+    open_gauge: Gauge,
+    accepted_total: Counter,
+    gated_total: Counter,
+    busy_total: Counter,
+}
+
+impl SessionTable {
+    pub(crate) fn new(config: SessionConfig, telemetry: Telemetry, state: Arc<AtomicU8>) -> Self {
+        let open_gauge = telemetry.gauge("hrv_service_sessions_open", "currently open sessions");
+        let accepted_total = telemetry.counter(
+            "hrv_service_samples_admitted_total",
+            "samples admitted into session queues",
+        );
+        let gated_total = telemetry.counter(
+            "hrv_service_samples_gated_total",
+            "samples rejected by the admission plausibility gate",
+        );
+        let busy_total = telemetry.counter(
+            "hrv_service_busy_total",
+            "pushes refused with Busy (queue backpressure)",
+        );
+        SessionTable {
+            config,
+            state,
+            telemetry,
+            inner: Mutex::new(BTreeMap::new()),
+            open_gauge,
+            accepted_total,
+            gated_total,
+            busy_total,
+        }
+    }
+
+    fn admitting(&self) -> Result<(), ServiceError> {
+        if self.state.load(Ordering::SeqCst) == STATE_RUNNING {
+            Ok(())
+        } else {
+            Err(ServiceError::ShuttingDown)
+        }
+    }
+
+    /// Admits a new session.
+    pub(crate) fn open(&self, id: u64) -> Result<(), ServiceError> {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        self.admitting()?;
+        if sessions.contains_key(&id) {
+            return Err(ServiceError::DuplicateStream(id));
+        }
+        if sessions.len() >= self.config.max_sessions {
+            return Err(ServiceError::SessionLimit {
+                max: self.config.max_sessions as u32,
+            });
+        }
+        let depth_gauge = self.depth_gauge(id);
+        depth_gauge.set(0.0);
+        sessions.insert(
+            id,
+            Session {
+                queue: VecDeque::with_capacity(self.config.queue_capacity.min(1024)),
+                beats: StreamingRrFilter::new(),
+                last_time: None,
+                depth_gauge,
+            },
+        );
+        self.open_gauge.set(sessions.len() as f64);
+        Ok(())
+    }
+
+    fn depth_gauge(&self, id: u64) -> Gauge {
+        self.telemetry.gauge_with(
+            "hrv_session_queue_depth",
+            "buffered samples awaiting the analysis pump",
+            &[("stream", &id.to_string())],
+        )
+    }
+
+    /// `(beat time, RR)` batch admission: plausibility-gate every sample,
+    /// refuse the batch with `Busy` when the admissible part does not fit
+    /// the queue, else append it.
+    pub(crate) fn push_rr(&self, id: u64, samples: &[(f64, f64)]) -> Result<Pushed, ServiceError> {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        self.admitting()?;
+        let session = sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        // Pass 1 (pure): how many samples would the gate admit?
+        let mut admissible = 0usize;
+        let mut last = session.last_time;
+        for &(t, rr) in samples {
+            if plausible_rr(t, rr, last) {
+                admissible += 1;
+                last = Some(t);
+            }
+        }
+        self.check_capacity(id, &session.queue, admissible)?;
+        // Pass 2: apply — same deterministic gate, now mutating.
+        let mut accepted = 0u32;
+        for &(t, rr) in samples {
+            if plausible_rr(t, rr, session.last_time) {
+                session.queue.push_back((t, rr));
+                session.last_time = Some(t);
+                accepted += 1;
+            }
+        }
+        debug_assert_eq!(accepted as usize, admissible);
+        Ok(self.pushed(id, session, accepted, samples.len() as u32 - accepted))
+    }
+
+    /// Raw beat-time batch admission (delineate's [`StreamingRrFilter`]).
+    /// Capacity is checked against the worst case (every beat completing
+    /// an interval) before the stateful filter runs, so a `Busy` refusal
+    /// leaves the filter chain untouched and the retried batch replays
+    /// identically.
+    pub(crate) fn push_beats(&self, id: u64, beats: &[f64]) -> Result<Pushed, ServiceError> {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        self.admitting()?;
+        let session = sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        self.check_capacity(id, &session.queue, beats.len())?;
+        let mut accepted = 0u32;
+        for &t in beats {
+            if let BeatOutcome::Accepted { time, rr } = session.beats.push(t) {
+                // The beat filter knows nothing of samples admitted via
+                // `PushRr` — re-apply the session-wide monotonicity gate
+                // so mixing the two paths cannot enqueue out-of-order
+                // samples (the queue invariant the fleet relies on).
+                if session.last_time.is_some_and(|l| time <= l) {
+                    continue;
+                }
+                session.queue.push_back((time, rr));
+                session.last_time = Some(time);
+                accepted += 1;
+            }
+        }
+        Ok(self.pushed(id, session, accepted, beats.len() as u32 - accepted))
+    }
+
+    fn check_capacity(
+        &self,
+        id: u64,
+        queue: &VecDeque<(f64, f64)>,
+        incoming: usize,
+    ) -> Result<(), ServiceError> {
+        if queue.len() + incoming > self.config.queue_capacity {
+            self.busy_total.inc();
+            return Err(ServiceError::Busy {
+                stream: id,
+                capacity: self.config.queue_capacity as u32,
+            });
+        }
+        Ok(())
+    }
+
+    fn pushed(&self, id: u64, session: &Session, accepted: u32, gated: u32) -> Pushed {
+        self.accepted_total.add(u64::from(accepted));
+        self.gated_total.add(u64::from(gated));
+        session.depth_gauge.set(session.queue.len() as f64);
+        Pushed {
+            stream: id,
+            accepted,
+            gated,
+            queue_depth: session.queue.len() as u32,
+        }
+    }
+
+    /// Open session ids, ascending.
+    pub(crate) fn ids(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("session table poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Moves up to `max` queued samples of session `id` into `out`.
+    /// Returns the number moved (0 for an unknown/empty session).
+    pub(crate) fn take_batch(&self, id: u64, max: usize, out: &mut Vec<(f64, f64)>) -> usize {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let Some(session) = sessions.get_mut(&id) else {
+            return 0;
+        };
+        let n = session.queue.len().min(max);
+        out.extend(session.queue.drain(..n));
+        session.depth_gauge.set(session.queue.len() as f64);
+        n
+    }
+
+    /// Removes every session (shutdown epilogue: queues are already
+    /// drained) and retires their telemetry series.
+    pub(crate) fn close_all(&self) {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        for id in sessions.keys() {
+            self.telemetry
+                .remove_series("hrv_session_queue_depth", &[("stream", &id.to_string())]);
+        }
+        sessions.clear();
+        self.open_gauge.set(0.0);
+    }
+
+    /// Removes session `id`, returning whatever was still queued (the
+    /// caller flushes it into the fleet before closing the stream there).
+    pub(crate) fn close(&self, id: u64) -> Result<Vec<(f64, f64)>, ServiceError> {
+        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let session = sessions
+            .remove(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        self.open_gauge.set(sessions.len() as f64);
+        self.telemetry
+            .remove_series("hrv_session_queue_depth", &[("stream", &id.to_string())]);
+        Ok(session.queue.into_iter().collect())
+    }
+}
+
+/// The admission gate: [`hrv_stream::rr_sample_plausible`], the *same
+/// predicate* the fleet's [`hrv_stream::RrIngest`] applies downstream —
+/// shared, not copied, so the layers cannot drift and a sample that
+/// costs queue space is always a sample the fleet will accept. The
+/// finite check matters on a network boundary: the wire codec decodes
+/// arbitrary f64 bit patterns, and an admitted NaN beat time would
+/// poison every later ordering comparison.
+fn plausible_rr(t: f64, rr: f64, last: Option<f64>) -> bool {
+    hrv_stream::rr_sample_plausible(t, rr, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(max_sessions: usize, queue_capacity: usize) -> SessionTable {
+        SessionTable::new(
+            SessionConfig {
+                max_sessions,
+                queue_capacity,
+            },
+            Telemetry::new(),
+            Arc::new(AtomicU8::new(STATE_RUNNING)),
+        )
+    }
+
+    #[test]
+    fn admission_limits_are_enforced() {
+        let table = table(2, 16);
+        table.open(1).expect("first");
+        table.open(2).expect("second");
+        assert_eq!(table.open(1).unwrap_err(), ServiceError::DuplicateStream(1));
+        assert_eq!(
+            table.open(3).unwrap_err(),
+            ServiceError::SessionLimit { max: 2 }
+        );
+        assert_eq!(table.ids().len(), 2);
+        // Closing frees a slot.
+        table.close(1).expect("close");
+        table.open(3).expect("freed slot");
+        assert_eq!(table.ids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn plausibility_gate_reuses_delineate_rules() {
+        let table = table(4, 16);
+        table.open(1).expect("open");
+        let outcome = table
+            .push_rr(
+                1,
+                &[
+                    (1.0, 0.8), // fine
+                    (0.5, 0.8), // time going backwards
+                    (2.0, 0.1), // below MIN_RR (double detection)
+                    (3.0, 3.0), // above MAX_RR (dropout)
+                    (3.5, 0.9), // fine
+                ],
+            )
+            .expect("admitted");
+        assert_eq!((outcome.accepted, outcome.gated), (2, 3));
+        assert_eq!(outcome.queue_depth, 2);
+    }
+
+    #[test]
+    fn non_finite_wire_values_are_gated_and_do_not_poison_the_session() {
+        let table = table(4, 16);
+        table.open(1).expect("open");
+        let outcome = table
+            .push_rr(
+                1,
+                &[
+                    (f64::NAN, 0.8),      // NaN beat time
+                    (f64::INFINITY, 0.8), // infinite beat time
+                    (1.0, f64::NAN),      // NaN interval
+                    (2.0, f64::INFINITY), // infinite interval
+                ],
+            )
+            .expect("admitted");
+        assert_eq!((outcome.accepted, outcome.gated), (0, 4));
+        // The ordering gate still works afterwards — nothing was poisoned.
+        let outcome = table
+            .push_rr(1, &[(1.0, 0.8), (0.5, 0.8), (2.0, 0.8)])
+            .expect("admitted");
+        assert_eq!((outcome.accepted, outcome.gated), (2, 1));
+    }
+
+    #[test]
+    fn beats_are_converted_and_gated_like_the_batch_delineator() {
+        let table = table(4, 16);
+        table.open(1).expect("open");
+        let outcome = table
+            .push_beats(1, &[0.0, 0.8, 0.82, 5.0, 5.8])
+            .expect("admitted");
+        // Anchor, accepted, double detection, dropout, accepted-after-restart.
+        assert_eq!((outcome.accepted, outcome.gated), (2, 3));
+        let mut drained = Vec::new();
+        table.take_batch(1, 16, &mut drained);
+        assert_eq!(drained.len(), 2);
+        assert!((drained[0].1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixing_rr_and_beat_pushes_keeps_the_queue_monotone() {
+        let table = table(4, 32);
+        table.open(1).expect("open");
+        table
+            .push_rr(1, &[(99.2, 0.8), (100.0, 0.8)])
+            .expect("rr path");
+        // A fresh beat chain starting in the past: its intervals are
+        // plausible in isolation but precede the RR-path samples.
+        let outcome = table.push_beats(1, &[0.0, 0.8, 1.6]).expect("beats");
+        assert_eq!((outcome.accepted, outcome.gated), (0, 3));
+        // A chain continuing past the newest sample is admitted.
+        let outcome = table.push_beats(1, &[100.5, 101.3]).expect("beats");
+        assert_eq!(outcome.accepted, 1); // 100.5 restarts the chain (dropout)
+        let mut drained = Vec::new();
+        table.take_batch(1, 32, &mut drained);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0), "{drained:?}");
+    }
+
+    #[test]
+    fn saturated_queue_refuses_the_whole_batch() {
+        let table = table(4, 4);
+        table.open(7).expect("open");
+        let batch: Vec<(f64, f64)> = (0..6).map(|i| (i as f64 + 1.0, 0.8)).collect();
+        assert_eq!(
+            table.push_rr(7, &batch).unwrap_err(),
+            ServiceError::Busy {
+                stream: 7,
+                capacity: 4
+            }
+        );
+        // Nothing was enqueued — the bound is strict, and the session
+        // state (monotonicity gate) is untouched, so a smaller batch of
+        // the same samples still succeeds.
+        let outcome = table.push_rr(7, &batch[..4]).expect("fits");
+        assert_eq!(outcome.accepted, 4);
+        assert_eq!(outcome.queue_depth, 4);
+        // Full now: even one more sample is refused.
+        assert!(matches!(
+            table.push_rr(7, &batch[4..5]),
+            Err(ServiceError::Busy { .. })
+        ));
+        // Draining makes room again.
+        let mut out = Vec::new();
+        assert_eq!(table.take_batch(7, 2, &mut out), 2);
+        table.push_rr(7, &batch[4..5]).expect("room again");
+    }
+
+    #[test]
+    fn busy_only_counts_admissible_samples_against_capacity() {
+        let table = table(4, 4);
+        table.open(1).expect("open");
+        // 8 samples, but only 4 pass the gate (others are implausible) —
+        // the batch fits.
+        let batch: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i as f64 + 1.0, 0.8)
+                } else {
+                    (i as f64 + 1.5, 9.0) // dropout, gated
+                }
+            })
+            .collect();
+        let outcome = table.push_rr(1, &batch).expect("fits after gating");
+        assert_eq!((outcome.accepted, outcome.gated), (4, 4));
+    }
+
+    #[test]
+    fn draining_state_stops_admission_inside_the_lock() {
+        let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+        let table = SessionTable::new(SessionConfig::default(), Telemetry::new(), state.clone());
+        table.open(1).expect("open while running");
+        state.store(STATE_DRAINING, Ordering::SeqCst);
+        assert_eq!(table.open(2).unwrap_err(), ServiceError::ShuttingDown);
+        assert_eq!(
+            table.push_rr(1, &[(1.0, 0.8)]).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        // Draining still works.
+        let mut out = Vec::new();
+        assert_eq!(table.take_batch(1, 8, &mut out), 0);
+        assert_eq!(table.close(1).expect("close"), Vec::new());
+    }
+
+    #[test]
+    fn close_returns_leftovers_and_frees_telemetry() {
+        let telemetry = Telemetry::new();
+        let table = SessionTable::new(
+            SessionConfig::default(),
+            telemetry.clone(),
+            Arc::new(AtomicU8::new(STATE_RUNNING)),
+        );
+        table.open(5).expect("open");
+        table.push_rr(5, &[(1.0, 0.8), (2.0, 0.9)]).expect("push");
+        assert!(telemetry
+            .render()
+            .contains("hrv_session_queue_depth{stream=\"5\"} 2"));
+        let leftovers = table.close(5).expect("close");
+        assert_eq!(leftovers, vec![(1.0, 0.8), (2.0, 0.9)]);
+        assert!(!telemetry.render().contains("stream=\"5\""));
+        assert_eq!(table.close(5).unwrap_err(), ServiceError::UnknownStream(5));
+    }
+}

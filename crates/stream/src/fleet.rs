@@ -14,16 +14,17 @@
 //! through `hrv-node-sim`'s cycle/energy model.
 
 use crate::controller::OnlineQualityController;
-use crate::ingest::RrIngest;
+use crate::ingest::{IngestStats, RrIngest};
 use crate::scratch::StreamScratch;
 use crate::sliding::{SlidingLomb, WindowView};
 use hrv_core::{
-    KernelCache, NodeModel, OperatingChoice, PsaConfig, PsaError, QualityController, SpectralPlan,
-    SweepResult, TrainingSet,
+    ApproximationMode, KernelCache, NodeModel, OperatingChoice, PruningPolicy, PsaConfig, PsaError,
+    QualityController, SpectralPlan, SweepResult, Telemetry, TrainingSet,
 };
 use hrv_dsp::OpCount;
-use hrv_ecg::{Condition, RrSeries, SyntheticDatabase};
+use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
 use hrv_lomb::ArrhythmiaDetector;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -82,6 +83,44 @@ struct PatientStream {
 #[derive(Debug, Default)]
 struct Shard {
     patients: Vec<PatientStream>,
+}
+
+/// The deterministic synthetic cohort member a fleet assigns to stream
+/// `id`: alternating sinus-arrhythmia (even ids) and healthy (odd ids)
+/// patients from the seeded [`SyntheticDatabase`]. Exposed so external
+/// feeders — the `hrv-service` load generator, loopback tests — can
+/// replay exactly the samples an offline [`FleetScheduler`] run would
+/// preload, making service-vs-offline reports comparable bit for bit.
+pub fn cohort_member(seed: u64, id: usize, duration: f64) -> PatientRecord {
+    let condition = if id.is_multiple_of(2) {
+        Condition::SinusArrhythmia
+    } else {
+        Condition::Healthy
+    };
+    SyntheticDatabase::new(seed).record(id, condition, duration)
+}
+
+/// Everything one stream has produced so far: the per-stream slice of a
+/// [`FleetReport`], used both by offline fleet runs and by the network
+/// gateway's `ReadReport`/shutdown drain. Two runs that fed a stream the
+/// same samples through the same plan produce `==` reports (operation
+/// counts included), which is how service-vs-offline equivalence is
+/// asserted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamReport {
+    /// Stream id.
+    pub id: usize,
+    /// Windows emitted by this stream.
+    pub windows: u64,
+    /// Windows whose LF/HF ratio flagged sinus arrhythmia.
+    pub arrhythmia_windows: u64,
+    /// Operations spent across this stream's windows.
+    pub ops: OpCount,
+    /// Ingest-gate counters (accepted / rejected / overflow) of the
+    /// samples that reached the fleet.
+    pub ingest: IngestStats,
+    /// Name of the kernel active when the report was taken.
+    pub backend: String,
 }
 
 /// Stable patient→shard assignment (splitmix64 finalizer), independent of
@@ -163,6 +202,67 @@ impl FleetReport {
             self.kernel_hits as f64 / total as f64
         }
     }
+
+    /// Publishes the report into a [`Telemetry`] registry (`hrv_fleet_*`
+    /// counters and gauges) — the shared reporting path of the gateway,
+    /// the benches and the examples. Kernel-cache accounting is published
+    /// separately via [`hrv_core::KernelCache::publish`].
+    pub fn publish(&self, telemetry: &Telemetry) {
+        telemetry
+            .counter(
+                "hrv_fleet_windows_total",
+                "spectral windows emitted across the fleet",
+            )
+            .set(self.windows);
+        telemetry
+            .counter(
+                "hrv_fleet_arrhythmia_windows_total",
+                "windows whose LF/HF ratio flagged sinus arrhythmia",
+            )
+            .set(self.arrhythmia_windows);
+        telemetry
+            .counter(
+                "hrv_fleet_controller_switches_total",
+                "operating-point switches performed by online controllers",
+            )
+            .set(self.controller_switches);
+        telemetry
+            .gauge("hrv_fleet_streams", "streams multiplexed by the fleet")
+            .set(self.streams as f64);
+        telemetry
+            .gauge("hrv_fleet_workers", "worker shards the fleet runs on")
+            .set(self.workers as f64);
+        telemetry
+            .gauge(
+                "hrv_fleet_stream_seconds",
+                "stream-seconds of RR data processed",
+            )
+            .set(self.stream_seconds);
+        telemetry
+            .gauge(
+                "hrv_fleet_windows_per_second",
+                "windows emitted per wall-clock second",
+            )
+            .set(self.windows_per_sec());
+        telemetry
+            .gauge(
+                "hrv_fleet_realtime_factor",
+                "how many times faster than real time the fleet processes",
+            )
+            .set(self.realtime_factor());
+        telemetry
+            .gauge(
+                "hrv_fleet_ops_per_window",
+                "mean arithmetic operations per window",
+            )
+            .set(self.ops_per_window());
+        telemetry
+            .gauge(
+                "hrv_fleet_energy_joules",
+                "node energy of the workload at the nominal operating point",
+            )
+            .set(self.energy_j);
+    }
 }
 
 impl fmt::Display for FleetReport {
@@ -217,6 +317,12 @@ pub struct FleetScheduler {
     node: NodeModel,
     shards: Vec<Shard>,
     scratches: Vec<StreamScratch>,
+    /// Prototype engine cloned into every stream (kernels stay shared
+    /// Arcs through the cache), so [`FleetScheduler::open_stream`] pays
+    /// no estimator/real-FFT setup.
+    prototype: SlidingLomb,
+    /// Stream id → (shard, position) for the external-ingest hooks.
+    index: HashMap<usize, (usize, usize)>,
     detector: ArrhythmiaDetector,
     fed_until: f64,
     wall_seconds: f64,
@@ -258,6 +364,48 @@ fn account_windows<'a>(
     }
 }
 
+/// Drains one patient's ingest ring through its engine, applying
+/// controller decisions per window. Both feed paths converge here — the
+/// preloaded-cohort loop (`advance_shard`) and the external-ingest hooks
+/// ([`FleetScheduler::push_rr`] / [`FleetScheduler::push_beat`]) — so a
+/// gateway-fed stream does bit-identical work to an offline one.
+fn pump_patient(
+    patient: &mut PatientStream,
+    scratch: &mut StreamScratch,
+    detector: ArrhythmiaDetector,
+) {
+    while let Some((t, rr)) = patient.ingest.pop() {
+        let PatientStream {
+            engine,
+            controller,
+            choice_backends,
+            exact_index,
+            windows,
+            arrhythmia_windows,
+            ops,
+            ..
+        } = patient;
+        let mut outcome = SinkOutcome::default();
+        {
+            let mut sink = account_windows(
+                windows,
+                ops,
+                arrhythmia_windows,
+                detector,
+                controller.as_mut(),
+                &mut outcome,
+            );
+            engine.push(t, rr, scratch, &mut sink);
+        }
+        if let Some(choice) = outcome.decision {
+            apply_choice(engine, choice, choice_backends, *exact_index);
+        }
+        if outcome.audit_next {
+            engine.request_audit();
+        }
+    }
+}
+
 /// Advances every patient of one shard to stream-time `t_limit`. Returns
 /// `true` while any of the shard's streams still has samples left.
 fn advance_shard(
@@ -274,38 +422,8 @@ fn advance_shard(
                 break;
             }
             patient.cursor += 1;
-            if !patient.ingest.push_rr(t, rr) {
-                continue;
-            }
-            while let Some((t, rr)) = patient.ingest.pop() {
-                let PatientStream {
-                    engine,
-                    controller,
-                    choice_backends,
-                    exact_index,
-                    windows,
-                    arrhythmia_windows,
-                    ops,
-                    ..
-                } = patient;
-                let mut outcome = SinkOutcome::default();
-                {
-                    let mut sink = account_windows(
-                        windows,
-                        ops,
-                        arrhythmia_windows,
-                        detector,
-                        controller.as_mut(),
-                        &mut outcome,
-                    );
-                    engine.push(t, rr, scratch, &mut sink);
-                }
-                if let Some(choice) = outcome.decision {
-                    apply_choice(engine, choice, choice_backends, *exact_index);
-                }
-                if outcome.audit_next {
-                    engine.request_audit();
-                }
+            if patient.ingest.push_rr(t, rr) {
+                pump_patient(patient, scratch, detector);
             }
         }
         if patient.cursor < patient.samples.len() {
@@ -315,30 +433,50 @@ fn advance_shard(
     remaining
 }
 
+/// Flushes one patient's trailing windows (batch parity). Trailing
+/// windows still feed the controller so its statistics cover everything
+/// the report counts; its decision has nothing left to steer.
+fn finish_patient(
+    patient: &mut PatientStream,
+    scratch: &mut StreamScratch,
+    detector: ArrhythmiaDetector,
+) {
+    let PatientStream {
+        engine,
+        controller,
+        windows,
+        arrhythmia_windows,
+        ops,
+        ..
+    } = patient;
+    let mut outcome = SinkOutcome::default();
+    let mut sink = account_windows(
+        windows,
+        ops,
+        arrhythmia_windows,
+        detector,
+        controller.as_mut(),
+        &mut outcome,
+    );
+    engine.finish(scratch, &mut sink);
+}
+
 /// Flushes the trailing windows of one shard's patients (batch parity).
 fn finish_shard(shard: &mut Shard, scratch: &mut StreamScratch, detector: ArrhythmiaDetector) {
     for patient in &mut shard.patients {
-        let PatientStream {
-            engine,
-            controller,
-            windows,
-            arrhythmia_windows,
-            ops,
-            ..
-        } = patient;
-        // Trailing windows still feed the controller so its statistics
-        // cover everything the report counts; its decision has nothing
-        // left to steer.
-        let mut outcome = SinkOutcome::default();
-        let mut sink = account_windows(
-            windows,
-            ops,
-            arrhythmia_windows,
-            detector,
-            controller.as_mut(),
-            &mut outcome,
-        );
-        engine.finish(scratch, &mut sink);
+        finish_patient(patient, scratch, detector);
+    }
+}
+
+/// The per-stream report of one patient's current state.
+fn report_of(patient: &PatientStream) -> StreamReport {
+    StreamReport {
+        id: patient.id,
+        windows: patient.windows,
+        arrhythmia_windows: patient.arrhythmia_windows,
+        ops: patient.ops,
+        ingest: patient.ingest.stats(),
+        backend: patient.engine.active_backend().name().to_string(),
     }
 }
 
@@ -385,25 +523,14 @@ impl FleetScheduler {
                 "fleet duration and slice must be positive".into(),
             ));
         }
-        if fleet.workers == 0 {
-            return Err(PsaError::InvalidConfig("fleet needs ≥ 1 worker".into()));
-        }
+        // streams ≥ 1 here, so this is 0 only for zero configured
+        // workers — which `build` rejects.
         let workers = fleet.workers.min(fleet.streams);
-        let cache = KernelCache::new();
-        // One prototype engine per fleet; per-patient engines clone it so
-        // the estimator/real-FFT setup is paid once and all kernels are
-        // cache-shared Arcs.
-        let prototype = SlidingLomb::from_plan(&plan, &cache)?;
-        let db = SyntheticDatabase::new(fleet.seed);
-        let mut shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
-        let scratches = (0..workers).map(|_| StreamScratch::new()).collect();
-        for id in 0..fleet.streams {
-            let condition = if id % 2 == 0 {
-                Condition::SinusArrhythmia
-            } else {
-                Condition::Healthy
-            };
-            let record = db.record(id, condition, fleet.duration);
+        let streams = fleet.streams;
+        let (seed, duration) = (fleet.seed, fleet.duration);
+        let mut scheduler = Self::build(plan, fleet, workers)?;
+        for id in 0..streams {
+            let record = cohort_member(seed, id, duration);
             let samples = record
                 .rr
                 .times()
@@ -411,20 +538,49 @@ impl FleetScheduler {
                 .copied()
                 .zip(record.rr.intervals().iter().copied())
                 .collect();
-            shards[shard_of(id, workers)].patients.push(PatientStream {
-                id,
-                ingest: RrIngest::new(),
-                engine: prototype.clone(),
-                controller: None,
-                choice_backends: Vec::new(),
-                exact_index: 0,
-                samples,
-                cursor: 0,
-                windows: 0,
-                arrhythmia_windows: 0,
-                ops: OpCount::default(),
-            });
+            scheduler.insert_stream(id, samples)?;
         }
+        Ok(scheduler)
+    }
+
+    /// Builds an **externally fed** fleet: no synthetic cohort, no
+    /// preloaded samples. Streams are opened with
+    /// [`FleetScheduler::open_stream`] and fed one sample at a time with
+    /// [`FleetScheduler::push_rr`] / [`FleetScheduler::push_beat`] — the
+    /// ingestion path the `hrv-service` gateway drives from its session
+    /// queues. Each pushed sample runs through the same plausibility
+    /// gate, engine and accounting sink as a preloaded cohort, so
+    /// per-stream reports are bit-identical to an offline run over the
+    /// same samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::MissingCalibration`] when the plan demands a
+    /// dynamic-pruning kernel but carries no training set, and
+    /// [`PsaError::InvalidConfig`] for zero workers.
+    pub fn external(plan: SpectralPlan, workers: usize) -> Result<Self, PsaError> {
+        Self::build(
+            plan,
+            FleetConfig {
+                streams: 0,
+                workers,
+                ..FleetConfig::default()
+            },
+            workers,
+        )
+    }
+
+    /// The shared construction core: validated worker count, one
+    /// prototype engine (estimator/real-FFT setup paid once; kernels are
+    /// cache-shared Arcs), empty shards.
+    fn build(plan: SpectralPlan, fleet: FleetConfig, workers: usize) -> Result<Self, PsaError> {
+        if workers == 0 {
+            return Err(PsaError::InvalidConfig("fleet needs ≥ 1 worker".into()));
+        }
+        let cache = KernelCache::new();
+        let prototype = SlidingLomb::from_plan(&plan, &cache)?;
+        let shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
+        let scratches = (0..workers).map(|_| StreamScratch::new()).collect();
         Ok(FleetScheduler {
             plan,
             cache,
@@ -432,11 +588,230 @@ impl FleetScheduler {
             node: NodeModel::default(),
             shards,
             scratches,
+            prototype,
+            index: HashMap::new(),
             detector: ArrhythmiaDetector::default(),
             fed_until: 0.0,
             wall_seconds: 0.0,
             finished: false,
         })
+    }
+
+    /// Registers a stream with preloaded samples (empty for external
+    /// streams) on its stable shard.
+    fn insert_stream(&mut self, id: usize, samples: Vec<(f64, f64)>) -> Result<(), PsaError> {
+        if self.index.contains_key(&id) {
+            return Err(PsaError::DuplicateStream(id as u64));
+        }
+        let shard = shard_of(id, self.shards.len());
+        self.shards[shard].patients.push(PatientStream {
+            id,
+            ingest: RrIngest::new(),
+            engine: self.prototype.clone(),
+            controller: None,
+            choice_backends: Vec::new(),
+            exact_index: 0,
+            samples,
+            cursor: 0,
+            windows: 0,
+            arrhythmia_windows: 0,
+            ops: OpCount::default(),
+        });
+        self.index
+            .insert(id, (shard, self.shards[shard].patients.len() - 1));
+        Ok(())
+    }
+
+    /// Opens an externally fed stream. Also usable on a cohort fleet to
+    /// add live streams next to the preloaded ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::DuplicateStream`] when `id` is already open.
+    pub fn open_stream(&mut self, id: usize) -> Result<(), PsaError> {
+        self.insert_stream(id, Vec::new())
+    }
+
+    /// Feeds one pre-computed RR interval (ending at beat time `t`) to
+    /// stream `id`, driving every window it completes through the same
+    /// accounting path as an offline run. Returns whether the sample
+    /// passed the ingest plausibility gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn push_rr(&mut self, id: usize, t: f64, rr: f64) -> Result<bool, PsaError> {
+        self.feed(id, |ingest| ingest.push_rr(t, rr))
+    }
+
+    /// Feeds one raw detected beat time to stream `id` (delineate-rule
+    /// gating, as [`RrIngest::push_beat`]). Returns whether the beat
+    /// completed a plausible interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn push_beat(&mut self, id: usize, t: f64) -> Result<bool, PsaError> {
+        self.feed(id, |ingest| ingest.push_beat(t))
+    }
+
+    /// Feeds a whole batch of pre-computed RR samples to stream `id` —
+    /// one index lookup and one wall-clock measurement for the entire
+    /// batch, so a high-rate feeder (the `hrv-service` pump drains up
+    /// to its whole queue here) does not pay per-sample overhead.
+    /// Samples run through exactly the gate + engine path of
+    /// [`FleetScheduler::push_rr`]; returns how many passed the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn push_rr_batch(&mut self, id: usize, samples: &[(f64, f64)]) -> Result<usize, PsaError> {
+        let started = Instant::now();
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let detector = self.detector;
+        let mut accepted = 0usize;
+        {
+            let patient = &mut self.shards[shard].patients[pos];
+            let scratch = &mut self.scratches[shard];
+            for &(t, rr) in samples {
+                if patient.ingest.push_rr(t, rr) {
+                    pump_patient(patient, scratch, detector);
+                    accepted += 1;
+                }
+            }
+        }
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        Ok(accepted)
+    }
+
+    /// The shared external-ingest path: gate the sample, then drain the
+    /// ring through the engine with the stream's shard scratch.
+    fn feed(
+        &mut self,
+        id: usize,
+        gate: impl FnOnce(&mut RrIngest) -> bool,
+    ) -> Result<bool, PsaError> {
+        let started = Instant::now();
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let patient = &mut self.shards[shard].patients[pos];
+        let accepted = gate(&mut patient.ingest);
+        if accepted {
+            pump_patient(patient, &mut self.scratches[shard], self.detector);
+        }
+        self.wall_seconds += started.elapsed().as_secs_f64();
+        Ok(accepted)
+    }
+
+    /// Switches stream `id` to the static-pruning operating mode `mode`
+    /// (`Exact` restores the split-radix reference). The kernel resolves
+    /// through the shared [`KernelCache`], so after the first switch to a
+    /// mode anywhere in the fleet every later switch is a cache lookup.
+    /// Returns the name of the now-active kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn set_stream_mode(
+        &mut self,
+        id: usize,
+        mode: ApproximationMode,
+    ) -> Result<String, PsaError> {
+        let choice = OperatingChoice {
+            mode,
+            policy: PruningPolicy::Static,
+            vfs: false,
+            expected_error_pct: 0.0,
+            expected_savings_pct: 0.0,
+        };
+        let backend = self.cache.backend_for_choice(&self.plan, &choice)?;
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let patient = &mut self.shards[shard].patients[pos];
+        let index = patient
+            .choice_backends
+            .iter()
+            .find(|(known, _)| *known == choice)
+            .map(|&(_, idx)| idx)
+            .unwrap_or_else(|| {
+                let idx = patient.engine.add_backend(backend);
+                patient.choice_backends.push((choice, idx));
+                idx
+            });
+        patient.engine.set_active_backend(index);
+        Ok(patient.engine.active_backend().name().to_string())
+    }
+
+    /// The current per-stream report of stream `id` (no finishing — the
+    /// stream keeps running).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn stream_report(&self, id: usize) -> Result<StreamReport, PsaError> {
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        Ok(report_of(&self.shards[shard].patients[pos]))
+    }
+
+    /// Per-stream reports of every open stream, id-ordered regardless of
+    /// sharding (the per-stream counterpart of [`FleetScheduler::report`]).
+    pub fn stream_reports(&self) -> Vec<StreamReport> {
+        let mut reports: Vec<StreamReport> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.patients.iter().map(report_of))
+            .collect();
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+
+    /// Flushes stream `id`'s trailing windows (batch parity), removes it
+    /// from the fleet and returns its final report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn close_stream(&mut self, id: usize) -> Result<StreamReport, PsaError> {
+        let detector = self.detector;
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let patient = &mut self.shards[shard].patients[pos];
+        finish_patient(patient, &mut self.scratches[shard], detector);
+        let report = report_of(patient);
+        self.index.remove(&id);
+        self.shards[shard].patients.swap_remove(pos);
+        if let Some(moved) = self.shards[shard].patients.get(pos) {
+            self.index.insert(moved.id, (shard, pos));
+        }
+        Ok(report)
+    }
+
+    /// Graceful fleet drain: flushes every stream's trailing windows
+    /// (identically to [`FleetScheduler::finish`]), takes the id-ordered
+    /// final per-stream reports, and empties the fleet. This is the
+    /// shutdown path of the `hrv-service` gateway; its result is
+    /// bit-identical to `run()` + [`FleetScheduler::stream_reports`] on
+    /// an offline fleet fed the same samples.
+    pub fn close_all(&mut self) -> Vec<StreamReport> {
+        self.finish();
+        let reports = self.stream_reports();
+        for shard in &mut self.shards {
+            shard.patients.clear();
+        }
+        self.index.clear();
+        reports
     }
 
     /// Attaches the calibration corpus dynamic-pruning kernels need, so
@@ -635,6 +1010,10 @@ impl FleetScheduler {
             }
             if let Some(idx) = patient.cursor.checked_sub(1) {
                 stream_seconds += patient.samples[idx].0;
+            } else if let Some(t) = patient.ingest.last_time() {
+                // Externally fed streams have no preloaded samples; their
+                // progress is the last accepted beat time.
+                stream_seconds += t;
             }
         }
         let cycles = self.node.cost.cycles(&total_ops);
@@ -947,6 +1326,214 @@ mod tests {
             .is_exact());
         let report = scheduler.run();
         assert!(report.windows > 0);
+    }
+
+    /// Replays `record`'s samples into an external fleet stream.
+    fn replay(scheduler: &mut FleetScheduler, id: usize, record: &hrv_ecg::PatientRecord) {
+        for (&t, &rr) in record.rr.times().iter().zip(record.rr.intervals()) {
+            scheduler.push_rr(id, t, rr).expect("open stream");
+        }
+    }
+
+    #[test]
+    fn external_fleet_is_bit_identical_to_preloaded_cohort() {
+        let seed = 7;
+        let (streams, duration) = (5, 400.0);
+        let mut offline = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams,
+                duration,
+                seed,
+                slice: 60.0,
+                workers: 2,
+            },
+        )
+        .expect("offline fleet");
+        offline.run();
+        let expected = offline.stream_reports();
+        assert_eq!(expected.len(), streams);
+
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut external = FleetScheduler::external(plan, 2).expect("external fleet");
+        for id in 0..streams {
+            external.open_stream(id).expect("open");
+        }
+        // Interleave pushes across streams (round-robin-ish) to show the
+        // cross-stream feed order does not matter.
+        let records: Vec<_> = (0..streams)
+            .map(|id| cohort_member(seed, id, duration))
+            .collect();
+        for (id, record) in records.iter().enumerate() {
+            replay(&mut external, id, record);
+        }
+        let drained = external.close_all();
+        assert_eq!(drained, expected, "external feed must be bit-identical");
+        assert!(drained.iter().all(|r| r.windows > 0));
+        assert!(
+            external.stream_reports().is_empty(),
+            "close_all empties the fleet"
+        );
+    }
+
+    #[test]
+    fn batch_ingest_is_identical_to_per_sample_ingest() {
+        let record = cohort_member(5, 0, 300.0);
+        let samples: Vec<(f64, f64)> = record
+            .rr
+            .times()
+            .iter()
+            .copied()
+            .zip(record.rr.intervals().iter().copied())
+            .collect();
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut per_sample = FleetScheduler::external(plan.clone(), 1).expect("fleet");
+        per_sample.open_stream(0).expect("open");
+        let mut accepted_singles = 0usize;
+        for &(t, rr) in &samples {
+            accepted_singles += usize::from(per_sample.push_rr(0, t, rr).expect("push"));
+        }
+        let mut batched = FleetScheduler::external(plan, 1).expect("fleet");
+        batched.open_stream(0).expect("open");
+        // Mixed chunk sizes, including the whole tail at once.
+        let (head, tail) = samples.split_at(samples.len() / 3);
+        let mut accepted_batched = 0usize;
+        for chunk in head.chunks(7) {
+            accepted_batched += batched.push_rr_batch(0, chunk).expect("batch");
+        }
+        accepted_batched += batched.push_rr_batch(0, tail).expect("batch");
+        assert_eq!(accepted_batched, accepted_singles);
+        assert_eq!(
+            batched.close_stream(0).expect("close"),
+            per_sample.close_stream(0).expect("close"),
+            "batch and per-sample ingest must be bit-identical"
+        );
+        assert_eq!(
+            batched.push_rr_batch(9, &samples[..1]).unwrap_err(),
+            PsaError::UnknownStream(9)
+        );
+    }
+
+    #[test]
+    fn stream_reports_are_id_ordered_under_sharding() {
+        let mut scheduler = fleet_with_workers(9, 300.0, 4);
+        scheduler.run();
+        let reports = scheduler.stream_reports();
+        let ids: Vec<usize> = reports.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        let total: u64 = reports.iter().map(|r| r.windows).sum();
+        assert_eq!(total, scheduler.report().windows);
+    }
+
+    #[test]
+    fn external_stream_lifecycle_errors_are_typed() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut fleet = FleetScheduler::external(plan, 1).expect("external");
+        fleet.open_stream(3).expect("open");
+        assert_eq!(
+            fleet.open_stream(3).unwrap_err(),
+            PsaError::DuplicateStream(3)
+        );
+        assert_eq!(
+            fleet.push_rr(9, 1.0, 0.8).unwrap_err(),
+            PsaError::UnknownStream(9)
+        );
+        assert_eq!(
+            fleet.stream_report(9).unwrap_err(),
+            PsaError::UnknownStream(9)
+        );
+        assert_eq!(
+            fleet.close_stream(9).unwrap_err(),
+            PsaError::UnknownStream(9)
+        );
+        // Implausible samples are gated, not errors.
+        assert!(fleet.push_rr(3, 1.0, 0.8).expect("open stream"));
+        assert!(!fleet.push_rr(3, 2.0, 10.0).expect("gated dropout"));
+        let report = fleet.close_stream(3).expect("close");
+        assert_eq!(report.ingest.accepted, 1);
+        assert_eq!(report.ingest.rejected_dropout, 1);
+        assert_eq!(
+            fleet.close_stream(3).unwrap_err(),
+            PsaError::UnknownStream(3)
+        );
+        assert_eq!(
+            FleetScheduler::external(
+                SpectralPlan::new(PsaConfig::conventional()).expect("plan"),
+                0
+            )
+            .unwrap_err(),
+            PsaError::InvalidConfig("fleet needs ≥ 1 worker".into())
+        );
+    }
+
+    #[test]
+    fn close_stream_keeps_the_index_consistent() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut fleet = FleetScheduler::external(plan, 1).expect("external");
+        for id in 0..4 {
+            fleet.open_stream(id).expect("open");
+        }
+        fleet.close_stream(1).expect("close");
+        // The swap-removed slot now holds another stream; pushes must
+        // still route to the right ids.
+        for id in [0usize, 2, 3] {
+            assert!(fleet.push_rr(id, 1.0, 0.8).expect("routed"));
+            assert_eq!(fleet.stream_report(id).expect("report").id, id);
+        }
+        assert_eq!(
+            fleet
+                .stream_reports()
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+    }
+
+    #[test]
+    fn set_stream_mode_switches_through_the_shared_cache() {
+        use hrv_core::ApproximationMode;
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut fleet = FleetScheduler::external(plan, 1).expect("external");
+        fleet.open_stream(0).expect("open");
+        fleet.open_stream(1).expect("open");
+        let builds_start = fleet.kernel_cache().builds();
+        let name = fleet
+            .set_stream_mode(0, ApproximationMode::BandDropSet3)
+            .expect("switch");
+        assert!(name.contains("prune60%"), "got kernel {name}");
+        assert_eq!(fleet.kernel_cache().builds(), builds_start + 1);
+        // Second stream switching to the same mode is a cache lookup.
+        fleet
+            .set_stream_mode(1, ApproximationMode::BandDropSet3)
+            .expect("switch");
+        assert_eq!(fleet.kernel_cache().builds(), builds_start + 1);
+        // Back to exact: resolves to the already-built split-radix kernel.
+        let exact = fleet
+            .set_stream_mode(0, ApproximationMode::Exact)
+            .expect("restore");
+        assert_eq!(exact, "split-radix");
+        assert_eq!(fleet.kernel_cache().builds(), builds_start + 1);
+        assert_eq!(
+            fleet
+                .set_stream_mode(9, ApproximationMode::Exact)
+                .unwrap_err(),
+            PsaError::UnknownStream(9)
+        );
+    }
+
+    #[test]
+    fn fleet_report_publishes_into_telemetry() {
+        let mut scheduler = small_fleet(2, 300.0);
+        let report = scheduler.run();
+        let telemetry = Telemetry::new();
+        report.publish(&telemetry);
+        scheduler.kernel_cache().publish(&telemetry);
+        let text = telemetry.render();
+        assert!(text.contains(&format!("hrv_fleet_windows_total {}", report.windows)));
+        assert!(text.contains("hrv_fleet_streams 2"));
+        assert!(text.contains("hrv_kernel_builds_total 1"));
+        assert!(text.contains("# TYPE hrv_fleet_windows_per_second gauge"));
     }
 
     #[test]

@@ -10,6 +10,16 @@
 use hrv_delineate::{BeatOutcome, StreamingRrFilter, MAX_RR, MIN_RR};
 use std::collections::VecDeque;
 
+/// The RR-sample plausibility gate: finite, strictly advancing beat
+/// time and a physiological interval ([`MIN_RR`]`..=`[`MAX_RR`]; NaN
+/// fails the range check). This single predicate is the authority both
+/// [`RrIngest::push_rr`] and `hrv-service`'s session admission apply,
+/// so the two layers cannot drift apart — which the service's
+/// wire-vs-offline bit-identical report guarantee depends on.
+pub fn rr_sample_plausible(t: f64, rr: f64, last_time: Option<f64>) -> bool {
+    t.is_finite() && !last_time.is_some_and(|last| t <= last) && (MIN_RR..=MAX_RR).contains(&rr)
+}
+
 /// Counters describing everything the ingest stage has seen.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IngestStats {
@@ -102,23 +112,25 @@ impl RrIngest {
     }
 
     /// Pushes a pre-computed RR interval ending at beat time `t`, applying
-    /// the same plausibility gates as the beat path. Returns `true` when
-    /// the sample was accepted into the ring.
+    /// the same plausibility gates as the beat path
+    /// ([`rr_sample_plausible`]). Returns `true` when the sample was
+    /// accepted into the ring. Non-finite values are rejected outright —
+    /// an admitted NaN beat time would otherwise poison every later
+    /// ordering comparison.
     pub fn push_rr(&mut self, t: f64, rr: f64) -> bool {
-        if self.last_time.is_some_and(|last| t <= last) {
+        if rr_sample_plausible(t, rr, self.last_time) {
+            self.accept(t, rr);
+            return true;
+        }
+        // Classify the rejection for the stats.
+        if !t.is_finite() || self.last_time.is_some_and(|last| t <= last) {
             self.stats.rejected_out_of_order += 1;
-            return false;
-        }
-        if rr < MIN_RR {
+        } else if rr.is_nan() || rr < MIN_RR {
             self.stats.rejected_short += 1;
-            return false;
-        }
-        if rr > MAX_RR {
+        } else {
             self.stats.rejected_dropout += 1;
-            return false;
         }
-        self.accept(t, rr);
-        true
+        false
     }
 
     fn accept(&mut self, t: f64, rr: f64) {
@@ -201,6 +213,23 @@ mod tests {
         assert_eq!(stats.rejected_short, 1);
         assert_eq!(stats.rejected_dropout, 1);
         assert_eq!(ingest.last_time(), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_samples_rejected_without_poisoning_order() {
+        let mut ingest = RrIngest::new();
+        assert!(!ingest.push_rr(f64::NAN, 0.8));
+        assert!(!ingest.push_rr(f64::INFINITY, 0.8));
+        assert!(!ingest.push_rr(1.0, f64::NAN));
+        assert!(!ingest.push_rr(1.0, f64::INFINITY));
+        // The gate still functions — no NaN ever became `last_time`.
+        assert!(ingest.push_rr(1.0, 0.8));
+        assert!(!ingest.push_rr(0.5, 0.8));
+        let stats = ingest.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.rejected_out_of_order, 3);
+        assert_eq!(stats.rejected_short, 1);
+        assert_eq!(stats.rejected_dropout, 1);
     }
 
     #[test]

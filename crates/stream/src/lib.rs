@@ -68,7 +68,7 @@ mod scratch;
 mod sliding;
 
 pub use controller::OnlineQualityController;
-pub use fleet::{FleetConfig, FleetReport, FleetScheduler};
-pub use ingest::{IngestStats, RrIngest};
+pub use fleet::{cohort_member, FleetConfig, FleetReport, FleetScheduler, StreamReport};
+pub use ingest::{rr_sample_plausible, IngestStats, RrIngest};
 pub use scratch::{ScratchPool, StreamScratch};
 pub use sliding::{band_powers, SlidingLomb, WindowView, AUDIT_BLOCK};

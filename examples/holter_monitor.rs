@@ -1,15 +1,18 @@
-//! Hourly monitoring (paper §VI.A), now as a *live* monitor: beats flow
-//! through the streaming subsystem one at a time — ingest ring → sliding
-//! Welch–Lomb engine → per-window LF/HF — exactly as a wearable node would
-//! produce them, and the streamed windows are checked against the batch
-//! conventional system window by window.
+//! Hourly monitoring (paper §VI.A) as a *networked* monitor: a loopback
+//! `hrv-service` gateway is started in-process, and the hour of beats
+//! flows to it as a real TCP client would send them — framed
+//! `PushBeats` batches through session admission, bounded queues and the
+//! fleet-backed analysis pump. Along the way the client switches the
+//! stream to the paper's pruned operating mode over the wire
+//! (`SetQuality`), reads live reports, and finally drains the gateway;
+//! the streamed result is checked against the batch conventional system.
 //!
 //! Run with: `cargo run --release --example holter_monitor`
 
 use hrv_psa::prelude::*;
-use hrv_psa::stream::WindowView;
+use hrv_psa::service::GatewayConfig;
 
-fn main() -> Result<(), PsaError> {
+fn main() -> Result<(), ServiceError> {
     // One hour of sinus-arrhythmia RR data.
     let record = SyntheticDatabase::new(16).record(3, Condition::SinusArrhythmia, 3600.0);
     println!(
@@ -19,78 +22,89 @@ fn main() -> Result<(), PsaError> {
     );
 
     // Reference: the batch conventional system over the whole recording.
-    let conventional = PsaSystem::new(PsaConfig::conventional())?;
-    let reference = conventional.analyze(&record.rr)?;
+    let conventional = PsaSystem::new(PsaConfig::conventional()).map_err(ServiceError::from)?;
+    let reference = conventional
+        .analyze(&record.rr)
+        .map_err(ServiceError::from)?;
 
-    // Live path: beat-by-beat through ingest + the incremental engine,
-    // with the proposed pruned kernel active.
-    let mut ingest = RrIngest::new();
-    let mut engine = hrv_psa::stream::SlidingLomb::from_config(&PsaConfig::proposed(
-        WaveletBasis::Haar,
-        ApproximationMode::BandDropSet3,
-        PruningPolicy::Static,
-    ))?;
-    let mut scratch = StreamScratch::new();
-    let mut live: Vec<(f64, f64)> = Vec::new(); // (window start, LF/HF)
+    // The gateway, on an ephemeral loopback port.
+    let handle = Gateway::start(GatewayConfig::default())?;
+    println!("gateway listening on {}", handle.local_addr());
+    let mut client = ServiceClient::connect(handle.local_addr())?;
+    client.open_stream(3)?;
+    // The wearable's kernel budget: the paper's 60 % pruned static mode,
+    // switched over the wire.
+    let backend = client.set_quality(3, ApproximationMode::BandDropSet3)?;
+    println!("stream 3 open, operating mode {backend}");
 
-    // Reconstruct the beat-time feed a delineator would emit.
+    // Reconstruct the beat-time feed a delineator would emit and send it
+    // in one-minute `PushBeats` batches, as a buffering sensor node
+    // would; the gateway derives and gates the RR intervals server-side.
     let first_beat = record.rr.times()[0] - record.rr.intervals()[0];
-    let mut sink = |w: &WindowView<'_>| live.push((w.start, w.lf_hf_ratio()));
-    ingest.push_beat(first_beat);
-    for &t in record.rr.times() {
-        if ingest.push_beat(t) {
-            while let Some((time, rr)) = ingest.pop() {
-                engine.push(time, rr, &mut scratch, &mut sink);
+    let mut beats = vec![first_beat];
+    beats.extend_from_slice(record.rr.times());
+    let mut minutes = 0usize;
+    let mut batch_start = 0usize;
+    for (i, &t) in beats.iter().enumerate() {
+        if t >= (minutes + 1) as f64 * 60.0 || i == beats.len() - 1 {
+            let pushed = client.push_beats_blocking(
+                3,
+                &beats[batch_start..=i],
+                std::time::Duration::from_millis(1),
+            )?;
+            batch_start = i + 1;
+            minutes += 1;
+            // Every ~15 minutes of stream time, read a live report.
+            if minutes.is_multiple_of(15) {
+                let report = client.read_report(3)?;
+                println!(
+                    "after {minutes:>3} min: {:>3} windows analysed, {:>2} flagged, queue depth {}",
+                    report.windows, report.arrhythmia_windows, pushed.queue_depth
+                );
             }
         }
     }
-    engine.finish(&mut scratch, &mut sink);
 
-    assert_eq!(live.len(), reference.per_window.len());
+    // Drain the gateway: trailing windows flush, final reports come back
+    // id-ordered.
+    let metrics = client.metrics()?;
+    let reports = client.shutdown()?;
+    handle.wait()?;
+    let report = &reports[0];
     println!(
-        "\n{:>8} {:>12} {:>12} {:>10}",
-        "t[min]", "conv LF/HF", "live LF/HF", "err[%]"
-    );
-    let mut errors = Vec::new();
-    for ((start, live_ratio), (_, conv)) in live.iter().zip(&reference.per_window) {
-        let err = 100.0 * (live_ratio - conv.lf_hf_ratio()).abs() / conv.lf_hf_ratio();
-        errors.push(err);
-        // print every 6th window (≈ every 6 minutes)
-        if errors.len() % 6 == 1 {
-            println!(
-                "{:>8.1} {:>12.3} {:>12.3} {:>10.2}",
-                start / 60.0,
-                conv.lf_hf_ratio(),
-                live_ratio,
-                err
-            );
-        }
-    }
-    let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
-    println!(
-        "\n{} windows streamed; mean per-window LF/HF error vs conventional {:.2}% (paper ≈ 4.9%)",
-        errors.len(),
-        mean_err
+        "\nfinal report: {} windows, {} arrhythmia-flagged, backend {}, ingest {:?}",
+        report.windows, report.arrhythmia_windows, report.backend, report.ingest
     );
 
-    // Ops economics of the streamed hour.
-    let stream_ops = engine.blocks().grand_total().arithmetic();
-    let batch_ops = reference.total_ops().arithmetic();
+    // The streamed hour matches the batch conventional system's window
+    // count, and detection is preserved under the pruned kernel.
+    assert_eq!(report.windows as usize, reference.per_window.len());
+    let batch_flagged = reference
+        .per_window
+        .iter()
+        .filter(|(_, p)| p.lf_hf_ratio() < 1.0)
+        .count();
     println!(
-        "streamed pruned pipeline: {} ops vs {} batch conventional ({:.1}% saved), \
-         ingest stats: {:?}",
-        stream_ops,
-        batch_ops,
-        100.0 * (1.0 - stream_ops as f64 / batch_ops as f64),
-        ingest.stats()
-    );
-
-    let flagged = live.iter().filter(|(_, r)| *r < 1.0).count();
-    println!(
-        "arrhythmia flagged in {}/{} live windows; batch hour-average ratio {:.3}",
-        flagged,
-        live.len(),
+        "batch reference: {} windows, {batch_flagged} flagged, hour-average LF/HF {:.3}",
+        reference.per_window.len(),
         reference.lf_hf_ratio()
     );
+    assert!(
+        report.arrhythmia_windows as usize >= batch_flagged.saturating_sub(2)
+            && report.arrhythmia_windows as usize <= batch_flagged + 2,
+        "pruned streamed detection must track the exact batch reference"
+    );
+
+    // One shared telemetry path: the same registry the wire exposes.
+    let interesting = metrics
+        .lines()
+        .filter(|l| {
+            l.starts_with("hrv_fleet_windows_total")
+                || l.starts_with("hrv_kernel_builds_total")
+                || l.starts_with("hrv_service_samples_admitted_total")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("\ntelemetry excerpt:\n{interesting}");
     Ok(())
 }

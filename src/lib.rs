@@ -25,7 +25,10 @@
 //!   model and validation VM;
 //! * [`stream`] (`hrv-stream`) — incremental streaming analysis:
 //!   sample-by-sample RR ingestion, the sliding Welch–Lomb engine, the
-//!   online quality controller and the multi-patient fleet scheduler.
+//!   online quality controller and the multi-patient fleet scheduler;
+//! * [`service`] (`hrv-service`) — the network gateway: length-prefixed
+//!   wire protocol over TCP, session admission with backpressure, and
+//!   fleet-backed streaming with shared telemetry.
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub use hrv_dsp as dsp;
 pub use hrv_ecg as ecg;
 pub use hrv_lomb as lomb;
 pub use hrv_node_sim as node_sim;
+pub use hrv_service as service;
 pub use hrv_stream as stream;
 pub use hrv_wavelet as wavelet;
 pub use hrv_wfft as wfft;
@@ -64,13 +68,15 @@ pub mod prelude {
     pub use hrv_core::{
         energy_quality_sweep, ApproximationMode, BackendChoice, HrvAnalysis, KernelCache,
         NodeModel, PruningPolicy, PsaConfig, PsaError, PsaSystem, QualityController, SpectralPlan,
-        TrainingSet,
+        Telemetry, TrainingSet,
     };
     pub use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft, Window};
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
     pub use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, FreqBand, WelchLomb};
+    pub use hrv_service::{Gateway, GatewayConfig, ServiceClient, ServiceError, SessionConfig};
     pub use hrv_stream::{
-        FleetConfig, FleetScheduler, OnlineQualityController, RrIngest, SlidingLomb, StreamScratch,
+        FleetConfig, FleetScheduler, OnlineQualityController, RrIngest, SlidingLomb, StreamReport,
+        StreamScratch,
     };
     pub use hrv_wavelet::WaveletBasis;
     pub use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};
