@@ -12,7 +12,7 @@ use hrv_core::{PsaConfig, Telemetry};
 use hrv_dsp::{BlockOps, SplitRadixFft};
 use hrv_ecg::{Condition, SyntheticDatabase};
 use hrv_lomb::{FastLomb, WelchLomb};
-use hrv_stream::{FleetConfig, FleetScheduler, SlidingLomb, StreamScratch};
+use hrv_stream::{FleetConfig, FleetScheduler, SlidingLomb, StreamBudget, StreamScratch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -272,6 +272,87 @@ fn main() {
             ),
         }
     }
+
+    // ---- budget-governed fleet: the quality↔energy loop closed -------------
+    // Each stream gets a joule budget per 4-window reporting interval; the
+    // EnergyBudgetGovernor spends it across the candidate ladder (operating
+    // choices × DVFS rails, costed by the shared CostProfile). The sweep
+    // asserts the acceptance invariant: tightening the budget can only
+    // lower energy per window, and LF/HF detection must survive every
+    // level. (Cost-probe finding, recorded in BENCH_stream.json: on the
+    // resampled paper config the exact half-length fast path undercuts
+    // every pruned kernel, so the ladder scales the DVFS rail first.)
+    let budget_streams = streams.min(64);
+    let reference = FleetScheduler::new(
+        PsaConfig::conventional(),
+        FleetConfig {
+            streams: budget_streams,
+            duration: seconds,
+            seed: 2014,
+            slice: 60.0,
+            workers: 1,
+        },
+    )
+    .expect("valid fleet")
+    .run();
+    println!(
+        "\n== budget-governed fleet: {budget_streams} streams x {seconds:.0} s \
+         (joules per 4-window interval) ==\n"
+    );
+    println!(
+        "{:>12} {:>10} {:>14} {:>18} {:>10} {:>12}",
+        "budget [J]", "windows", "ops/window", "energy/window [J]", "switches", "arrhythmia"
+    );
+    println!(
+        "{:>12} {:>10} {:>14} {:>18.6e} {:>10} {:>12}",
+        "(ungoverned)",
+        reference.windows,
+        reference.ops_per_window() as u64,
+        reference.charged_energy_per_window(),
+        "-",
+        reference.arrhythmia_windows,
+    );
+    let mut last_energy_per_window = f64::INFINITY;
+    for budget_j in [1.0, 2.5e-3, 1.7e-3] {
+        let mut scheduler = FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams: budget_streams,
+                duration: seconds,
+                seed: 2014,
+                slice: 60.0,
+                workers: 1,
+            },
+        )
+        .expect("valid fleet")
+        .with_energy_budget(None, StreamBudget::per_interval(budget_j, 4))
+        .expect("valid budget");
+        let report = scheduler.run();
+        let energy_per_window = report.charged_energy_per_window();
+        println!(
+            "{:>12.1e} {:>10} {:>14} {:>18.6e} {:>10} {:>12}",
+            budget_j,
+            report.windows,
+            report.ops_per_window() as u64,
+            energy_per_window,
+            report.controller_switches,
+            report.arrhythmia_windows,
+        );
+        assert!(
+            energy_per_window <= last_energy_per_window + 1e-15,
+            "tightening the budget must not raise energy per window"
+        );
+        assert_eq!(
+            report.windows, reference.windows,
+            "governed fleet must analyse every window"
+        );
+        assert_eq!(
+            report.arrhythmia_windows, reference.arrhythmia_windows,
+            "LF/HF detection must be preserved at every budget level"
+        );
+        last_energy_per_window = energy_per_window;
+    }
+    println!("\nbudget sweep: energy/window monotone non-increasing, detection preserved\n");
 
     let mut single = FleetScheduler::new(
         PsaConfig::conventional(),

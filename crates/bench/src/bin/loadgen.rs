@@ -5,6 +5,12 @@
 //! `FleetScheduler` run — the wire boundary must not change a single
 //! operation count.
 //!
+//! With `HRV_LOADGEN_BUDGET_J` set, every stream is budget-governed over
+//! the wire (`SetBudget` before the first sample) and the offline
+//! reference carries the same budget — the reports must *still* be
+//! bit-identical, and the run additionally asserts the
+//! detection-preserved invariant against an ungoverned reference.
+//!
 //! Run with: `cargo run --release -p hrv-bench --bin loadgen`
 //! Environment knobs (for CI smoke runs):
 //!   HRV_LOADGEN_STREAMS  concurrent client connections (default 16)
@@ -12,10 +18,11 @@
 //!   HRV_LOADGEN_BATCH    samples per PushRr frame      (default 64)
 //!   HRV_LOADGEN_QUEUE    per-session queue capacity    (default 1024)
 //!   HRV_LOADGEN_WORKERS  fleet worker shards           (default 2)
+//!   HRV_LOADGEN_BUDGET_J joules per 4-window interval  (default 0 = ungoverned)
 
 use hrv_core::PsaConfig;
 use hrv_service::{Gateway, GatewayConfig, ServiceClient, SessionConfig};
-use hrv_stream::{cohort_member, FleetConfig, FleetScheduler};
+use hrv_stream::{cohort_member, FleetConfig, FleetScheduler, StreamBudget};
 use std::time::{Duration, Instant};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -25,7 +32,15 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 const SEED: u64 = 2014;
+const BUDGET_INTERVAL_WINDOWS: u64 = 4;
 
 fn main() {
     let streams = env_usize("HRV_LOADGEN_STREAMS", 16);
@@ -33,23 +48,60 @@ fn main() {
     let batch = env_usize("HRV_LOADGEN_BATCH", 64).max(1);
     let queue = env_usize("HRV_LOADGEN_QUEUE", 1024).max(batch);
     let workers = env_usize("HRV_LOADGEN_WORKERS", 2).max(1);
+    let budget_j = env_f64("HRV_LOADGEN_BUDGET_J", 0.0);
+    let budget =
+        (budget_j > 0.0).then(|| StreamBudget::per_interval(budget_j, BUDGET_INTERVAL_WINDOWS));
 
     // ---- offline reference: the same cohort through an offline fleet ----
-    let mut offline = FleetScheduler::new(
-        PsaConfig::conventional(),
-        FleetConfig {
-            streams,
-            duration: seconds,
-            seed: SEED,
-            slice: 60.0,
-            workers,
-        },
-    )
-    .expect("valid offline fleet");
+    let offline_fleet = || {
+        FleetScheduler::new(
+            PsaConfig::conventional(),
+            FleetConfig {
+                streams,
+                duration: seconds,
+                seed: SEED,
+                slice: 60.0,
+                workers,
+            },
+        )
+        .expect("valid offline fleet")
+    };
+    let mut offline = offline_fleet();
+    if let Some(budget) = budget {
+        offline = offline
+            .with_energy_budget(None, budget)
+            .expect("valid budget");
+    }
     let offline_started = Instant::now();
     let offline_report = offline.run();
     let offline_wall = offline_started.elapsed().as_secs_f64();
     let offline_reports = offline.stream_reports();
+
+    // Detection-preserved invariant of the budget smoke: the governed
+    // fleet must flag exactly the windows an ungoverned one flags, while
+    // spending no more energy per window.
+    if budget.is_some() {
+        let ungoverned = offline_fleet().run();
+        assert_eq!(
+            offline_report.windows, ungoverned.windows,
+            "governed fleet must analyse every window"
+        );
+        assert_eq!(
+            offline_report.arrhythmia_windows, ungoverned.arrhythmia_windows,
+            "budget governance must preserve LF/HF detection"
+        );
+        assert!(
+            offline_report.charged_energy_per_window()
+                <= ungoverned.charged_energy_per_window() + 1e-15,
+            "budget governance must not raise energy per window"
+        );
+        println!(
+            "budget smoke: {budget_j} J / {BUDGET_INTERVAL_WINDOWS} windows -> \
+             {:.6e} J/window (ungoverned {:.6e}), detection preserved",
+            offline_report.charged_energy_per_window(),
+            ungoverned.charged_energy_per_window()
+        );
+    }
 
     // ---- the gateway, on an ephemeral loopback port ---------------------
     let handle = Gateway::start(GatewayConfig {
@@ -77,6 +129,9 @@ fn main() {
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("connect");
                     client.open_stream(id as u64).expect("open stream");
+                    if let Some(budget) = budget {
+                        client.set_budget(id as u64, budget).expect("set budget");
+                    }
                     let record = cohort_member(SEED, id, seconds);
                     let samples: Vec<(f64, f64)> = record
                         .rr

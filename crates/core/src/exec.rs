@@ -20,11 +20,14 @@
 
 use crate::calibrate::training_meshes;
 use crate::config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
+use crate::energy::NodeModel;
 use crate::error::PsaError;
+use crate::govern::CandidatePoint;
 use crate::quality::OperatingChoice;
-use hrv_dsp::{Cx, FftBackend, SplitRadixFft};
+use hrv_dsp::{fft_real_pair_into, Cx, FftBackend, OpCount, RealFft, SplitRadixFft, Window};
 use hrv_ecg::RrSeries;
-use hrv_lomb::{FastLomb, MeshStrategy};
+use hrv_lomb::{FastLomb, MeshScratch, MeshStrategy};
+use hrv_node_sim::OperatingPoint;
 use hrv_wavelet::WaveletBasis;
 use hrv_wfft::{PrunedWfft, WaveletFftBackend, WfftPlan};
 use std::collections::HashMap;
@@ -313,9 +316,355 @@ impl SpectralPlan {
     }
 }
 
+/// Content fingerprint of the estimator-relevant half of a [`PsaConfig`]
+/// (everything but the backend): the memoization key of a probe window,
+/// which depends on the mesh/window wiring, not on which kernel runs it.
+fn fingerprint_config(config: &PsaConfig) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(config.fft_len as u64);
+    mix(config.ofac.to_bits());
+    mix(config.window_duration.to_bits());
+    mix(config.overlap.to_bits());
+    mix(config.max_freq.to_bits());
+    mix(match config.window {
+        Window::Rectangular => 0,
+        Window::Hann => 1,
+        Window::Hamming => 2,
+        Window::Welch => 3,
+    });
+    match config.mesh {
+        MeshStrategy::Extirpolate { order } => {
+            mix(1);
+            mix(order as u64);
+        }
+        MeshStrategy::Resample => mix(2),
+    }
+    h
+}
+
+/// A deterministic probe window: ≈ 70 bpm RR intervals with respiratory
+/// (0.25 Hz) and low-frequency (0.1 Hz) modulation, spanning one analysis
+/// window — representative of the beat density the estimator sees, so
+/// per-window operation counts probed on it match live windows closely.
+fn probe_window(duration: f64) -> (Vec<f64>, Vec<f64>) {
+    use std::f64::consts::TAU;
+    let (mut times, mut values) = (Vec::new(), Vec::new());
+    let mut t = 0.0;
+    loop {
+        let rr = 0.85 + 0.05 * (TAU * 0.25 * t).sin() + 0.02 * (TAU * 0.1 * t).sin();
+        t += rr;
+        if t >= duration {
+            break;
+        }
+        times.push(t);
+        values.push(rr);
+    }
+    (times, values)
+}
+
+/// The kernel-independent half of a cost profile: one probe window run
+/// through the plan's estimator stages, its meshes retained so each
+/// kernel's FFT cost can be measured on demand.
+#[derive(Debug)]
+struct ProfileData {
+    hop_s: f64,
+    window_duration: f64,
+    resampled: bool,
+    probe_samples: usize,
+    probe_var: f64,
+    wk1: Vec<f64>,
+    wk2: Vec<f64>,
+    /// Non-FFT per-window ops (prepare + mesh + Lomb combine).
+    base_ops: OpCount,
+    /// FFT ops of the exact streaming path (half-length real FFT under
+    /// the resampling front end, full packed pair otherwise).
+    exact_fft_ops: OpCount,
+    /// Measured per-kernel FFT ops, keyed by spec.
+    probes: Mutex<HashMap<KernelSpec, OpCount>>,
+}
+
+impl ProfileData {
+    fn new(plan: &SpectralPlan) -> Self {
+        let config = plan.config();
+        let estimator = plan.estimator().with_span(config.window_duration);
+        let (times, values) = probe_window(config.window_duration);
+        let mut scratch = MeshScratch::new();
+        let mut base_ops = OpCount::default();
+        let probe_var = estimator.prepare_variance(&times, &values, &mut scratch, &mut base_ops);
+        let (mut wk1, mut wk2) = (Vec::new(), Vec::new());
+        estimator.meshes_into(
+            &times,
+            &values,
+            &mut wk1,
+            &mut wk2,
+            &mut scratch,
+            &mut base_ops,
+        );
+        let resampled = estimator.mesh_strategy() == MeshStrategy::Resample;
+        let n = config.fft_len;
+
+        // The exact streaming path: under resampling the weight spectrum
+        // is window-invariant and cached, so only the data mesh is
+        // transformed, at half length (mirroring `SlidingLomb`).
+        let mut exact_fft_ops = OpCount::default();
+        let (mut first, mut second) = (Vec::new(), Vec::new());
+        let (mut packed, mut fft_scratch) = (Vec::new(), Vec::new());
+        if resampled {
+            let rfft = RealFft::new(n);
+            rfft.forward_into(
+                &wk1,
+                &mut first,
+                &mut packed,
+                &mut fft_scratch,
+                &mut exact_fft_ops,
+            );
+            second = vec![Cx::ZERO; n / 2 + 1];
+            second[0] = Cx::real(n as f64);
+        } else {
+            let exact = SplitRadixFft::new(n);
+            fft_real_pair_into(
+                &exact,
+                &wk1,
+                &wk2,
+                &mut first,
+                &mut second,
+                &mut packed,
+                &mut fft_scratch,
+                &mut exact_fft_ops,
+            );
+        }
+        let (mut freqs, mut power) = (Vec::new(), Vec::new());
+        estimator.combine_into(
+            &first,
+            &second,
+            config.window_duration,
+            times.len(),
+            probe_var,
+            &mut freqs,
+            &mut power,
+            &mut base_ops,
+        );
+
+        ProfileData {
+            hop_s: config.window_duration * (1.0 - config.overlap),
+            window_duration: config.window_duration,
+            resampled,
+            probe_samples: times.len(),
+            probe_var,
+            wk1,
+            wk2,
+            base_ops,
+            exact_fft_ops,
+            probes: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Per-window cost prediction for a plan's operating choices — the one
+/// place `OpCount`→cycles→joules conversion lives for run-time layers.
+///
+/// Built through [`KernelCache::cost_profile`], which memoizes the probe
+/// window per plan (and the per-kernel FFT measurements per spec), a
+/// profile answers two questions:
+///
+/// * **accounting** — what does a window that spent `ops` cost at an
+///   operating point ([`CostProfile::window_energy`]), and what does an
+///   aggregate workload cost at nominal ([`CostProfile::energy`] — the
+///   conversion fleet reports use, formerly re-derived ad hoc);
+/// * **prediction** — what *will* a window cost under a given kernel
+///   ([`CostProfile::predict`]), measured by running the kernel once on
+///   the plan's probe meshes, so budget policies can rank
+///   [`CandidatePoint`]s before any live sample arrives
+///   ([`CostProfile::candidate`]).
+///
+/// # Examples
+///
+/// ```
+/// use hrv_core::{KernelCache, NodeModel, PsaConfig, SpectralPlan};
+///
+/// let plan = SpectralPlan::new(PsaConfig::conventional())?;
+/// let cache = KernelCache::new();
+/// let profile = cache.cost_profile(&plan, &NodeModel::default());
+/// let exact = cache.backend(&plan)?;
+/// let predicted = profile.predict(plan.base_spec(), exact.as_ref());
+/// assert!(predicted.arithmetic() > 0);
+/// // Accounting and prediction share one conversion:
+/// let per_window = profile.window_energy(&predicted, &profile.node().dvfs.nominal());
+/// assert!(per_window > 0.0);
+/// # Ok::<(), hrv_core::PsaError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CostProfile {
+    node: NodeModel,
+    data: Arc<ProfileData>,
+}
+
+impl CostProfile {
+    /// The node model energy conversions run on.
+    pub fn node(&self) -> &NodeModel {
+        &self.node
+    }
+
+    /// Hop between window starts in seconds (the per-window leakage /
+    /// harvest interval).
+    pub fn hop_s(&self) -> f64 {
+        self.data.hop_s
+    }
+
+    /// Cycles of an operation tally on this node.
+    pub fn cycles(&self, ops: &OpCount) -> u64 {
+        self.node.cost.cycles(ops)
+    }
+
+    /// Energy of one window that spent `ops` at `opp`, with leakage over
+    /// one hop (joules).
+    pub fn window_energy(&self, ops: &OpCount, opp: &OperatingPoint) -> f64 {
+        self.node
+            .energy
+            .energy(ops, &self.node.cost, opp, self.data.hop_s)
+            .total()
+    }
+
+    /// Energy of an aggregate workload of `ops` across `windows` windows
+    /// at the nominal operating point (joules; leakage window =
+    /// windows × hop). This is the conversion `FleetReport` publishes.
+    pub fn energy(&self, ops: &OpCount, windows: u64) -> f64 {
+        self.node
+            .energy
+            .energy(
+                ops,
+                &self.node.cost,
+                &self.node.dvfs.nominal(),
+                windows as f64 * self.data.hop_s,
+            )
+            .total()
+    }
+
+    /// Predicted per-window operation count with `backend` active,
+    /// measured on the plan's probe window (memoized per `spec`). The
+    /// exact kernel under the resampling front end is predicted on the
+    /// half-length real-FFT fast path, mirroring the streaming engine.
+    pub fn predict(&self, spec: KernelSpec, backend: &dyn FftBackend) -> OpCount {
+        if backend.is_exact() && self.data.resampled {
+            return self.data.base_ops + self.data.exact_fft_ops;
+        }
+        let mut probes = self.data.probes.lock().expect("cost probes poisoned");
+        let fft_ops = *probes.entry(spec).or_insert_with(|| {
+            let mut ops = OpCount::default();
+            let (mut first, mut second) = (Vec::new(), Vec::new());
+            let (mut packed, mut fft_scratch) = (Vec::new(), Vec::new());
+            fft_real_pair_into(
+                backend,
+                &self.data.wk1,
+                &self.data.wk2,
+                &mut first,
+                &mut second,
+                &mut packed,
+                &mut fft_scratch,
+                &mut ops,
+            );
+            ops
+        });
+        self.data.base_ops + fft_ops
+    }
+
+    /// The DVFS operating point a choice runs at: nominal without VFS;
+    /// with VFS, the pruning slack `predicted/exact` cycles converted to
+    /// a discrete ladder point (paper §VI.B).
+    pub fn operating_point(
+        &self,
+        predicted: &OpCount,
+        exact_predicted: &OpCount,
+        vfs: bool,
+    ) -> OperatingPoint {
+        if !vfs {
+            return self.node.dvfs.nominal();
+        }
+        let ratio = self.cycles(predicted) as f64 / self.cycles(exact_predicted).max(1) as f64;
+        self.node
+            .dvfs
+            .discrete_opp_for_slack(ratio.clamp(1e-3, 1.0))
+    }
+
+    /// Builds a budget-policy [`CandidatePoint`] for `choice`: predicted
+    /// per-window ops under its kernel, the DVFS point its VFS flag
+    /// implies, and the per-window energy at that point. Note that under
+    /// the paper's resampled front end the streaming exact fast path
+    /// undercuts every pruned kernel, so VFS choices earn no slack there
+    /// (ratio clamps to 1 → nominal); use [`CostProfile::ladder`] for the
+    /// full budget candidate set.
+    pub fn candidate(
+        &self,
+        choice: Option<OperatingChoice>,
+        spec: KernelSpec,
+        backend: &dyn FftBackend,
+        exact_spec: KernelSpec,
+        exact_backend: &dyn FftBackend,
+    ) -> CandidatePoint {
+        let predicted = self.predict(spec, backend);
+        let exact_predicted = self.predict(exact_spec, exact_backend);
+        let vfs = choice.is_some_and(|c| c.vfs);
+        let opp = self.operating_point(&predicted, &exact_predicted, vfs);
+        CandidatePoint {
+            choice,
+            expected_error_pct: choice.map_or(0.0, |c| c.expected_error_pct),
+            predicted_energy_j: self.window_energy(&predicted, &opp),
+            opp,
+        }
+    }
+
+    /// The budget candidate **ladder** of one choice: one
+    /// [`CandidatePoint`] per discrete DVFS voltage that still meets the
+    /// real-time deadline (the window's cycles must fit one hop —
+    /// race-to-idle, so lower rails trade timing margin for V²·dynamic
+    /// and V³·leakage savings while the arithmetic stays identical).
+    /// Candidates of equal expected distortion are ordered by an
+    /// [`crate::EnergyBudgetGovernor`] from highest to lowest energy, so
+    /// a tightening budget walks the rail down before it degrades the
+    /// kernel.
+    pub fn ladder(
+        &self,
+        choice: Option<OperatingChoice>,
+        spec: KernelSpec,
+        backend: &dyn FftBackend,
+    ) -> Vec<CandidatePoint> {
+        let predicted = self.predict(spec, backend);
+        let cycles = self.cycles(&predicted) as f64;
+        let expected_error_pct = choice.map_or(0.0, |c| c.expected_error_pct);
+        self.node
+            .dvfs
+            .ladder()
+            .map(|v| self.node.dvfs.opp_at(v))
+            .filter(|opp| cycles / opp.frequency <= self.data.hop_s)
+            .map(|opp| CandidatePoint {
+                choice,
+                expected_error_pct,
+                predicted_energy_j: self.window_energy(&predicted, &opp),
+                opp,
+            })
+            .collect()
+    }
+
+    /// The probe window's sample count and prepare-stage variance —
+    /// exposed so tests can sanity-check the probe against a live window.
+    pub fn probe_stats(&self) -> (usize, f64) {
+        (self.data.probe_samples, self.data.probe_var)
+    }
+
+    /// The analysis window duration in seconds.
+    pub fn window_duration_s(&self) -> f64 {
+        self.data.window_duration
+    }
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
     kernels: Mutex<HashMap<PlanKey, Arc<dyn FftBackend>>>,
+    profiles: Mutex<HashMap<(u64, u64), Arc<ProfileData>>>,
     hits: AtomicU64,
     builds: AtomicU64,
 }
@@ -459,6 +808,31 @@ impl KernelCache {
     /// `true` when no kernel has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The cost profile of a plan on `node` — the shared per-window
+    /// prediction/accounting surface run-time layers (fleet energy
+    /// charging, budget governors) convert operations through. The probe
+    /// window is computed once per estimator configuration (and training
+    /// fingerprint) and shared by every profile handle the cache returns,
+    /// as are the per-kernel FFT probes.
+    pub fn cost_profile(&self, plan: &SpectralPlan, node: &NodeModel) -> CostProfile {
+        let key = (
+            fingerprint_config(plan.config()),
+            plan.training().map_or(0, |t| t.fingerprint()),
+        );
+        let data = {
+            let mut profiles = self.inner.profiles.lock().expect("cost profiles poisoned");
+            Arc::clone(
+                profiles
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(ProfileData::new(plan))),
+            )
+        };
+        CostProfile {
+            node: node.clone(),
+            data,
+        }
     }
 
     /// Publishes the cache's construction accounting into a
@@ -693,6 +1067,152 @@ mod tests {
         assert_send_sync::<KernelCache>();
         assert_send_sync::<SpectralPlan>();
         assert_send_sync::<TrainingSet>();
+        assert_send_sync::<CostProfile>();
         assert_send_sync::<Arc<dyn FftBackend>>();
+    }
+
+    #[test]
+    fn cost_profile_is_memoized_per_plan() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let node = NodeModel::default();
+        let a = cache.cost_profile(&plan, &node);
+        let b = cache.cost_profile(&plan, &node);
+        assert!(Arc::ptr_eq(&a.data, &b.data), "probe computed once");
+        // A different estimator configuration gets its own probe.
+        let other = SpectralPlan::new(PsaConfig {
+            window_duration: 100.0,
+            ..PsaConfig::conventional()
+        })
+        .expect("valid");
+        let c = cache.cost_profile(&other, &node);
+        assert!(!Arc::ptr_eq(&a.data, &c.data));
+        assert!((a.hop_s() - 60.0).abs() < 1e-12);
+        assert!((c.hop_s() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resampled_exact_fast_path_undercuts_pruned_kernels() {
+        // The honest cost landscape of the paper configuration: the
+        // streaming engine's half-length exact fast path does fewer ops
+        // per window than any full-pair pruned wavelet kernel — quality
+        // scaling buys no operations there, which is exactly why budget
+        // candidates ladder over DVFS points first (see `ladder`).
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let profile = cache.cost_profile(&plan, &NodeModel::default());
+        let exact = cache.backend(&plan).expect("exact");
+        let exact_spec = plan.base_spec();
+        let exact_ops = profile.predict(exact_spec, exact.as_ref());
+
+        let pruned_choice = choice(ApproximationMode::BandDropSet3, PruningPolicy::Static);
+        let pruned_spec = plan.spec_for_choice(&pruned_choice);
+        let pruned = cache
+            .backend_for_choice(&plan, &pruned_choice)
+            .expect("pruned");
+        let pruned_ops = profile.predict(pruned_spec, pruned.as_ref());
+        assert!(
+            exact_ops.arithmetic() < pruned_ops.arithmetic(),
+            "resampled fast path: exact {} must undercut pruned {}",
+            exact_ops.arithmetic(),
+            pruned_ops.arithmetic()
+        );
+        // Second prediction is a memo hit returning the same tally.
+        assert_eq!(pruned_ops, profile.predict(pruned_spec, pruned.as_ref()));
+        let (samples, var) = profile.probe_stats();
+        assert!(samples > 100, "2-minute probe at ~70 bpm");
+        assert!(var > 0.0);
+        assert!((profile.window_duration_s() - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extirpolated_pruning_genuinely_undercuts_exact() {
+        // Without the resampled fast path both exact and pruned kernels
+        // run the full packed pair, and pruning wins — the operating
+        // *choice* becomes a real budget lever on this configuration.
+        let plan = SpectralPlan::new(PsaConfig {
+            mesh: MeshStrategy::Extirpolate { order: 4 },
+            window: Window::Hann,
+            ..PsaConfig::conventional()
+        })
+        .expect("valid");
+        let cache = KernelCache::new();
+        let profile = cache.cost_profile(&plan, &NodeModel::default());
+        let exact = cache.backend(&plan).expect("exact");
+        let exact_spec = plan.base_spec();
+        let exact_ops = profile.predict(exact_spec, exact.as_ref());
+
+        let pruned_choice = choice(ApproximationMode::BandDropSet3, PruningPolicy::Static);
+        let pruned_spec = plan.spec_for_choice(&pruned_choice);
+        let pruned = cache
+            .backend_for_choice(&plan, &pruned_choice)
+            .expect("pruned");
+        let pruned_ops = profile.predict(pruned_spec, pruned.as_ref());
+        assert!(
+            pruned_ops.arithmetic() < exact_ops.arithmetic(),
+            "full-pair regime: pruned {} must undercut exact {}",
+            pruned_ops.arithmetic(),
+            exact_ops.arithmetic()
+        );
+        // ...which earns the VFS choice a scaled operating point.
+        let candidate = profile.candidate(
+            Some(pruned_choice),
+            pruned_spec,
+            pruned.as_ref(),
+            exact_spec,
+            exact.as_ref(),
+        );
+        assert!(candidate.opp.voltage < 1.0, "earned slack scales the rail");
+    }
+
+    #[test]
+    fn ladder_spans_descending_energies_at_equal_quality() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let profile = cache.cost_profile(&plan, &NodeModel::default());
+        let exact = cache.backend(&plan).expect("exact");
+        let rungs = profile.ladder(None, plan.base_spec(), exact.as_ref());
+        assert!(rungs.len() >= 5, "ladder has real dynamic range");
+        assert!(rungs
+            .windows(2)
+            .all(|w| w[0].predicted_energy_j > w[1].predicted_energy_j));
+        assert!(rungs
+            .windows(2)
+            .all(|w| w[0].opp.voltage > w[1].opp.voltage));
+        assert!(rungs.iter().all(|c| c.expected_error_pct == 0.0));
+        // Leakage dominates per-window energy, so the rail swing is the
+        // real lever: ≥ 4× between nominal and the floor.
+        let first = rungs.first().expect("rungs").predicted_energy_j;
+        let last = rungs.last().expect("rungs").predicted_energy_j;
+        assert!(first / last > 4.0, "{first} vs {last}");
+        // Every rung still meets the real-time deadline.
+        let ops = profile.predict(plan.base_spec(), exact.as_ref());
+        for rung in &rungs {
+            let busy = profile.cycles(&ops) as f64 / rung.opp.frequency;
+            assert!(busy <= profile.hop_s());
+        }
+    }
+
+    #[test]
+    fn aggregate_energy_matches_the_node_model() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
+        let cache = KernelCache::new();
+        let node = NodeModel::default();
+        let profile = cache.cost_profile(&plan, &node);
+        let ops = OpCount {
+            add: 100_000,
+            mul: 40_000,
+            load: 20_000,
+            store: 10_000,
+            ..OpCount::default()
+        };
+        let windows = 7u64;
+        let hop = 120.0 * 0.5;
+        let expect = node
+            .energy
+            .energy(&ops, &node.cost, &node.dvfs.nominal(), windows as f64 * hop)
+            .total();
+        assert_eq!(profile.energy(&ops, windows).to_bits(), expect.to_bits());
+        assert_eq!(profile.cycles(&ops), node.cost.cycles(&ops));
     }
 }

@@ -17,6 +17,11 @@
 //!   construct through;
 //! * [`QualityController`] — the Q_DES-driven run-time mode selector of
 //!   Fig. 2;
+//! * [`QualityGovernor`] / [`DistortionGovernor`] /
+//!   [`EnergyBudgetGovernor`] — the pluggable run-time governance layer:
+//!   the distortion-chasing policy of Fig. 2 and a budget policy that
+//!   spends per-stream joules against [`CostProfile`] predictions (the
+//!   `govern` module docs carry a budget-mode quickstart);
 //! * [`Telemetry`] — the shared counter/gauge registry (Prometheus-style
 //!   text exposition) the server, benches and examples all report
 //!   through.
@@ -55,6 +60,7 @@ mod config;
 mod energy;
 mod error;
 mod exec;
+mod govern;
 mod quality;
 mod sweep;
 mod system;
@@ -64,7 +70,11 @@ pub use calibrate::{training_meshes, BandSignificance};
 pub use config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
 pub use energy::{EnergyAssessment, NodeModel};
 pub use error::PsaError;
-pub use exec::{KernelCache, KernelSpec, PlanKey, SpectralPlan, TrainingSet};
+pub use exec::{CostProfile, KernelCache, KernelSpec, PlanKey, SpectralPlan, TrainingSet};
+pub use govern::{
+    BudgetState, CandidatePoint, Directive, DistortionGovernor, EnergyBudgetGovernor,
+    QualityGovernor, WindowObservation,
+};
 pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
 pub use system::{HrvAnalysis, PsaSystem};

@@ -94,6 +94,29 @@ impl DvfsModel {
         }
     }
 
+    /// The discrete supported voltages, descending from nominal. Budget
+    /// policies walk this ladder to build their candidate operating
+    /// points; entries below the scaling floor are excluded.
+    pub fn ladder(&self) -> impl Iterator<Item = f64> + '_ {
+        self.ladder
+            .iter()
+            .copied()
+            .filter(move |&v| v >= self.min_voltage)
+    }
+
+    /// The operating point at ladder voltage `v`, running at the maximum
+    /// frequency the voltage sustains (race-to-idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at or below the threshold voltage.
+    pub fn opp_at(&self, v: f64) -> OperatingPoint {
+        OperatingPoint {
+            voltage: v,
+            frequency: self.max_frequency(v).min(self.nominal.frequency),
+        }
+    }
+
     /// Like [`DvfsModel::opp_for_slack`] but quantised to the discrete
     /// voltage ladder (realistic regulators): picks the lowest ladder
     /// voltage whose maximum frequency still meets `f0·cycle_ratio`.
@@ -202,6 +225,22 @@ mod tests {
         assert!(disc.voltage >= cont.voltage - 1e-9);
         assert!(m.max_frequency(disc.voltage) >= disc.frequency);
         assert!((disc.voltage * 20.0).round() / 20.0 - disc.voltage < 1e-9);
+    }
+
+    #[test]
+    fn ladder_is_descending_and_floored() {
+        let m = DvfsModel::ninety_nm();
+        let steps: Vec<f64> = m.ladder().collect();
+        assert!(steps.len() >= 5, "{steps:?}");
+        assert!((steps[0] - 1.0).abs() < 1e-12);
+        assert!(steps.windows(2).all(|w| w[0] > w[1]));
+        assert!(steps.iter().all(|&v| v >= 0.55));
+        for v in steps {
+            let opp = m.opp_at(v);
+            assert_eq!(opp.voltage, v);
+            assert!(opp.frequency <= 100e6 + 1.0);
+            assert!(opp.frequency > 0.0);
+        }
     }
 
     #[test]

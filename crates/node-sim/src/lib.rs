@@ -14,7 +14,9 @@
 //!   (built with [`ProgramBuilder`]) counting every loop and branch, which
 //!   pins the analytic model's control-overhead factor.
 //!
-//! [`EnergyProfile`] renders the per-block breakdown of paper Fig. 1(b).
+//! [`EnergyProfile`] renders the per-block breakdown of paper Fig. 1(b),
+//! and [`Battery`] models the node's finite (optionally harvesting)
+//! energy store that run-time budget policies draw down.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+mod battery;
 mod cost;
 mod dvfs;
 mod energy;
@@ -43,6 +46,7 @@ mod profile;
 mod program;
 mod vm;
 
+pub use battery::Battery;
 pub use cost::CostModel;
 pub use dvfs::DvfsModel;
 pub use energy::{EnergyBreakdown, EnergyModel, OperatingPoint};

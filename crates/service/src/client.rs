@@ -11,7 +11,7 @@ use crate::error::ServiceError;
 use crate::frame::{write_frame, FramePoll, FrameReader};
 use crate::proto::{Pushed, Reply, Request, PROTOCOL_VERSION};
 use hrv_core::ApproximationMode;
-use hrv_stream::StreamReport;
+use hrv_stream::{StreamBudget, StreamBudgetStatus, StreamReport};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -201,6 +201,38 @@ impl ServiceClient {
         match self.call(&Request::SetQuality { stream, mode })? {
             Reply::QualitySet { backend, .. } => Ok(backend),
             other => Err(fail("QualitySet", other)),
+        }
+    }
+
+    /// Attaches (or replaces) an energy-budget governor on the stream;
+    /// returns the name of the kernel the governor selected to start
+    /// with. Non-finite or out-of-range budgets draw
+    /// [`ServiceError::InvalidTarget`].
+    ///
+    /// # Errors
+    ///
+    /// Typed gateway errors come back as `Err`.
+    pub fn set_budget(
+        &mut self,
+        stream: u64,
+        budget: StreamBudget,
+    ) -> Result<String, ServiceError> {
+        match self.call(&Request::SetBudget { stream, budget })? {
+            Reply::BudgetSet { backend, .. } => Ok(backend),
+            other => Err(fail("BudgetSet", other)),
+        }
+    }
+
+    /// Reads the stream's live budget accounting (queued samples are
+    /// analysed first, like [`ServiceClient::read_report`]).
+    ///
+    /// # Errors
+    ///
+    /// Typed gateway errors come back as `Err`.
+    pub fn read_budget(&mut self, stream: u64) -> Result<StreamBudgetStatus, ServiceError> {
+        match self.call(&Request::ReadBudget { stream })? {
+            Reply::Budget(status) => Ok(status),
+            other => Err(fail("Budget", other)),
         }
     }
 

@@ -49,6 +49,11 @@ pub enum ServiceError {
         /// Its queue capacity in samples.
         capacity: u32,
     },
+    /// A control target (quality / budget payload) was rejected at the
+    /// gateway before reaching any controller: non-finite floats or
+    /// out-of-range values (a NaN budget would otherwise poison every
+    /// later comparison inside the governor).
+    InvalidTarget(String),
     /// The gateway is draining for shutdown; no new work is accepted.
     ShuttingDown,
     /// An analysis-layer error, carried by message (the typed original is
@@ -78,6 +83,9 @@ impl fmt::Display for ServiceError {
                     f,
                     "stream {stream} queue is full ({capacity} samples); retry later"
                 )
+            }
+            ServiceError::InvalidTarget(reason) => {
+                write!(f, "invalid control target: {reason}")
             }
             ServiceError::ShuttingDown => f.write_str("gateway is shutting down"),
             ServiceError::Psa(reason) => write!(f, "analysis error: {reason}"),
@@ -125,6 +133,7 @@ mod tests {
                 stream: 2,
                 capacity: 64,
             },
+            ServiceError::InvalidTarget("budget joules must be finite".into()),
             ServiceError::ShuttingDown,
             ServiceError::Psa("constant RR series".into()),
             ServiceError::Io("broken pipe".into()),

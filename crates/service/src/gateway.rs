@@ -451,6 +451,31 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
                 Err(err) => Reply::Error(err.into()),
             }
         }
+        Request::SetBudget { stream, budget } => {
+            // Validate at the gateway, before anything reaches the fleet
+            // or a governor: the wire codec decodes arbitrary f64 bit
+            // patterns, and a NaN budget would poison every later
+            // comparison. The refusal is a typed wire error.
+            if let Err(err) = budget.validate() {
+                return Reply::Error(ServiceError::InvalidTarget(err.to_string()));
+            }
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            // Drain first so the governor takes over after the samples
+            // the client already pushed, not in the middle of them.
+            drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
+            match fleet.set_stream_budget(stream as usize, budget) {
+                Ok(backend) => Reply::BudgetSet { stream, backend },
+                Err(err) => Reply::Error(err.into()),
+            }
+        }
+        Request::ReadBudget { stream } => {
+            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
+            match fleet.stream_budget(stream as usize) {
+                Ok(status) => Reply::Budget(status),
+                Err(err) => Reply::Error(err.into()),
+            }
+        }
         Request::ReadMetrics => {
             {
                 let fleet = shared.fleet.lock().expect("fleet poisoned");

@@ -14,6 +14,8 @@
 //! | [`Request::PushRr`] / [`Request::PushBeats`] | [`Reply::Pushed`] |
 //! | [`Request::ReadReport`] | [`Reply::Report`] |
 //! | [`Request::SetQuality`] | [`Reply::QualitySet`] |
+//! | [`Request::SetBudget`] | [`Reply::BudgetSet`] |
+//! | [`Request::ReadBudget`] | [`Reply::Budget`] |
 //! | [`Request::ReadMetrics`] | [`Reply::Metrics`] |
 //! | [`Request::CloseStream`] | [`Reply::Closed`] |
 //! | [`Request::Shutdown`] | [`Reply::ShutdownAck`] |
@@ -24,10 +26,16 @@
 use crate::error::ServiceError;
 use hrv_core::ApproximationMode;
 use hrv_dsp::OpCount;
-use hrv_stream::{IngestStats, StreamReport};
+use hrv_stream::{BatteryStatus, IngestStats, StreamBudget, StreamBudgetStatus, StreamReport};
 
 /// Version negotiated by `Hello`; the gateway rejects any other.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 (governor layer): `Report`/`Closed`/`ShutdownAck` report bodies
+/// carry `energy_j` and a battery block, `SetBudget`/`ReadBudget`
+/// requests and `BudgetSet`/`Budget` replies exist, and error code 11
+/// (`InvalidTarget`) was added — a v1 peer would misdecode report
+/// frames, so the handshake refuses it.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // ---- request/reply types --------------------------------------------------
 
@@ -72,6 +80,22 @@ pub enum Request {
         /// kernel).
         mode: ApproximationMode,
     },
+    /// Attaches (or replaces) an energy-budget governor on the stream.
+    /// The gateway validates every field before it reaches the fleet:
+    /// non-finite or out-of-range values draw
+    /// [`ServiceError::InvalidTarget`].
+    SetBudget {
+        /// Target stream.
+        stream: u64,
+        /// The per-stream budget (joules per interval, interval length,
+        /// optional battery).
+        budget: StreamBudget,
+    },
+    /// Reads the stream's live budget accounting.
+    ReadBudget {
+        /// Target stream.
+        stream: u64,
+    },
     /// Reads the gateway's telemetry registry (Prometheus text format).
     ReadMetrics,
     /// Flushes a stream's trailing windows and removes it.
@@ -111,6 +135,15 @@ pub enum Reply {
         /// Name of the now-active kernel.
         backend: String,
     },
+    /// The budget governor was attached.
+    BudgetSet {
+        /// The governed stream.
+        stream: u64,
+        /// Name of the kernel the governor selected to start with.
+        backend: String,
+    },
+    /// The stream's live budget accounting.
+    Budget(StreamBudgetStatus),
     /// The telemetry exposition.
     Metrics(String),
     /// The stream's final report after its trailing windows flushed.
@@ -254,6 +287,32 @@ fn mode_from_wire(v: u8) -> Result<ApproximationMode, ServiceError> {
     })
 }
 
+fn put_battery(buf: &mut Vec<u8>, battery: &Option<BatteryStatus>) {
+    match battery {
+        Some(status) => {
+            put_u8(buf, 1);
+            put_f64(buf, status.charge_j);
+            put_f64(buf, status.capacity_j);
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+fn take_battery(cursor: &mut Cursor<'_>) -> Result<Option<BatteryStatus>, ServiceError> {
+    Ok(match cursor.take_u8()? {
+        0 => None,
+        1 => Some(BatteryStatus {
+            charge_j: cursor.take_f64()?,
+            capacity_j: cursor.take_f64()?,
+        }),
+        other => {
+            return Err(ServiceError::Protocol(format!(
+                "unknown battery flag {other}"
+            )))
+        }
+    })
+}
+
 fn put_report(buf: &mut Vec<u8>, report: &StreamReport) {
     put_u64(buf, report.id as u64);
     put_u64(buf, report.windows);
@@ -270,6 +329,8 @@ fn put_report(buf: &mut Vec<u8>, report: &StreamReport) {
     ] {
         put_u64(buf, v);
     }
+    put_f64(buf, report.energy_j);
+    put_battery(buf, &report.battery);
     for v in [
         report.ingest.accepted,
         report.ingest.rejected_short,
@@ -296,6 +357,8 @@ fn take_report(cursor: &mut Cursor<'_>) -> Result<StreamReport, ServiceError> {
         load: cursor.take_u64()?,
         store: cursor.take_u64()?,
     };
+    let energy_j = cursor.take_f64()?;
+    let battery = take_battery(cursor)?;
     let ingest = IngestStats {
         accepted: cursor.take_u64()?,
         rejected_short: cursor.take_u64()?,
@@ -309,6 +372,8 @@ fn take_report(cursor: &mut Cursor<'_>) -> Result<StreamReport, ServiceError> {
         windows,
         arrhythmia_windows,
         ops,
+        energy_j,
+        battery,
         ingest,
         backend,
     })
@@ -356,6 +421,10 @@ fn put_error(buf: &mut Vec<u8>, err: &ServiceError) {
             put_u8(buf, 10);
             put_str(buf, reason);
         }
+        ServiceError::InvalidTarget(reason) => {
+            put_u8(buf, 11);
+            put_str(buf, reason);
+        }
     }
 }
 
@@ -382,6 +451,7 @@ fn take_error(cursor: &mut Cursor<'_>) -> Result<ServiceError, ServiceError> {
         8 => ServiceError::ShuttingDown,
         9 => ServiceError::Psa(cursor.take_str()?),
         10 => ServiceError::Io(cursor.take_str()?),
+        11 => ServiceError::InvalidTarget(cursor.take_str()?),
         other => {
             return Err(ServiceError::Protocol(format!(
                 "unknown error code {other}"
@@ -401,6 +471,8 @@ const REQ_SET_QUALITY: u8 = 0x06;
 const REQ_READ_METRICS: u8 = 0x07;
 const REQ_CLOSE_STREAM: u8 = 0x08;
 const REQ_SHUTDOWN: u8 = 0x09;
+const REQ_SET_BUDGET: u8 = 0x0a;
+const REQ_READ_BUDGET: u8 = 0x0b;
 
 const REP_HELLO_ACK: u8 = 0x81;
 const REP_STREAM_OPENED: u8 = 0x82;
@@ -411,6 +483,8 @@ const REP_METRICS: u8 = 0x86;
 const REP_CLOSED: u8 = 0x87;
 const REP_SHUTDOWN_ACK: u8 = 0x88;
 const REP_ERROR: u8 = 0x89;
+const REP_BUDGET_SET: u8 = 0x8a;
+const REP_BUDGET: u8 = 0x8b;
 
 /// Encodes a `PushRr` frame body straight from a borrowed slice —
 /// byte-identical to `Request::PushRr { .. }.encode()` (which delegates
@@ -464,6 +538,18 @@ impl Request {
                 put_u8(&mut buf, REQ_SET_QUALITY);
                 put_u64(&mut buf, *stream);
                 put_u8(&mut buf, mode_to_wire(*mode));
+            }
+            Request::SetBudget { stream, budget } => {
+                put_u8(&mut buf, REQ_SET_BUDGET);
+                put_u64(&mut buf, *stream);
+                put_f64(&mut buf, budget.joules_per_interval);
+                put_u64(&mut buf, budget.interval_windows);
+                put_f64(&mut buf, budget.battery_capacity_j);
+                put_f64(&mut buf, budget.battery_harvest_w);
+            }
+            Request::ReadBudget { stream } => {
+                put_u8(&mut buf, REQ_READ_BUDGET);
+                put_u64(&mut buf, *stream);
             }
             Request::ReadMetrics => put_u8(&mut buf, REQ_READ_METRICS),
             Request::CloseStream { stream } => {
@@ -531,6 +617,18 @@ impl Request {
                 stream: cursor.take_u64()?,
                 mode: mode_from_wire(cursor.take_u8()?)?,
             },
+            REQ_SET_BUDGET => Request::SetBudget {
+                stream: cursor.take_u64()?,
+                budget: StreamBudget {
+                    joules_per_interval: cursor.take_f64()?,
+                    interval_windows: cursor.take_u64()?,
+                    battery_capacity_j: cursor.take_f64()?,
+                    battery_harvest_w: cursor.take_f64()?,
+                },
+            },
+            REQ_READ_BUDGET => Request::ReadBudget {
+                stream: cursor.take_u64()?,
+            },
             REQ_READ_METRICS => Request::ReadMetrics,
             REQ_CLOSE_STREAM => Request::CloseStream {
                 stream: cursor.take_u64()?,
@@ -581,6 +679,20 @@ impl Reply {
                 put_u8(&mut buf, REP_QUALITY_SET);
                 put_u64(&mut buf, *stream);
                 put_str(&mut buf, backend);
+            }
+            Reply::BudgetSet { stream, backend } => {
+                put_u8(&mut buf, REP_BUDGET_SET);
+                put_u64(&mut buf, *stream);
+                put_str(&mut buf, backend);
+            }
+            Reply::Budget(status) => {
+                put_u8(&mut buf, REP_BUDGET);
+                put_u64(&mut buf, status.id as u64);
+                put_f64(&mut buf, status.joules_per_interval);
+                put_u64(&mut buf, status.interval_windows);
+                put_f64(&mut buf, status.spent_j);
+                put_battery(&mut buf, &status.battery);
+                put_str(&mut buf, &status.backend);
             }
             Reply::Metrics(text) => {
                 put_u8(&mut buf, REP_METRICS);
@@ -633,6 +745,18 @@ impl Reply {
                 stream: cursor.take_u64()?,
                 backend: cursor.take_str()?,
             },
+            REP_BUDGET_SET => Reply::BudgetSet {
+                stream: cursor.take_u64()?,
+                backend: cursor.take_str()?,
+            },
+            REP_BUDGET => Reply::Budget(StreamBudgetStatus {
+                id: cursor.take_u64()? as usize,
+                joules_per_interval: cursor.take_f64()?,
+                interval_windows: cursor.take_u64()?,
+                spent_j: cursor.take_f64()?,
+                battery: take_battery(&mut cursor)?,
+                backend: cursor.take_str()?,
+            }),
             REP_METRICS => Reply::Metrics(cursor.take_str()?),
             REP_CLOSED => Reply::Closed(take_report(&mut cursor)?),
             REP_SHUTDOWN_ACK => {
@@ -683,6 +807,11 @@ mod tests {
                 load: 7,
                 store: 8,
             },
+            energy_j: 0.125,
+            battery: id.is_multiple_of(2).then_some(BatteryStatus {
+                charge_j: 4.5,
+                capacity_j: 10.0,
+            }),
             ingest: IngestStats {
                 accepted: 100,
                 rejected_short: 1,
@@ -697,7 +826,9 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let requests = [
-            Request::Hello { version: 1 },
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
             Request::OpenStream { stream: 9 },
             Request::PushRr {
                 stream: 3,
@@ -712,6 +843,16 @@ mod tests {
                 stream: 3,
                 mode: ApproximationMode::BandDropSet3,
             },
+            Request::SetBudget {
+                stream: 3,
+                budget: StreamBudget {
+                    joules_per_interval: 2.5e-3,
+                    interval_windows: 16,
+                    battery_capacity_j: 12.0,
+                    battery_harvest_w: 1e-4,
+                },
+            },
+            Request::ReadBudget { stream: 3 },
             Request::ReadMetrics,
             Request::CloseStream { stream: 3 },
             Request::Shutdown,
@@ -726,7 +867,7 @@ mod tests {
     fn replies_round_trip() {
         let replies = [
             Reply::HelloAck {
-                version: 1,
+                version: PROTOCOL_VERSION,
                 max_frame: crate::MAX_FRAME as u32,
                 max_sessions: 64,
             },
@@ -742,6 +883,29 @@ mod tests {
                 stream: 4,
                 backend: "wfft-haar+banddrop+prune60%".into(),
             },
+            Reply::BudgetSet {
+                stream: 4,
+                backend: "split-radix".into(),
+            },
+            Reply::Budget(StreamBudgetStatus {
+                id: 4,
+                joules_per_interval: 2.5e-3,
+                interval_windows: 16,
+                spent_j: 1.25e-3,
+                battery: Some(BatteryStatus {
+                    charge_j: 9.5,
+                    capacity_j: 12.0,
+                }),
+                backend: "split-radix".into(),
+            }),
+            Reply::Budget(StreamBudgetStatus {
+                id: 5,
+                joules_per_interval: 1.0,
+                interval_windows: 1,
+                spent_j: 0.0,
+                battery: None,
+                backend: "split-radix".into(),
+            }),
             Reply::Metrics("# TYPE x counter\nx 1\n".into()),
             Reply::Closed(sample_report(4)),
             Reply::ShutdownAck {
@@ -801,6 +965,7 @@ mod tests {
             ServiceError::ShuttingDown,
             ServiceError::Psa("too few samples".into()),
             ServiceError::Io("reset".into()),
+            ServiceError::InvalidTarget("budget joules must be finite".into()),
         ];
         for err in errors {
             let reply = Reply::Error(err);

@@ -1,26 +1,19 @@
-//! The run-time quality controller, made *online*.
+//! The run-time quality controller, made *online* — now a thin adapter
+//! over the governance layer.
 //!
-//! The batch [`hrv_core::QualityController`] picks one configuration from
-//! design-time sweep expectations. On a live stream the signal drifts, so
-//! [`OnlineQualityController`] re-evaluates the pick per emitted window
-//! against a **rolling distortion estimate** fed by periodic audit windows
-//! (the engine computes the exact reference spectrum every few hops and
-//! reports the observed LF/HF error). Two mechanisms keep the
-//! configuration from thrashing:
-//!
-//! * a **dwell** requirement — a new target must win for several
-//!   consecutive windows before the switch happens;
-//! * a **hysteresis band** around the exact-fallback decision — once the
-//!   estimate exceeds `Q_DES` the controller drops to the exact kernel and
-//!   only re-enters approximation after the estimate decays below
-//!   `reentry · Q_DES`.
-//!
-//! Observed distortion also *tightens* the budget: the controller tracks
-//! the ratio of observed to expected error for the running configuration
-//! and deflates `Q_DES` by that inflation factor (clamped ≥ 1, so the
-//! design-time expectation is never trusted less than the evidence).
+//! The dwell/hysteresis/inflation decision logic that used to live here
+//! was extracted verbatim into [`hrv_core::DistortionGovernor`] so it can
+//! be swapped against other policies (the energy-budget governor) behind
+//! one [`hrv_core::QualityGovernor`] trait. `OnlineQualityController`
+//! remains the streaming-facing API: the same constructor, builders and
+//! per-window `observe_window(lf_hf, exact)` call as before, delegating
+//! every decision to the governor — `tests/governor.rs` locks the switch
+//! sequences to recorded pre-refactor traces, so the extraction is
+//! decision-identical by assertion, not by intention.
 
-use hrv_core::{OperatingChoice, QualityController};
+use hrv_core::{
+    DistortionGovernor, OperatingChoice, QualityController, QualityGovernor, WindowObservation,
+};
 
 /// Online wrapper around [`QualityController`]; see the module docs.
 ///
@@ -38,22 +31,7 @@ use hrv_core::{OperatingChoice, QualityController};
 /// ```
 #[derive(Clone, Debug)]
 pub struct OnlineQualityController {
-    inner: QualityController,
-    qdes_pct: f64,
-    audit_period: u64,
-    dwell: usize,
-    alpha: f64,
-    reentry: f64,
-    current: Option<OperatingChoice>,
-    pending: Option<Option<OperatingChoice>>,
-    pending_streak: usize,
-    err_ewma_pct: f64,
-    inflation: f64,
-    seeded: bool,
-    forced_exact: bool,
-    windows: u64,
-    audits: u64,
-    switches: u64,
+    governor: DistortionGovernor,
 }
 
 impl OnlineQualityController {
@@ -62,27 +40,10 @@ impl OnlineQualityController {
     ///
     /// # Panics
     ///
-    /// Panics if `qdes_pct` is not positive.
+    /// Panics unless `qdes_pct` is finite and positive.
     pub fn new(inner: QualityController, qdes_pct: f64) -> Self {
-        assert!(qdes_pct > 0.0, "Q_DES must be positive");
-        let current = inner.select(qdes_pct);
         OnlineQualityController {
-            inner,
-            qdes_pct,
-            audit_period: 8,
-            dwell: 3,
-            alpha: 0.25,
-            reentry: 0.6,
-            current,
-            pending: None,
-            pending_streak: 0,
-            err_ewma_pct: 0.0,
-            inflation: 1.0,
-            seeded: false,
-            forced_exact: false,
-            windows: 0,
-            audits: 0,
-            switches: 0,
+            governor: DistortionGovernor::new(inner, qdes_pct),
         }
     }
 
@@ -92,8 +53,7 @@ impl OnlineQualityController {
     ///
     /// Panics if `period` is zero.
     pub fn with_audit_period(mut self, period: u64) -> Self {
-        assert!(period > 0, "audit period must be positive");
-        self.audit_period = period;
+        self.governor = self.governor.with_audit_period(period);
         self
     }
 
@@ -103,8 +63,7 @@ impl OnlineQualityController {
     ///
     /// Panics if `dwell` is zero.
     pub fn with_dwell(mut self, dwell: usize) -> Self {
-        assert!(dwell > 0, "dwell must be positive");
-        self.dwell = dwell;
+        self.governor = self.governor.with_dwell(dwell);
         self
     }
 
@@ -114,8 +73,7 @@ impl OnlineQualityController {
     ///
     /// Panics unless `0 < alpha ≤ 1`.
     pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        self.alpha = alpha;
+        self.governor = self.governor.with_ewma_alpha(alpha);
         self
     }
 
@@ -126,45 +84,44 @@ impl OnlineQualityController {
     ///
     /// Panics unless `0 < reentry < 1`.
     pub fn with_reentry_fraction(mut self, reentry: f64) -> Self {
-        assert!(reentry > 0.0 && reentry < 1.0, "reentry must be in (0, 1)");
-        self.reentry = reentry;
+        self.governor = self.governor.with_reentry_fraction(reentry);
         self
     }
 
     /// The distortion budget in percent.
     pub fn qdes_pct(&self) -> f64 {
-        self.qdes_pct
+        self.governor.qdes_pct()
     }
 
     /// The configuration in force (`None` = exact fallback).
     pub fn current(&self) -> Option<OperatingChoice> {
-        self.current
+        self.governor.current()
     }
 
     /// Rolling distortion estimate in percent.
     pub fn distortion_estimate_pct(&self) -> f64 {
-        self.err_ewma_pct
+        self.governor.distortion_estimate_pct()
     }
 
     /// Number of configuration switches so far.
     pub fn switches(&self) -> u64 {
-        self.switches
+        self.governor.switches()
     }
 
     /// Number of audited windows so far.
     pub fn audits(&self) -> u64 {
-        self.audits
+        self.governor.audits()
     }
 
     /// Windows observed so far.
     pub fn windows(&self) -> u64 {
-        self.windows
+        self.governor.windows()
     }
 
     /// `true` when the *next* window should carry an exact reference
     /// (drive [`crate::SlidingLomb::request_audit`] with this).
     pub fn should_audit(&self) -> bool {
-        self.windows.is_multiple_of(self.audit_period)
+        self.governor.should_audit()
     }
 
     /// Feeds one emitted window's LF/HF ratio (plus the exact-kernel ratio
@@ -175,81 +132,16 @@ impl OnlineQualityController {
         lf_hf: f64,
         exact_lf_hf: Option<f64>,
     ) -> Option<OperatingChoice> {
-        self.windows += 1;
-        if let Some(exact) = exact_lf_hf {
-            self.audits += 1;
-            let err_pct = 100.0 * (lf_hf - exact).abs() / exact.abs().max(1e-9);
-            if self.seeded {
-                self.err_ewma_pct = self.alpha * err_pct + (1.0 - self.alpha) * self.err_ewma_pct;
-            } else {
-                self.err_ewma_pct = err_pct;
-                self.seeded = true;
-            }
-            // How far reality deviates from the design-time expectation of
-            // the configuration that produced this window. While the exact
-            // fallback runs, audits carry no information about the
-            // approximate kernels, so model mistrust ages out slowly
-            // (slower than the distortion EWMA: re-entry lands on a safer
-            // configuration than the one that overran the budget).
-            match self.current {
-                Some(current) if current.expected_error_pct > 0.0 => {
-                    let observed = (err_pct / current.expected_error_pct).clamp(1.0, 10.0);
-                    self.inflation =
-                        (self.alpha * observed + (1.0 - self.alpha) * self.inflation).max(1.0);
-                }
-                _ => {
-                    const INFLATION_DECAY: f64 = 0.95;
-                    self.inflation = 1.0 + (self.inflation - 1.0) * INFLATION_DECAY;
-                }
-            }
-        }
-
-        let target = self.target();
-        self.apply_hysteresis(target);
-        self.current
+        self.governor
+            .observe_window(&WindowObservation::quality_only(lf_hf, exact_lf_hf))
+            .choice
     }
 
-    /// The configuration the evidence currently argues for, before
-    /// dwell-based smoothing.
-    fn target(&mut self) -> Option<OperatingChoice> {
-        if self.err_ewma_pct > self.qdes_pct {
-            self.forced_exact = true;
-        } else if self.forced_exact && self.err_ewma_pct <= self.reentry * self.qdes_pct {
-            self.forced_exact = false;
-        }
-        if self.forced_exact {
-            return None;
-        }
-        self.inner.select(self.qdes_pct / self.inflation)
-    }
-
-    fn apply_hysteresis(&mut self, target: Option<OperatingChoice>) {
-        if target == self.current {
-            self.pending = None;
-            self.pending_streak = 0;
-            return;
-        }
-        if self.pending == Some(target) {
-            self.pending_streak += 1;
-        } else {
-            self.pending = Some(target);
-            self.pending_streak = 1;
-        }
-        // A safety *downgrade* to exact takes effect immediately; upgrades
-        // and lateral moves wait out the dwell.
-        if target.is_none() && self.forced_exact {
-            self.current = None;
-            self.pending = None;
-            self.pending_streak = 0;
-            self.switches += 1;
-            return;
-        }
-        if self.pending_streak >= self.dwell {
-            self.current = target;
-            self.pending = None;
-            self.pending_streak = 0;
-            self.switches += 1;
-        }
+    /// Unwraps the adapter into the governor it drives — how the fleet
+    /// attaches a distortion policy behind the shared
+    /// [`QualityGovernor`] trait.
+    pub fn into_governor(self) -> DistortionGovernor {
+        self.governor
     }
 }
 
@@ -394,8 +286,41 @@ mod tests {
     }
 
     #[test]
+    fn adapter_delegates_to_the_governor_bit_identically() {
+        // The adapter and a directly-driven governor must agree on every
+        // decision and counter — there is only one implementation.
+        use hrv_core::WindowObservation;
+        let mut ctrl = controller(5.0).with_audit_period(1).with_dwell(2);
+        let mut gov = controller(5.0)
+            .with_audit_period(1)
+            .with_dwell(2)
+            .into_governor();
+        for i in 0..120u64 {
+            let lf_hf = 0.45 * (1.0 + 0.04 * ((i % 7) as f64 - 3.0) / 3.0);
+            let exact = (i % 2 == 0).then_some(0.45);
+            let a = ctrl.observe_window(lf_hf, exact);
+            let b = gov
+                .observe_window(&WindowObservation::quality_only(lf_hf, exact))
+                .choice;
+            assert_eq!(a, b, "window {i}");
+        }
+        assert_eq!(ctrl.switches(), gov.switches());
+        assert_eq!(ctrl.audits(), gov.audits());
+        assert_eq!(
+            ctrl.distortion_estimate_pct().to_bits(),
+            gov.distortion_estimate_pct().to_bits()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "Q_DES must be positive")]
     fn zero_budget_rejected() {
         let _ = controller(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q_DES must be positive")]
+    fn nan_budget_rejected() {
+        let _ = controller(f64::NAN);
     }
 }

@@ -13,17 +13,19 @@
 //! bit-identical to the serial one, and the aggregate cost is reported
 //! through `hrv-node-sim`'s cycle/energy model.
 
-use crate::controller::OnlineQualityController;
 use crate::ingest::{IngestStats, RrIngest};
 use crate::scratch::StreamScratch;
 use crate::sliding::{SlidingLomb, WindowView};
 use hrv_core::{
-    ApproximationMode, KernelCache, NodeModel, OperatingChoice, PruningPolicy, PsaConfig, PsaError,
-    QualityController, SpectralPlan, SweepResult, Telemetry, TrainingSet,
+    ApproximationMode, CandidatePoint, CostProfile, Directive, DistortionGovernor,
+    EnergyBudgetGovernor, KernelCache, KernelSpec, NodeModel, OperatingChoice, PruningPolicy,
+    PsaConfig, PsaError, QualityController, QualityGovernor, SpectralPlan, SweepResult, Telemetry,
+    TrainingSet, WindowObservation,
 };
 use hrv_dsp::OpCount;
 use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
 use hrv_lomb::ArrhythmiaDetector;
+use hrv_node_sim::{Battery, OperatingPoint};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -67,10 +69,20 @@ struct PatientStream {
     id: usize,
     ingest: RrIngest,
     engine: SlidingLomb,
-    controller: Option<OnlineQualityController>,
-    /// Engine backend index for each controller choice.
+    /// The quality-governance policy steering this stream, if any
+    /// (distortion-chasing or budget-spending — both behind one trait).
+    governor: Option<Box<dyn QualityGovernor>>,
+    /// Engine backend index for each governor choice.
     choice_backends: Vec<(OperatingChoice, usize)>,
     exact_index: usize,
+    /// The DVFS operating point windows are charged at (nominal until a
+    /// governor directs otherwise).
+    opp: OperatingPoint,
+    /// Energy charged to this stream so far (joules, at the operating
+    /// points actually in force — the runtime input budget policies see).
+    energy_j: f64,
+    /// The stream's finite energy store, when budget-governed with one.
+    battery: Option<Battery>,
     samples: Vec<(f64, f64)>,
     cursor: usize,
     windows: u64,
@@ -116,10 +128,113 @@ pub struct StreamReport {
     pub arrhythmia_windows: u64,
     /// Operations spent across this stream's windows.
     pub ops: OpCount,
+    /// Energy charged to this stream (joules, at the operating points
+    /// actually in force window by window — deterministic, so it survives
+    /// the wire and the shard-parity comparisons bit for bit).
+    pub energy_j: f64,
+    /// The stream's battery state, when a budget policy attached one.
+    pub battery: Option<BatteryStatus>,
     /// Ingest-gate counters (accepted / rejected / overflow) of the
     /// samples that reached the fleet.
     pub ingest: IngestStats,
     /// Name of the kernel active when the report was taken.
+    pub backend: String,
+}
+
+/// A stream battery's point-in-time charge state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatteryStatus {
+    /// Remaining charge (joules).
+    pub charge_j: f64,
+    /// Capacity (joules).
+    pub capacity_j: f64,
+}
+
+/// A per-stream energy-budget assignment (see
+/// [`FleetScheduler::set_stream_budget`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamBudget {
+    /// Joules the stream may spend per reporting interval.
+    pub joules_per_interval: f64,
+    /// Reporting interval in windows.
+    pub interval_windows: u64,
+    /// Battery capacity in joules; 0 runs the policy without a battery.
+    pub battery_capacity_j: f64,
+    /// Battery harvest income in watts (ignored without a battery).
+    pub battery_harvest_w: f64,
+}
+
+impl StreamBudget {
+    /// A battery-less budget of `joules_per_interval` per
+    /// `interval_windows` windows.
+    pub fn per_interval(joules_per_interval: f64, interval_windows: u64) -> Self {
+        StreamBudget {
+            joules_per_interval,
+            interval_windows,
+            battery_capacity_j: 0.0,
+            battery_harvest_w: 0.0,
+        }
+    }
+
+    /// Attaches a battery (full at `capacity_j`, harvesting `harvest_w`).
+    pub fn with_battery(mut self, capacity_j: f64, harvest_w: f64) -> Self {
+        self.battery_capacity_j = capacity_j;
+        self.battery_harvest_w = harvest_w;
+        self
+    }
+
+    /// Validates every field — the same gate the service applies before a
+    /// wire `SetBudget` reaches the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for non-finite or out-of-range
+    /// values.
+    pub fn validate(&self) -> Result<(), PsaError> {
+        if !(self.joules_per_interval.is_finite() && self.joules_per_interval > 0.0) {
+            return Err(PsaError::InvalidConfig(
+                "budget joules per interval must be finite and positive".into(),
+            ));
+        }
+        if self.interval_windows == 0 {
+            return Err(PsaError::InvalidConfig(
+                "budget interval must be at least one window".into(),
+            ));
+        }
+        if !(self.battery_capacity_j.is_finite() && self.battery_capacity_j >= 0.0) {
+            return Err(PsaError::InvalidConfig(
+                "battery capacity must be finite and non-negative".into(),
+            ));
+        }
+        if !(self.battery_harvest_w.is_finite() && self.battery_harvest_w >= 0.0) {
+            return Err(PsaError::InvalidConfig(
+                "battery harvest must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn battery(&self) -> Option<Battery> {
+        (self.battery_capacity_j > 0.0)
+            .then(|| Battery::new(self.battery_capacity_j, self.battery_harvest_w))
+    }
+}
+
+/// A stream's live budget accounting (see
+/// [`FleetScheduler::stream_budget`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamBudgetStatus {
+    /// Stream id.
+    pub id: usize,
+    /// Joules per reporting interval.
+    pub joules_per_interval: f64,
+    /// Reporting interval in windows.
+    pub interval_windows: u64,
+    /// Energy spent in the current interval (joules).
+    pub spent_j: f64,
+    /// Battery state, when one is attached.
+    pub battery: Option<BatteryStatus>,
+    /// Name of the kernel currently active.
     pub backend: String,
 }
 
@@ -153,9 +268,18 @@ pub struct FleetReport {
     /// Node energy for the total workload at the nominal operating point
     /// (joules; leakage window = windows × hop).
     pub energy_j: f64,
+    /// Energy actually charged to the streams, at the operating points
+    /// their governors put in force (joules) — equals `energy_j` up to
+    /// summation order when every stream runs at nominal, and drops below
+    /// it once budget policies scale the rail.
+    pub charged_energy_j: f64,
+    /// Remaining charge summed over every stream battery (joules).
+    pub battery_charge_j: f64,
+    /// Streams with a quality governor attached.
+    pub governed_streams: usize,
     /// Windows whose LF/HF ratio flagged sinus arrhythmia.
     pub arrhythmia_windows: u64,
-    /// Configuration switches performed by the online controllers.
+    /// Configuration switches performed by the online governors.
     pub controller_switches: u64,
     /// Scratch arenas in use (one per worker shard).
     pub scratch_slots: usize,
@@ -170,6 +294,16 @@ impl FleetReport {
     pub fn windows_per_sec(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.windows as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean charged energy per emitted window (joules) — the budget
+    /// smoke's headline column.
+    pub fn charged_energy_per_window(&self) -> f64 {
+        if self.windows > 0 {
+            self.charged_energy_j / self.windows as f64
         } else {
             0.0
         }
@@ -262,6 +396,24 @@ impl FleetReport {
                 "node energy of the workload at the nominal operating point",
             )
             .set(self.energy_j);
+        telemetry
+            .gauge(
+                "hrv_fleet_charged_energy_joules",
+                "energy charged to streams at governor-selected operating points",
+            )
+            .set(self.charged_energy_j);
+        telemetry
+            .gauge(
+                "hrv_fleet_battery_charge_joules",
+                "remaining charge summed over stream batteries",
+            )
+            .set(self.battery_charge_j);
+        telemetry
+            .gauge(
+                "hrv_fleet_governed_streams",
+                "streams with a quality governor attached",
+            )
+            .set(self.governed_streams as f64);
     }
 }
 
@@ -315,6 +467,10 @@ pub struct FleetScheduler {
     cache: KernelCache,
     fleet: FleetConfig,
     node: NodeModel,
+    /// The shared `OpCount`→joules conversion and per-kernel cost
+    /// predictor (memoized in `cache` per plan) — the single place fleet
+    /// energy math lives.
+    profile: CostProfile,
     shards: Vec<Shard>,
     scratches: Vec<StreamScratch>,
     /// Prototype engine cloned into every stream (kernels stay shared
@@ -332,40 +488,78 @@ pub struct FleetScheduler {
 /// What the shared window-accounting sink hands back to the scheduler.
 #[derive(Debug, Default)]
 struct SinkOutcome {
-    /// Last controller decision of this batch of windows.
-    decision: Option<Option<OperatingChoice>>,
+    /// Last governor directive of this batch of windows.
+    directive: Option<Directive>,
     /// Whether *any* emitted window scheduled an audit for the next one —
     /// sticky, so a multi-window push (e.g. after a sensor gap) cannot
     /// drop a scheduled audit.
     audit_next: bool,
 }
 
-/// The one window-accounting sink both `run_until` and `finish` use:
-/// counts windows/ops, applies the batch arrhythmia detector, and feeds
-/// the online controller when one is attached.
-fn account_windows<'a>(
+/// The mutable per-stream accounting slots one sink writes into.
+struct WindowAccounting<'a> {
     windows: &'a mut u64,
     ops: &'a mut OpCount,
     arrhythmia_windows: &'a mut u64,
+    energy_j: &'a mut f64,
+    battery: Option<&'a mut Battery>,
+    governor: Option<&'a mut Box<dyn QualityGovernor>>,
+}
+
+/// The one window-accounting sink both `run_until` and `finish` use:
+/// counts windows/ops, applies the batch arrhythmia detector, charges the
+/// window's energy (at the operating point in force) to the stream — and
+/// its battery, when one is attached — and feeds the governor the full
+/// observation so it can react.
+fn account_windows<'a>(
+    acc: WindowAccounting<'a>,
     detector: ArrhythmiaDetector,
-    mut controller: Option<&'a mut OnlineQualityController>,
+    profile: &'a CostProfile,
+    opp: OperatingPoint,
     outcome: &'a mut SinkOutcome,
 ) -> impl FnMut(&WindowView<'_>) + 'a {
+    let WindowAccounting {
+        windows,
+        ops,
+        arrhythmia_windows,
+        energy_j,
+        mut battery,
+        mut governor,
+    } = acc;
     move |w: &WindowView<'_>| {
         *windows += 1;
         *ops += w.ops;
         if detector.detect(&w.powers) {
             *arrhythmia_windows += 1;
         }
-        if let Some(ctrl) = controller.as_deref_mut() {
-            outcome.decision = Some(ctrl.observe_window(w.lf_hf_ratio(), w.exact_lf_hf));
-            outcome.audit_next = outcome.audit_next || ctrl.should_audit();
+        // Energy accounting runs through the shared cost profile — the
+        // same conversion the governor's predictions use, so a budget
+        // policy compares like with like.
+        let charged = profile.window_energy(&w.ops, &opp);
+        *energy_j += charged;
+        let soc = match battery.as_deref_mut() {
+            Some(battery) => {
+                battery.harvest(profile.hop_s());
+                battery.draw(charged);
+                battery.state_of_charge()
+            }
+            None => 1.0,
+        };
+        if let Some(governor) = governor.as_deref_mut() {
+            let directive = governor.observe_window(&WindowObservation {
+                lf_hf: w.lf_hf_ratio(),
+                exact_lf_hf: w.exact_lf_hf,
+                energy_j: charged,
+                battery_soc: soc,
+            });
+            outcome.directive = Some(directive);
+            outcome.audit_next = outcome.audit_next || governor.should_audit();
         }
     }
 }
 
 /// Drains one patient's ingest ring through its engine, applying
-/// controller decisions per window. Both feed paths converge here — the
+/// governor directives per window. Both feed paths converge here — the
 /// preloaded-cohort loop (`advance_shard`) and the external-ingest hooks
 /// ([`FleetScheduler::push_rr`] / [`FleetScheduler::push_beat`]) — so a
 /// gateway-fed stream does bit-identical work to an offline one.
@@ -373,13 +567,17 @@ fn pump_patient(
     patient: &mut PatientStream,
     scratch: &mut StreamScratch,
     detector: ArrhythmiaDetector,
+    profile: &CostProfile,
 ) {
     while let Some((t, rr)) = patient.ingest.pop() {
         let PatientStream {
             engine,
-            controller,
+            governor,
             choice_backends,
             exact_index,
+            opp,
+            energy_j,
+            battery,
             windows,
             arrhythmia_windows,
             ops,
@@ -388,17 +586,24 @@ fn pump_patient(
         let mut outcome = SinkOutcome::default();
         {
             let mut sink = account_windows(
-                windows,
-                ops,
-                arrhythmia_windows,
+                WindowAccounting {
+                    windows,
+                    ops,
+                    arrhythmia_windows,
+                    energy_j,
+                    battery: battery.as_mut(),
+                    governor: governor.as_mut(),
+                },
                 detector,
-                controller.as_mut(),
+                profile,
+                *opp,
                 &mut outcome,
             );
             engine.push(t, rr, scratch, &mut sink);
         }
-        if let Some(choice) = outcome.decision {
-            apply_choice(engine, choice, choice_backends, *exact_index);
+        if let Some(directive) = outcome.directive {
+            apply_choice(engine, directive.choice, choice_backends, *exact_index);
+            *opp = directive.opp;
         }
         if outcome.audit_next {
             engine.request_audit();
@@ -413,6 +618,7 @@ fn advance_shard(
     scratch: &mut StreamScratch,
     t_limit: f64,
     detector: ArrhythmiaDetector,
+    profile: &CostProfile,
 ) -> bool {
     let mut remaining = false;
     for patient in &mut shard.patients {
@@ -423,7 +629,7 @@ fn advance_shard(
             }
             patient.cursor += 1;
             if patient.ingest.push_rr(t, rr) {
-                pump_patient(patient, scratch, detector);
+                pump_patient(patient, scratch, detector, profile);
             }
         }
         if patient.cursor < patient.samples.len() {
@@ -434,16 +640,20 @@ fn advance_shard(
 }
 
 /// Flushes one patient's trailing windows (batch parity). Trailing
-/// windows still feed the controller so its statistics cover everything
-/// the report counts; its decision has nothing left to steer.
+/// windows still feed the governor so its statistics cover everything
+/// the report counts; its directive has nothing left to steer.
 fn finish_patient(
     patient: &mut PatientStream,
     scratch: &mut StreamScratch,
     detector: ArrhythmiaDetector,
+    profile: &CostProfile,
 ) {
     let PatientStream {
         engine,
-        controller,
+        governor,
+        opp,
+        energy_j,
+        battery,
         windows,
         arrhythmia_windows,
         ops,
@@ -451,20 +661,31 @@ fn finish_patient(
     } = patient;
     let mut outcome = SinkOutcome::default();
     let mut sink = account_windows(
-        windows,
-        ops,
-        arrhythmia_windows,
+        WindowAccounting {
+            windows,
+            ops,
+            arrhythmia_windows,
+            energy_j,
+            battery: battery.as_mut(),
+            governor: governor.as_mut(),
+        },
         detector,
-        controller.as_mut(),
+        profile,
+        *opp,
         &mut outcome,
     );
     engine.finish(scratch, &mut sink);
 }
 
 /// Flushes the trailing windows of one shard's patients (batch parity).
-fn finish_shard(shard: &mut Shard, scratch: &mut StreamScratch, detector: ArrhythmiaDetector) {
+fn finish_shard(
+    shard: &mut Shard,
+    scratch: &mut StreamScratch,
+    detector: ArrhythmiaDetector,
+    profile: &CostProfile,
+) {
     for patient in &mut shard.patients {
-        finish_patient(patient, scratch, detector);
+        finish_patient(patient, scratch, detector, profile);
     }
 }
 
@@ -475,6 +696,11 @@ fn report_of(patient: &PatientStream) -> StreamReport {
         windows: patient.windows,
         arrhythmia_windows: patient.arrhythmia_windows,
         ops: patient.ops,
+        energy_j: patient.energy_j,
+        battery: patient.battery.as_ref().map(|b| BatteryStatus {
+            charge_j: b.charge_j(),
+            capacity_j: b.capacity_j(),
+        }),
         ingest: patient.ingest.stats(),
         backend: patient.engine.active_backend().name().to_string(),
     }
@@ -581,11 +807,14 @@ impl FleetScheduler {
         let prototype = SlidingLomb::from_plan(&plan, &cache)?;
         let shards: Vec<Shard> = (0..workers).map(|_| Shard::default()).collect();
         let scratches = (0..workers).map(|_| StreamScratch::new()).collect();
+        let node = NodeModel::default();
+        let profile = cache.cost_profile(&plan, &node);
         Ok(FleetScheduler {
             plan,
             cache,
             fleet,
-            node: NodeModel::default(),
+            node,
+            profile,
             shards,
             scratches,
             prototype,
@@ -608,9 +837,12 @@ impl FleetScheduler {
             id,
             ingest: RrIngest::new(),
             engine: self.prototype.clone(),
-            controller: None,
+            governor: None,
             choice_backends: Vec::new(),
             exact_index: 0,
+            opp: self.node.dvfs.nominal(),
+            energy_j: 0.0,
+            battery: None,
             samples,
             cursor: 0,
             windows: 0,
@@ -678,7 +910,7 @@ impl FleetScheduler {
             let scratch = &mut self.scratches[shard];
             for &(t, rr) in samples {
                 if patient.ingest.push_rr(t, rr) {
-                    pump_patient(patient, scratch, detector);
+                    pump_patient(patient, scratch, detector, &self.profile);
                     accepted += 1;
                 }
             }
@@ -702,7 +934,12 @@ impl FleetScheduler {
         let patient = &mut self.shards[shard].patients[pos];
         let accepted = gate(&mut patient.ingest);
         if accepted {
-            pump_patient(patient, &mut self.scratches[shard], self.detector);
+            pump_patient(
+                patient,
+                &mut self.scratches[shard],
+                self.detector,
+                &self.profile,
+            );
         }
         self.wall_seconds += started.elapsed().as_secs_f64();
         Ok(accepted)
@@ -788,7 +1025,7 @@ impl FleetScheduler {
             .get(&id)
             .ok_or(PsaError::UnknownStream(id as u64))?;
         let patient = &mut self.shards[shard].patients[pos];
-        finish_patient(patient, &mut self.scratches[shard], detector);
+        finish_patient(patient, &mut self.scratches[shard], detector, &self.profile);
         let report = report_of(patient);
         self.index.remove(&id);
         self.shards[shard].patients.swap_remove(pos);
@@ -832,16 +1069,17 @@ impl FleetScheduler {
             .shards
             .iter()
             .flat_map(|s| &s.patients)
-            .any(|p| p.controller.is_some())
+            .any(|p| p.governor.is_some())
         {
             return Err(PsaError::InvalidConfig(
-                "attach training before with_quality_control: controllers already \
+                "attach training before with_quality_control: governors already \
                  resolved their operating choices without it"
                     .into(),
             ));
         }
         let training = Arc::new(TrainingSet::from_cohort(self.plan.config(), cohort)?);
         self.plan = self.plan.with_training(training);
+        self.profile = self.cache.cost_profile(&self.plan, &self.node);
         Ok(self)
     }
 
@@ -859,50 +1097,210 @@ impl FleetScheduler {
     /// Panics if `qdes_pct` is not positive.
     pub fn with_quality_control(mut self, sweep: &SweepResult, qdes_pct: f64) -> Self {
         let inner = QualityController::from_sweep(sweep, true);
-        let mut shared: Vec<(OperatingChoice, Arc<dyn hrv_dsp::FftBackend>)> = Vec::new();
-        let mut runnable = Vec::new();
-        for choice in inner.choices() {
+        let shared = self.resolve_runnable(inner.choices());
+        let runnable: Vec<OperatingChoice> = shared.iter().map(|(c, _)| *c).collect();
+        let inner = inner.retain_choices(|c| runnable.contains(c));
+        let exact = self.cache.exact(self.plan.fft_len());
+        let nominal = self.node.dvfs.nominal();
+        for shard in &mut self.shards {
+            for patient in &mut shard.patients {
+                let governor =
+                    DistortionGovernor::new(inner.clone(), qdes_pct).with_operating_point(nominal);
+                attach_governor(patient, Box::new(governor), &shared, &exact, None);
+            }
+        }
+        self
+    }
+
+    /// The runnable subset of `choices`, each resolved to its shared
+    /// cached kernel. Dynamic-pruning choices are excluded when no
+    /// training corpus is attached, so no governor can select a
+    /// configuration it cannot run.
+    fn resolve_runnable(
+        &self,
+        choices: &[OperatingChoice],
+    ) -> Vec<(OperatingChoice, Arc<dyn hrv_dsp::FftBackend>)> {
+        let mut shared = Vec::new();
+        for choice in choices {
             match self.cache.backend_for_choice(&self.plan, choice) {
-                Ok(backend) => {
-                    shared.push((*choice, backend));
-                    runnable.push(*choice);
-                }
+                Ok(backend) => shared.push((*choice, backend)),
                 Err(PsaError::MissingCalibration { .. }) => {
                     // Deliberately excluded: see the method docs.
                 }
                 Err(err) => unreachable!("plan was validated at construction: {err}"),
             }
         }
-        let inner = inner.retain_choices(|c| runnable.contains(c));
-        let exact = self.cache.exact(self.plan.fft_len());
-        for shard in &mut self.shards {
-            for patient in &mut shard.patients {
-                let exact_index = if patient.engine.active_backend().is_exact() {
-                    patient.engine.active_backend_index()
-                } else {
-                    patient.engine.add_backend(exact.clone())
-                };
-                patient.exact_index = exact_index;
-                patient.choice_backends = shared
-                    .iter()
-                    .map(|(c, b)| (*c, patient.engine.add_backend(b.clone())))
-                    .collect();
-                let controller = OnlineQualityController::new(inner.clone(), qdes_pct);
-                let start = controller.current();
-                apply_choice(
-                    &mut patient.engine,
-                    start,
-                    &patient.choice_backends,
-                    exact_index,
-                );
-                patient.controller = Some(controller);
-            }
-        }
-        self
+        shared
     }
 
-    /// Overrides the node model used for the energy report.
+    /// The budget candidate ladder over `choices` (`None` = exact): every
+    /// runnable choice's predicted per-window cost at every feasible DVFS
+    /// rail, through the shared [`CostProfile`].
+    fn budget_candidates(
+        &self,
+        shared: &[(OperatingChoice, Arc<dyn hrv_dsp::FftBackend>)],
+        exact: &Arc<dyn hrv_dsp::FftBackend>,
+    ) -> Vec<CandidatePoint> {
+        let exact_spec = KernelSpec::Exact {
+            fft_len: self.plan.fft_len(),
+        };
+        let mut candidates = self.profile.ladder(None, exact_spec, exact.as_ref());
+        for (choice, backend) in shared {
+            let spec = self.plan.spec_for_choice(choice);
+            candidates.extend(self.profile.ladder(Some(*choice), spec, backend.as_ref()));
+        }
+        candidates
+    }
+
+    /// The static operating choices a budget policy offers when no
+    /// design-time sweep is supplied (the service's `SetBudget` path):
+    /// every Table I static-pruning mode with VFS, expected distortion
+    /// unknown (0) — ordering then falls to rail voltage and measured
+    /// cost, which the shared [`CostProfile`] provides.
+    fn static_budget_choices() -> Vec<OperatingChoice> {
+        ApproximationMode::TABLE1
+            .into_iter()
+            .map(|mode| OperatingChoice {
+                mode,
+                policy: PruningPolicy::Static,
+                vfs: true,
+                expected_error_pct: 0.0,
+                expected_savings_pct: 0.0,
+            })
+            .collect()
+    }
+
+    /// Attaches an [`EnergyBudgetGovernor`] (and optional battery) to
+    /// every stream: each stream gets `budget.joules_per_interval` joules
+    /// per `budget.interval_windows`-window interval to spend across the
+    /// candidate ladder — operating choices × feasible DVFS rails, costed
+    /// by the shared [`CostProfile`]. Pass a sweep to carry design-time
+    /// distortion expectations into the candidate ordering; without one
+    /// the Table I static modes compete on rail and measured cost alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::InvalidConfig`] for a non-finite or
+    /// out-of-range budget.
+    pub fn with_energy_budget(
+        mut self,
+        sweep: Option<&SweepResult>,
+        budget: StreamBudget,
+    ) -> Result<Self, PsaError> {
+        budget.validate()?;
+        let choices = match sweep {
+            Some(sweep) => QualityController::from_sweep(sweep, true)
+                .choices()
+                .to_vec(),
+            None => Self::static_budget_choices(),
+        };
+        let shared = self.resolve_runnable(&choices);
+        let exact = self.cache.exact(self.plan.fft_len());
+        let candidates = self.budget_candidates(&shared, &exact);
+        for shard in &mut self.shards {
+            for patient in &mut shard.patients {
+                let governor = EnergyBudgetGovernor::new(
+                    candidates.clone(),
+                    budget.joules_per_interval,
+                    budget.interval_windows,
+                );
+                attach_governor(
+                    patient,
+                    Box::new(governor),
+                    &shared,
+                    &exact,
+                    budget.battery(),
+                );
+            }
+        }
+        Ok(self)
+    }
+
+    /// Attaches (or replaces) an [`EnergyBudgetGovernor`] on stream `id`
+    /// at run time — the fleet half of the service's `SetBudget` message.
+    /// Returns the name of the kernel the governor selected to start
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open and
+    /// [`PsaError::InvalidConfig`] for an invalid budget.
+    pub fn set_stream_budget(
+        &mut self,
+        id: usize,
+        budget: StreamBudget,
+    ) -> Result<String, PsaError> {
+        budget.validate()?;
+        let shared = self.resolve_runnable(&Self::static_budget_choices());
+        let exact = self.cache.exact(self.plan.fft_len());
+        let candidates = self.budget_candidates(&shared, &exact);
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let patient = &mut self.shards[shard].patients[pos];
+        let governor = EnergyBudgetGovernor::new(
+            candidates,
+            budget.joules_per_interval,
+            budget.interval_windows,
+        );
+        attach_governor(
+            patient,
+            Box::new(governor),
+            &shared,
+            &exact,
+            budget.battery(),
+        );
+        Ok(patient.engine.active_backend().name().to_string())
+    }
+
+    /// The live budget accounting of stream `id` — the fleet half of the
+    /// service's `ReadBudget` message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open and
+    /// [`PsaError::InvalidConfig`] when the stream has no budget governor
+    /// attached.
+    pub fn stream_budget(&self, id: usize) -> Result<StreamBudgetStatus, PsaError> {
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        let patient = &self.shards[shard].patients[pos];
+        let state = patient
+            .governor
+            .as_ref()
+            .and_then(|g| g.budget())
+            .ok_or_else(|| {
+                PsaError::InvalidConfig(format!("stream {id} has no budget governor attached"))
+            })?;
+        Ok(StreamBudgetStatus {
+            id,
+            joules_per_interval: state.budget_j,
+            interval_windows: state.interval_windows,
+            spent_j: state.spent_j,
+            battery: patient.battery.as_ref().map(|b| BatteryStatus {
+                charge_j: b.charge_j(),
+                capacity_j: b.capacity_j(),
+            }),
+            backend: patient.engine.active_backend().name().to_string(),
+        })
+    }
+
+    /// Overrides the node model used for the energy report (and for all
+    /// later per-window energy charging — call it before attaching
+    /// governors, whose candidate predictions are costed at attach time).
+    /// Ungoverned streams are re-pinned to the new model's nominal
+    /// operating point.
     pub fn with_node_model(mut self, node: NodeModel) -> Self {
+        self.profile = self.cache.cost_profile(&self.plan, &node);
+        let nominal = node.dvfs.nominal();
+        for patient in self.shards.iter_mut().flat_map(|s| &mut s.patients) {
+            if patient.governor.is_none() {
+                patient.opp = nominal;
+            }
+        }
         self.node = node;
         self
     }
@@ -925,12 +1323,14 @@ impl FleetScheduler {
     pub fn run_until(&mut self, t_limit: f64) -> bool {
         let started = Instant::now();
         let detector = self.detector;
+        let profile = &self.profile;
         let remaining = if self.shards.len() == 1 {
             advance_shard(
                 &mut self.shards[0],
                 &mut self.scratches[0],
                 t_limit,
                 detector,
+                profile,
             )
         } else {
             std::thread::scope(|s| {
@@ -939,7 +1339,7 @@ impl FleetScheduler {
                     .iter_mut()
                     .zip(self.scratches.iter_mut())
                     .map(|(shard, scratch)| {
-                        s.spawn(move || advance_shard(shard, scratch, t_limit, detector))
+                        s.spawn(move || advance_shard(shard, scratch, t_limit, detector, profile))
                     })
                     .collect();
                 handles
@@ -960,15 +1360,23 @@ impl FleetScheduler {
         }
         let started = Instant::now();
         let detector = self.detector;
+        let profile = &self.profile;
         if self.shards.len() == 1 {
-            finish_shard(&mut self.shards[0], &mut self.scratches[0], detector);
+            finish_shard(
+                &mut self.shards[0],
+                &mut self.scratches[0],
+                detector,
+                profile,
+            );
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
                     .zip(self.scratches.iter_mut())
-                    .map(|(shard, scratch)| s.spawn(move || finish_shard(shard, scratch, detector)))
+                    .map(|(shard, scratch)| {
+                        s.spawn(move || finish_shard(shard, scratch, detector, profile))
+                    })
                     .collect();
                 for h in handles {
                     h.join().expect("fleet worker panicked");
@@ -1001,12 +1409,20 @@ impl FleetScheduler {
         let mut arrhythmia_windows = 0u64;
         let mut switches = 0u64;
         let mut stream_seconds = 0.0;
+        let mut charged_energy_j = 0.0;
+        let mut battery_charge_j = 0.0;
+        let mut governed_streams = 0usize;
         for patient in by_id {
             total_ops += patient.ops;
             windows += patient.windows;
             arrhythmia_windows += patient.arrhythmia_windows;
-            if let Some(ctrl) = &patient.controller {
-                switches += ctrl.switches();
+            charged_energy_j += patient.energy_j;
+            if let Some(battery) = &patient.battery {
+                battery_charge_j += battery.charge_j();
+            }
+            if let Some(governor) = &patient.governor {
+                switches += governor.switches();
+                governed_streams += 1;
             }
             if let Some(idx) = patient.cursor.checked_sub(1) {
                 stream_seconds += patient.samples[idx].0;
@@ -1016,20 +1432,11 @@ impl FleetScheduler {
                 stream_seconds += t;
             }
         }
-        let cycles = self.node.cost.cycles(&total_ops);
-        let psa = self.plan.config();
-        let hop = psa.window_duration * (1.0 - psa.overlap);
-        let interval = windows as f64 * hop;
-        let energy_j = self
-            .node
-            .energy
-            .energy(
-                &total_ops,
-                &self.node.cost,
-                &self.node.dvfs.nominal(),
-                interval,
-            )
-            .total();
+        // All OpCount→cycles/joules conversion goes through the shared
+        // cost profile (the ad-hoc per-report math this replaces lived
+        // here).
+        let cycles = self.profile.cycles(&total_ops);
+        let energy_j = self.profile.energy(&total_ops, windows);
         FleetReport {
             streams: self.streams(),
             workers: self.shards.len(),
@@ -1039,6 +1446,9 @@ impl FleetScheduler {
             total_ops,
             cycles,
             energy_j,
+            charged_energy_j,
+            battery_charge_j,
+            governed_streams,
             arrhythmia_windows,
             controller_switches: switches,
             scratch_slots: self.scratches.len(),
@@ -1053,7 +1463,7 @@ impl FleetScheduler {
     }
 }
 
-/// Installs the kernel a controller decision maps to.
+/// Installs the kernel a governor directive maps to.
 fn apply_choice(
     engine: &mut SlidingLomb,
     choice: Option<OperatingChoice>,
@@ -1069,6 +1479,50 @@ fn apply_choice(
         })
         .unwrap_or(exact_index);
     engine.set_active_backend(index);
+}
+
+/// Wires a governor onto one patient: registers the exact fallback and
+/// every runnable choice kernel on its engine (cache-shared Arcs, deduped
+/// against kernels already registered), applies the governor's initial
+/// directive, and attaches the battery.
+fn attach_governor(
+    patient: &mut PatientStream,
+    governor: Box<dyn QualityGovernor>,
+    shared: &[(OperatingChoice, Arc<dyn hrv_dsp::FftBackend>)],
+    exact: &Arc<dyn hrv_dsp::FftBackend>,
+    battery: Option<Battery>,
+) {
+    // Reuse any exact kernel this engine already knows (the construction
+    // kernel, or the one a previous attachment registered) — repeated
+    // SetBudget/quality-control attachments must not grow the backend
+    // list.
+    let exact_index = if patient.engine.backend_at(patient.exact_index).is_exact() {
+        patient.exact_index
+    } else if patient.engine.active_backend().is_exact() {
+        patient.engine.active_backend_index()
+    } else {
+        patient.engine.add_backend(exact.clone())
+    };
+    patient.exact_index = exact_index;
+    for (choice, backend) in shared {
+        if !patient
+            .choice_backends
+            .iter()
+            .any(|(known, _)| known == choice)
+        {
+            let index = patient.engine.add_backend(backend.clone());
+            patient.choice_backends.push((*choice, index));
+        }
+    }
+    apply_choice(
+        &mut patient.engine,
+        governor.current(),
+        &patient.choice_backends,
+        exact_index,
+    );
+    patient.opp = governor.operating_point();
+    patient.battery = battery;
+    patient.governor = Some(governor);
 }
 
 #[cfg(test)]
@@ -1203,12 +1657,12 @@ mod tests {
             .shards
             .iter()
             .flat_map(|s| &s.patients)
-            .all(|p| p.controller.is_some()));
+            .all(|p| p.governor.is_some()));
         let audits: u64 = scheduler
             .shards
             .iter()
             .flat_map(|s| &s.patients)
-            .map(|p| p.controller.as_ref().unwrap().audits())
+            .map(|p| p.governor.as_ref().unwrap().audits())
             .sum();
         assert!(audits > 0);
     }
@@ -1520,6 +1974,34 @@ mod tests {
                 .unwrap_err(),
             PsaError::UnknownStream(9)
         );
+    }
+
+    #[test]
+    fn repeated_budget_attachments_do_not_grow_backends() {
+        let plan = SpectralPlan::new(PsaConfig::conventional()).expect("plan");
+        let mut fleet = FleetScheduler::external(plan, 1).expect("external");
+        fleet.open_stream(0).expect("open");
+        let budget = StreamBudget::per_interval(1e-3, 4);
+        fleet.set_stream_budget(0, budget).expect("first attach");
+        // Force the active kernel to a pruned one, so a buggy re-attach
+        // would register a duplicate exact fallback.
+        fleet
+            .set_stream_mode(0, ApproximationMode::BandDropSet3)
+            .expect("pruned");
+        let snapshot = {
+            let patient = &fleet.shards[0].patients[0];
+            (patient.exact_index, patient.choice_backends.len())
+        };
+        for _ in 0..3 {
+            fleet.set_stream_budget(0, budget).expect("re-attach");
+        }
+        let patient = &fleet.shards[0].patients[0];
+        assert_eq!(
+            (patient.exact_index, patient.choice_backends.len()),
+            snapshot,
+            "re-attachment must reuse registered kernels"
+        );
+        assert!(patient.engine.backend_at(patient.exact_index).is_exact());
     }
 
     #[test]

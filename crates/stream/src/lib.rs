@@ -68,7 +68,10 @@ mod scratch;
 mod sliding;
 
 pub use controller::OnlineQualityController;
-pub use fleet::{cohort_member, FleetConfig, FleetReport, FleetScheduler, StreamReport};
+pub use fleet::{
+    cohort_member, BatteryStatus, FleetConfig, FleetReport, FleetScheduler, StreamBudget,
+    StreamBudgetStatus, StreamReport,
+};
 pub use ingest::{rr_sample_plausible, IngestStats, RrIngest};
 pub use scratch::{ScratchPool, StreamScratch};
 pub use sliding::{band_powers, SlidingLomb, WindowView, AUDIT_BLOCK};

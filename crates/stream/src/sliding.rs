@@ -280,6 +280,17 @@ impl SlidingLomb {
         self.backends[self.active].as_ref()
     }
 
+    /// The kernel registered at `index` (0 is the construction kernel) —
+    /// lets re-attachment paths check what an index points at instead of
+    /// registering duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not returned by [`SlidingLomb::add_backend`].
+    pub fn backend_at(&self, index: usize) -> &dyn FftBackend {
+        self.backends[index].as_ref()
+    }
+
     /// Index of the currently active kernel.
     pub fn active_backend_index(&self) -> usize {
         self.active

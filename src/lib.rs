@@ -8,9 +8,11 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`core`] (`hrv-core`) — the quality-scalable PSA system: pipeline,
-//!   pruning modes, calibration, quality controller, energy sweep, and
-//!   the shared execution layer (`SpectralPlan` + `KernelCache`) both the
-//!   batch and streaming front-ends construct through;
+//!   pruning modes, calibration, quality controller, energy sweep, the
+//!   shared execution layer (`SpectralPlan` + `KernelCache` +
+//!   `CostProfile`) both the batch and streaming front-ends construct
+//!   through, and the pluggable governor layer (`QualityGovernor`:
+//!   distortion-chasing and energy-budget policies);
 //! * [`dsp`] (`hrv-dsp`) — complex arithmetic, split-radix FFT, windows,
 //!   operation accounting;
 //! * [`wavelet`] (`hrv-wavelet`) — orthonormal filter banks and DWT;
@@ -66,17 +68,19 @@ pub use hrv_wfft as wfft;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use hrv_core::{
-        energy_quality_sweep, ApproximationMode, BackendChoice, HrvAnalysis, KernelCache,
-        NodeModel, PruningPolicy, PsaConfig, PsaError, PsaSystem, QualityController, SpectralPlan,
-        Telemetry, TrainingSet,
+        energy_quality_sweep, ApproximationMode, BackendChoice, CostProfile, DistortionGovernor,
+        EnergyBudgetGovernor, HrvAnalysis, KernelCache, NodeModel, PruningPolicy, PsaConfig,
+        PsaError, PsaSystem, QualityController, QualityGovernor, SpectralPlan, Telemetry,
+        TrainingSet,
     };
     pub use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft, Window};
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
     pub use hrv_lomb::{ArrhythmiaDetector, BandPowers, FastLomb, FreqBand, WelchLomb};
+    pub use hrv_node_sim::Battery;
     pub use hrv_service::{Gateway, GatewayConfig, ServiceClient, ServiceError, SessionConfig};
     pub use hrv_stream::{
-        FleetConfig, FleetScheduler, OnlineQualityController, RrIngest, SlidingLomb, StreamReport,
-        StreamScratch,
+        FleetConfig, FleetScheduler, OnlineQualityController, RrIngest, SlidingLomb, StreamBudget,
+        StreamReport, StreamScratch,
     };
     pub use hrv_wavelet::WaveletBasis;
     pub use hrv_wfft::{PruneConfig, PruneSet, PrunedWfft, WfftPlan};

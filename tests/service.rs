@@ -215,6 +215,86 @@ fn quality_switching_and_session_persistence_across_connections() {
 }
 
 #[test]
+fn budget_governance_over_the_wire() {
+    use hrv_psa::stream::StreamBudget;
+    let handle = Gateway::start(gateway_config(4, 2048, 1)).expect("gateway");
+    let samples = member_samples(0, 420.0);
+    let mut client = handle.client().expect("client");
+    client.open_stream(9).expect("open");
+
+    // Budget targets are validated at the gateway, not in the governor:
+    // non-finite and out-of-range payloads draw a typed wire error.
+    for bad in [
+        StreamBudget::per_interval(f64::NAN, 4),
+        StreamBudget::per_interval(f64::INFINITY, 4),
+        StreamBudget::per_interval(-1.0, 4),
+        StreamBudget::per_interval(1e-2, 0),
+        StreamBudget::per_interval(1e-2, 4).with_battery(f64::NAN, 0.0),
+        StreamBudget::per_interval(1e-2, 4).with_battery(10.0, -1.0),
+    ] {
+        assert!(
+            matches!(
+                client.set_budget(9, bad),
+                Err(ServiceError::InvalidTarget(_))
+            ),
+            "{bad:?} must be refused"
+        );
+    }
+    // Reading a budget before one is attached is a typed error too.
+    assert!(matches!(
+        client.read_budget(9),
+        Err(ServiceError::Psa(_)) | Err(ServiceError::InvalidTarget(_))
+    ));
+
+    // A tight valid budget takes effect and reports its accounting.
+    let budget = StreamBudget::per_interval(2e-3, 4).with_battery(20.0, 1e-5);
+    let backend = client.set_budget(9, budget).expect("budget set");
+    assert!(!backend.is_empty());
+    client
+        .push_rr_blocking(9, &samples, Duration::from_micros(200))
+        .expect("replay");
+    let status = client.read_budget(9).expect("status");
+    assert_eq!(status.id, 9);
+    assert_eq!(status.joules_per_interval, 2e-3);
+    assert_eq!(status.interval_windows, 4);
+    let battery = status.battery.expect("battery attached");
+    assert_eq!(battery.capacity_j, 20.0);
+    assert!(battery.charge_j < 20.0, "windows drew the battery down");
+    let report = client.read_report(9).expect("report");
+    assert!(report.windows > 0);
+    assert!(report.energy_j > 0.0, "energy is charged per window");
+    assert_eq!(report.battery.expect("battery").capacity_j, 20.0);
+    // The tight budget held the stream below the nominal rail.
+    let nominal_per_window = 2.4e-3;
+    assert!(
+        report.energy_j / report.windows as f64 <= nominal_per_window,
+        "{} J over {} windows",
+        report.energy_j,
+        report.windows
+    );
+    // Telemetry carries the new energy/battery gauges.
+    let metrics = client.metrics().expect("metrics");
+    for family in [
+        "hrv_fleet_charged_energy_joules",
+        "hrv_fleet_battery_charge_joules",
+        "hrv_fleet_governed_streams 1",
+    ] {
+        assert!(metrics.contains(family), "missing {family:?}");
+    }
+    // Unknown streams stay typed across the new messages.
+    assert_eq!(
+        client.set_budget(77, budget).unwrap_err(),
+        ServiceError::UnknownStream(77)
+    );
+    assert_eq!(
+        client.read_budget(77).unwrap_err(),
+        ServiceError::UnknownStream(77)
+    );
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
 fn metrics_exposition_reaches_clients_over_the_wire() {
     let handle = Gateway::start(gateway_config(4, 64, 1)).expect("gateway");
     let mut client = handle.client().expect("client");
@@ -307,7 +387,8 @@ proptest! {
     #[test]
     fn control_requests_round_trip(
         id in 0.0f64..9e15,
-        which in prop::collection::vec(0.0f64..6.0, 1),
+        joules in 0.0f64..1e3,
+        which in prop::collection::vec(0.0f64..8.0, 1),
     ) {
         let stream = id as u64;
         let request = match which[0] as u32 {
@@ -316,6 +397,16 @@ proptest! {
             2 => Request::ReadReport { stream },
             3 => Request::SetQuality { stream, mode: ApproximationMode::BandDropSet2 },
             4 => Request::CloseStream { stream },
+            5 => Request::SetBudget {
+                stream,
+                budget: hrv_psa::stream::StreamBudget {
+                    joules_per_interval: joules,
+                    interval_windows: stream.max(1),
+                    battery_capacity_j: joules * 3.0,
+                    battery_harvest_w: joules * 1e-6,
+                },
+            },
+            6 => Request::ReadBudget { stream },
             _ => Request::Shutdown,
         };
         prop_assert_eq!(wire_round_trip(&request), request);
