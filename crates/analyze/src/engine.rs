@@ -1,0 +1,211 @@
+//! The engine: walks the workspace, runs every applicable rule on every
+//! source file, applies `analyze::allow` suppressions, and reports
+//! stale or malformed annotations as violations in their own right.
+
+use crate::diag::Diagnostic;
+use crate::rules::{all_rules, Rule};
+use crate::source::SourceFile;
+use std::io;
+use std::path::Path;
+
+/// Directories the walk never descends into: build output, VCS
+/// metadata, vendored third-party code (not ours to lint), and
+/// test/bench/example trees (test code is exempt from the rules, and
+/// fixture files *deliberately* contain violations).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures",
+];
+
+/// The outcome of an analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations, sorted by `(path, line, col)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// A rule set bound to the suppression/reporting pipeline.
+pub struct Engine {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine { rules: all_rules() }
+    }
+}
+
+impl Engine {
+    /// An engine running the full shipped rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine running only `rules` (tests use this to isolate one rule).
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Self {
+        Engine { rules }
+    }
+
+    /// Analyzes every workspace `.rs` file under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while walking or reading.
+    pub fn run(&self, root: &Path) -> io::Result<Report> {
+        let mut rel_paths = Vec::new();
+        collect_sources(root, Path::new(""), &mut rel_paths)?;
+        rel_paths.sort();
+        let mut diagnostics = Vec::new();
+        for rel_path in &rel_paths {
+            let file = SourceFile::read(root, rel_path)?;
+            diagnostics.extend(self.check_file(&file));
+        }
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        Ok(Report {
+            diagnostics,
+            files_checked: rel_paths.len(),
+        })
+    }
+
+    /// Runs every applicable rule on one file, filters diagnostics
+    /// through the file's `analyze::allow` annotations, and appends
+    /// annotation hygiene findings (malformed, unknown rule, unused).
+    pub fn check_file(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut found = Vec::new();
+        for rule in &self.rules {
+            if rule.applies(&file.rel_path) {
+                rule.check(file, &mut found);
+            }
+        }
+        let mut used = vec![false; file.allows.len()];
+        found.retain(|d| {
+            let suppressed = file
+                .allows
+                .iter()
+                .position(|a| a.rule == d.rule && a.target_line == d.line);
+            match suppressed {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        });
+        for (line, message) in &file.annotation_errors {
+            found.push(Diagnostic {
+                rule: "annotation",
+                path: file.rel_path.clone(),
+                line: *line,
+                col: 1,
+                message: message.clone(),
+            });
+        }
+        for (i, allow) in file.allows.iter().enumerate() {
+            if !self.rules.iter().any(|r| r.name() == allow.rule) {
+                found.push(Diagnostic {
+                    rule: "annotation",
+                    path: file.rel_path.clone(),
+                    line: allow.comment_line,
+                    col: 1,
+                    message: format!("allow names unknown rule `{}`", allow.rule),
+                });
+            } else if !used[i] {
+                found.push(Diagnostic {
+                    rule: "annotation",
+                    path: file.rel_path.clone(),
+                    line: allow.comment_line,
+                    col: 1,
+                    message: format!(
+                        "allow({}) suppresses nothing — remove the stale escape hatch",
+                        allow.rule
+                    ),
+                });
+            }
+        }
+        found
+    }
+}
+
+/// Recursively collects workspace-relative `.rs` paths, `/`-separated.
+fn collect_sources(root: &Path, rel: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let dir = root.join(rel);
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let child = rel.join(name.as_ref());
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_sources(root, &child, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            out.push(child.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_rule_engine() -> Engine {
+        Engine::with_rules(vec![Box::new(crate::rules::PanicFreeWire)])
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src = "fn f(x: Option<u8>) {\n    \
+            // analyze::allow(panic-free-wire): invariant held by caller\n    \
+            x.unwrap();\n}\n";
+        let file = SourceFile::parse("crates/service/src/x.rs", src);
+        let diags = one_rule_engine().check_file(&file);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_itself_reported() {
+        let src = "// analyze::allow(panic-free-wire): nothing here needs it\nfn f() {}\n";
+        let file = SourceFile::parse("crates/service/src/x.rs", src);
+        let diags = one_rule_engine().check_file(&file);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "annotation");
+        assert!(diags[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn allow_for_unknown_rule_is_reported() {
+        let src = "// analyze::allow(no-such-rule): typo\nfn f() {}\n";
+        let file = SourceFile::parse("crates/service/src/x.rs", src);
+        let diags = one_rule_engine().check_file(&file);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) {\n    \
+            // analyze::allow(hot-path-alloc): wrong rule named\n    \
+            x.unwrap();\n}\n";
+        let file = SourceFile::parse("crates/service/src/x.rs", src);
+        let engine = Engine::with_rules(vec![
+            Box::new(crate::rules::PanicFreeWire) as Box<dyn Rule>,
+            Box::new(crate::rules::HotPathAlloc),
+        ]);
+        let diags = engine.check_file(&file);
+        // The unwrap still fires, and the allow is stale.
+        assert_eq!(diags.len(), 2, "got: {diags:?}");
+    }
+}

@@ -1,0 +1,483 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule engine needs exactly one property from this module: a token
+//! stream in which **code is code and text is text** — an `unwrap`
+//! inside a string literal, a raw string, a char literal, or a (possibly
+//! nested) block comment must never surface as an identifier token. The
+//! lexer therefore handles the full Rust literal surface the workspace
+//! uses: escaped strings, raw strings with arbitrary `#` fences, byte
+//! strings, char/byte-char literals, lifetimes (disambiguated from char
+//! literals), nested block comments, raw identifiers, and numeric
+//! literals with exponents and type suffixes.
+//!
+//! It does **not** attempt full fidelity on the long tail of Rust syntax
+//! (declarative-macro token trees are lexed like ordinary code, which is
+//! what the rules want anyway). Spans are byte ranges into the original
+//! source, so every token round-trips: `&src[tok.start..tok.end]` is the
+//! exact text the token was lexed from.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no trailing quote).
+    Lifetime,
+    /// Integer literal (any radix, with optional suffix).
+    Int,
+    /// Float literal (decimal point and/or exponent, optional suffix).
+    Float,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char-like literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting-aware (including `/** … */`).
+    BlockComment,
+    /// Any operator or delimiter (multi-char operators are one token).
+    Punct,
+}
+
+/// One lexed token: a kind plus the byte span it occupies in the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The exact source text of this token.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True for the two comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Multi-byte operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into a token vector (whitespace discarded, comments kept).
+///
+/// The lexer never fails: unterminated literals extend to end of input,
+/// and bytes it cannot classify become single-byte [`TokenKind::Punct`]
+/// tokens. Rules only ever *match* tokens, so an unclassifiable byte can
+/// cause a missed match, never a crash or a false code match inside text.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(token) = self.next_token() {
+            tokens.push(token);
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn token(&self, kind: TokenKind, start: usize) -> Token {
+        Token {
+            kind,
+            start,
+            end: self.pos,
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let b = self.peek(0)?;
+        let token = match b {
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.pos += 1;
+                }
+                self.token(TokenKind::LineComment, start)
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(start),
+            b'"' => self.string(start),
+            b'\'' => self.lifetime_or_char(start),
+            b'r' if matches!(self.peek(1), Some(b'"' | b'#')) => self.raw_prefixed(start),
+            b'b' if matches!(self.peek(1), Some(b'\'' | b'"' | b'r')) => {
+                self.pos += 1;
+                match self.peek(0) {
+                    Some(b'\'') => {
+                        let mut t = self.char_literal(start);
+                        t.kind = TokenKind::Char;
+                        t
+                    }
+                    Some(b'"') => self.string(start),
+                    // `br"…"` / `br#"…"#`; plain `br…` falls through to
+                    // an identifier inside `raw_prefixed`.
+                    _ => self.raw_prefixed(start),
+                }
+            }
+            _ if is_ident_start(b) => self.ident(start),
+            _ if b.is_ascii_digit() => self.number(start),
+            _ => {
+                for op in MULTI_PUNCT {
+                    let bytes = op.as_bytes();
+                    if self.src[self.pos..].starts_with(bytes) {
+                        self.pos += bytes.len();
+                        return Some(self.token(TokenKind::Punct, start));
+                    }
+                }
+                // Advance one byte; multi-byte UTF-8 scalars outside
+                // literals become a run of opaque Punct tokens.
+                self.pos += 1;
+                self.token(TokenKind::Punct, start)
+            }
+        };
+        Some(token)
+    }
+
+    fn block_comment(&mut self, start: usize) -> Token {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break,
+            }
+        }
+        self.token(TokenKind::BlockComment, start)
+    }
+
+    /// Ordinary (escaped) string body; `self.pos` is on the opening `"`.
+    fn string(&mut self, start: usize) -> Token {
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                // Clamp: a backslash as the final byte must not push the
+                // span past end of input.
+                Some(b'\\') => self.pos = (self.pos + 2).min(self.src.len()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break,
+            }
+        }
+        self.token(TokenKind::Str, start)
+    }
+
+    /// `r…` / `br…`: raw string with any `#` fence, or a raw identifier.
+    fn raw_prefixed(&mut self, start: usize) -> Token {
+        self.pos += 1; // past `r` (a leading `b` was already consumed)
+        let mut fence = 0usize;
+        while self.peek(fence) == Some(b'#') {
+            fence += 1;
+        }
+        match self.peek(fence) {
+            Some(b'"') => {
+                self.pos += fence + 1;
+                // Scan for `"` followed by `fence` hashes.
+                loop {
+                    match self.peek(0) {
+                        Some(b'"') if (1..=fence).all(|i| self.peek(i) == Some(b'#')) => {
+                            self.pos += fence + 1;
+                            break;
+                        }
+                        Some(_) => self.pos += 1,
+                        None => break,
+                    }
+                }
+                self.token(TokenKind::Str, start)
+            }
+            Some(b) if fence == 1 && is_ident_start(b) => {
+                // Raw identifier `r#loop`.
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.token(TokenKind::Ident, start)
+            }
+            // Bare `r` / `r#`-something-else: plain identifier.
+            _ => self.ident(start),
+        }
+    }
+
+    /// `'…`: a lifetime unless a closing quote makes it a char literal.
+    fn lifetime_or_char(&mut self, start: usize) -> Token {
+        match self.peek(1) {
+            Some(b) if is_ident_start(b) => {
+                // Consume the ident run, then decide by the trailing quote:
+                // `'a'` is a char, `'a` / `'static` are lifetimes.
+                let mut len = 1;
+                while self.peek(1 + len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(1 + len) == Some(b'\'') {
+                    self.char_literal(start)
+                } else {
+                    self.pos += 1 + len;
+                    self.token(TokenKind::Lifetime, start)
+                }
+            }
+            _ => self.char_literal(start),
+        }
+    }
+
+    /// Char/byte-char body; `self.pos` is on the opening `'`.
+    fn char_literal(&mut self, start: usize) -> Token {
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                // Same end-of-input clamp as in `string`.
+                Some(b'\\') => self.pos = (self.pos + 2).min(self.src.len()),
+                Some(b'\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break,
+            }
+        }
+        self.token(TokenKind::Char, start)
+    }
+
+    fn ident(&mut self, start: usize) -> Token {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        self.token(TokenKind::Ident, start)
+    }
+
+    fn number(&mut self, start: usize) -> Token {
+        let mut float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: digits (hex letters included) + underscores,
+            // then an optional type suffix consumed by the ident run below.
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_hexdigit() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            self.digit_run();
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += 1;
+                self.digit_run();
+            }
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let signed = matches!(self.peek(1), Some(b'+' | b'-'));
+                let first = self.peek(if signed { 2 } else { 1 });
+                if first.is_some_and(|b| b.is_ascii_digit()) {
+                    float = true;
+                    self.pos += if signed { 2 } else { 1 };
+                    self.digit_run();
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`) — part of the literal token. A bare
+        // `f32`/`f64` suffix also makes the literal a float.
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.token(kind, start)
+    }
+
+    fn digit_run(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("a.unwrap()"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "unwrap"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let src = r#"let s = "x.unwrap() /* vec![] */";"#;
+        assert!(!kinds(src)
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (*t == "unwrap" || *t == "vec")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"r#"contains " quote and panic!()"# + 1"###;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Int && *t == "1"));
+        assert!(!toks.iter().any(|(_, t)| *t == "panic"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner.unwrap() */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { 'y'.into() }";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(toks.contains(&(TokenKind::Char, "'y'")));
+    }
+
+    #[test]
+    fn char_escapes() {
+        for src in ["'\\''", "'\\\\'", "'\\n'", "b'x'", "'\"'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokenKind::Char, "{src}");
+        }
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1e-9")[0], (TokenKind::Float, "1e-9"));
+        assert_eq!(kinds("1.5f64")[0], (TokenKind::Float, "1.5f64"));
+        assert_eq!(kinds("0x8a")[0], (TokenKind::Int, "0x8a"));
+        assert_eq!(kinds("3f64")[0], (TokenKind::Float, "3f64"));
+        // Ranges keep the ints separate.
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                (TokenKind::Int, "0"),
+                (TokenKind::Punct, ".."),
+                (TokenKind::Int, "10"),
+            ]
+        );
+        // Tuple field access is not a float.
+        assert_eq!(
+            kinds("x.0"),
+            vec![
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Int, "0"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#loop")[0], (TokenKind::Ident, "r#loop"));
+        assert_eq!(kinds("r")[0], (TokenKind::Ident, "r"));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c ..= d :: e");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "..=", "::"]);
+    }
+
+    #[test]
+    fn spans_cover_exact_text() {
+        let src = "let x = \"s\"; // tail";
+        for t in lex(src) {
+            assert!(t.start < t.end && t.end <= src.len());
+        }
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_loop() {
+        for src in [
+            "\"open",
+            "'x",
+            "r#\"open",
+            "/* open /* deeper",
+            "\"ends in \\",
+            "'\\",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src}");
+            assert!(toks.iter().all(|t| t.end <= src.len()), "{src}");
+        }
+    }
+}

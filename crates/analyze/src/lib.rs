@@ -1,0 +1,39 @@
+//! `hrv-analyze` — the workspace invariant analyzer.
+//!
+//! A hand-rolled, std-only lint engine that enforces the invariants
+//! this workspace's PRs argued for in prose: the gateway never panics
+//! at a peer, hot paths never allocate in steady state, lock guards
+//! never outlive their welcome, the wire-tag table stays coherent with
+//! `PROTOCOL_VERSION`, and the numeric pipeline neither compares floats
+//! exactly nor narrows them silently.
+//!
+//! The pipeline is three layers:
+//!
+//! 1. [`lexer`] — a small Rust lexer producing byte-span tokens. It is
+//!    exact about the places naive text matching goes wrong: string and
+//!    raw-string literals, char literals vs lifetimes, nested block
+//!    comments. Rules therefore never fire on pattern-like text inside
+//!    a string or a comment.
+//! 2. [`source`] — per-file structure: line mapping, `#[cfg(test)]` /
+//!    `#[test]` regions (rules exempt test code), and the two inline
+//!    annotations: `analyze::allow(rule): reason` (line-scoped
+//!    suppression with a mandatory justification) and
+//!    `analyze::hot_path` (marks the next `fn` for the allocation rule).
+//! 3. [`rules`] + [`engine`] — five [`rules::Rule`] implementations and
+//!    the walker that runs them, applies suppressions, and reports
+//!    stale or malformed annotations as violations themselves.
+//!
+//! Run it with `cargo run -p hrv-analyze`; it exits nonzero on any
+//! violation, which is how CI gates on it.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::Diagnostic;
+pub use engine::{Engine, Report};
+pub use source::SourceFile;

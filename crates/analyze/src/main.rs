@@ -1,0 +1,66 @@
+//! CLI entry point: analyze the workspace, print violations, exit
+//! nonzero if any. `--root <path>` overrides the workspace root
+//! (default: this crate's grandparent, i.e. the checkout the binary was
+//! built from).
+
+#![forbid(unsafe_code)]
+
+use hrv_analyze::Engine;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("hrv-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "hrv-analyze: workspace invariant analyzer\n\
+                     \n\
+                     usage: hrv-analyze [--root <workspace>]\n\
+                     \n\
+                     Checks every non-test workspace source file against the rules\n\
+                     panic-free-wire, hot-path-alloc, lock-discipline, wire-tags and\n\
+                     float-discipline. Exits 0 when clean, 1 on violations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hrv-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match Engine::new().run(&root) {
+        Ok(report) => {
+            for diag in &report.diagnostics {
+                println!("{diag}");
+            }
+            println!(
+                "hrv-analyze: {} file(s) checked, {} violation(s)",
+                report.files_checked,
+                report.diagnostics.len()
+            );
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!(
+                "hrv-analyze: failed to read workspace at {}: {err}",
+                root.display()
+            );
+            ExitCode::from(2)
+        }
+    }
+}

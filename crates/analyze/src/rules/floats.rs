@@ -1,0 +1,96 @@
+//! `float-discipline`: exact float comparison and silent narrowing.
+//!
+//! The analysis crates carry a bit-identity contract: the streaming
+//! path must reproduce the batch reference exactly, and the regression
+//! suite pins spectra to `1e-12`. Two constructs quietly break that
+//! contract:
+//!
+//! * `==` / `!=` against a floating-point literal — outside tests this
+//!   is almost always a sentinel or guard that should be an epsilon
+//!   comparison or an `Option`. The handful of *deliberate* exact-zero
+//!   guards (e.g. "skip division when the reference power is exactly
+//!   0.0, which only happens for an all-zero window") carry an
+//!   `analyze::allow(float-discipline): reason` stating why exactness
+//!   is intended.
+//! * `as f32` — the pipeline is `f64` end to end; a narrowing cast
+//!   discards half the mantissa silently. (Widening `as f64` is fine.)
+//!
+//! The comparison check is lexical: it fires when either operand of
+//! `==`/`!=` is a float literal. Comparisons between two float-typed
+//! *variables* are invisible to a lexer — that residual risk is
+//! accepted and documented here rather than half-solved with name
+//! heuristics.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Crates whose numeric pipeline carries the bit-identity contract.
+const SCOPES: &[&str] = &[
+    "src/", // hrv-psa root crate
+    "crates/core/src/",
+    "crates/dsp/src/",
+    "crates/lomb/src/",
+    "crates/wfft/src/",
+    "crates/wavelet/src/",
+    "crates/delineate/src/",
+    "crates/ecg/src/",
+    "crates/stream/src/",
+    "crates/node-sim/src/",
+];
+
+/// See the module docs.
+pub struct FloatDiscipline;
+
+impl Rule for FloatDiscipline {
+    fn name(&self) -> &'static str {
+        "float-discipline"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        SCOPES.iter().any(|s| rel_path.starts_with(s))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code: Vec<usize> = file.code_token_indices().collect();
+        for pos in 0..code.len() {
+            let tok = &file.tokens[code[pos]];
+            if file.in_test_code(tok.start) {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            if text == "==" || text == "!=" {
+                let operand_is_float =
+                    |p: Option<&usize>| p.is_some_and(|&i| file.tokens[i].kind == TokenKind::Float);
+                if operand_is_float(code.get(pos + 1))
+                    || (pos > 0 && operand_is_float(code.get(pos - 1)))
+                {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            "exact float comparison `{text}` against a literal — use an \
+                             epsilon or justify the exactness with an analyze::allow"
+                        ),
+                    ));
+                }
+            }
+            if tok.kind == TokenKind::Ident
+                && text == "as"
+                && code
+                    .get(pos + 1)
+                    .is_some_and(|&i| file.tokens[i].text(&file.text) == "f32")
+            {
+                out.push(diag_at(
+                    self.name(),
+                    file,
+                    code[pos],
+                    "`as f32` narrows an f64 pipeline value, silently discarding precision"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

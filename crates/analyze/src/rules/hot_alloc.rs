@@ -1,0 +1,91 @@
+//! `hot-path-alloc`: statically backing the zero-allocation claim.
+//!
+//! PR 2 measured "zero steady-state allocations per window" with a
+//! counting allocator; this rule keeps the claim honest at review time.
+//! A function annotated `// analyze::hot_path` may not contain the
+//! allocating constructs below — every buffer it touches must come from
+//! a reusable scratch arena. Warm-up growth (`Vec::resize`,
+//! `extend_from_slice` into a reused buffer) is deliberately *not*
+//! banned: the measured invariant is zero allocations **after warm-up**,
+//! and those calls are no-ops once capacity has grown.
+
+use super::{diag_at, is_macro_call, is_method_call, matches_seq, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// `Type :: constructor` paths that always allocate a fresh container.
+const BANNED_PATHS: &[&[&str]] = &[
+    &["Vec", "::", "new"],
+    &["Vec", "::", "with_capacity"],
+    &["Box", "::", "new"],
+    &["String", "::", "new"],
+    &["String", "::", "from"],
+    &["String", "::", "with_capacity"],
+    &["VecDeque", "::", "new"],
+    &["HashMap", "::", "new"],
+    &["BTreeMap", "::", "new"],
+];
+
+/// Methods that clone into a fresh allocation.
+const BANNED_METHODS: &[&str] = &["to_vec", "collect", "to_string", "to_owned"];
+
+/// Macros that allocate.
+const BANNED_MACROS: &[&str] = &["vec", "format"];
+
+/// See the module docs.
+pub struct HotPathAlloc;
+
+impl Rule for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        // Annotation-driven: any file may declare a hot path.
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.hot_paths.is_empty() {
+            return;
+        }
+        let code: Vec<usize> = file.code_token_indices().collect();
+        for hot in &file.hot_paths {
+            let (body_start, body_end) = hot.body;
+            for pos in 0..code.len() {
+                let tok = &file.tokens[code[pos]];
+                if tok.start < body_start || tok.start >= body_end {
+                    continue;
+                }
+                let found: Option<String> = BANNED_PATHS
+                    .iter()
+                    .find(|path| matches_seq(file, &code, pos, path))
+                    .map(|path| path.concat())
+                    .or_else(|| {
+                        BANNED_METHODS
+                            .iter()
+                            .find(|m| is_method_call(file, &code, pos, m))
+                            .map(|m| format!(".{m}()"))
+                    })
+                    .or_else(|| {
+                        BANNED_MACROS
+                            .iter()
+                            .find(|m| is_macro_call(file, &code, pos, m))
+                            .map(|m| format!("{m}!"))
+                    });
+                if let Some(construct) = found {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            "{construct} allocates inside hot path `{}` — use the scratch \
+                             arena (zero steady-state allocations per window)",
+                            hot.fn_name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! `lock-discipline`: how mutex guards are acquired and what happens
+//! while they are held.
+//!
+//! Two checks, both over non-test code of the locking crates
+//! (`hrv-core`, `hrv-stream`, `hrv-service`):
+//!
+//! 1. **Poisoning policy** — a bare `.lock().unwrap()` / `.lock().expect(…)`
+//!    turns one panicking thread into a cascade that takes the whole
+//!    gateway down. Lock acquisition must go through a helper that
+//!    states the poisoning policy (the workspace uses
+//!    `hrv_core::lock_unpoisoned`, which documents why recovery is
+//!    sound) or carry an `analyze::allow` with the policy as reason.
+//! 2. **No blocking under a guard** — a guard bound with
+//!    `let g = ….lock…` must not be held across blocking I/O or
+//!    channel rendezvous (`thread::sleep`, `.join()`, `.recv()`,
+//!    `.send()`, `.accept()`, `write_frame`, `read_frame`,
+//!    `.write_all()`, `.read_exact()`): the gateway's liveness argument
+//!    assumes lock hold times are bounded by compute, not by peers. The
+//!    check tracks brace depth from the binding until its scope closes
+//!    (or an explicit `drop(g)`), the same approximation a reviewer
+//!    applies; `if let` / `while let` scrutinee guards live to the end
+//!    of the attached block (Rust's temporary-scope rule), so the block
+//!    itself is scanned too.
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Calls that block on something other than compute.
+const BLOCKING_METHODS: &[&str] = &[
+    "join",
+    "recv",
+    "recv_timeout",
+    "send",
+    "accept",
+    "write_all",
+    "read_exact",
+    "flush",
+];
+
+/// Free functions that block.
+const BLOCKING_CALLS: &[&str] = &["sleep", "write_frame", "read_frame"];
+
+/// See the module docs.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/")
+            || rel_path.starts_with("crates/stream/src/")
+            || rel_path.starts_with("crates/service/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code: Vec<usize> = file.code_token_indices().collect();
+        self.check_bare_unwrap(file, &code, out);
+        self.check_blocking_under_guard(file, &code, out);
+    }
+}
+
+impl LockDiscipline {
+    /// Check 1: `.lock().unwrap()` / `.lock().expect(` as adjacent tokens.
+    fn check_bare_unwrap(&self, file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+        for pos in 0..code.len() {
+            let tok = &file.tokens[code[pos]];
+            if file.in_test_code(tok.start) {
+                continue;
+            }
+            if tok.kind != TokenKind::Ident || tok.text(&file.text) != "lock" {
+                continue;
+            }
+            // `.lock ( ) . unwrap|expect`
+            let texts: Vec<&str> = (1..=4)
+                .map(|k| {
+                    code.get(pos + k)
+                        .map(|&i| file.tokens[i].text(&file.text))
+                        .unwrap_or("")
+                })
+                .collect();
+            if texts[0] == "(" && texts[1] == ")" && texts[2] == "." {
+                let follow = texts[3];
+                if follow == "unwrap" || follow == "expect" {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            ".lock().{follow}(…) has no poisoning policy — acquire through \
+                             hrv_core::lock_unpoisoned (documented recovery) or state the \
+                             policy in an analyze::allow reason"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Check 2: blocking calls while a lock guard is live.
+    fn check_blocking_under_guard(
+        &self,
+        file: &SourceFile,
+        code: &[usize],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Brace depth per code token, so a guard's scope is "until depth
+        // drops below the depth at its binding".
+        let mut depth = 0usize;
+        let mut depths = Vec::with_capacity(code.len());
+        for &i in code {
+            match file.tokens[i].text(&file.text) {
+                "{" => {
+                    depths.push(depth);
+                    depth += 1;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    depths.push(depth);
+                }
+                _ => depths.push(depth),
+            }
+        }
+        for pos in 0..code.len() {
+            let tok = &file.tokens[code[pos]];
+            if file.in_test_code(tok.start) || file.tokens[code[pos]].kind != TokenKind::Ident {
+                continue;
+            }
+            if tok.text(&file.text) != "let" {
+                continue;
+            }
+            let is_binding_let =
+                pos > 0 && matches!(file.tokens[code[pos - 1]].text(&file.text), "if" | "while");
+            // Find the guard name and whether the initializer locks.
+            let Some((guard_name, stmt_end)) = self.lock_binding(file, code, pos, is_binding_let)
+            else {
+                continue;
+            };
+            // Scope: from the end of the binding until brace depth drops
+            // below the binding's depth, or `drop(guard)`. For `if let` /
+            // `while let` the guard dies at the end of the attached block.
+            let scope_end = if is_binding_let {
+                file.matching_brace(code[stmt_end])
+                    .map(|tok_idx| file.tokens[tok_idx].start)
+            } else {
+                None
+            };
+            let let_depth = depths[pos];
+            let mut k = stmt_end;
+            while k < code.len() && depths[k] >= let_depth {
+                if scope_end.is_some_and(|end| file.tokens[code[k]].start >= end) {
+                    break;
+                }
+                let t = &file.tokens[code[k]];
+                let text = t.text(&file.text);
+                if text == "}" && depths[k] < let_depth {
+                    break;
+                }
+                // Explicit early release ends the guard's scope.
+                if text == "drop"
+                    && super::matches_seq(file, code, k, &["drop", "(", &guard_name, ")"])
+                {
+                    break;
+                }
+                if t.kind == TokenKind::Ident {
+                    let is_call = code
+                        .get(k + 1)
+                        .is_some_and(|&i| file.tokens[i].text(&file.text) == "(");
+                    let after_dot = k > 0 && file.tokens[code[k - 1]].text(&file.text) == ".";
+                    let blocking = is_call
+                        && if after_dot {
+                            BLOCKING_METHODS.contains(&text)
+                        } else {
+                            BLOCKING_CALLS.contains(&text)
+                        };
+                    if blocking {
+                        out.push(diag_at(
+                            self.name(),
+                            file,
+                            code[k],
+                            format!(
+                                "`{text}` blocks while lock guard `{guard_name}` (bound on \
+                                 line {}) is still live — release the lock before blocking",
+                                file.line_of(file.tokens[code[pos]].start)
+                            ),
+                        ));
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// If the `let` at `code[pos]` binds a lock guard, returns the bound
+    /// name and the code-token index where the guard's scope begins
+    /// (after `;` for plain `let`, after the scrutinee for `if/while let`
+    /// — whose guard lives through the attached block).
+    fn lock_binding(
+        &self,
+        file: &SourceFile,
+        code: &[usize],
+        pos: usize,
+        is_if_while_let: bool,
+    ) -> Option<(String, usize)> {
+        // Bound name: first plain identifier after `let` (skipping `mut`
+        // and pattern sugar like `Some(`).
+        let mut name = None;
+        let mut j = pos + 1;
+        while j < code.len() {
+            let t = &file.tokens[code[j]];
+            let text = t.text(&file.text);
+            if text == "=" {
+                break;
+            }
+            if t.kind == TokenKind::Ident && !matches!(text, "mut" | "Some" | "Ok") {
+                name.get_or_insert_with(|| text.to_string());
+            }
+            j += 1;
+        }
+        let eq = j;
+        // Initializer: scan to the statement end (`;` at paren depth 0)
+        // or, for `if let`/`while let`, to the opening `{`.
+        let mut paren = 0usize;
+        let mut locks = false;
+        let mut k = eq + 1;
+        while k < code.len() {
+            let text = file.tokens[code[k]].text(&file.text);
+            match text {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren = paren.saturating_sub(1),
+                ";" if paren == 0 && !is_if_while_let => break,
+                "{" if paren == 0 && is_if_while_let => break,
+                _ => {}
+            }
+            // `.lock(` acquires directly; `lock_unpoisoned(` acquires
+            // through the policy helper — its guard is tracked equally.
+            if (text == "lock" && k > eq && file.tokens[code[k - 1]].text(&file.text) == ".")
+                || text == "lock_unpoisoned"
+            {
+                locks = true;
+            }
+            k += 1;
+        }
+        if !locks {
+            return None;
+        }
+        // For `if let`/`while let` the guard lives through the block, so
+        // the scan starts right at `{`; for plain `let`, after the `;`.
+        Some((name?, if is_if_while_let { k } else { k + 1 }))
+    }
+}

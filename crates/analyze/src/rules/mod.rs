@@ -1,0 +1,98 @@
+//! The rule set.
+//!
+//! Every rule implements [`Rule`]: it declares a name (what
+//! `analyze::allow` must reference), a path scope, and a token-level
+//! check. Rules see whole [`SourceFile`]s, so each one decides for
+//! itself how much structure it needs — from plain token matching
+//! (`panic-free-wire`) to parsing a constant table and fingerprinting
+//! codec layouts (`wire-tags`).
+
+mod floats;
+mod hot_alloc;
+mod locks;
+mod panics;
+mod wire_tags;
+
+pub use floats::FloatDiscipline;
+pub use hot_alloc::HotPathAlloc;
+pub use locks::LockDiscipline;
+pub use panics::PanicFreeWire;
+pub use wire_tags::WireTags;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// A single invariant checker.
+pub trait Rule {
+    /// Rule name, kebab-case (referenced by `analyze::allow(name): …`).
+    fn name(&self) -> &'static str;
+
+    /// Does this rule look at `rel_path` (workspace-relative, `/`-separated)?
+    fn applies(&self, rel_path: &str) -> bool;
+
+    /// Appends violations found in `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule the analyzer ships, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFreeWire),
+        Box::new(HotPathAlloc),
+        Box::new(LockDiscipline),
+        Box::new(WireTags::default()),
+        Box::new(FloatDiscipline),
+    ]
+}
+
+/// Emits a diagnostic for the token at index `idx`.
+pub(crate) fn diag_at(
+    rule: &'static str,
+    file: &SourceFile,
+    idx: usize,
+    message: String,
+) -> Diagnostic {
+    let start = file.tokens[idx].start;
+    Diagnostic {
+        rule,
+        path: file.rel_path.clone(),
+        line: file.line_of(start),
+        col: file.col_of(start),
+        message,
+    }
+}
+
+/// True when the code token at `code[pos]` is an identifier equal to
+/// `name` that is *called as a method*: preceded by `.` and followed by
+/// `(` (comments skipped by construction of `code`).
+pub(crate) fn is_method_call(file: &SourceFile, code: &[usize], pos: usize, name: &str) -> bool {
+    let tok = &file.tokens[code[pos]];
+    tok.kind == TokenKind::Ident
+        && tok.text(&file.text) == name
+        && pos > 0
+        && file.tokens[code[pos - 1]].text(&file.text) == "."
+        && code
+            .get(pos + 1)
+            .is_some_and(|&i| file.tokens[i].text(&file.text) == "(")
+}
+
+/// True when the code token at `code[pos]` is the identifier `name`
+/// followed by `!` (a macro invocation).
+pub(crate) fn is_macro_call(file: &SourceFile, code: &[usize], pos: usize, name: &str) -> bool {
+    let tok = &file.tokens[code[pos]];
+    tok.kind == TokenKind::Ident
+        && tok.text(&file.text) == name
+        && code
+            .get(pos + 1)
+            .is_some_and(|&i| file.tokens[i].text(&file.text) == "!")
+}
+
+/// True when the code tokens at `code[pos..]` spell the exact sequence
+/// `texts` (e.g. `["Vec", "::", "new"]`).
+pub(crate) fn matches_seq(file: &SourceFile, code: &[usize], pos: usize, texts: &[&str]) -> bool {
+    texts.iter().enumerate().all(|(k, want)| {
+        code.get(pos + k)
+            .is_some_and(|&i| file.tokens[i].text(&file.text) == *want)
+    })
+}

@@ -1,0 +1,72 @@
+//! `panic-free-wire`: the gateway and the fleet never panic.
+//!
+//! The service's contract (PR 4) is "typed wire errors, never panics":
+//! every failure a client can trigger must surface as a
+//! `ServiceError` reply, and a fleet worker must never take down the
+//! process serving a thousand other streams. This rule statically bans
+//! the panic-capable constructs — `.unwrap()`, `.expect(…)`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!` — from non-test code of
+//! `hrv-service` and the fleet path of `hrv-stream`.
+//!
+//! Genuine invariant panics (e.g. "a worker panicked — swallowing the
+//! join error would silently lose a shard's samples") carry an
+//! `analyze::allow(panic-free-wire): reason` so the justification lives
+//! next to the site and shows up in review.
+
+use super::{diag_at, is_macro_call, is_method_call, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Method calls that can panic on a wire-facing path.
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+/// Macros that panic outright.
+const BANNED_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See the module docs.
+pub struct PanicFreeWire;
+
+impl Rule for PanicFreeWire {
+    fn name(&self) -> &'static str {
+        "panic-free-wire"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/service/src/") || rel_path == "crates/stream/src/fleet.rs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code: Vec<usize> = file.code_token_indices().collect();
+        for pos in 0..code.len() {
+            let start = file.tokens[code[pos]].start;
+            if file.in_test_code(start) {
+                continue;
+            }
+            for method in BANNED_METHODS {
+                if is_method_call(file, &code, pos, method) {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            ".{method}() can panic — return a typed ServiceError/PsaError \
+                             instead (or justify with an analyze::allow)"
+                        ),
+                    ));
+                }
+            }
+            for mac in BANNED_MACROS {
+                if is_macro_call(file, &code, pos, mac) {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            "{mac}! panics — wire-facing code must answer with a typed error \
+                             (or justify with an analyze::allow)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! `wire-tags`: the protocol tag table and codec layout stay coherent.
+//!
+//! `crates/service/src/proto.rs` maintains its `REQ_*`/`REP_*` tag table
+//! by hand. This rule parses the table straight out of the token stream
+//! and asserts the invariants the wire format depends on:
+//!
+//! * **uniqueness** — no two tags share a value;
+//! * **direction bit** — request tags have the high bit clear, reply
+//!   tags have it set (`0x0N` vs `0x8N`), so a captured frame is
+//!   unambiguous in either direction;
+//! * **contiguity** — requests cover `0x01..` and replies `0x81..`
+//!   without gaps (a renumbering typo shows up as a hole);
+//! * **pairing** — every request `0x0N` has the reply `0x8N` the
+//!   convention promises;
+//! * **match coverage** — every tag constant is referenced at least
+//!   twice beyond its declaration (one encode site, one decode arm), so
+//!   a tag cannot be declared and silently ignored by a codec;
+//! * **layout fingerprint** — the token stream of the report/battery/
+//!   error codec functions is hashed and compared against the recorded
+//!   value below. Changing a report body layout without bumping
+//!   [`PROTOCOL_VERSION`] is exactly the bug class PR 5 hit (a v1 peer
+//!   misdecoding v2 report frames); the fingerprint turns it into an
+//!   analyzer failure that names the fix.
+//!
+//! # Updating the recorded pair
+//!
+//! When a codec layout changes *deliberately*: bump `PROTOCOL_VERSION`
+//! in `proto.rs`, run the analyzer, and copy the new fingerprint it
+//! prints into [`RECORDED_LAYOUT`]. The rule fails until both halves
+//! move together.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// The `(PROTOCOL_VERSION, layout fingerprint)` pair last reviewed.
+/// See the module docs for the update procedure.
+pub const RECORDED_LAYOUT: (u64, u64) = (2, 0xc433_c8a3_8bcb_9a9f);
+
+/// Codec functions whose token streams define the report/battery/error
+/// wire layouts (the bodies every peer must agree on).
+const LAYOUT_FNS: &[&str] = &[
+    "put_report",
+    "take_report",
+    "put_battery",
+    "take_battery",
+    "put_error",
+    "take_error",
+];
+
+/// See the module docs.
+pub struct WireTags {
+    recorded_version: u64,
+    recorded_fingerprint: u64,
+}
+
+impl Default for WireTags {
+    fn default() -> Self {
+        WireTags {
+            recorded_version: RECORDED_LAYOUT.0,
+            recorded_fingerprint: RECORDED_LAYOUT.1,
+        }
+    }
+}
+
+impl WireTags {
+    /// A rule instance with an explicit recorded pair (tests).
+    pub fn with_recorded(version: u64, fingerprint: u64) -> Self {
+        WireTags {
+            recorded_version: version,
+            recorded_fingerprint: fingerprint,
+        }
+    }
+
+    /// The layout fingerprint of `file` (exposed so the update
+    /// procedure and the mutation tests can compute it directly).
+    pub fn fingerprint(file: &SourceFile) -> u64 {
+        let code: Vec<usize> = file.code_token_indices().collect();
+        let consts = parse_tag_consts(file, &code);
+        let mut hash = Fnv::new();
+        for (name, value, _) in &consts {
+            hash.write(name.as_bytes());
+            hash.write(&value.to_be_bytes());
+        }
+        for fn_name in LAYOUT_FNS {
+            hash.write(fn_name.as_bytes());
+            if let Some((start, end)) = fn_body(file, &code, fn_name) {
+                for &i in &code {
+                    let tok = &file.tokens[i];
+                    if tok.start >= start && tok.start < end {
+                        hash.write(tok.text(&file.text).as_bytes());
+                        hash.write(b"\x1f");
+                    }
+                }
+            }
+        }
+        hash.finish()
+    }
+}
+
+impl Rule for WireTags {
+    fn name(&self) -> &'static str {
+        "wire-tags"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path == "crates/service/src/proto.rs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code: Vec<usize> = file.code_token_indices().collect();
+        let consts = parse_tag_consts(file, &code);
+        let diag = |line: usize, message: String| Diagnostic {
+            rule: "wire-tags",
+            path: file.rel_path.clone(),
+            line,
+            col: 1,
+            message,
+        };
+        if consts.is_empty() {
+            out.push(diag(1, "no REQ_*/REP_* tag constants found — the wire-tags rule has nothing to verify (was the table moved?)".into()));
+            return;
+        }
+
+        // Uniqueness across the whole table.
+        for (i, (name, value, line)) in consts.iter().enumerate() {
+            if let Some((other, _, _)) = consts[..i].iter().find(|(_, v, _)| v == value) {
+                out.push(diag(
+                    *line,
+                    format!("tag {name} = {value:#04x} collides with {other}"),
+                ));
+            }
+        }
+
+        // Direction bit and contiguity per direction.
+        let mut reqs: Vec<u64> = Vec::new();
+        let mut reps: Vec<u64> = Vec::new();
+        for (name, value, line) in &consts {
+            let is_req = name.starts_with("REQ_");
+            if is_req && value & 0x80 != 0 {
+                out.push(diag(
+                    *line,
+                    format!("request tag {name} = {value:#04x} has the reply direction bit set"),
+                ));
+            }
+            if !is_req && value & 0x80 == 0 {
+                out.push(diag(
+                    *line,
+                    format!("reply tag {name} = {value:#04x} is missing the 0x80 direction bit"),
+                ));
+            }
+            if is_req {
+                reqs.push(*value);
+            } else {
+                reps.push(*value);
+            }
+        }
+        reqs.sort_unstable();
+        reps.sort_unstable();
+        for (dir, base, values) in [("request", 0x01, &reqs), ("reply", 0x81, &reps)] {
+            for (k, v) in values.iter().enumerate() {
+                let want = base + k as u64;
+                if *v != want {
+                    out.push(diag(
+                        1,
+                        format!(
+                            "{dir} tags are not contiguous: expected {want:#04x} next, found \
+                             {v:#04x} (a renumbering typo or a gap in the table)"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // Pairing convention: 0x0N request ⇒ 0x8N reply exists.
+        for (name, value, line) in &consts {
+            if name.starts_with("REQ_") && !reps.contains(&(value | 0x80)) {
+                out.push(diag(
+                    *line,
+                    format!(
+                        "{name} = {value:#04x} has no paired reply tag {:#04x}",
+                        value | 0x80
+                    ),
+                ));
+            }
+        }
+
+        // Match-arm coverage: declaration + encode use + decode arm.
+        for (name, _, line) in &consts {
+            let uses = code
+                .iter()
+                .filter(|&&i| {
+                    let t = &file.tokens[i];
+                    t.kind == TokenKind::Ident
+                        && t.text(&file.text) == name
+                        && !file.in_test_code(t.start)
+                })
+                .count();
+            if uses < 3 {
+                out.push(diag(
+                    *line,
+                    format!(
+                        "{name} is referenced {} time(s) — every tag needs its encode site \
+                         and its decode match arm",
+                        uses.saturating_sub(1)
+                    ),
+                ));
+            }
+        }
+
+        // Version ↔ layout fingerprint coherence.
+        let version = protocol_version(file, &code);
+        let fingerprint = Self::fingerprint(file);
+        match version {
+            None => out.push(diag(1, "PROTOCOL_VERSION constant not found".into())),
+            Some((version, line)) => {
+                let v_ok = version == self.recorded_version;
+                let f_ok = fingerprint == self.recorded_fingerprint;
+                if v_ok && !f_ok {
+                    out.push(diag(
+                        line,
+                        format!(
+                            "report/error codec layout changed (fingerprint {fingerprint:#018x}) \
+                             but PROTOCOL_VERSION is still {version} — a peer speaking the \
+                             recorded layout would misdecode these frames; bump the version and \
+                             re-record the fingerprint in hrv-analyze wire_tags.rs"
+                        ),
+                    ));
+                } else if !v_ok && !f_ok {
+                    out.push(diag(
+                        line,
+                        format!(
+                            "PROTOCOL_VERSION is now {version} with layout fingerprint \
+                             {fingerprint:#018x} — update RECORDED_LAYOUT in hrv-analyze \
+                             wire_tags.rs to ({version}, {fingerprint:#018x}) to acknowledge \
+                             the new wire layout"
+                        ),
+                    ));
+                } else if !v_ok && f_ok {
+                    out.push(diag(
+                        line,
+                        format!(
+                            "PROTOCOL_VERSION changed to {version} but the codec layout is \
+                             unchanged — either revert the version or record the intent in \
+                             hrv-analyze wire_tags.rs"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `(name, value, line)` of every `const REQ_*/REP_*: u8 = …;`.
+fn parse_tag_consts(file: &SourceFile, code: &[usize]) -> Vec<(String, u64, usize)> {
+    let mut consts = Vec::new();
+    for pos in 0..code.len() {
+        let tok = &file.tokens[code[pos]];
+        if tok.kind != TokenKind::Ident || tok.text(&file.text) != "const" {
+            continue;
+        }
+        let Some(&name_idx) = code.get(pos + 1) else {
+            continue;
+        };
+        let name = file.tokens[name_idx].text(&file.text);
+        if !(name.starts_with("REQ_") || name.starts_with("REP_")) {
+            continue;
+        }
+        // const NAME : u8 = <int> ;
+        let value = code.get(pos + 5).and_then(|&i| {
+            let t = &file.tokens[i];
+            (t.kind == TokenKind::Int).then(|| parse_int(t.text(&file.text)))?
+        });
+        if let Some(value) = value {
+            consts.push((name.to_string(), value, file.line_of(tok.start)));
+        }
+    }
+    consts
+}
+
+/// The declared `PROTOCOL_VERSION` value and its line.
+fn protocol_version(file: &SourceFile, code: &[usize]) -> Option<(u64, usize)> {
+    for pos in 0..code.len() {
+        let tok = &file.tokens[code[pos]];
+        if tok.kind == TokenKind::Ident && tok.text(&file.text) == "PROTOCOL_VERSION" {
+            // Declaration site: `const PROTOCOL_VERSION : u32 = <int>`.
+            let declared = pos > 0 && file.tokens[code[pos - 1]].text(&file.text) == "const";
+            if !declared {
+                continue;
+            }
+            let value = code.get(pos + 4).and_then(|&i| {
+                let t = &file.tokens[i];
+                (t.kind == TokenKind::Int).then(|| parse_int(t.text(&file.text)))?
+            })?;
+            return Some((value, file.line_of(tok.start)));
+        }
+    }
+    None
+}
+
+/// Byte span of the body of `fn <name>` (braces included).
+fn fn_body(file: &SourceFile, code: &[usize], name: &str) -> Option<(usize, usize)> {
+    for pos in 0..code.len() {
+        let tok = &file.tokens[code[pos]];
+        if tok.kind != TokenKind::Ident || tok.text(&file.text) != "fn" {
+            continue;
+        }
+        let name_idx = *code.get(pos + 1)?;
+        if file.tokens[name_idx].text(&file.text) != name {
+            continue;
+        }
+        let mut open = pos + 2;
+        while file.tokens[*code.get(open)?].text(&file.text) != "{" {
+            open += 1;
+        }
+        let close = file.matching_brace(code[open])?;
+        return Some((file.tokens[code[open]].start, file.tokens[close].end));
+    }
+    None
+}
+
+/// Parses a Rust integer literal (decimal or `0x…`, `_` separators).
+fn parse_int(text: &str) -> Option<u64> {
+    let text = text.replace('_', "");
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(
+            hex.trim_end_matches(|c: char| c.is_ascii_alphabetic() && !c.is_ascii_hexdigit()),
+            16,
+        )
+        .ok()
+    } else {
+        text.trim_end_matches(|c: char| c.is_ascii_alphabetic())
+            .parse()
+            .ok()
+    }
+}
+
+/// FNV-1a, 64-bit — stable across platforms and std versions (the
+/// fingerprint is recorded in source, so `DefaultHasher` would not do).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

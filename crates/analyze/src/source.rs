@@ -1,0 +1,409 @@
+//! A lexed source file plus the structure the rules navigate: line
+//! mapping, `#[cfg(test)]` / `#[test]` regions, and the two inline
+//! annotations the analyzer understands.
+//!
+//! # Annotations
+//!
+//! * `// analyze::allow(rule-name): reason` — suppresses diagnostics of
+//!   `rule-name` on the **next source line** (or on its own line when it
+//!   trails code). The reason is mandatory; an allow that suppresses
+//!   nothing is itself reported, so stale escape hatches cannot linger.
+//! * `// analyze::hot_path` — marks the next `fn` as a hot path: the
+//!   `hot-path-alloc` rule bans allocating constructs inside its body.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// One `// analyze::allow(rule): reason` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Rule the annotation suppresses.
+    pub rule: String,
+    /// Mandatory justification text.
+    pub reason: String,
+    /// 1-based line the annotation suppresses diagnostics on.
+    pub target_line: usize,
+    /// 1-based line the comment itself sits on (for reporting).
+    pub comment_line: usize,
+}
+
+/// One `// analyze::hot_path` region: the body of the annotated `fn`.
+#[derive(Clone, Debug)]
+pub struct HotPath {
+    /// Name of the annotated function.
+    pub fn_name: String,
+    /// Byte range of the function body (including the braces).
+    pub body: (usize, usize),
+}
+
+/// A file the analyzer loaded: source text, token stream, and derived
+/// structure. Construct with [`SourceFile::parse`] (tests) or
+/// [`SourceFile::read`] (the engine).
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (what rule scopes match).
+    pub rel_path: String,
+    /// The raw source text.
+    pub text: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line (line 1 first).
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Parsed `analyze::allow` annotations.
+    pub allows: Vec<Allow>,
+    /// Parsed `analyze::hot_path` regions.
+    pub hot_paths: Vec<HotPath>,
+    /// Malformed annotation diagnostics found during parsing
+    /// (rule name/reason missing), reported by the engine.
+    pub annotation_errors: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `text` as `rel_path`.
+    pub fn parse(rel_path: impl Into<String>, text: impl Into<String>) -> Self {
+        let rel_path = rel_path.into();
+        let text = text.into();
+        let tokens = lex(&text);
+        let mut line_starts = vec![0usize];
+        line_starts.extend(
+            text.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        let mut file = SourceFile {
+            rel_path,
+            text,
+            tokens,
+            line_starts,
+            test_regions: Vec::new(),
+            allows: Vec::new(),
+            hot_paths: Vec::new(),
+            annotation_errors: Vec::new(),
+        };
+        file.test_regions = file.find_test_regions();
+        file.find_annotations();
+        file
+    }
+
+    /// Reads `path` from disk, storing `rel_path` for scope matching.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error of an unreadable file.
+    pub fn read(root: &Path, rel_path: &str) -> std::io::Result<Self> {
+        let full: PathBuf = root.join(rel_path);
+        let text = std::fs::read_to_string(full)?;
+        Ok(Self::parse(rel_path, text))
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based column (byte) of an offset within its line.
+    pub fn col_of(&self, offset: usize) -> usize {
+        let line = self.line_of(offset);
+        offset - self.line_starts[line - 1] + 1
+    }
+
+    /// True when the byte offset lies inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Indices of non-comment tokens, in order.
+    pub fn code_token_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+    }
+
+    /// The next non-comment token at or after token index `from`.
+    pub fn next_code_token(&self, from: usize) -> Option<usize> {
+        (from..self.tokens.len()).find(|&i| !self.tokens[i].is_comment())
+    }
+
+    /// Token index of the `}` matching the `{` at token index `open`
+    /// (`None` when unbalanced; the last token then ends the region).
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for (i, tok) in self.tokens.iter().enumerate().skip(open) {
+            if tok.is_comment() {
+                continue;
+            }
+            match tok.text(&self.text) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// `#[cfg(test)] mod …` / `#[test] fn …` byte regions: from the `#`
+    /// of the attribute to the matching close brace of the item body.
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let code: Vec<usize> = self.code_token_indices().collect();
+        let mut i = 0usize;
+        while i < code.len() {
+            let at = code[i];
+            if self.tokens[at].text(&self.text) == "#" && self.is_test_attribute(&code, i) {
+                let region_start = self.tokens[at].start;
+                // Skip this and any further attributes, then the item
+                // header, to the first `{` — its match closes the region.
+                let mut j = i;
+                while j < code.len() && self.tokens[code[j]].text(&self.text) == "#" {
+                    j = self.skip_attribute(&code, j);
+                }
+                let mut k = j;
+                while k < code.len() {
+                    let text = self.tokens[code[k]].text(&self.text);
+                    if text == "{" {
+                        break;
+                    }
+                    // `#[cfg(test)] mod tests;` (out-of-line) or any other
+                    // braceless item: nothing to skip in this file.
+                    if text == ";" {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < code.len() && self.tokens[code[k]].text(&self.text) == "{" {
+                    let close = self
+                        .matching_brace(code[k])
+                        .unwrap_or(self.tokens.len() - 1);
+                    regions.push((region_start, self.tokens[close].end));
+                    // Continue scanning *after* the region: nested
+                    // attributes inside it are already covered.
+                    while i < code.len() && self.tokens[code[i]].start < self.tokens[close].end {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        regions
+    }
+
+    /// Does the attribute starting at code-token index `i` (`#`) mark
+    /// test code? True for `#[test]` and any `#[cfg(…)]` whose argument
+    /// list mentions `test` (covers `cfg(test)` and `cfg(all(test, …))`).
+    fn is_test_attribute(&self, code: &[usize], i: usize) -> bool {
+        let end = self.skip_attribute(code, i);
+        let mut idents = (i..end).filter_map(|j| {
+            let t = &self.tokens[code[j]];
+            (t.kind == TokenKind::Ident).then(|| t.text(&self.text))
+        });
+        match idents.next() {
+            Some("test") => true,
+            Some("cfg") => idents.any(|t| t == "test"),
+            _ => false,
+        }
+    }
+
+    /// Code-token index one past the `]` closing the attribute at `i`.
+    fn skip_attribute(&self, code: &[usize], i: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < code.len() {
+            match self.tokens[code[j]].text(&self.text) {
+                "[" => depth += 1,
+                "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses `analyze::allow` / `analyze::hot_path` comments.
+    fn find_annotations(&mut self) {
+        for idx in 0..self.tokens.len() {
+            let tok = self.tokens[idx];
+            if tok.kind != TokenKind::LineComment {
+                continue;
+            }
+            let body = tok.text(&self.text).trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("analyze::") else {
+                continue;
+            };
+            let comment_line = self.line_of(tok.start);
+            if rest == "hot_path" {
+                match self.hot_path_region(idx) {
+                    Some(hot) => self.hot_paths.push(hot),
+                    None => self.annotation_errors.push((
+                        comment_line,
+                        "analyze::hot_path is not followed by a `fn` with a body".into(),
+                    )),
+                }
+            } else if let Some(rest) = rest.strip_prefix("allow(") {
+                match parse_allow(rest) {
+                    Some((rule, reason)) => {
+                        let target_line = self.allow_target_line(idx, comment_line);
+                        self.allows.push(Allow {
+                            rule,
+                            reason,
+                            target_line,
+                            comment_line,
+                        });
+                    }
+                    None => self.annotation_errors.push((
+                        comment_line,
+                        "malformed allow — expected `analyze::allow(rule): reason`".into(),
+                    )),
+                }
+            } else {
+                self.annotation_errors.push((
+                    comment_line,
+                    format!("unknown analyze:: annotation `{rest}`"),
+                ));
+            }
+        }
+    }
+
+    /// An allow trailing code suppresses its own line; an allow on its
+    /// own line suppresses the next line holding a code token.
+    fn allow_target_line(&self, comment_idx: usize, comment_line: usize) -> usize {
+        let trails_code = self.tokens[..comment_idx]
+            .iter()
+            .rev()
+            .take_while(|t| self.line_of(t.start) == comment_line)
+            .any(|t| !t.is_comment());
+        if trails_code {
+            return comment_line;
+        }
+        self.next_code_token(comment_idx + 1)
+            .map(|i| self.line_of(self.tokens[i].start))
+            .unwrap_or(comment_line)
+    }
+
+    /// The body span of the `fn` following a hot-path annotation.
+    fn hot_path_region(&self, comment_idx: usize) -> Option<HotPath> {
+        let mut i = self.next_code_token(comment_idx + 1)?;
+        // Scan to the `fn` keyword (skipping `pub`, `const`, attrs …).
+        let mut guard = 0usize;
+        while self.tokens[i].text(&self.text) != "fn" {
+            i = self.next_code_token(i + 1)?;
+            guard += 1;
+            if guard > 32 {
+                return None;
+            }
+        }
+        let name_idx = self.next_code_token(i + 1)?;
+        let fn_name = self.tokens[name_idx].text(&self.text).to_string();
+        let mut open = name_idx;
+        while self.tokens[open].text(&self.text) != "{" {
+            open = self.next_code_token(open + 1)?;
+        }
+        let close = self.matching_brace(open)?;
+        Some(HotPath {
+            fn_name,
+            body: (self.tokens[open].start, self.tokens[close].end),
+        })
+    }
+}
+
+/// Parses the `rule): reason` tail of an allow annotation.
+fn parse_allow(rest: &str) -> Option<(String, String)> {
+    let (rule, tail) = rest.split_once(')')?;
+    let reason = tail.trim_start().strip_prefix(':')?.trim();
+    if rule.trim().is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some((rule.trim().to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_and_cols() {
+        let f = SourceFile::parse("x.rs", "ab\ncd\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(3), 2);
+        assert_eq!(f.col_of(4), 2);
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+        assert!(!f.in_test_code(src.find("also_live").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_and_stacked_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() { y.unwrap() }\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(src.find("unwrap").unwrap()));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"x\")]\nfn live() { a.unwrap() }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn allow_targets_next_code_line() {
+        let src =
+            "fn f() {\n    // analyze::allow(some-rule): because reasons\n    x.unwrap();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "some-rule");
+        assert_eq!(f.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "x.unwrap(); // analyze::allow(r): trailing justification\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn malformed_allow_is_reported() {
+        let src = "// analyze::allow(rule-without-reason)\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows.is_empty());
+        assert_eq!(f.annotation_errors.len(), 1);
+    }
+
+    #[test]
+    fn hot_path_covers_fn_body() {
+        let src = "// analyze::hot_path\npub fn hot(&mut self) -> usize {\n    body();\n}\nfn cold() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.hot_paths.len(), 1);
+        assert_eq!(f.hot_paths[0].fn_name, "hot");
+        let (s, e) = f.hot_paths[0].body;
+        let body_at = src.find("body").unwrap();
+        assert!(body_at > s && body_at < e);
+        assert!(src.find("cold").unwrap() > e);
+    }
+}

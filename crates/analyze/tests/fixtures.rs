@@ -1,0 +1,278 @@
+//! Fixture tests: one bad snippet per rule producing exactly the
+//! expected diagnostic, plus the suppression, scoping and test-code
+//! exemptions that make the rules usable.
+
+use hrv_analyze::engine::Engine;
+use hrv_analyze::rules::{
+    FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, Rule, WireTags,
+};
+use hrv_analyze::source::SourceFile;
+use hrv_analyze::Diagnostic;
+
+fn check(rule: Box<dyn Rule>, rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    Engine::with_rules(vec![rule]).check_file(&SourceFile::parse(rel_path, src))
+}
+
+const SERVICE_PATH: &str = "crates/service/src/x.rs";
+
+// ---------------------------------------------------------------- panics
+
+#[test]
+fn panic_free_wire_flags_unwrap_expect_and_macros() {
+    let src = "fn f(o: Option<u8>) {\n    o.unwrap();\n    o.expect(\"m\");\n    panic!(\"x\");\n    unreachable!();\n}\n";
+    let diags = check(Box::new(PanicFreeWire), SERVICE_PATH, src);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "panic-free-wire"));
+}
+
+#[test]
+fn panic_free_wire_allow_suppresses_with_reason() {
+    let src = "fn f(o: Option<u8>) {\n    // analyze::allow(panic-free-wire): invariant upheld by caller\n    o.unwrap();\n}\n";
+    assert!(check(Box::new(PanicFreeWire), SERVICE_PATH, src).is_empty());
+}
+
+#[test]
+fn panic_free_wire_exempts_test_code_and_other_crates() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t(o: Option<u8>) { o.unwrap(); }\n}\n";
+    assert!(check(Box::new(PanicFreeWire), SERVICE_PATH, src).is_empty());
+    let live = "fn f(o: Option<u8>) { o.unwrap(); }\n";
+    assert!(check(Box::new(PanicFreeWire), "crates/dsp/src/x.rs", live).is_empty());
+}
+
+#[test]
+fn panic_free_wire_ignores_non_call_identifiers() {
+    // `unwrap` as a field/path mention, not a method call.
+    let src = "fn f() { let unwrap = 3; let _ = unwrap; }\n";
+    assert!(check(Box::new(PanicFreeWire), SERVICE_PATH, src).is_empty());
+}
+
+// -------------------------------------------------------------- hot alloc
+
+#[test]
+fn hot_path_alloc_flags_construction_in_annotated_fn() {
+    let src = "// analyze::hot_path\nfn hot(&mut self) {\n    let v: Vec<u8> = Vec::new();\n    let b = vec![1];\n    let s = x.to_vec();\n}\n";
+    let diags = check(Box::new(HotPathAlloc), "crates/stream/src/x.rs", src);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.message.contains("hot path `hot`")));
+}
+
+#[test]
+fn hot_path_alloc_ignores_unannotated_fns_and_warmup_growth() {
+    let src = "fn cold() { let v: Vec<u8> = Vec::new(); }\n\
+               // analyze::hot_path\nfn hot(&mut self) {\n    self.buf.resize(10, 0.0);\n    self.buf.extend_from_slice(&other);\n}\n";
+    assert!(check(Box::new(HotPathAlloc), "crates/stream/src/x.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------------ locks
+
+#[test]
+fn lock_discipline_flags_bare_unwrap() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let g = m.lock().unwrap();\n}\n";
+    let diags = check(Box::new(LockDiscipline), SERVICE_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("poisoning policy"));
+}
+
+#[test]
+fn lock_discipline_accepts_the_policy_helper() {
+    let src =
+        "fn f(m: &std::sync::Mutex<u8>) {\n    let g = lock_unpoisoned(m);\n    *g += 1;\n}\n";
+    assert!(check(Box::new(LockDiscipline), SERVICE_PATH, src).is_empty());
+}
+
+#[test]
+fn lock_discipline_flags_blocking_under_guard() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let guard = lock_unpoisoned(m);\n    thread::sleep(idle);\n}\n";
+    let diags = check(Box::new(LockDiscipline), SERVICE_PATH, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0]
+        .message
+        .contains("`sleep` blocks while lock guard `guard`"));
+}
+
+#[test]
+fn lock_discipline_respects_drop_and_scope_end() {
+    // drop() releases; a block boundary releases; blocking after either is fine.
+    let src = "fn f(m: &std::sync::Mutex<u8>) {\n    let guard = lock_unpoisoned(m);\n    drop(guard);\n    thread::sleep(idle);\n}\n\
+               fn g(m: &std::sync::Mutex<u8>) {\n    {\n        let guard = lock_unpoisoned(m);\n        *guard += 1;\n    }\n    thread::sleep(idle);\n}\n";
+    assert!(check(Box::new(LockDiscipline), SERVICE_PATH, src).is_empty());
+}
+
+#[test]
+fn lock_discipline_if_let_guard_dies_with_the_block() {
+    // Inside the `if let` block the scrutinee guard is live: blocking is
+    // flagged. After the block it is dead: blocking is fine.
+    let bad = "fn f(m: &std::sync::Mutex<u8>) {\n    if let Some(v) = lock_unpoisoned(m).take() {\n        sock.write_all(&v);\n    }\n}\n";
+    let diags = check(Box::new(LockDiscipline), SERVICE_PATH, bad);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let good = "fn f(m: &std::sync::Mutex<u8>) {\n    if let Some(v) = lock_unpoisoned(m).take() {\n        consume(v);\n    }\n    thread::sleep(idle);\n}\n";
+    assert!(check(Box::new(LockDiscipline), SERVICE_PATH, good).is_empty());
+}
+
+// -------------------------------------------------------------- wire tags
+
+/// A minimal well-formed proto fixture: two paired tags, each used
+/// three times (decl + encode + decode), a version const and the layout
+/// functions the fingerprint covers.
+fn proto_fixture(version: u32, body_stmt: &str) -> String {
+    format!(
+        "pub const PROTOCOL_VERSION: u32 = {version};\n\
+         const REQ_HELLO: u8 = 0x01;\n\
+         const REQ_PUSH: u8 = 0x02;\n\
+         const REP_HELLO_ACK: u8 = 0x81;\n\
+         const REP_PUSH_ACK: u8 = 0x82;\n\
+         fn encode(buf: &mut Vec<u8>) {{\n\
+             put_u8(buf, REQ_HELLO);\n\
+             put_u8(buf, REQ_PUSH);\n\
+             put_u8(buf, REP_HELLO_ACK);\n\
+             put_u8(buf, REP_PUSH_ACK);\n\
+         }}\n\
+         fn decode(tag: u8) {{\n\
+             match tag {{\n\
+                 REQ_HELLO => 1,\n\
+                 REQ_PUSH => 2,\n\
+                 REP_HELLO_ACK => 3,\n\
+                 REP_PUSH_ACK => 4,\n\
+                 _ => 0,\n\
+             }};\n\
+         }}\n\
+         fn put_report(buf: &mut Vec<u8>) {{ {body_stmt} }}\n\
+         fn take_report(buf: &[u8]) {{ }}\n"
+    )
+}
+
+const PROTO_PATH: &str = "crates/service/src/proto.rs";
+
+fn fixture_rule(version: u32, body_stmt: &str) -> (Box<dyn Rule>, String) {
+    // Record the fixture's own fingerprint so only *mutations* fire.
+    let src = proto_fixture(version, body_stmt);
+    let fp = WireTags::fingerprint(&SourceFile::parse(PROTO_PATH, &src));
+    (
+        Box::new(WireTags::with_recorded(u64::from(version), fp)),
+        src,
+    )
+}
+
+#[test]
+fn wire_tags_accepts_a_coherent_table() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    assert!(check(rule, PROTO_PATH, &src).is_empty());
+}
+
+#[test]
+fn wire_tags_flags_duplicate_values() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    let src = src.replace("const REQ_PUSH: u8 = 0x02;", "const REQ_PUSH: u8 = 0x01;");
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags.iter().any(|d| d.message.contains("collides")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_flags_direction_bit_and_pairing() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    // Reply tag without the 0x80 bit: direction violation AND the
+    // request loses its expected pair.
+    let src = src.replace(
+        "const REP_PUSH_ACK: u8 = 0x82;",
+        "const REP_PUSH_ACK: u8 = 0x02;",
+    );
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags.iter().any(|d| d.message.contains("direction bit")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("collides")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_flags_gaps() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    let src = src.replace("const REQ_PUSH: u8 = 0x02;", "const REQ_PUSH: u8 = 0x03;");
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags.iter().any(|d| d.message.contains("not contiguous")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_flags_unreferenced_tags() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    // Remove the decode arm for REQ_PUSH: now referenced only twice.
+    let src = src.replace("REQ_PUSH => 2,\n", "");
+    let fp = WireTags::fingerprint(&SourceFile::parse(PROTO_PATH, &src));
+    let _ = rule;
+    let rule = Box::new(WireTags::with_recorded(2, fp));
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags.iter().any(|d| d.message.contains("decode match arm")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_layout_change_without_version_bump_fires() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    let src = src.replace("put_u64(buf, 1);", "put_u64(buf, 1); put_u8(buf, 0);");
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("codec layout changed")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_version_bump_without_layout_change_fires() {
+    let (rule, src) = fixture_rule(2, "put_u64(buf, 1);");
+    let src = src.replace(
+        "pub const PROTOCOL_VERSION: u32 = 2;",
+        "pub const PROTOCOL_VERSION: u32 = 3;",
+    );
+    let diags = check(rule, PROTO_PATH, &src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("layout is unchanged")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn wire_tags_fingerprint_ignores_comments_and_whitespace() {
+    let plain = proto_fixture(2, "put_u64(buf, 1);");
+    let noisy = proto_fixture(2, "put_u64(buf,   1); // a comment\n");
+    let fp_plain = WireTags::fingerprint(&SourceFile::parse(PROTO_PATH, &plain));
+    let fp_noisy = WireTags::fingerprint(&SourceFile::parse(PROTO_PATH, &noisy));
+    assert_eq!(fp_plain, fp_noisy);
+}
+
+// ----------------------------------------------------------------- floats
+
+#[test]
+fn float_discipline_flags_exact_compare_and_narrowing() {
+    let src = "fn f(x: f64) -> bool {\n    let y = x as f32;\n    x == 0.0\n}\n";
+    let diags = check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn float_discipline_allows_widening_and_int_compare() {
+    let src = "fn f(x: u32, y: f32) -> bool {\n    let z = y as f64;\n    x == 0 && z > 0.5\n}\n";
+    assert!(check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn float_discipline_exempts_tests_and_allows() {
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn t(x: f64) { assert!(x == 1.0); }\n}\n";
+    assert!(check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", test_src).is_empty());
+    let allowed = "fn f(x: f64) -> bool {\n    // analyze::allow(float-discipline): exact sentinel\n    x == 0.0\n}\n";
+    assert!(check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", allowed).is_empty());
+}

@@ -1,0 +1,154 @@
+//! Property tests for the lexer and the rule pipeline on top of it.
+//!
+//! The central claim of the hand-rolled lexer is *immunity*: text that
+//! merely looks like a violation — `.unwrap()` inside a string literal,
+//! `panic!` inside a comment, lock calls inside a raw string — never
+//! trips a rule, while the same construct as real code always does.
+//! These tests generate random interleavings of "carrier" fragments
+//! (each hiding banned patterns behind a literal or comment) and assert
+//! both directions.
+
+use hrv_analyze::engine::Engine;
+use hrv_analyze::lexer::lex;
+use hrv_analyze::rules::{FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, Rule};
+use hrv_analyze::source::SourceFile;
+use proptest::prelude::*;
+
+/// Statement-shaped fragments whose *only* banned-pattern text lives
+/// inside string/char literals or comments. A correct lexer sees no
+/// violation in any interleaving of these.
+const CARRIERS: &[&str] = &[
+    r#"let a = "x.unwrap()";"#,
+    r#"let b = "panic!(\"boom\") and .expect(\"no\")";"#,
+    r##"let c = r#"raw .lock().unwrap() text"#;"##,
+    r###"let d = r##"nested "# fence .expect("q") "##;"###,
+    "// comment with x.unwrap() and vec![1, 2]",
+    "/* block comment panic!(\"hidden\") */",
+    "/* nested /* .lock().unwrap() */ still comment */",
+    r#"let e = '\n';"#,
+    r#"let f = '"';"#,
+    "let g: &'static str = \"lifetime 'a and 1.0 == 2.0\";",
+    r#"let h = "as f32 inside a string";"#,
+    "let i = 0x1f_u32 + 1_000;",
+    "let j = 1.5e-3;",
+    "let r#loop = 7;",
+];
+
+/// Real violations, one rule each, with the substring the diagnostic
+/// must contain.
+const VIOLATIONS: &[(&str, &str)] = &[
+    ("let v = opt.unwrap();", "unwrap"),
+    ("panic!(\"real\");", "panic!"),
+    ("let w = res.expect(\"real\");", "expect"),
+];
+
+fn pick<'a>(table: &[&'a str], f: f64) -> &'a str {
+    let n = table.len();
+    table[((f * n as f64) as usize).min(n - 1)]
+}
+
+/// Joins carrier fragments (selected by the f64 draws) into a function
+/// body in a path where every rule applies.
+fn carrier_source(picks: &[f64]) -> String {
+    let mut body = String::new();
+    for &f in picks {
+        body.push_str("    ");
+        body.push_str(pick(CARRIERS, f));
+        body.push('\n');
+    }
+    format!("fn f() {{\n{body}}}\n")
+}
+
+fn panic_rule_engine() -> Engine {
+    Engine::with_rules(vec![
+        Box::new(PanicFreeWire) as Box<dyn Rule>,
+        Box::new(HotPathAlloc),
+        Box::new(LockDiscipline),
+        Box::new(FloatDiscipline),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rules_are_immune_to_pattern_text_in_literals(
+        picks in prop::collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let src = carrier_source(&picks);
+        let file = SourceFile::parse("crates/service/src/x.rs", &src);
+        let diags = panic_rule_engine().check_file(&file);
+        prop_assert!(diags.is_empty(), "false positives on {src:?}: {diags:?}");
+    }
+
+    #[test]
+    fn real_violations_survive_any_carrier_noise(
+        picks in prop::collection::vec(0.0f64..1.0, 0..10),
+        which in 0.0f64..1.0,
+    ) {
+        let violation = pick(
+            &VIOLATIONS.iter().map(|(code, _)| *code).collect::<Vec<_>>(),
+            which,
+        );
+        let needle = VIOLATIONS
+            .iter()
+            .find(|(code, _)| *code == violation)
+            .map(|(_, needle)| *needle)
+            .unwrap();
+        let mut body = String::new();
+        for &f in &picks {
+            body.push_str("    ");
+            body.push_str(pick(CARRIERS, f));
+            body.push('\n');
+        }
+        let src = format!("fn f() {{\n{body}    {violation}\n}}\n");
+        let file = SourceFile::parse("crates/service/src/x.rs", &src);
+        let diags = Engine::with_rules(vec![Box::new(PanicFreeWire) as Box<dyn Rule>])
+            .check_file(&file);
+        prop_assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "missed {violation:?} among noise: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn spans_are_ordered_disjoint_and_round_trip(
+        picks in prop::collection::vec(0.0f64..1.0, 0..14),
+    ) {
+        let src = carrier_source(&picks);
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            prop_assert!(tok.start >= prev_end, "overlapping spans in {src:?}");
+            prop_assert!(tok.end <= src.len());
+            prop_assert!(tok.start < tok.end, "empty span in {src:?}");
+            // The span slices back to exactly the token's text.
+            prop_assert_eq!(tok.text(&src), &src[tok.start..tok.end]);
+            prev_end = tok.end;
+        }
+    }
+
+    #[test]
+    fn lexing_is_deterministic_and_total(
+        picks in prop::collection::vec(0.0f64..1.0, 0..14),
+        truncate_at in 0.0f64..1.0,
+    ) {
+        // Lexing never panics, even on sources truncated mid-token
+        // (unterminated strings, half comments), and is a pure function.
+        let full = carrier_source(&picks);
+        let cut = ((truncate_at * full.len() as f64) as usize).min(full.len());
+        // Truncate at a char boundary.
+        let mut cut = cut;
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let src = &full[..cut];
+        let first = lex(src);
+        let second = lex(src);
+        prop_assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second.iter()) {
+            prop_assert_eq!(a.text(src), b.text(src));
+            prop_assert_eq!(a.start, b.start);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The analyzer as a CI gate: the real workspace must be clean, and
+//! mutations of the real `proto.rs` must be caught. This is the
+//! demonstration required of the wire-tags rule — not a synthetic
+//! fixture, but the shipped codec with one line changed.
+
+use hrv_analyze::engine::Engine;
+use hrv_analyze::rules::{Rule, WireTags};
+use hrv_analyze::source::SourceFile;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+const PROTO: &str = "crates/service/src/proto.rs";
+
+fn real_proto() -> String {
+    std::fs::read_to_string(workspace_root().join(PROTO)).expect("proto.rs readable")
+}
+
+fn wire_tags_on(src: &str) -> Vec<hrv_analyze::Diagnostic> {
+    Engine::with_rules(vec![Box::new(WireTags::default()) as Box<dyn Rule>])
+        .check_file(&SourceFile::parse(PROTO, src))
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let report = Engine::new()
+        .run(workspace_root())
+        .expect("workspace readable");
+    assert!(
+        report.diagnostics.is_empty(),
+        "violations in the tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(report.files_checked > 50, "{} files", report.files_checked);
+}
+
+#[test]
+fn shipped_proto_matches_the_recorded_layout() {
+    assert!(wire_tags_on(&real_proto()).is_empty());
+}
+
+#[test]
+fn mutating_a_codec_layout_is_caught() {
+    // Insert a field write into the real put_report: a peer running the
+    // recorded layout would misdecode every report frame.
+    let src = real_proto();
+    let anchor = "fn put_report(buf: &mut Vec<u8>, report: &StreamReport) {";
+    assert!(src.contains(anchor), "put_report signature moved");
+    let mutated = src.replace(anchor, &format!("{anchor}\n    put_u8(buf, 0);"));
+    let diags = wire_tags_on(&mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("codec layout changed")),
+        "layout mutation not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn bumping_the_version_without_a_layout_change_is_caught() {
+    let src = real_proto().replace(
+        "pub const PROTOCOL_VERSION: u32 = 2;",
+        "pub const PROTOCOL_VERSION: u32 = 3;",
+    );
+    let diags = wire_tags_on(&src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("layout is unchanged")),
+        "silent version bump not caught: {diags:?}"
+    );
+}
+
+#[test]
+fn duplicating_a_real_tag_is_caught() {
+    let src = real_proto().replace(
+        "const REQ_PUSH_RR: u8 = 0x03;",
+        "const REQ_PUSH_RR: u8 = 0x01;",
+    );
+    let diags = wire_tags_on(&src);
+    assert!(
+        diags.iter().any(|d| d.message.contains("collides")),
+        "duplicate tag not caught: {diags:?}"
+    );
+}

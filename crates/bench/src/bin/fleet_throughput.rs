@@ -20,6 +20,12 @@ use std::time::Instant;
 
 /// Counts every heap allocation so the steady-state claim is measured, not
 /// asserted.
+///
+/// The `unsafe` below is the only unsafe code in the workspace (every
+/// library crate is `#![forbid(unsafe_code)]`): implementing
+/// [`GlobalAlloc`] requires it by signature. Each method delegates
+/// straight to [`System`] after bumping a counter, adding no invariants
+/// of its own.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);

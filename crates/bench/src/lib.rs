@@ -21,6 +21,8 @@
 //! the kernels; the paper-shaped numbers come from the deterministic
 //! operation/energy models printed by these binaries.
 
+#![forbid(unsafe_code)]
+
 use hrv_ecg::{Condition, RrSeries, SyntheticDatabase};
 
 /// The workspace-wide master seed (the publication year, for flavour).

@@ -112,6 +112,7 @@ impl BandSignificance {
     pub fn hp_lp_ratio(&self) -> f64 {
         let lp: f64 = self.lowpass_mean_abs.iter().sum();
         let hp: f64 = self.highpass_mean_abs.iter().sum();
+        // analyze::allow(float-discipline): exact-zero guard — lp is a sum of absolute values, zero only for an identically-zero mesh, where the ratio is defined as 0
         if lp == 0.0 {
             0.0
         } else {

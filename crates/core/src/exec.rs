@@ -24,6 +24,7 @@ use crate::energy::NodeModel;
 use crate::error::PsaError;
 use crate::govern::CandidatePoint;
 use crate::quality::OperatingChoice;
+use crate::sync::lock_unpoisoned;
 use hrv_dsp::{fft_real_pair_into, Cx, FftBackend, OpCount, RealFft, SplitRadixFft, Window};
 use hrv_ecg::RrSeries;
 use hrv_lomb::{FastLomb, MeshScratch, MeshStrategy};
@@ -552,7 +553,7 @@ impl CostProfile {
         if backend.is_exact() && self.data.resampled {
             return self.data.base_ops + self.data.exact_fft_ops;
         }
-        let mut probes = self.data.probes.lock().expect("cost probes poisoned");
+        let mut probes = lock_unpoisoned(&self.data.probes);
         let fft_ops = *probes.entry(spec).or_insert_with(|| {
             let mut ops = OpCount::default();
             let (mut first, mut second) = (Vec::new(), Vec::new());
@@ -764,7 +765,7 @@ impl KernelCache {
         key: PlanKey,
         build: impl FnOnce() -> Arc<dyn FftBackend>,
     ) -> Arc<dyn FftBackend> {
-        let mut kernels = self.inner.kernels.lock().expect("kernel cache poisoned");
+        let mut kernels = lock_unpoisoned(&self.inner.kernels);
         if let Some(kernel) = kernels.get(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(kernel);
@@ -798,11 +799,7 @@ impl KernelCache {
 
     /// Number of distinct kernels currently cached.
     pub fn len(&self) -> usize {
-        self.inner
-            .kernels
-            .lock()
-            .expect("kernel cache poisoned")
-            .len()
+        lock_unpoisoned(&self.inner.kernels).len()
     }
 
     /// `true` when no kernel has been built yet.
@@ -822,7 +819,7 @@ impl KernelCache {
             plan.training().map_or(0, |t| t.fingerprint()),
         );
         let data = {
-            let mut profiles = self.inner.profiles.lock().expect("cost profiles poisoned");
+            let mut profiles = lock_unpoisoned(&self.inner.profiles);
             Arc::clone(
                 profiles
                     .entry(key)

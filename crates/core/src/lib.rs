@@ -53,6 +53,7 @@
 //! # Ok::<(), hrv_core::PsaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod calibrate;
@@ -63,6 +64,7 @@ mod exec;
 mod govern;
 mod quality;
 mod sweep;
+mod sync;
 mod system;
 mod telemetry;
 
@@ -77,5 +79,6 @@ pub use govern::{
 };
 pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
+pub use sync::lock_unpoisoned;
 pub use system::{HrvAnalysis, PsaSystem};
 pub use telemetry::{Counter, Gauge, MetricKind, Telemetry};

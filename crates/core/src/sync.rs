@@ -1,0 +1,54 @@
+//! Shared locking policy.
+//!
+//! Every crate in the workspace acquires mutexes through
+//! [`lock_unpoisoned`] instead of `.lock().unwrap()`. The distinction
+//! matters for the long-running surfaces (the gateway, the fleet,
+//! telemetry): a bare unwrap converts one panicking thread into a
+//! process-wide cascade, because every subsequent acquirer of the
+//! poisoned mutex panics too — a thousand healthy streams die with the
+//! one that was already lost.
+//!
+//! The recovery policy encoded here is sound for this workspace because
+//! every shared structure guarded by a mutex (kernel cache, telemetry
+//! registry, session table, fleet handle, report map) is kept
+//! *transactionally consistent*: critical sections either complete
+//! their mutation or panic before making the first write visible
+//! (inserts into maps, pushes onto queues — no multi-step states that
+//! an observer could see half-done). Clearing the poison flag therefore
+//! exposes a structure that is stale at worst, never torn. The
+//! `hrv-analyze` `lock-discipline` rule enforces usage.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquires `mutex`, recovering the guard if a previous holder
+/// panicked. See the module docs for why recovery is sound here.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_after_a_panicking_holder() {
+        let m = Mutex::new(7u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("holder dies");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+    }
+
+    #[test]
+    fn plain_acquisition_still_works() {
+        let m = Mutex::new(1u32);
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 2);
+    }
+}

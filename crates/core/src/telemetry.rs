@@ -9,6 +9,7 @@
 //! benches and the examples all report through one path instead of
 //! ad-hoc `println!` plumbing.
 
+use crate::sync::lock_unpoisoned;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -177,7 +178,7 @@ impl Telemetry {
     ) -> Arc<AtomicU64> {
         assert!(valid_name(name), "invalid metric name {name:?}");
         let block = label_block(labels);
-        let mut registry = self.inner.lock().expect("telemetry registry poisoned");
+        let mut registry = lock_unpoisoned(&self.inner);
         let family = registry
             .families
             .entry(name.to_string())
@@ -240,7 +241,7 @@ impl Telemetry {
     /// series use an empty label slice.
     pub fn remove_series(&self, name: &str, labels: &[(&str, &str)]) -> bool {
         let block = label_block(labels);
-        let mut registry = self.inner.lock().expect("telemetry registry poisoned");
+        let mut registry = lock_unpoisoned(&self.inner);
         registry
             .families
             .get_mut(name)
@@ -251,7 +252,7 @@ impl Telemetry {
     /// exposition format (families and series in lexicographic order, so
     /// the output is deterministic).
     pub fn render(&self) -> String {
-        let registry = self.inner.lock().expect("telemetry registry poisoned");
+        let registry = lock_unpoisoned(&self.inner);
         let mut out = String::new();
         for (name, family) in &registry.families {
             let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));

@@ -27,6 +27,7 @@
 //! assert!((rr.mean_rr() - 0.8).abs() < 0.02);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod filters;

@@ -34,6 +34,7 @@
 //! assert_eq!(peak, 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod complex;

@@ -81,6 +81,7 @@ pub fn ipfm_beat_times(
 /// Approximately Gaussian noise via the sum-of-uniforms construction
 /// (Irwin–Hall with 12 terms), avoiding a distribution dependency.
 fn sample_noise(sd: f64, rng: &mut impl Rng) -> f64 {
+    // analyze::allow(float-discipline): exact-zero sentinel — sd = 0.0 is the documented "noise disabled" setting, assigned from a literal, not computed
     if sd == 0.0 {
         return 0.0;
     }

@@ -25,6 +25,7 @@
 //! assert!(record.rr.rmssd() > 0.02);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod database;

@@ -34,6 +34,7 @@
 //! assert!(ArrhythmiaDetector::default().detect(&powers)); // LF/HF ≪ 1
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bands;

@@ -36,6 +36,7 @@
 //! assert!(scaled < 0.6 * nominal); // quadratic voltage savings
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod battery;

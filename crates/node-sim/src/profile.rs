@@ -66,6 +66,7 @@ impl EnergyProfile {
     /// Energy fraction of one block, in `[0, 1]`.
     pub fn energy_fraction(&self, name: &str) -> f64 {
         let total = self.total_energy();
+        // analyze::allow(float-discipline): exact-zero guard — total energy is a sum of non-negative charges; zero means nothing ran and the fraction is defined as 0
         if total == 0.0 {
             return 0.0;
         }

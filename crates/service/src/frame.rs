@@ -77,6 +77,7 @@ enum ReadStep {
     NotReady,
 }
 
+// analyze::hot_path
 fn read_step(reader: &mut impl Read, dst: &mut [u8]) -> Result<ReadStep, ServiceError> {
     loop {
         match reader.read(dst) {
@@ -105,6 +106,7 @@ impl FrameReader {
     /// for a header announcing an oversized or empty body,
     /// [`ServiceError::Truncated`] when the peer closes mid-frame, and
     /// [`ServiceError::Io`] on transport failure.
+    // analyze::hot_path
     pub fn poll(&mut self, reader: &mut impl Read) -> Result<FramePoll, ServiceError> {
         loop {
             match self.body_len {

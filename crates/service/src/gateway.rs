@@ -26,7 +26,7 @@ use crate::error::ServiceError;
 use crate::frame::{write_frame, FramePoll, FrameReader, MAX_FRAME};
 use crate::proto::{Reply, Request, PROTOCOL_VERSION};
 use crate::session::{SessionConfig, SessionTable, STATE_DONE, STATE_DRAINING, STATE_RUNNING};
-use hrv_core::{Counter, PsaConfig, PsaError, SpectralPlan, Telemetry};
+use hrv_core::{lock_unpoisoned, Counter, PsaConfig, PsaError, SpectralPlan, Telemetry};
 use hrv_stream::{FleetScheduler, StreamReport};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -237,12 +237,7 @@ impl GatewayHandle {
             Ordering::SeqCst,
         );
         self.join()?;
-        let reports = self
-            .shared
-            .final_reports
-            .lock()
-            .expect("final reports poisoned")
-            .clone();
+        let reports = lock_unpoisoned(&self.shared.final_reports).clone();
         reports.ok_or_else(|| ServiceError::Io("gateway drained without reports".into()))
     }
 
@@ -255,12 +250,7 @@ impl GatewayHandle {
     /// Returns [`ServiceError::Io`] when a service thread panicked.
     pub fn wait(mut self) -> Result<Vec<StreamReport>, ServiceError> {
         self.join()?;
-        let reports = self
-            .shared
-            .final_reports
-            .lock()
-            .expect("final reports poisoned")
-            .clone();
+        let reports = lock_unpoisoned(&self.shared.final_reports).clone();
         reports.ok_or_else(|| ServiceError::Io("gateway drained without reports".into()))
     }
 
@@ -434,7 +424,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             Err(err) => Reply::Error(err),
         },
         Request::ReadReport { stream } => {
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
             match fleet.stream_report(stream as usize) {
                 Ok(report) => Reply::Report(report),
@@ -442,7 +432,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             }
         }
         Request::SetQuality { stream, mode } => {
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             // Drain first so the switch applies after the samples the
             // client already pushed, not in the middle of them.
             drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
@@ -459,7 +449,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             if let Err(err) = budget.validate() {
                 return Reply::Error(ServiceError::InvalidTarget(err.to_string()));
             }
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             // Drain first so the governor takes over after the samples
             // the client already pushed, not in the middle of them.
             drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
@@ -469,7 +459,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             }
         }
         Request::ReadBudget { stream } => {
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
             match fleet.stream_budget(stream as usize) {
                 Ok(status) => Reply::Budget(status),
@@ -478,7 +468,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
         }
         Request::ReadMetrics => {
             {
-                let fleet = shared.fleet.lock().expect("fleet poisoned");
+                let fleet = lock_unpoisoned(&shared.fleet);
                 fleet.report().publish(&shared.telemetry);
                 fleet.kernel_cache().publish(&shared.telemetry);
             }
@@ -500,12 +490,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             // the state to DONE), answer with a typed error instead of
             // hanging the client forever.
             loop {
-                if let Some(reports) = shared
-                    .final_reports
-                    .lock()
-                    .expect("final reports poisoned")
-                    .clone()
-                {
+                if let Some(reports) = lock_unpoisoned(&shared.final_reports).clone() {
                     return Reply::ShutdownAck { reports };
                 }
                 if shared.state.load(Ordering::SeqCst) == STATE_DONE {
@@ -527,7 +512,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
 /// registrations being drained into a not-yet-open fleet stream, and
 /// the pump's final drain running between them during shutdown.
 fn open_stream(shared: &Arc<Shared>, stream: u64) -> Result<(), ServiceError> {
-    let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+    let mut fleet = lock_unpoisoned(&shared.fleet);
     if shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
         return Err(ServiceError::ShuttingDown);
     }
@@ -542,7 +527,7 @@ fn open_stream(shared: &Arc<Shared>, stream: u64) -> Result<(), ServiceError> {
 /// Removes the session (atomically, so no later push can race), flushes
 /// its leftovers into the fleet, and closes the fleet stream.
 fn close_stream(shared: &Arc<Shared>, stream: u64) -> Result<StreamReport, ServiceError> {
-    let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+    let mut fleet = lock_unpoisoned(&shared.fleet);
     let leftovers = shared.sessions.close(stream)?;
     fleet
         .push_rr_batch(stream as usize, &leftovers)
@@ -574,6 +559,7 @@ fn drain_session(
         // loss and must fail loudly.
         fleet
             .push_rr_batch(stream as usize, batch)
+            // analyze::allow(panic-free-wire): a missing stream here is silent data loss — registration and removal both happen under the fleet lock this caller holds, so this is unreachable without memory corruption
             .expect("queued samples for a stream absent from the fleet");
     }
     n
@@ -598,7 +584,7 @@ fn pump_loop(shared: &Arc<Shared>, drain_batch: usize, idle: Duration) {
         let state = shared.state.load(Ordering::SeqCst);
         let mut moved = 0usize;
         {
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             for id in shared.sessions.ids() {
                 moved += drain_session(shared, &mut fleet, id, drain_batch, &mut batch);
             }
@@ -609,13 +595,13 @@ fn pump_loop(shared: &Arc<Shared>, drain_batch: usize, idle: Duration) {
             // drained: the fleet now holds all samples that will ever
             // arrive. Flush trailing windows, publish final telemetry
             // (before `close_all` empties the fleet), then take reports.
-            let mut fleet = shared.fleet.lock().expect("fleet poisoned");
+            let mut fleet = lock_unpoisoned(&shared.fleet);
             fleet.finish();
             fleet.report().publish(&shared.telemetry);
             fleet.kernel_cache().publish(&shared.telemetry);
             let reports = fleet.close_all();
             shared.sessions.close_all();
-            *shared.final_reports.lock().expect("final reports poisoned") = Some(reports);
+            *lock_unpoisoned(&shared.final_reports) = Some(reports);
             // The guard flips STATE to DONE — here on the normal path,
             // and equally during unwind if anything above panicked.
             drop(done_guard);

@@ -54,6 +54,7 @@
 //! # Ok::<(), hrv_service::ServiceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

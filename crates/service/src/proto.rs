@@ -227,15 +227,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn take_u32(&mut self) -> Result<u32, ServiceError> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| ServiceError::Protocol("u32 field truncated".into()))?;
+        Ok(u32::from_be_bytes(bytes))
     }
 
     fn take_u64(&mut self) -> Result<u64, ServiceError> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ServiceError::Protocol("u64 field truncated".into()))?;
+        Ok(u64::from_be_bytes(bytes))
     }
 
     fn take_f64(&mut self) -> Result<f64, ServiceError> {

@@ -16,7 +16,7 @@
 
 use crate::error::ServiceError;
 use crate::proto::Pushed;
-use hrv_core::{Counter, Gauge, Telemetry};
+use hrv_core::{lock_unpoisoned, Counter, Gauge, Telemetry};
 use hrv_delineate::{BeatOutcome, StreamingRrFilter};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -114,7 +114,7 @@ impl SessionTable {
 
     /// Admits a new session.
     pub(crate) fn open(&self, id: u64) -> Result<(), ServiceError> {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         self.admitting()?;
         if sessions.contains_key(&id) {
             return Err(ServiceError::DuplicateStream(id));
@@ -151,7 +151,7 @@ impl SessionTable {
     /// refuse the batch with `Busy` when the admissible part does not fit
     /// the queue, else append it.
     pub(crate) fn push_rr(&self, id: u64, samples: &[(f64, f64)]) -> Result<Pushed, ServiceError> {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         self.admitting()?;
         let session = sessions
             .get_mut(&id)
@@ -185,7 +185,7 @@ impl SessionTable {
     /// leaves the filter chain untouched and the retried batch replays
     /// identically.
     pub(crate) fn push_beats(&self, id: u64, beats: &[f64]) -> Result<Pushed, ServiceError> {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         self.admitting()?;
         let session = sessions
             .get_mut(&id)
@@ -239,18 +239,13 @@ impl SessionTable {
 
     /// Open session ids, ascending.
     pub(crate) fn ids(&self) -> Vec<u64> {
-        self.inner
-            .lock()
-            .expect("session table poisoned")
-            .keys()
-            .copied()
-            .collect()
+        lock_unpoisoned(&self.inner).keys().copied().collect()
     }
 
     /// Moves up to `max` queued samples of session `id` into `out`.
     /// Returns the number moved (0 for an unknown/empty session).
     pub(crate) fn take_batch(&self, id: u64, max: usize, out: &mut Vec<(f64, f64)>) -> usize {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         let Some(session) = sessions.get_mut(&id) else {
             return 0;
         };
@@ -263,7 +258,7 @@ impl SessionTable {
     /// Removes every session (shutdown epilogue: queues are already
     /// drained) and retires their telemetry series.
     pub(crate) fn close_all(&self) {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         for id in sessions.keys() {
             self.telemetry
                 .remove_series("hrv_session_queue_depth", &[("stream", &id.to_string())]);
@@ -275,7 +270,7 @@ impl SessionTable {
     /// Removes session `id`, returning whatever was still queued (the
     /// caller flushes it into the fleet before closing the stream there).
     pub(crate) fn close(&self, id: u64) -> Result<Vec<(f64, f64)>, ServiceError> {
-        let mut sessions = self.inner.lock().expect("session table poisoned");
+        let mut sessions = lock_unpoisoned(&self.inner);
         let session = sessions
             .remove(&id)
             .ok_or(ServiceError::UnknownStream(id))?;

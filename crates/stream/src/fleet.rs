@@ -1127,6 +1127,7 @@ impl FleetScheduler {
                 Err(PsaError::MissingCalibration { .. }) => {
                     // Deliberately excluded: see the method docs.
                 }
+                // analyze::allow(panic-free-wire): every choice comes from the plan's own operating table, validated when the plan was built — reaching this arm means the table and the cache disagree, a bug worth crashing on
                 Err(err) => unreachable!("plan was validated at construction: {err}"),
             }
         }
@@ -1344,6 +1345,7 @@ impl FleetScheduler {
                     .collect();
                 handles
                     .into_iter()
+                    // analyze::allow(panic-free-wire): swallowing a worker panic would silently lose a shard's samples; propagating it is the only honest outcome
                     .map(|h| h.join().expect("fleet worker panicked"))
                     .fold(false, |acc, r| acc | r)
             })
@@ -1379,6 +1381,7 @@ impl FleetScheduler {
                     })
                     .collect();
                 for h in handles {
+                    // analyze::allow(panic-free-wire): swallowing a worker panic would silently lose a shard's samples; propagating it is the only honest outcome
                     h.join().expect("fleet worker panicked");
                 }
             });

@@ -59,6 +59,7 @@
 //! assert!(windows >= 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod controller;

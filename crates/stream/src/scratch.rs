@@ -56,6 +56,7 @@ impl StreamScratch {
     /// Sum of the current capacities of all buffers (elements, not bytes) —
     /// a cheap fingerprint tests use to prove steady-state reuse: once the
     /// engine has warmed up, this value must stop changing.
+    // analyze::hot_path
     pub fn capacity_signature(&self) -> usize {
         self.seg_times.capacity()
             + self.seg_values.capacity()
@@ -94,6 +95,7 @@ impl ScratchPool {
     }
 
     /// Takes a slot from the pool, creating one only when none is free.
+    // analyze::hot_path
     pub fn acquire(&mut self) -> StreamScratch {
         self.free.pop().unwrap_or_else(|| {
             self.created += 1;
@@ -102,6 +104,7 @@ impl ScratchPool {
     }
 
     /// Returns a slot (with its grown buffers) for reuse.
+    // analyze::hot_path
     pub fn release(&mut self, scratch: StreamScratch) {
         self.free.push(scratch);
     }

@@ -346,6 +346,7 @@ impl SlidingLomb {
     /// # Panics
     ///
     /// Panics if `rr ≤ 0` or `t` does not advance.
+    // analyze::hot_path
     pub fn push(
         &mut self,
         t: f64,
@@ -396,6 +397,7 @@ impl SlidingLomb {
 
     /// Advances to the next hop and evicts samples that can no longer fall
     /// in any future window.
+    // analyze::hot_path
     fn advance(&mut self) {
         let next = self.next_start.expect("advance follows emission") + self.hop();
         self.next_start = Some(next);
@@ -406,6 +408,7 @@ impl SlidingLomb {
 
     /// Analyses the window at `next_start`; returns `true` when a segment
     /// was emitted (skip rules mirror batch Welch–Lomb exactly).
+    // analyze::hot_path
     fn emit_window(
         &mut self,
         scratch: &mut StreamScratch,
@@ -554,6 +557,7 @@ impl SlidingLomb {
 
     /// Computes the exact-kernel LF/HF ratio for the current window (audit
     /// path for approximate kernels), reusing audit scratch buffers.
+    // analyze::hot_path
     fn exact_reference_ratio(
         &self,
         scratch: &mut StreamScratch,
@@ -604,6 +608,7 @@ impl SlidingLomb {
 
 /// Integrates the standard HRV bands straight from grid slices (the
 /// allocation-free counterpart of `BandPowers::of`).
+// analyze::hot_path
 pub fn band_powers(freqs: &[f64], power: &[f64]) -> BandPowers {
     let df = if freqs.len() > 1 {
         freqs[1] - freqs[0]

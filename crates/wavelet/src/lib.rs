@@ -23,6 +23,7 @@
 //! assert!(dec.approximation_energy_fraction() > 0.99);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod basis;

@@ -110,6 +110,7 @@ impl Decomposition {
             .map(|v| v * v)
             .sum();
         let total = approx + details;
+        // analyze::allow(float-discipline): exact-zero guard — total sums absolute subband energies, zero only for an all-zero signal, where the fraction is defined as 0
         if total == 0.0 {
             0.0
         } else {

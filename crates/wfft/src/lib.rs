@@ -37,6 +37,7 @@
 //! let _ = pruned.forward(&x, &mut ops);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;

@@ -98,6 +98,7 @@ impl PruneConfig {
 
     /// `true` when no approximation is enabled.
     pub fn is_exact(&self) -> bool {
+        // analyze::allow(float-discipline): twiddle_fraction is set from exact literals (0.0 means pruning disabled), never computed — exact comparison is the sentinel check intended
         !self.band_drop && self.twiddle_fraction == 0.0
     }
 }
@@ -279,6 +280,7 @@ impl PrunedWfft {
         }
         for m in &mut mean_l1 {
             *m /= l1.len() as f64;
+            // analyze::allow(float-discipline): exact-zero guard before substituting MIN_POSITIVE — a mean of absolute values is 0.0 only when every sample is exactly zero
             if *m == 0.0 {
                 *m = f64::MIN_POSITIVE;
             }

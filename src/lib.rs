@@ -52,6 +52,7 @@
 //! # Ok::<(), hrv_psa::core::PsaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hrv_core as core;

@@ -16,6 +16,7 @@
 //! statistics, plots, or saved baselines — this is a thin wall-clock
 //! harness, not a criterion replacement.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -8,6 +8,7 @@
 //! deterministic per-test seed, so failures reproduce exactly; there is
 //! no shrinking — the failing input is printed verbatim instead.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

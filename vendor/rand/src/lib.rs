@@ -9,6 +9,7 @@
 //! requires. Swap back to the real crate by deleting `vendor/rand`
 //! and repointing `[workspace.dependencies] rand` at crates.io.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use core::ops::Range;
