@@ -19,8 +19,14 @@
 //!   HRV_LOADGEN_QUEUE    per-session queue capacity    (default 1024)
 //!   HRV_LOADGEN_WORKERS  fleet worker shards           (default 2)
 //!   HRV_LOADGEN_BUDGET_J joules per 4-window interval  (default 0 = ungoverned)
+//!   HRV_LOADGEN_TRACE    path: enable span tracing and dump Chrome
+//!                        trace-event JSON there (load it at
+//!                        `chrome://tracing` or `https://ui.perfetto.dev`)
+//!   HRV_LOADGEN_BENCH    path to BENCH_stream.json: splice the measured
+//!                        per-stage p50/p99 rows into its
+//!                        "latency_stages_us" key
 
-use hrv_core::PsaConfig;
+use hrv_core::{validate_exposition, PsaConfig, Telemetry, Tracer};
 use hrv_service::{Gateway, GatewayConfig, ServiceClient, SessionConfig};
 use hrv_stream::{cohort_member, FleetConfig, FleetScheduler, StreamBudget};
 use std::time::{Duration, Instant};
@@ -41,6 +47,108 @@ fn env_f64(name: &str, default: f64) -> f64 {
 
 const SEED: u64 = 2014;
 const BUDGET_INTERVAL_WINDOWS: u64 = 4;
+
+/// The pipeline-stage latency families the gateway records, in pipeline
+/// order (see README "Observability" for the catalog).
+const STAGE_FAMILIES: &[&str] = &[
+    "hrv_service_frame_read_seconds",
+    "hrv_service_frame_decode_seconds",
+    "hrv_service_queue_wait_seconds",
+    "hrv_service_pump_dispatch_seconds",
+    "hrv_stream_window_compute_seconds",
+    "hrv_stream_governor_decision_seconds",
+    "hrv_service_report_encode_seconds",
+];
+
+/// One measured stage row: family, label set (may be empty), sample
+/// count, p50/p99 in microseconds.
+struct StageRow {
+    family: &'static str,
+    labels: String,
+    count: u64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Collects the recorded per-stage latency quantiles out of the
+/// gateway's registry, label-split (window compute gets one row per
+/// kernel/rail pair) and skipping series that recorded nothing.
+fn stage_rows(telemetry: &Telemetry) -> Vec<StageRow> {
+    let mut rows = Vec::new();
+    for &family in STAGE_FAMILIES {
+        for (labels, hist) in telemetry.histogram_series(family) {
+            if hist.count() == 0 {
+                continue;
+            }
+            rows.push(StageRow {
+                family,
+                labels,
+                count: hist.count(),
+                p50_us: hist.p50() * 1e6,
+                p99_us: hist.p99() * 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Splices the stage rows into `path` (BENCH_stream.json) as a top-level
+/// `"latency_stages_us"` key, replacing a previous run's block when one
+/// exists. Plain string surgery on the 2-space-indented top-level layout
+/// — no JSON dependency in the workspace.
+fn splice_bench_json(path: &str, rows: &[StageRow]) {
+    let original = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("loadgen: cannot read {path}: {err}");
+            return;
+        }
+    };
+    let mut block = String::from("  \"latency_stages_us\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        block.push_str(&format!(
+            "    {{ \"stage\": \"{}\", \"labels\": \"{}\", \"samples\": {}, \
+             \"p50\": {:.2}, \"p99\": {:.2} }}{sep}\n",
+            row.family,
+            row.labels.replace('\\', "\\\\").replace('"', "\\\""),
+            row.count,
+            row.p50_us,
+            row.p99_us,
+        ));
+    }
+    block.push_str("  ],\n");
+    // Drop a previous block: from its key line up to (exclusive) the
+    // next top-level key line.
+    let without_old = match original.find("  \"latency_stages_us\":") {
+        Some(start) => {
+            let rest = &original[start..];
+            let end = rest
+                .match_indices("\n  \"")
+                .map(|(i, _)| start + i + 1)
+                .next()
+                .unwrap_or(original.len());
+            format!("{}{}", &original[..start], &original[end..])
+        }
+        None => original,
+    };
+    // Insert ahead of the trailing "notes" key (always last in this
+    // file), or before the closing brace as a fallback.
+    let anchor = without_old
+        .find("  \"notes\":")
+        .or_else(|| without_old.rfind('}'))
+        .unwrap_or(without_old.len());
+    let updated = format!(
+        "{}{}{}",
+        &without_old[..anchor],
+        block,
+        &without_old[anchor..]
+    );
+    match std::fs::write(path, &updated) {
+        Ok(()) => println!("loadgen: wrote {} latency rows to {path}", rows.len()),
+        Err(err) => eprintln!("loadgen: cannot write {path}: {err}"),
+    }
+}
 
 fn main() {
     let streams = env_usize("HRV_LOADGEN_STREAMS", 16);
@@ -104,12 +212,18 @@ fn main() {
     }
 
     // ---- the gateway, on an ephemeral loopback port ---------------------
+    let trace_path = std::env::var("HRV_LOADGEN_TRACE").ok();
+    let tracer = match trace_path {
+        Some(_) => Tracer::monotonic(),
+        None => Tracer::disabled(),
+    };
     let handle = Gateway::start(GatewayConfig {
         workers,
         session: SessionConfig {
             max_sessions: streams.max(1),
             queue_capacity: queue,
         },
+        tracer: tracer.clone(),
         ..GatewayConfig::default()
     })
     .expect("gateway start");
@@ -173,6 +287,16 @@ fn main() {
     // exposition below renders).
     let live_metrics = control.metrics().expect("metrics");
     assert!(live_metrics.contains("hrv_service_samples_admitted_total"));
+    // The full wire exposition — including every histogram family — must
+    // parse as conformant Prometheus text format.
+    validate_exposition(&live_metrics).expect("wire exposition conformant");
+    for family in [
+        "# TYPE hrv_service_frame_decode_seconds histogram",
+        "# TYPE hrv_service_queue_wait_seconds histogram",
+        "# TYPE hrv_stream_window_compute_seconds histogram",
+    ] {
+        assert!(live_metrics.contains(family), "missing {family:?}");
+    }
     let drain_started = Instant::now();
     let reports = control.shutdown().expect("shutdown");
     let drain_wall = drain_started.elapsed().as_secs_f64();
@@ -206,6 +330,33 @@ fn main() {
         "\n{samples_sent} samples over {streams} connections; {busy_retries} Busy retries \
          (backpressure), drain {drain_wall:.3} s; per-stream reports bit-identical: yes"
     );
+
+    // ---- per-stage latency breakdown (the new histograms) ---------------
+    let rows = stage_rows(&telemetry);
+    println!("\n== per-stage latency (histogram estimates) ==\n");
+    println!(
+        "{:<42} {:<28} {:>9} {:>11} {:>11}",
+        "stage", "labels", "samples", "p50 [us]", "p99 [us]"
+    );
+    for row in &rows {
+        println!(
+            "{:<42} {:<28} {:>9} {:>11.2} {:>11.2}",
+            row.family, row.labels, row.count, row.p50_us, row.p99_us
+        );
+    }
+    if let Ok(path) = std::env::var("HRV_LOADGEN_BENCH") {
+        splice_bench_json(&path, &rows);
+    }
+    if let Some(path) = trace_path {
+        let chrome = tracer.chrome_trace();
+        match std::fs::write(&path, &chrome) {
+            Ok(()) => println!(
+                "loadgen: wrote {} spans of Chrome trace JSON to {path}",
+                tracer.spans().len()
+            ),
+            Err(err) => eprintln!("loadgen: cannot write {path}: {err}"),
+        }
+    }
 
     println!("\n== final gateway telemetry (shared Prometheus exposition) ==\n");
     print!(

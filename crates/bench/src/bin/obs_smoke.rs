@@ -1,0 +1,176 @@
+//! Observability overhead smoke: the latency histograms + span-tracing
+//! layer, with tracing **disabled** (the production default), must add
+//! less than `HRV_OBS_TOLERANCE_PCT` (default 2%) to offline fleet
+//! throughput — and the metrics exposition it produces must render as
+//! conformant Prometheus text format with parseable histogram families.
+//!
+//! Three interleaved configurations run over the same synthetic cohort:
+//!
+//! 1. `bare`         — no observability wired (the pre-PR hot path);
+//! 2. `hist only`    — histograms wired, tracer disabled (**asserted**);
+//! 3. `hist + trace` — tracer enabled too (informational row only).
+//!
+//! Wall-clock is the minimum over `HRV_OBS_REPS` repetitions per
+//! configuration (min is the noise-robust throughput statistic on a
+//! shared host); configurations alternate per repetition so slow host
+//! phases hit all three alike.
+//!
+//! Run with: `cargo run --release -p hrv-bench --bin obs_smoke`
+//! Environment knobs (for CI smoke runs):
+//!   HRV_OBS_STREAMS        cohort size             (default 256)
+//!   HRV_OBS_SECONDS        seconds of RR per stream (default 1200)
+//!   HRV_OBS_REPS           repetitions per config   (default 5)
+//!   HRV_OBS_TOLERANCE_PCT  max allowed overhead     (default 2.0)
+
+use hrv_core::{validate_exposition, PsaConfig, Telemetry, Tracer};
+use hrv_stream::{FleetConfig, FleetScheduler};
+use std::time::Instant;
+
+const SEED: u64 = 2014;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed fleet run; returns (wall seconds, windows).
+fn run_fleet(
+    streams: usize,
+    seconds: f64,
+    observability: Option<(&Telemetry, Tracer)>,
+) -> (f64, u64) {
+    let mut fleet = FleetScheduler::new(
+        PsaConfig::conventional(),
+        FleetConfig {
+            streams,
+            duration: seconds,
+            seed: SEED,
+            slice: 60.0,
+            workers: 1,
+        },
+    )
+    .expect("valid fleet");
+    if let Some((telemetry, tracer)) = observability {
+        fleet.set_observability(telemetry, tracer);
+    }
+    let started = Instant::now();
+    let report = fleet.run();
+    (started.elapsed().as_secs_f64(), report.windows)
+}
+
+fn main() {
+    let streams = env_usize("HRV_OBS_STREAMS", 256);
+    let seconds = env_usize("HRV_OBS_SECONDS", 1200) as f64;
+    let reps = env_usize("HRV_OBS_REPS", 5).max(1);
+    let tolerance_pct = env_f64("HRV_OBS_TOLERANCE_PCT", 2.0);
+
+    println!(
+        "obs smoke: {streams} streams x {seconds:.0} s, min over {reps} reps, \
+         tolerance {tolerance_pct}%"
+    );
+
+    // Warm-up run (kernel build, page faults) discarded.
+    let (_, expected_windows) = run_fleet(streams, seconds, None);
+
+    let mut bare = f64::INFINITY;
+    let mut hist_only = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    let hist_telemetry = Telemetry::new();
+    let trace_telemetry = Telemetry::new();
+    let tracer = Tracer::monotonic();
+    for _ in 0..reps {
+        let (wall, windows) = run_fleet(streams, seconds, None);
+        assert_eq!(windows, expected_windows);
+        bare = bare.min(wall);
+
+        let (wall, windows) = run_fleet(
+            streams,
+            seconds,
+            Some((&hist_telemetry, Tracer::disabled())),
+        );
+        assert_eq!(
+            windows, expected_windows,
+            "observability must not change analysis"
+        );
+        hist_only = hist_only.min(wall);
+
+        let (wall, windows) = run_fleet(streams, seconds, Some((&trace_telemetry, tracer.clone())));
+        assert_eq!(windows, expected_windows);
+        traced = traced.min(wall);
+    }
+
+    let overhead = |wall: f64| (wall - bare) / bare * 100.0;
+    println!("\n{:<14} {:>12} {:>12}", "config", "wall [s]", "vs bare");
+    println!("{:<14} {:>12.4} {:>11}%", "bare", bare, "-");
+    println!(
+        "{:<14} {:>12.4} {:>+11.2}%",
+        "hist only",
+        hist_only,
+        overhead(hist_only)
+    );
+    println!(
+        "{:<14} {:>12.4} {:>+11.2}%",
+        "hist + trace",
+        traced,
+        overhead(traced)
+    );
+
+    // -- assertion 1: the production default (tracing disabled) is free --
+    assert!(
+        overhead(hist_only) < tolerance_pct,
+        "histograms with tracing disabled added {:.2}% (tolerance {tolerance_pct}%)",
+        overhead(hist_only)
+    );
+
+    // -- assertion 2: what it recorded renders as parseable histograms --
+    let text = hist_telemetry.render();
+    validate_exposition(&text).expect("conformant exposition");
+    assert!(
+        text.contains("# TYPE hrv_stream_window_compute_seconds histogram"),
+        "window-compute histogram family missing"
+    );
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("hrv_stream_window_compute_seconds_count"))
+        .expect("count sample");
+    let count: f64 = count_line
+        .rsplit(' ')
+        .next()
+        .expect("value")
+        .parse()
+        .expect("numeric");
+    assert_eq!(
+        count as u64,
+        expected_windows * reps as u64,
+        "every emitted window was timed, every rep"
+    );
+
+    // -- assertion 3: the disabled tracer really recorded nothing, and
+    //    the enabled one covered every emitted window with a span ------
+    assert!(Tracer::disabled().spans().is_empty());
+    let window_spans = tracer
+        .spans()
+        .iter()
+        .filter(|s| s.stage == "window_compute")
+        .count() as u64;
+    assert!(
+        window_spans > 0,
+        "enabled tracer must record window_compute spans"
+    );
+
+    println!(
+        "\nok: tracing-disabled overhead {:+.2}% < {tolerance_pct}%, exposition conformant, \
+         {} window-compute samples, {window_spans} spans when enabled",
+        overhead(hist_only),
+        count as u64
+    );
+}

@@ -662,9 +662,17 @@ impl CostProfile {
     }
 }
 
+/// One cached kernel plus its lookup accounting (mutated under the
+/// `kernels` lock, so a plain integer suffices).
+#[derive(Debug)]
+struct CacheEntry {
+    kernel: Arc<dyn FftBackend>,
+    hits: u64,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    kernels: Mutex<HashMap<PlanKey, Arc<dyn FftBackend>>>,
+    kernels: Mutex<HashMap<PlanKey, CacheEntry>>,
     profiles: Mutex<HashMap<(u64, u64), Arc<ProfileData>>>,
     hits: AtomicU64,
     builds: AtomicU64,
@@ -766,13 +774,20 @@ impl KernelCache {
         build: impl FnOnce() -> Arc<dyn FftBackend>,
     ) -> Arc<dyn FftBackend> {
         let mut kernels = lock_unpoisoned(&self.inner.kernels);
-        if let Some(kernel) = kernels.get(&key) {
+        if let Some(entry) = kernels.get_mut(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(kernel);
+            entry.hits += 1;
+            return Arc::clone(&entry.kernel);
         }
         self.inner.builds.fetch_add(1, Ordering::Relaxed);
         let kernel = build();
-        kernels.insert(key, Arc::clone(&kernel));
+        kernels.insert(
+            key,
+            CacheEntry {
+                kernel: Arc::clone(&kernel),
+                hits: 0,
+            },
+        );
         kernel
     }
 
@@ -832,10 +847,36 @@ impl KernelCache {
         }
     }
 
+    /// Each cached kernel's `(backend name, cached plan variants, hits)`
+    /// — the labeled per-backend view [`KernelCache::publish`] exposes.
+    /// Two plans can resolve to distinct kernels with the same backend
+    /// name (e.g. exact kernels of different lengths share one name);
+    /// those aggregate, name-ordered for deterministic exposition.
+    pub fn backend_stats(&self) -> Vec<(String, u64, u64)> {
+        let kernels = lock_unpoisoned(&self.inner.kernels);
+        let mut by_name: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for entry in kernels.values() {
+            let slot = by_name.entry(entry.kernel.name().to_string()).or_default();
+            slot.0 += 1;
+            slot.1 += entry.hits;
+        }
+        by_name
+            .into_iter()
+            .map(|(name, (plans, hits))| (name, plans, hits))
+            .collect()
+    }
+
     /// Publishes the cache's construction accounting into a
-    /// [`crate::Telemetry`] registry (`hrv_kernel_builds_total`,
-    /// `hrv_kernel_hits_total`, `hrv_kernel_cache_kernels`) — the one
-    /// reporting path the server, benches and examples share.
+    /// [`crate::Telemetry`] registry — the one reporting path the
+    /// server, benches and examples share. Totals
+    /// (`hrv_kernel_builds_total`, `hrv_kernel_hits_total`,
+    /// `hrv_kernel_cache_kernels`) come with a per-backend breakdown:
+    /// `hrv_kernel_cached_plans{kernel="..."}` (distinct cached plan
+    /// variants resolving to that backend) and
+    /// `hrv_kernel_backend_hits_total{kernel="..."}` (warm lookups it
+    /// served) — so an operator can see *which* FFT backend the fleet's
+    /// controllers actually chose, not just that the cache is warm.
     pub fn publish(&self, telemetry: &crate::Telemetry) {
         telemetry
             .counter(
@@ -855,6 +896,22 @@ impl KernelCache {
                 "distinct kernels currently cached",
             )
             .set(self.len() as f64);
+        for (name, plans, hits) in self.backend_stats() {
+            telemetry
+                .gauge_with(
+                    "hrv_kernel_cached_plans",
+                    "distinct cached plan variants resolving to this backend",
+                    &[("kernel", &name)],
+                )
+                .set(plans as f64);
+            telemetry
+                .counter_with(
+                    "hrv_kernel_backend_hits_total",
+                    "warm kernel lookups served, by backend",
+                    &[("kernel", &name)],
+                )
+                .set(hits);
+        }
     }
 }
 
@@ -1048,7 +1105,7 @@ mod tests {
     fn publish_mirrors_cache_counters_into_telemetry() {
         let plan = SpectralPlan::new(PsaConfig::conventional()).expect("valid");
         let cache = KernelCache::new();
-        cache.backend(&plan).expect("base");
+        let name = cache.backend(&plan).expect("base").name().to_string();
         cache.backend(&plan).expect("cached");
         let telemetry = crate::Telemetry::new();
         cache.publish(&telemetry);
@@ -1056,6 +1113,32 @@ mod tests {
         assert!(text.contains("hrv_kernel_builds_total 1"));
         assert!(text.contains("hrv_kernel_hits_total 1"));
         assert!(text.contains("hrv_kernel_cache_kernels 1"));
+        // The per-backend breakdown names the chosen kernel.
+        assert!(text.contains(&format!("hrv_kernel_cached_plans{{kernel=\"{name}\"}} 1")));
+        assert!(text.contains(&format!(
+            "hrv_kernel_backend_hits_total{{kernel=\"{name}\"}} 1"
+        )));
+        crate::validate_exposition(&text).expect("conformant");
+    }
+
+    #[test]
+    fn backend_stats_aggregate_same_named_kernels() {
+        let cache = KernelCache::new();
+        // Two exact kernels of different lengths share a backend name
+        // family only if their names collide; regardless, stats must
+        // account every cached kernel exactly once.
+        cache.exact(256);
+        cache.exact(512);
+        cache.exact(256); // warm hit
+        let stats = cache.backend_stats();
+        let plans: u64 = stats.iter().map(|(_, p, _)| p).sum();
+        let hits: u64 = stats.iter().map(|(_, _, h)| h).sum();
+        assert_eq!(plans, 2, "two distinct cached kernels");
+        assert_eq!(hits, 1, "one warm lookup");
+        let names: Vec<&str> = stats.iter().map(|(n, _, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "deterministic name order");
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //!   the distortion-chasing policy of Fig. 2 and a budget policy that
 //!   spends per-stream joules against [`CostProfile`] predictions (the
 //!   `govern` module docs carry a budget-mode quickstart);
-//! * [`Telemetry`] — the shared counter/gauge registry (Prometheus-style
-//!   text exposition) the server, benches and examples all report
-//!   through.
+//! * [`Telemetry`] — the shared counter/gauge/histogram registry
+//!   (Prometheus-style text exposition) the server, benches and examples
+//!   all report through;
+//! * [`Tracer`] — lightweight pipeline span tracing behind a [`Clock`]
+//!   trait, with a Chrome trace-event exporter and a slow-request log.
 //!
 //! # Examples
 //!
@@ -67,6 +69,7 @@ mod sweep;
 mod sync;
 mod system;
 mod telemetry;
+mod trace;
 
 pub use calibrate::{training_meshes, BandSignificance};
 pub use config::{ApproximationMode, BackendChoice, PruningPolicy, PsaConfig};
@@ -81,4 +84,10 @@ pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
 pub use sync::lock_unpoisoned;
 pub use system::{HrvAnalysis, PsaSystem};
-pub use telemetry::{Counter, Gauge, MetricKind, Telemetry};
+pub use telemetry::{
+    validate_exposition, Counter, Gauge, Histogram, MetricKind, Telemetry, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    Clock, MockClock, MonotonicClock, SlowRequest, SpanGuard, SpanRecord, Tracer,
+    DEFAULT_RING_CAPACITY,
+};

@@ -1,0 +1,178 @@
+//! Property tests on the histogram metric kind and the exposition
+//! format shared by every metric kind.
+
+use hrv_core::{validate_exposition, Telemetry};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pulls the cumulative `_bucket` counts of `name` out of a rendered
+/// exposition, in `le` order (last entry is the +Inf bucket).
+fn bucket_counts(text: &str, name: &str) -> Vec<u64> {
+    let prefix = format!("{name}_bucket{{le=\"");
+    text.lines()
+        .filter(|l| l.starts_with(&prefix))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect()
+}
+
+/// Stretches a unit draw onto awkward sample values: zeros, negatives,
+/// +Inf and magnitudes far outside the finite bucket range, alongside
+/// ordinary latencies.
+fn stretch(unit: f64) -> f64 {
+    match unit {
+        u if u < 0.05 => 0.0,
+        u if u < 0.10 => -1.0,
+        u if u < 0.15 => f64::INFINITY,
+        u if u < 0.20 => 1e12,
+        u => (u - 0.2) * 12.5, // 0..10 s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Rendered `_bucket` counts are cumulative, hence monotone
+    // non-decreasing under increasing `le`, and the +Inf bucket equals
+    // `_count` — for any sample set, including extremes far outside
+    // the finite bucket range.
+    #[test]
+    fn bucket_counts_monotone_under_le(
+        units in prop::collection::vec(0.0f64..1.0, 0..200),
+    ) {
+        let t = Telemetry::new();
+        let h = t.histogram("prop_seconds", "prop fodder");
+        for &u in &units {
+            h.observe(stretch(u));
+        }
+        let text = t.render();
+        prop_assert!(validate_exposition(&text).is_ok(), "{text}");
+        let counts = bucket_counts(&text, "prop_seconds");
+        prop_assert!(!counts.is_empty());
+        for pair in counts.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "non-monotone: {counts:?}");
+        }
+        prop_assert_eq!(*counts.last().unwrap(), units.len() as u64);
+        prop_assert_eq!(h.count(), units.len() as u64);
+    }
+
+    // `_sum` and `_count` match the recorded samples exactly (samples
+    // are exactly-representable multiples of 2^-20, so the f64 sum is
+    // independent of addition order at these magnitudes).
+    #[test]
+    fn sum_and_count_match_recorded_samples(
+        units in prop::collection::vec(0.0f64..1_000_000.0, 1..100),
+    ) {
+        let t = Telemetry::new();
+        let h = t.histogram("sum_seconds", "sum fodder");
+        let scale = (1u32 << 20) as f64;
+        let mut expected = 0.0;
+        for &u in &units {
+            let sample = (u as u32) as f64 / scale;
+            expected += sample;
+            h.observe(sample);
+        }
+        prop_assert_eq!(h.count(), units.len() as u64);
+        prop_assert_eq!(h.sum(), expected);
+        let text = t.render();
+        prop_assert!(validate_exposition(&text).is_ok());
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("sum_seconds_sum "))
+            .unwrap();
+        let rendered: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        prop_assert_eq!(rendered, expected);
+    }
+
+    // Quantile estimates are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(
+        samples in prop::collection::vec(0.0000001f64..100.0, 1..100),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let t = Telemetry::new();
+        let h = t.histogram("q_seconds", "q fodder");
+        for &s in &samples {
+            h.observe(s);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi) + 1e-12);
+        prop_assert!(h.p50() <= h.p95() + 1e-12);
+        prop_assert!(h.p95() <= h.p99() + 1e-12);
+    }
+
+    // The exposition conformance contract holds across all three kinds
+    // with non-finite gauges and label values that need escaping.
+    #[test]
+    fn all_kinds_render_conformantly(
+        count in 0.0f64..1e9,
+        gauge_unit in 0.0f64..1.0,
+        label in prop_oneof![
+            Just(""),
+            Just("plain"),
+            Just("with space"),
+            Just("quote\"backslash\\newline\n"),
+        ],
+        samples in prop::collection::vec(0.000000001f64..1e3, 0..20),
+    ) {
+        let gauge = match gauge_unit {
+            u if u < 0.15 => f64::INFINITY,
+            u if u < 0.30 => f64::NEG_INFINITY,
+            u if u < 0.45 => f64::NAN,
+            u => (u - 0.7) * 1e12,
+        };
+        let t = Telemetry::new();
+        t.counter_with("c_total", "counter", &[("l", label)]).add(count as u64);
+        t.gauge_with("g_value", "gauge", &[("l", label)]).set(gauge);
+        let h = t.histogram_with("h_seconds", "histogram", &[("l", label)]);
+        for &s in &samples {
+            h.observe(s);
+        }
+        let text = t.render();
+        prop_assert!(validate_exposition(&text).is_ok(), "{text}");
+        prop_assert!(!text.contains(" inf"), "Rust float formatting leaked");
+        prop_assert!(!text.contains(" -inf"));
+    }
+}
+
+/// Concurrent recording from N threads loses no samples: every
+/// observation lands in exactly one bucket and the sum, regardless of
+/// interleaving.
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+    let t = Telemetry::new();
+    let h = t.histogram("mt_seconds", "concurrency fodder");
+    let barrier = std::sync::Barrier::new(THREADS);
+    let started = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let h = h.clone();
+            let barrier = &barrier;
+            let started = &started;
+            scope.spawn(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    // Exactly-representable values spread across buckets.
+                    let sample = ((thread * PER_THREAD + i) % 1024) as f64 / 1024.0;
+                    h.observe(sample);
+                }
+            });
+        }
+    });
+    assert_eq!(started.load(Ordering::Relaxed), THREADS);
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(h.count(), total, "every sample counted exactly once");
+    let expected: f64 = (0..THREADS * PER_THREAD)
+        .map(|k| (k % 1024) as f64 / 1024.0)
+        .sum();
+    // Samples are multiples of 2^-10 and the running sum stays well
+    // inside ulp-exact integer-multiple territory, so CAS accumulation
+    // must reproduce the sum exactly in any interleaving.
+    assert_eq!(h.sum(), expected, "every sample summed exactly once");
+    let text = t.render();
+    validate_exposition(&text).expect("conformant under concurrency");
+    assert!(text.contains(&format!("mt_seconds_count {total}")));
+}

@@ -1,0 +1,153 @@
+//! Deterministic mock-clock tracing: a known span tree must round-trip
+//! through the Chrome trace-event exporter byte-for-byte.
+
+use hrv_core::{MockClock, Tracer};
+use std::sync::Arc;
+
+/// Builds the canonical request tree on a mock clock:
+///
+/// ```text
+/// request [1000ns, 4000ns]
+/// ├── frame_decode   [1000ns, +200ns]
+/// ├── window_compute [1300ns, +2400ns]
+/// │   └── governor_decision [3400ns, +300ns]
+/// └── report_encode  [3800ns, +200ns]
+/// ```
+fn record_request_tree(clock: &MockClock, tracer: &Tracer) {
+    clock.set_ns(1_000);
+    let _request = tracer.span("request");
+    {
+        let _decode = tracer.span("frame_decode");
+        clock.advance_ns(200);
+    }
+    clock.advance_ns(100);
+    {
+        let _compute = tracer.span("window_compute");
+        clock.advance_ns(2_100);
+        {
+            let _govern = tracer.span("governor_decision");
+            clock.advance_ns(300);
+        }
+    }
+    clock.advance_ns(100);
+    {
+        let _encode = tracer.span("report_encode");
+        clock.advance_ns(200);
+    }
+}
+
+#[test]
+fn known_span_tree_round_trips_through_chrome_export() {
+    let clock = Arc::new(MockClock::new());
+    let tracer = Tracer::with_clock(clock.clone());
+    record_request_tree(&clock, &tracer);
+
+    // The span table itself is deterministic.
+    let spans = tracer.spans();
+    let by_stage = |stage: &str| {
+        spans
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("missing span {stage}"))
+    };
+    let request = by_stage("request");
+    let decode = by_stage("frame_decode");
+    let compute = by_stage("window_compute");
+    let govern = by_stage("governor_decision");
+    let encode = by_stage("report_encode");
+    assert_eq!(request.parent, 0);
+    assert_eq!(decode.parent, request.id);
+    assert_eq!(compute.parent, request.id);
+    assert_eq!(govern.parent, compute.id);
+    assert_eq!(encode.parent, request.id);
+    assert_eq!(
+        (request.start_ns, request.duration_ns),
+        (1_000, 3_000),
+        "root covers the whole request"
+    );
+    assert_eq!((compute.start_ns, compute.duration_ns), (1_300, 2_400));
+    assert_eq!((govern.start_ns, govern.duration_ns), (3_400, 300));
+
+    // ...and so is the Chrome trace-event export, byte-for-byte:
+    // span ids are tracer-local (1..=5 on a fresh tracer), timestamps
+    // are microseconds, children sort after parents by start time.
+    let json = tracer.chrome_trace();
+    let expected = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"request\",\"cat\":\"hrv\",\"ph\":\"X\",\"ts\":1,\"dur\":3,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"id\":1,\"parent\":0}},",
+        "{\"name\":\"frame_decode\",\"cat\":\"hrv\",\"ph\":\"X\",\"ts\":1,\"dur\":0.2,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"id\":2,\"parent\":1}},",
+        "{\"name\":\"window_compute\",\"cat\":\"hrv\",\"ph\":\"X\",\"ts\":1.3,\"dur\":2.4,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"id\":3,\"parent\":1}},",
+        "{\"name\":\"governor_decision\",\"cat\":\"hrv\",\"ph\":\"X\",\"ts\":3.4,\"dur\":0.3,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"id\":4,\"parent\":3}},",
+        "{\"name\":\"report_encode\",\"cat\":\"hrv\",\"ph\":\"X\",\"ts\":3.8,\"dur\":0.2,",
+        "\"pid\":1,\"tid\":0,\"args\":{\"id\":5,\"parent\":1}}",
+        "]}"
+    );
+    assert_eq!(json, expected);
+
+    // The export parses back to the same tree: every event carries its
+    // id/parent in args, so the structure survives the round trip.
+    let mut parsed: Vec<(String, u64, u64)> = Vec::new();
+    for event in json
+        .trim_start_matches("{\"traceEvents\":[")
+        .trim_end_matches("]}")
+        .split("},{")
+    {
+        let field = |key: &str| -> String {
+            let tail = &event[event.find(key).expect(key) + key.len()..];
+            tail.chars()
+                .take_while(|c| !",}\"".contains(*c))
+                .collect::<String>()
+        };
+        let name = {
+            let tail = &event[event.find("\"name\":\"").unwrap() + 8..];
+            tail[..tail.find('"').unwrap()].to_string()
+        };
+        parsed.push((
+            name,
+            field("\"id\":").parse().unwrap(),
+            field("\"parent\":").parse().unwrap(),
+        ));
+    }
+    assert_eq!(parsed.len(), spans.len());
+    for (span, (name, id, parent)) in spans.iter().zip(&parsed) {
+        assert_eq!(span.stage, name);
+        assert_eq!(span.id, *id);
+        assert_eq!(span.parent, *parent);
+    }
+}
+
+#[test]
+fn slow_request_log_captures_the_same_tree() {
+    let clock = Arc::new(MockClock::new());
+    let tracer = Tracer::with_clock(clock.clone());
+    tracer.set_slow_threshold_ns(2_000_000); // 2 ms — tree takes 3 µs.
+    record_request_tree(&clock, &tracer);
+    assert!(
+        tracer.slow_requests().is_empty(),
+        "3 µs request under a 2 ms threshold"
+    );
+
+    tracer.clear();
+    tracer.set_slow_threshold_ns(2_000); // 2 µs — now it qualifies.
+    record_request_tree(&clock, &tracer);
+    let slow = tracer.slow_requests();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].root.stage, "request");
+    assert_eq!(slow[0].root.duration_ns, 3_000);
+    let stages: Vec<&str> = slow[0].spans.iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            "frame_decode",
+            "governor_decision",
+            "window_compute",
+            "report_encode",
+            "request"
+        ],
+        "finish order, full breakdown"
+    );
+}

@@ -26,13 +26,15 @@ use crate::error::ServiceError;
 use crate::frame::{write_frame, FramePoll, FrameReader, MAX_FRAME};
 use crate::proto::{Reply, Request, PROTOCOL_VERSION};
 use crate::session::{SessionConfig, SessionTable, STATE_DONE, STATE_DRAINING, STATE_RUNNING};
-use hrv_core::{lock_unpoisoned, Counter, PsaConfig, PsaError, SpectralPlan, Telemetry};
+use hrv_core::{
+    lock_unpoisoned, Counter, Histogram, PsaConfig, PsaError, SpectralPlan, Telemetry, Tracer,
+};
 use hrv_stream::{FleetScheduler, StreamReport};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on [`SessionConfig::max_sessions`], chosen so the
 /// `ShutdownAck` frame carrying every stream's final report stays under
@@ -65,6 +67,12 @@ pub struct GatewayConfig {
     /// best-effort `ShuttingDown`-style refusal — connections, like
     /// queues, never grow without bound.
     pub max_connections: usize,
+    /// Span tracer threaded through every pipeline stage (request
+    /// handling, pump dispatch, fleet window compute). The default is
+    /// [`Tracer::disabled`] — one relaxed atomic load per would-be span,
+    /// no clock reads. Pass [`Tracer::monotonic`] to record, then pull
+    /// spans/Chrome JSON from [`GatewayHandle::tracer`].
+    pub tracer: Tracer,
 }
 
 impl Default for GatewayConfig {
@@ -78,6 +86,7 @@ impl Default for GatewayConfig {
             pump_idle: Duration::from_millis(1),
             drain_batch: 512,
             max_connections: 256,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -93,6 +102,15 @@ struct Shared {
     connections_total: Counter,
     frames_total: Counter,
     errors_total: Counter,
+    tracer: Tracer,
+    /// Socket time of the poll that completed a request frame.
+    frame_read_hist: Histogram,
+    /// Wire-to-[`Request`] decode time per frame.
+    frame_decode_hist: Histogram,
+    /// [`Reply`] encode time per frame (socket write excluded).
+    report_encode_hist: Histogram,
+    /// Pump time moving one session's non-empty batch into the fleet.
+    pump_dispatch_hist: Histogram,
 }
 
 /// The gateway entry point; [`Gateway::start`] returns a
@@ -147,11 +165,13 @@ impl Gateway {
         // (budgeting 256 bytes per wire report, ~4× the actual size).
         // The clamped value is what HelloAck advertises.
         config.session.max_sessions = config.session.max_sessions.min(MAX_SESSIONS);
-        let fleet = FleetScheduler::external(plan, config.workers).map_err(ServiceError::from)?;
+        let mut fleet =
+            FleetScheduler::external(plan, config.workers).map_err(ServiceError::from)?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let telemetry = Telemetry::new();
+        fleet.set_observability(&telemetry, config.tracer.clone());
         let state = Arc::new(AtomicU8::new(STATE_RUNNING));
         let shared = Arc::new(Shared {
             state: state.clone(),
@@ -166,6 +186,23 @@ impl Gateway {
             ),
             frames_total: telemetry.counter("hrv_service_frames_total", "request frames decoded"),
             errors_total: telemetry.counter("hrv_service_errors_total", "error replies sent"),
+            tracer: config.tracer.clone(),
+            frame_read_hist: telemetry.histogram(
+                "hrv_service_frame_read_seconds",
+                "socket time of the poll that completed a request frame",
+            ),
+            frame_decode_hist: telemetry.histogram(
+                "hrv_service_frame_decode_seconds",
+                "wire-to-request decode time per frame",
+            ),
+            report_encode_hist: telemetry.histogram(
+                "hrv_service_report_encode_seconds",
+                "reply encode time per frame (socket write excluded)",
+            ),
+            pump_dispatch_hist: telemetry.histogram(
+                "hrv_service_pump_dispatch_seconds",
+                "pump time moving one session's non-empty batch into the fleet",
+            ),
         });
         let pump = {
             let shared = Arc::clone(&shared);
@@ -212,6 +249,14 @@ impl GatewayHandle {
     /// any time, or ask the gateway over the wire via `ReadMetrics`).
     pub fn telemetry(&self) -> Telemetry {
         self.shared.telemetry.clone()
+    }
+
+    /// A handle to the gateway's span tracer (the one passed in via
+    /// [`GatewayConfig::tracer`]; disabled by default). Use it to pull
+    /// recorded spans, slow-request captures, or a Chrome trace export
+    /// while the gateway runs.
+    pub fn tracer(&self) -> Tracer {
+        self.shared.tracer.clone()
     }
 
     /// Connects a loopback client to this gateway.
@@ -341,10 +386,25 @@ fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream, read_timeout: Dur
     let mut reader = FrameReader::new();
     let mut handshaken = false;
     loop {
+        let read_started = Instant::now();
         match reader.poll(&mut conn) {
             Ok(FramePoll::Frame(body)) => {
+                shared
+                    .frame_read_hist
+                    .observe_duration(read_started.elapsed());
                 shared.frames_total.inc();
-                let reply = match Request::decode(&body) {
+                // The root span covers decode → handle → encode; the
+                // socket write is excluded so a slow client cannot
+                // masquerade as a slow request.
+                let request_span = shared.tracer.span("request");
+                let decoded = {
+                    let _decode = shared.tracer.span("frame_decode");
+                    let started = Instant::now();
+                    let decoded = Request::decode(&body);
+                    shared.frame_decode_hist.observe_duration(started.elapsed());
+                    decoded
+                };
+                let reply = match decoded {
                     // Version negotiation is not optional: Hello must
                     // come before anything else on a connection, so a
                     // client speaking a future protocol always gets the
@@ -355,6 +415,7 @@ fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream, read_timeout: Dur
                         ))
                     }
                     Ok(request) => {
+                        let _handle = shared.tracer.span("handle");
                         let reply = handle_request(shared, request);
                         if matches!(reply, Reply::HelloAck { .. }) {
                             handshaken = true;
@@ -366,7 +427,17 @@ fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream, read_timeout: Dur
                 if matches!(reply, Reply::Error(_)) {
                     shared.errors_total.inc();
                 }
-                if write_frame(&mut conn, &reply.encode()).is_err() {
+                let encoded = {
+                    let _encode = shared.tracer.span("report_encode");
+                    let started = Instant::now();
+                    let encoded = reply.encode();
+                    shared
+                        .report_encode_hist
+                        .observe_duration(started.elapsed());
+                    encoded
+                };
+                drop(request_span);
+                if write_frame(&mut conn, &encoded).is_err() {
                     break;
                 }
                 // Re-check after every served frame, not only when idle:
@@ -541,6 +612,13 @@ fn close_stream(shared: &Arc<Shared>, stream: u64) -> Result<StreamReport, Servi
 /// staging them in `batch` (cleared here; pass a reusable buffer on hot
 /// paths). The caller holds the fleet lock, so concurrent drainers
 /// cannot reorder a stream's samples. Returns the number moved.
+///
+/// Dispatch is timed here — histogram + `pump_dispatch` span — rather
+/// than in the pump loop, because read-style requests (`ReadReport`,
+/// `SetQuality`, …) drain inline on connection threads for
+/// read-your-writes semantics; whichever thread moves the samples owns
+/// the latency. Empty drains cancel the span so idle pump sweeps don't
+/// dominate traces.
 fn drain_session(
     shared: &Arc<Shared>,
     fleet: &mut FleetScheduler,
@@ -548,6 +626,8 @@ fn drain_session(
     max: usize,
     batch: &mut Vec<(f64, f64)>,
 ) -> usize {
+    let span = shared.tracer.span("pump_dispatch");
+    let started = Instant::now();
     batch.clear();
     let n = shared.sessions.take_batch(stream, max, batch);
     if n > 0 {
@@ -561,6 +641,11 @@ fn drain_session(
             .push_rr_batch(stream as usize, batch)
             // analyze::allow(panic-free-wire): a missing stream here is silent data loss — registration and removal both happen under the fleet lock this caller holds, so this is unreachable without memory corruption
             .expect("queued samples for a stream absent from the fleet");
+        shared
+            .pump_dispatch_hist
+            .observe_duration(started.elapsed());
+    } else {
+        span.cancel();
     }
     n
 }

@@ -16,11 +16,12 @@
 
 use crate::error::ServiceError;
 use crate::proto::Pushed;
-use hrv_core::{lock_unpoisoned, Counter, Gauge, Telemetry};
+use hrv_core::{lock_unpoisoned, Counter, Gauge, Histogram, Telemetry};
 use hrv_delineate::{BeatOutcome, StreamingRrFilter};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Gateway lifecycle: accepting work.
 pub(crate) const STATE_RUNNING: u8 = 0;
@@ -57,6 +58,11 @@ struct Session {
     /// Last admitted beat time (`PushRr` path monotonicity gate).
     last_time: Option<f64>,
     depth_gauge: Gauge,
+    /// When the queue's current head sample started waiting — armed on
+    /// the empty→non-empty transition, observed into the queue-wait
+    /// histogram each time the pump drains, re-armed while samples
+    /// remain. `None` while the queue is empty.
+    queued_since: Option<Instant>,
 }
 
 /// The admission-controlled session store; see the module docs.
@@ -75,6 +81,10 @@ pub(crate) struct SessionTable {
     accepted_total: Counter,
     gated_total: Counter,
     busy_total: Counter,
+    /// `hrv_service_queue_wait_seconds` — head-of-line wait between a
+    /// sample entering an empty queue (or surviving a previous drain)
+    /// and the pump picking it up.
+    queue_wait_hist: Histogram,
 }
 
 impl SessionTable {
@@ -92,6 +102,10 @@ impl SessionTable {
             "hrv_service_busy_total",
             "pushes refused with Busy (queue backpressure)",
         );
+        let queue_wait_hist = telemetry.histogram(
+            "hrv_service_queue_wait_seconds",
+            "head-of-line wait of queued samples until the analysis pump drains them",
+        );
         SessionTable {
             config,
             state,
@@ -101,6 +115,7 @@ impl SessionTable {
             accepted_total,
             gated_total,
             busy_total,
+            queue_wait_hist,
         }
     }
 
@@ -133,6 +148,7 @@ impl SessionTable {
                 beats: StreamingRrFilter::new(),
                 last_time: None,
                 depth_gauge,
+                queued_since: None,
             },
         );
         self.open_gauge.set(sessions.len() as f64);
@@ -176,6 +192,9 @@ impl SessionTable {
             }
         }
         debug_assert_eq!(accepted as usize, admissible);
+        if accepted > 0 && session.queued_since.is_none() {
+            session.queued_since = Some(Instant::now());
+        }
         Ok(self.pushed(id, session, accepted, samples.len() as u32 - accepted))
     }
 
@@ -205,6 +224,9 @@ impl SessionTable {
                 session.last_time = Some(time);
                 accepted += 1;
             }
+        }
+        if accepted > 0 && session.queued_since.is_none() {
+            session.queued_since = Some(Instant::now());
         }
         Ok(self.pushed(id, session, accepted, beats.len() as u32 - accepted))
     }
@@ -252,6 +274,16 @@ impl SessionTable {
         let n = session.queue.len().min(max);
         out.extend(session.queue.drain(..n));
         session.depth_gauge.set(session.queue.len() as f64);
+        if n > 0 {
+            if let Some(since) = session.queued_since.take() {
+                self.queue_wait_hist.observe_duration(since.elapsed());
+            }
+            if !session.queue.is_empty() {
+                // Samples survived the drain — the new head starts its
+                // wait now (per-dispatch head-of-line wait, not age).
+                session.queued_since = Some(Instant::now());
+            }
+        }
         n
     }
 

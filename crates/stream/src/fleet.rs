@@ -18,9 +18,9 @@ use crate::scratch::StreamScratch;
 use crate::sliding::{SlidingLomb, WindowView};
 use hrv_core::{
     ApproximationMode, CandidatePoint, CostProfile, Directive, DistortionGovernor,
-    EnergyBudgetGovernor, KernelCache, KernelSpec, NodeModel, OperatingChoice, PruningPolicy,
-    PsaConfig, PsaError, QualityController, QualityGovernor, SpectralPlan, SweepResult, Telemetry,
-    TrainingSet, WindowObservation,
+    EnergyBudgetGovernor, Histogram, KernelCache, KernelSpec, NodeModel, OperatingChoice,
+    PruningPolicy, PsaConfig, PsaError, QualityController, QualityGovernor, SpectralPlan,
+    SweepResult, Telemetry, Tracer, TrainingSet, WindowObservation,
 };
 use hrv_dsp::OpCount;
 use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};
@@ -61,6 +61,36 @@ impl Default for FleetConfig {
     }
 }
 
+/// The observability hooks a fleet carries once
+/// [`FleetScheduler::set_observability`] wires them in: the registry the
+/// per-stage latency histograms live in, plus the span tracer. Shared
+/// handles only — cloning is cheap and the struct is `Sync`, so the
+/// scoped shard workers borrow one instance.
+#[derive(Clone, Debug)]
+struct FleetInstruments {
+    telemetry: Telemetry,
+    tracer: Tracer,
+    /// `hrv_stream_governor_decision_seconds` — one unlabelled series
+    /// (the governor does not depend on the kernel in force).
+    governor_hist: Histogram,
+}
+
+/// Name of the per-(kernel, rail) window-compute latency family.
+const WINDOW_COMPUTE_METRIC: &str = "hrv_stream_window_compute_seconds";
+
+impl FleetInstruments {
+    fn new(telemetry: &Telemetry, tracer: Tracer) -> Self {
+        FleetInstruments {
+            telemetry: telemetry.clone(),
+            tracer,
+            governor_hist: telemetry.histogram(
+                "hrv_stream_governor_decision_seconds",
+                "time spent in the quality governor's per-window decision",
+            ),
+        }
+    }
+}
+
 /// One monitored patient inside the fleet.
 #[derive(Debug)]
 struct PatientStream {
@@ -88,6 +118,34 @@ struct PatientStream {
     windows: u64,
     arrhythmia_windows: u64,
     ops: OpCount,
+    /// Cached window-compute histogram handle for the current
+    /// (kernel, DVFS rail) label pair, keyed by the backend index and
+    /// the rail voltage bits it was registered for. Refreshed only when
+    /// either changes, so steady-state window accounting does a compare
+    /// instead of a registry lookup (and allocates nothing).
+    compute_hist: Option<(usize, u64, Histogram)>,
+}
+
+/// Refreshes the stream's cached window-compute histogram handle,
+/// re-registering the labelled series only when the (kernel, rail) pair
+/// changed since the handle was taken — the steady state is two loads
+/// and a compare.
+fn refresh_compute_hist(patient: &mut PatientStream, instruments: &FleetInstruments) {
+    let backend = patient.engine.active_backend_index();
+    let rail_bits = patient.opp.voltage.to_bits();
+    if matches!(&patient.compute_hist, Some((b, r, _)) if *b == backend && *r == rail_bits) {
+        return;
+    }
+    let rail = format!("{:.2}V", patient.opp.voltage);
+    let hist = instruments.telemetry.histogram_with(
+        WINDOW_COMPUTE_METRIC,
+        "fleet worker time computing emitted windows, by kernel and DVFS rail",
+        &[
+            ("kernel", patient.engine.active_backend().name()),
+            ("rail", &rail),
+        ],
+    );
+    patient.compute_hist = Some((backend, rail_bits, hist));
 }
 
 /// One worker's slice of the fleet: its patients plus a private scratch
@@ -483,6 +541,9 @@ pub struct FleetScheduler {
     fed_until: f64,
     wall_seconds: f64,
     finished: bool,
+    /// Observability hooks, once [`FleetScheduler::set_observability`]
+    /// wires them in — `None` keeps the hot path free of clock reads.
+    instruments: Option<FleetInstruments>,
 }
 
 /// What the shared window-accounting sink hands back to the scheduler.
@@ -504,6 +565,8 @@ struct WindowAccounting<'a> {
     energy_j: &'a mut f64,
     battery: Option<&'a mut Battery>,
     governor: Option<&'a mut Box<dyn QualityGovernor>>,
+    /// Governor-decision latency histogram, when observability is wired.
+    governor_hist: Option<&'a Histogram>,
 }
 
 /// The one window-accounting sink both `run_until` and `finish` use:
@@ -525,6 +588,7 @@ fn account_windows<'a>(
         energy_j,
         mut battery,
         mut governor,
+        governor_hist,
     } = acc;
     move |w: &WindowView<'_>| {
         *windows += 1;
@@ -546,12 +610,16 @@ fn account_windows<'a>(
             None => 1.0,
         };
         if let Some(governor) = governor.as_deref_mut() {
+            let decision_started = governor_hist.map(|_| Instant::now());
             let directive = governor.observe_window(&WindowObservation {
                 lf_hf: w.lf_hf_ratio(),
                 exact_lf_hf: w.exact_lf_hf,
                 energy_j: charged,
                 battery_soc: soc,
             });
+            if let (Some(hist), Some(started)) = (governor_hist, decision_started) {
+                hist.observe_duration(started.elapsed());
+            }
             outcome.directive = Some(directive);
             outcome.audit_next = outcome.audit_next || governor.should_audit();
         }
@@ -568,8 +636,28 @@ fn pump_patient(
     scratch: &mut StreamScratch,
     detector: ArrhythmiaDetector,
     profile: &CostProfile,
+    instruments: Option<&FleetInstruments>,
 ) {
     while let Some((t, rr)) = patient.ingest.pop() {
+        // Observability gate: pay clock reads (and a span) only for a
+        // push that crosses a window boundary — non-emitting pushes, the
+        // vast majority, cost two f64 compares on top of the plain path.
+        let windows_before = patient.windows;
+        let timed = instruments.filter(|_| patient.engine.will_emit(t));
+        let (compute_started, compute_span) = match timed {
+            Some(ins) => {
+                // Refresh the cached (kernel, rail) histogram handle
+                // before the push; directives switch backends only after
+                // the windows they observed, so the label pair in force
+                // during the compute is the pre-push one.
+                refresh_compute_hist(patient, ins);
+                (
+                    Some(Instant::now()),
+                    Some(ins.tracer.span("window_compute")),
+                )
+            }
+            None => (None, None),
+        };
         let PatientStream {
             engine,
             governor,
@@ -581,18 +669,20 @@ fn pump_patient(
             windows,
             arrhythmia_windows,
             ops,
+            compute_hist: cached_hist,
             ..
         } = patient;
         let mut outcome = SinkOutcome::default();
         {
             let mut sink = account_windows(
                 WindowAccounting {
-                    windows,
+                    windows: &mut *windows,
                     ops,
                     arrhythmia_windows,
                     energy_j,
                     battery: battery.as_mut(),
                     governor: governor.as_mut(),
+                    governor_hist: timed.map(|ins| &ins.governor_hist),
                 },
                 detector,
                 profile,
@@ -600,6 +690,19 @@ fn pump_patient(
                 &mut outcome,
             );
             engine.push(t, rr, scratch, &mut sink);
+        }
+        // A boundary-crossing push can still emit nothing (skip rules);
+        // only real window computes are timed, so `_count` equals the
+        // number of emitting pushes — a span/sample per computed batch.
+        let emitted = *windows > windows_before;
+        match (compute_span, emitted) {
+            (Some(span), false) => span.cancel(),
+            (span, _) => drop(span),
+        }
+        if emitted {
+            if let (Some(started), Some((_, _, hist))) = (compute_started, cached_hist.as_ref()) {
+                hist.observe_duration(started.elapsed());
+            }
         }
         if let Some(directive) = outcome.directive {
             apply_choice(engine, directive.choice, choice_backends, *exact_index);
@@ -619,6 +722,7 @@ fn advance_shard(
     t_limit: f64,
     detector: ArrhythmiaDetector,
     profile: &CostProfile,
+    instruments: Option<&FleetInstruments>,
 ) -> bool {
     let mut remaining = false;
     for patient in &mut shard.patients {
@@ -629,7 +733,7 @@ fn advance_shard(
             }
             patient.cursor += 1;
             if patient.ingest.push_rr(t, rr) {
-                pump_patient(patient, scratch, detector, profile);
+                pump_patient(patient, scratch, detector, profile, instruments);
             }
         }
         if patient.cursor < patient.samples.len() {
@@ -647,7 +751,20 @@ fn finish_patient(
     scratch: &mut StreamScratch,
     detector: ArrhythmiaDetector,
     profile: &CostProfile,
+    instruments: Option<&FleetInstruments>,
 ) {
+    let windows_before = patient.windows;
+    let timed = instruments;
+    let (compute_started, compute_span) = match timed {
+        Some(ins) => {
+            refresh_compute_hist(patient, ins);
+            (
+                Some(Instant::now()),
+                Some(ins.tracer.span("window_compute")),
+            )
+        }
+        None => (None, None),
+    };
     let PatientStream {
         engine,
         governor,
@@ -657,24 +774,40 @@ fn finish_patient(
         windows,
         arrhythmia_windows,
         ops,
+        compute_hist: cached_hist,
         ..
     } = patient;
     let mut outcome = SinkOutcome::default();
-    let mut sink = account_windows(
-        WindowAccounting {
-            windows,
-            ops,
-            arrhythmia_windows,
-            energy_j,
-            battery: battery.as_mut(),
-            governor: governor.as_mut(),
-        },
-        detector,
-        profile,
-        *opp,
-        &mut outcome,
-    );
-    engine.finish(scratch, &mut sink);
+    {
+        let mut sink = account_windows(
+            WindowAccounting {
+                windows: &mut *windows,
+                ops,
+                arrhythmia_windows,
+                energy_j,
+                battery: battery.as_mut(),
+                governor: governor.as_mut(),
+                governor_hist: timed.map(|ins| &ins.governor_hist),
+            },
+            detector,
+            profile,
+            *opp,
+            &mut outcome,
+        );
+        engine.finish(scratch, &mut sink);
+    }
+    // Most streams have no trailing window to flush; time (and trace)
+    // only the finishes that actually computed one.
+    let emitted = *windows > windows_before;
+    match (compute_span, emitted) {
+        (Some(span), false) => span.cancel(),
+        (span, _) => drop(span),
+    }
+    if emitted {
+        if let (Some(started), Some((_, _, hist))) = (compute_started, cached_hist.as_ref()) {
+            hist.observe_duration(started.elapsed());
+        }
+    }
 }
 
 /// Flushes the trailing windows of one shard's patients (batch parity).
@@ -683,9 +816,10 @@ fn finish_shard(
     scratch: &mut StreamScratch,
     detector: ArrhythmiaDetector,
     profile: &CostProfile,
+    instruments: Option<&FleetInstruments>,
 ) {
     for patient in &mut shard.patients {
-        finish_patient(patient, scratch, detector, profile);
+        finish_patient(patient, scratch, detector, profile, instruments);
     }
 }
 
@@ -823,6 +957,7 @@ impl FleetScheduler {
             fed_until: 0.0,
             wall_seconds: 0.0,
             finished: false,
+            instruments: None,
         })
     }
 
@@ -848,6 +983,7 @@ impl FleetScheduler {
             windows: 0,
             arrhythmia_windows: 0,
             ops: OpCount::default(),
+            compute_hist: None,
         });
         self.index
             .insert(id, (shard, self.shards[shard].patients.len() - 1));
@@ -910,7 +1046,13 @@ impl FleetScheduler {
             let scratch = &mut self.scratches[shard];
             for &(t, rr) in samples {
                 if patient.ingest.push_rr(t, rr) {
-                    pump_patient(patient, scratch, detector, &self.profile);
+                    pump_patient(
+                        patient,
+                        scratch,
+                        detector,
+                        &self.profile,
+                        self.instruments.as_ref(),
+                    );
                     accepted += 1;
                 }
             }
@@ -939,6 +1081,7 @@ impl FleetScheduler {
                 &mut self.scratches[shard],
                 self.detector,
                 &self.profile,
+                self.instruments.as_ref(),
             );
         }
         self.wall_seconds += started.elapsed().as_secs_f64();
@@ -1025,7 +1168,13 @@ impl FleetScheduler {
             .get(&id)
             .ok_or(PsaError::UnknownStream(id as u64))?;
         let patient = &mut self.shards[shard].patients[pos];
-        finish_patient(patient, &mut self.scratches[shard], detector, &self.profile);
+        finish_patient(
+            patient,
+            &mut self.scratches[shard],
+            detector,
+            &self.profile,
+            self.instruments.as_ref(),
+        );
         let report = report_of(patient);
         self.index.remove(&id);
         self.shards[shard].patients.swap_remove(pos);
@@ -1306,6 +1455,26 @@ impl FleetScheduler {
         self
     }
 
+    /// Wires latency histograms and span tracing into the fleet's window
+    /// path. Every emitted window is then timed into
+    /// `hrv_stream_window_compute_seconds` (labelled by active kernel and
+    /// DVFS rail) and wrapped in a `window_compute` span; governed
+    /// streams additionally time each decision into
+    /// `hrv_stream_governor_decision_seconds`. Non-emitting pushes — the
+    /// vast majority — stay on the uninstrumented path (two f64
+    /// compares), so the steady-state overhead is negligible. Without
+    /// this call the fleet records nothing.
+    pub fn set_observability(&mut self, telemetry: &Telemetry, tracer: Tracer) {
+        self.instruments = Some(FleetInstruments::new(telemetry, tracer));
+        // Existing streams may hold handles from a previous registry;
+        // invalidate so the next emission re-registers against this one.
+        for shard in &mut self.shards {
+            for patient in &mut shard.patients {
+                patient.compute_hist = None;
+            }
+        }
+    }
+
     /// The kernel cache shared by every shard (construction accounting:
     /// [`KernelCache::builds`] stays flat once the fleet is warm, however
     /// often controllers switch).
@@ -1325,6 +1494,7 @@ impl FleetScheduler {
         let started = Instant::now();
         let detector = self.detector;
         let profile = &self.profile;
+        let instruments = self.instruments.as_ref();
         let remaining = if self.shards.len() == 1 {
             advance_shard(
                 &mut self.shards[0],
@@ -1332,6 +1502,7 @@ impl FleetScheduler {
                 t_limit,
                 detector,
                 profile,
+                instruments,
             )
         } else {
             std::thread::scope(|s| {
@@ -1340,7 +1511,9 @@ impl FleetScheduler {
                     .iter_mut()
                     .zip(self.scratches.iter_mut())
                     .map(|(shard, scratch)| {
-                        s.spawn(move || advance_shard(shard, scratch, t_limit, detector, profile))
+                        s.spawn(move || {
+                            advance_shard(shard, scratch, t_limit, detector, profile, instruments)
+                        })
                     })
                     .collect();
                 handles
@@ -1363,12 +1536,14 @@ impl FleetScheduler {
         let started = Instant::now();
         let detector = self.detector;
         let profile = &self.profile;
+        let instruments = self.instruments.as_ref();
         if self.shards.len() == 1 {
             finish_shard(
                 &mut self.shards[0],
                 &mut self.scratches[0],
                 detector,
                 profile,
+                instruments,
             );
         } else {
             std::thread::scope(|s| {
@@ -1377,7 +1552,9 @@ impl FleetScheduler {
                     .iter_mut()
                     .zip(self.scratches.iter_mut())
                     .map(|(shard, scratch)| {
-                        s.spawn(move || finish_shard(shard, scratch, detector, profile))
+                        s.spawn(move || {
+                            finish_shard(shard, scratch, detector, profile, instruments)
+                        })
                     })
                     .collect();
                 for h in handles {

@@ -336,6 +336,17 @@ impl SlidingLomb {
         ))
     }
 
+    /// Whether feeding a sample at beat time `t` would run the window
+    /// emission loop (at least one window boundary is crossed). Two f64
+    /// compares — cheap enough that instrumentation gates its timing on
+    /// this, paying clock reads only for pushes that do spectral work.
+    /// `true` does not guarantee a window is *emitted* (sparse windows
+    /// are skipped by the same rules batch Welch–Lomb applies).
+    pub fn will_emit(&self, t: f64) -> bool {
+        self.next_start
+            .is_some_and(|start| t >= start + self.window_duration)
+    }
+
     /// Feeds one clean RR sample (`t` = beat time ending interval `rr`),
     /// invoking `on_window` for every window the sample completes.
     /// Returns the number of windows emitted.

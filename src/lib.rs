@@ -69,10 +69,10 @@ pub use hrv_wfft as wfft;
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
     pub use hrv_core::{
-        energy_quality_sweep, ApproximationMode, BackendChoice, CostProfile, DistortionGovernor,
-        EnergyBudgetGovernor, HrvAnalysis, KernelCache, NodeModel, PruningPolicy, PsaConfig,
-        PsaError, PsaSystem, QualityController, QualityGovernor, SpectralPlan, Telemetry,
-        TrainingSet,
+        energy_quality_sweep, validate_exposition, ApproximationMode, BackendChoice, CostProfile,
+        DistortionGovernor, EnergyBudgetGovernor, Histogram, HrvAnalysis, KernelCache, MockClock,
+        NodeModel, PruningPolicy, PsaConfig, PsaError, PsaSystem, QualityController,
+        QualityGovernor, SpectralPlan, Telemetry, Tracer, TrainingSet,
     };
     pub use hrv_dsp::{Cx, FftBackend, OpCount, SplitRadixFft, Window};
     pub use hrv_ecg::{Condition, PatientRecord, RrSeries, SyntheticDatabase};

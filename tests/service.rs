@@ -318,6 +318,96 @@ fn metrics_exposition_reaches_clients_over_the_wire() {
 }
 
 #[test]
+fn read_metrics_returns_conformant_histogram_families_over_the_wire() {
+    let mut config = gateway_config(4, 4096, 1);
+    config.tracer = Tracer::monotonic();
+    let handle = Gateway::start(config).expect("gateway");
+    let tracer = handle.tracer();
+    let mut client = handle.client().expect("client");
+    client.open_stream(3).expect("open");
+    // Enough stream time for several 120 s analysis windows to emit, so
+    // the window-compute and queue-wait histograms record real samples.
+    for chunk in member_samples(3, 400.0).chunks(50) {
+        client
+            .push_rr_blocking(3, chunk, Duration::from_micros(200))
+            .expect("push");
+    }
+    let report = loop {
+        let report = client.read_report(3).expect("report");
+        if report.windows > 0 {
+            break report;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(report.windows > 0);
+    let metrics = client.metrics().expect("metrics");
+    // The whole exposition — counters, gauges, histograms — conforms.
+    validate_exposition(&metrics).expect("conformant exposition");
+    for family in [
+        "# TYPE hrv_service_frame_read_seconds histogram",
+        "# TYPE hrv_service_frame_decode_seconds histogram",
+        "# TYPE hrv_service_queue_wait_seconds histogram",
+        "# TYPE hrv_service_report_encode_seconds histogram",
+        "# TYPE hrv_service_pump_dispatch_seconds histogram",
+        "# TYPE hrv_stream_window_compute_seconds histogram",
+        "# TYPE hrv_stream_governor_decision_seconds histogram",
+    ] {
+        assert!(metrics.contains(family), "missing {family:?}");
+    }
+    // The pipeline stages recorded real samples (cumulative +Inf bucket
+    // == _count > 0) and carry the kernel/rail labels on window compute.
+    for (family, probe) in [
+        ("hrv_service_frame_decode_seconds", "_bucket{le=\"+Inf\"}"),
+        ("hrv_service_queue_wait_seconds", "_bucket{le=\"+Inf\"}"),
+        ("hrv_stream_window_compute_seconds", "le=\"+Inf\""),
+    ] {
+        let line = metrics
+            .lines()
+            .find(|l| l.starts_with(family) && l.contains(probe))
+            .unwrap_or_else(|| panic!("no {probe} sample for {family}"));
+        let count: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count > 0.0, "{family} recorded nothing: {line}");
+    }
+    assert!(
+        metrics.contains("hrv_stream_window_compute_seconds_bucket{kernel=\""),
+        "window compute is labelled by kernel"
+    );
+    assert!(metrics.contains("rail=\""), "and by DVFS rail");
+    // The per-backend kernel-cache breakdown rode along.
+    assert!(metrics.contains("hrv_kernel_cached_plans{kernel=\""));
+    // Spans covered every pipeline stage end to end. A span lands in
+    // its ring when the guard drops, so the pump's dispatch span can
+    // close a beat after the window report became visible — poll
+    // briefly instead of racing the pump thread.
+    let expected = [
+        "request",
+        "frame_decode",
+        "handle",
+        "report_encode",
+        "pump_dispatch",
+        "window_compute",
+    ];
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stages = loop {
+        let stages: std::collections::BTreeSet<&str> =
+            tracer.spans().iter().map(|s| s.stage).collect();
+        if expected.iter().all(|s| stages.contains(s)) || std::time::Instant::now() > deadline {
+            break stages;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    for stage in expected {
+        assert!(stages.contains(stage), "no {stage:?} span in {stages:?}");
+    }
+    // ...and the Chrome export of a live gateway trace stays well-formed.
+    let chrome = tracer.chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
 fn hello_is_mandatory_before_any_other_request() {
     let handle = Gateway::start(gateway_config(4, 64, 1)).expect("gateway");
     // A raw connection that skips the handshake.
