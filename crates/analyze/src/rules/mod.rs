@@ -11,12 +11,14 @@ mod floats;
 mod hot_alloc;
 mod locks;
 mod panics;
+mod unsafe_confined;
 mod wire_tags;
 
 pub use floats::FloatDiscipline;
 pub use hot_alloc::HotPathAlloc;
 pub use locks::LockDiscipline;
 pub use panics::PanicFreeWire;
+pub use unsafe_confined::UnsafeConfined;
 pub use wire_tags::WireTags;
 
 use crate::diag::Diagnostic;
@@ -43,6 +45,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LockDiscipline),
         Box::new(WireTags::default()),
         Box::new(FloatDiscipline),
+        Box::new(UnsafeConfined),
     ]
 }
 

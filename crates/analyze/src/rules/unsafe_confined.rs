@@ -1,0 +1,63 @@
+//! `unsafe-confined`: every `unsafe` block lives in the audited SIMD
+//! module.
+//!
+//! The workspace's safety argument for vectorized kernels is structural:
+//! all `std::arch` intrinsics sit under `crates/dsp/src/simd/`, where
+//! every entry point is property-tested bit-for-bit against a safe scalar
+//! oracle, and every other library crate carries `#![forbid(unsafe_code)]`
+//! (the dsp crate itself demotes to `deny` only so the simd module can
+//! opt back in). This rule is the workspace-wide check that the
+//! confinement actually holds: the `unsafe` keyword may not appear in
+//! non-test code anywhere else.
+//!
+//! One standing exemption: the counting allocator shim in
+//! `crates/bench/src/bin/fleet_throughput.rs` (a documented
+//! `GlobalAlloc` wrapper used to assert steady-state allocation-freedom —
+//! bench-only, never linked into the library crates).
+
+use super::{diag_at, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Path prefixes where `unsafe` is expected and oracle-audited.
+const ALLOWED_PREFIXES: &[&str] = &["crates/dsp/src/simd/"];
+
+/// Exact files with a documented standing exemption.
+const ALLOWED_FILES: &[&str] = &["crates/bench/src/bin/fleet_throughput.rs"];
+
+/// See the module docs.
+pub struct UnsafeConfined;
+
+impl Rule for UnsafeConfined {
+    fn name(&self) -> &'static str {
+        "unsafe-confined"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/")
+            && !ALLOWED_PREFIXES.iter().any(|p| rel_path.starts_with(p))
+            && !ALLOWED_FILES.contains(&rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for idx in file.code_token_indices() {
+            let tok = &file.tokens[idx];
+            if tok.kind != TokenKind::Ident || tok.text(&file.text) != "unsafe" {
+                continue;
+            }
+            if file.in_test_code(tok.start) {
+                continue;
+            }
+            out.push(diag_at(
+                self.name(),
+                file,
+                idx,
+                "`unsafe` outside crates/dsp/src/simd/ — vector kernels (and their safety \
+                 arguments) belong in the oracle-tested simd module; anything else needs an \
+                 analyze::allow with the audit reasoning"
+                    .to_string(),
+            ));
+        }
+    }
+}

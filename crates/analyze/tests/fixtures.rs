@@ -4,7 +4,7 @@
 
 use hrv_analyze::engine::Engine;
 use hrv_analyze::rules::{
-    FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, Rule, WireTags,
+    FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, Rule, UnsafeConfined, WireTags,
 };
 use hrv_analyze::source::SourceFile;
 use hrv_analyze::Diagnostic;
@@ -275,4 +275,51 @@ fn float_discipline_exempts_tests_and_allows() {
     assert!(check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", test_src).is_empty());
     let allowed = "fn f(x: f64) -> bool {\n    // analyze::allow(float-discipline): exact sentinel\n    x == 0.0\n}\n";
     assert!(check(Box::new(FloatDiscipline), "crates/dsp/src/x.rs", allowed).is_empty());
+}
+
+// ----------------------------------------------------------- unsafe scope
+
+#[test]
+fn unsafe_confined_flags_unsafe_outside_the_simd_module() {
+    let src = "pub fn f(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+    for path in [
+        "crates/core/src/exec.rs",
+        "crates/stream/src/fleet.rs",
+        "crates/dsp/src/fft/radix2.rs",
+    ] {
+        let diags = check(Box::new(UnsafeConfined), path, src);
+        assert_eq!(diags.len(), 1, "{path}: {diags:?}");
+        assert_eq!(diags[0].rule, "unsafe-confined");
+        assert!(diags[0].message.contains("crates/dsp/src/simd/"));
+    }
+}
+
+#[test]
+fn unsafe_confined_exempts_the_simd_module_and_bench_allocator() {
+    let src = "pub unsafe fn kernel(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+    for path in [
+        "crates/dsp/src/simd/avx2.rs",
+        "crates/dsp/src/simd/neon.rs",
+        "crates/bench/src/bin/fleet_throughput.rs",
+    ] {
+        assert!(
+            check(Box::new(UnsafeConfined), path, src).is_empty(),
+            "{path} is exempt"
+        );
+    }
+}
+
+#[test]
+fn unsafe_confined_exempts_test_code_and_honours_allow() {
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) { unsafe { let _ = *p; } }\n}\n";
+    assert!(check(Box::new(UnsafeConfined), "crates/core/src/x.rs", test_src).is_empty());
+    let allowed = "fn f(p: *const u8) -> u8 {\n    // analyze::allow(unsafe-confined): audited FFI shim\n    unsafe { *p }\n}\n";
+    assert!(check(Box::new(UnsafeConfined), "crates/core/src/x.rs", allowed).is_empty());
+}
+
+#[test]
+fn unsafe_confined_ignores_mentions_in_comments_and_strings() {
+    let src = "fn f() -> &'static str {\n    // unsafe is discussed here only\n    \"unsafe\"\n}\n";
+    assert!(check(Box::new(UnsafeConfined), "crates/core/src/x.rs", src).is_empty());
 }

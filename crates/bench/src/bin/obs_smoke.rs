@@ -153,6 +153,15 @@ fn main() {
         expected_windows * reps as u64,
         "every emitted window was timed, every rep"
     );
+    let simd = hrv_dsp::SimdLevel::active();
+    assert!(
+        text.contains(&format!("simd=\"{simd}\"")),
+        "window-compute series must carry the active simd label ({simd})"
+    );
+    assert!(
+        text.contains("hrv_simd_level"),
+        "simd dispatch-level gauge missing"
+    );
 
     // -- assertion 3: the disabled tracer really recorded nothing, and
     //    the enabled one covered every emitted window with a span ------

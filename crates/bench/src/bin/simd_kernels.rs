@@ -1,0 +1,405 @@
+//! Scalar-vs-SIMD wall-clock for the four vectorized kernel families.
+//!
+//! Runs every hot kernel family through its *production* entry point —
+//! FFT plans, the Fast-Lomb calculator, the Pan–Tompkins fused
+//! derivative+square, and window application — once pinned to the scalar
+//! oracle and once at the host's best [`SimdLevel`], using the
+//! [`hrv_dsp::simd::force_level`] bench hook. Before timing, each family's
+//! outputs are asserted bit-identical across the two levels (the dispatch
+//! contract), so a row can only ever differ in speed, never in results.
+//!
+//! Rows feed the `simd_kernel_wall_ns` table of `BENCH_baseline.json`.
+//! Environment knobs: `HRV_SIMD_REPS` (timing repetitions, default 7),
+//! `HRV_SIMD_ITERS` (iterations per repetition, default 200).
+
+use hrv_delineate::derivative_squared;
+use hrv_dsp::simd::{self, force_level};
+use hrv_dsp::{Cx, FftBackend, OpCount, Radix2Fft, RealFft, SimdLevel, SplitRadixFft, Window};
+use hrv_lomb::{FastLomb, Periodogram};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` nanoseconds per iteration of `f`, after warmup.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// Runs `f` with the process-wide dispatch level pinned to `level`.
+fn at_level<T>(level: SimdLevel, f: impl FnOnce() -> T) -> T {
+    let previous = force_level(level);
+    let out = f();
+    force_level(previous);
+    out
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: scalar/simd results differ at {i} ({x} vs {y})"
+        );
+    }
+}
+
+fn assert_cx_bits_eq(a: &[Cx], b: &[Cx], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{what}: scalar/simd results differ at {i} ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// Deterministic pseudo-random doubles in [-0.5, 0.5).
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+struct Row {
+    family: &'static str,
+    kernel: &'static str,
+    scalar_ns: f64,
+    simd_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.simd_ns
+    }
+}
+
+/// Times one closure at scalar and at `best`, returning a table row.
+fn row(
+    family: &'static str,
+    kernel: &'static str,
+    best: SimdLevel,
+    reps: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> Row {
+    let scalar_ns = at_level(SimdLevel::Scalar, || time_ns(reps, iters, &mut f));
+    let simd_ns = at_level(best, || time_ns(reps, iters, &mut f));
+    Row {
+        family,
+        kernel,
+        scalar_ns,
+        simd_ns,
+    }
+}
+
+fn main() {
+    let best = SimdLevel::detect();
+    let reps = env_usize("HRV_SIMD_REPS", 7);
+    let iters = env_usize("HRV_SIMD_ITERS", 200);
+    println!("# simd_kernels: scalar vs {best} (reps={reps}, iters={iters})");
+    if best == SimdLevel::Scalar {
+        println!("# host has no vector unit the kernels target; rows will be ~1.0x");
+    }
+
+    let mut rows = Vec::new();
+
+    // --- FFT family: production plans at the paper's n = 512 -------------
+    let n = 512;
+    let input: Vec<Cx> = signal(2 * n, 1)
+        .chunks_exact(2)
+        .map(|c| Cx::new(c[0], c[1]))
+        .collect();
+    let radix2 = Radix2Fft::new(n);
+    let split = SplitRadixFft::new(n);
+    let real = RealFft::new(n);
+    let real_input = signal(n, 2);
+
+    let fft_out = |backend: &dyn FftBackend| {
+        let mut data = input.clone();
+        backend.forward(&mut data, &mut OpCount::default());
+        data
+    };
+    assert_cx_bits_eq(
+        &at_level(SimdLevel::Scalar, || fft_out(&radix2)),
+        &at_level(best, || fft_out(&radix2)),
+        "radix2_512",
+    );
+    assert_cx_bits_eq(
+        &at_level(SimdLevel::Scalar, || fft_out(&split)),
+        &at_level(best, || fft_out(&split)),
+        "split_radix_512",
+    );
+    let real_out = || real.forward(&real_input, &mut OpCount::default());
+    assert_cx_bits_eq(
+        &at_level(SimdLevel::Scalar, real_out),
+        &at_level(best, real_out),
+        "real_fft_512",
+    );
+
+    rows.push(row("fft", "radix2_512", best, reps, iters, || {
+        let mut data = input.clone();
+        radix2.forward(&mut data, &mut OpCount::default());
+        black_box(&data);
+    }));
+    rows.push(row("fft", "split_radix_512", best, reps, iters, || {
+        let mut data = input.clone();
+        split.forward(&mut data, &mut OpCount::default());
+        black_box(&data);
+    }));
+    rows.push(row("fft", "real_fft_512", best, reps, iters, || {
+        black_box(real.forward(&real_input, &mut OpCount::default()));
+    }));
+
+    // The butterfly kernels in isolation (one top-level combine / one
+    // recombination pass, production-shaped inputs).
+    let master: Vec<Cx> = (0..n)
+        .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect();
+    let combine_init = input.clone();
+    let odd1 = &input[..n / 4].to_vec();
+    let odd3 = &input[n / 4..n / 2].to_vec();
+    let mut combine_buf = combine_init.clone();
+    let combine_out = |buf: &mut Vec<Cx>| {
+        buf.copy_from_slice(&combine_init);
+        simd::split_radix_combine(buf, odd1, odd3, &master, 1);
+        buf.clone()
+    };
+    assert_cx_bits_eq(
+        &at_level(SimdLevel::Scalar, || combine_out(&mut combine_buf)),
+        &at_level(best, || combine_out(&mut combine_buf)),
+        "split_radix_combine_512",
+    );
+    rows.push(row(
+        "fft",
+        "split_radix_combine_512",
+        best,
+        reps,
+        iters,
+        || {
+            combine_buf.copy_from_slice(&combine_init);
+            simd::split_radix_combine(&mut combine_buf, odd1, odd3, &master, 1);
+            black_box(&combine_buf);
+        },
+    ));
+
+    let h = n / 2;
+    let z = &input[..h].to_vec();
+    let rtw: Vec<Cx> = (0..=h / 2)
+        .map(|k| Cx::cis(-std::f64::consts::PI * k as f64 / h as f64))
+        .collect();
+    let mut rc_out = vec![Cx::ZERO; h + 1];
+    let rc = |out: &mut Vec<Cx>| {
+        simd::realfft_combine(z, &rtw, out);
+        out.clone()
+    };
+    assert_cx_bits_eq(
+        &at_level(SimdLevel::Scalar, || rc(&mut rc_out)),
+        &at_level(best, || rc(&mut rc_out)),
+        "realfft_combine_256",
+    );
+    rows.push(row("fft", "realfft_combine_256", best, reps, iters, || {
+        simd::realfft_combine(z, &rtw, &mut rc_out);
+        black_box(&rc_out);
+    }));
+
+    // --- Lomb family: Fast-Lomb on a 2-minute RR window ------------------
+    let rr = hrv_bench::arrhythmia_cohort(1, 150.0);
+    let window = rr[0].window(0.0, 120.0).expect("window");
+    let times: Vec<f64> = window
+        .times()
+        .iter()
+        .map(|&t| t - window.times()[0])
+        .collect();
+    let values = window.intervals().to_vec();
+    let backend = SplitRadixFft::new(n);
+    let resampled = FastLomb::new(n, 2.0).with_resampled_mesh().with_span(120.0);
+    let extirpolated = FastLomb::new(n, 2.0).with_span(120.0);
+
+    let lomb_out = |calc: &FastLomb| -> Periodogram {
+        calc.periodogram(&backend, &times, &values, &mut OpCount::default())
+    };
+    for (name, calc) in [
+        ("lomb_resampled_512", &resampled),
+        ("lomb_extirpolated_512", &extirpolated),
+    ] {
+        let s = at_level(SimdLevel::Scalar, || lomb_out(calc));
+        let v = at_level(best, || lomb_out(calc));
+        assert_bits_eq(s.freqs(), v.freqs(), name);
+        assert_bits_eq(s.power(), v.power(), name);
+    }
+    rows.push(row("lomb", "lomb_resampled_512", best, reps, iters, || {
+        black_box(resampled.periodogram(&backend, &times, &values, &mut OpCount::default()));
+    }));
+    // The resampled path's per-window mesh fill in isolation (the fused
+    // de-mean + taper the calculator calls once per hop).
+    let mesh_src = signal(4096, 5);
+    let mesh_taper = Window::Hann.coefficients(mesh_src.len());
+    let mut mesh_dst = vec![0.0; mesh_src.len()];
+    let mesh_out = |dst: &mut Vec<f64>| {
+        simd::demean_taper_into(dst, &mesh_src, 0.125, &mesh_taper);
+        dst.clone()
+    };
+    assert_bits_eq(
+        &at_level(SimdLevel::Scalar, || mesh_out(&mut mesh_dst)),
+        &at_level(best, || mesh_out(&mut mesh_dst)),
+        "mesh_demean_taper_4096",
+    );
+    rows.push(row(
+        "lomb",
+        "mesh_demean_taper_4096",
+        best,
+        reps,
+        iters,
+        || {
+            simd::demean_taper_into(&mut mesh_dst, &mesh_src, 0.125, &mesh_taper);
+            black_box(&mesh_dst);
+        },
+    ));
+    rows.push(row(
+        "lomb",
+        "lomb_extirpolated_512",
+        best,
+        reps,
+        iters,
+        || {
+            black_box(extirpolated.periodogram(&backend, &times, &values, &mut OpCount::default()));
+        },
+    ));
+
+    // The weight-spectrum combination in isolation: the sqrt/div-heavy
+    // per-bin normalisation the calculator runs once per output bin.
+    let nout = 1024;
+    let first: Vec<Cx> = signal(2 * (nout + 1), 6)
+        .chunks_exact(2)
+        .map(|c| Cx::new(c[0], c[1]))
+        .collect();
+    let second: Vec<Cx> = signal(2 * (nout + 1), 7)
+        .chunks_exact(2)
+        .map(|c| Cx::new(c[0] + 2.0, c[1]))
+        .collect();
+    let mut lc_freqs = vec![0.0; nout];
+    let mut lc_power = vec![0.0; nout];
+    let lc = |freqs: &mut Vec<f64>, power: &mut Vec<f64>| {
+        simd::lomb_combine(&first, &second, 0.01, 117.0, 0.8, freqs, power);
+        (freqs.clone(), power.clone())
+    };
+    let s = at_level(SimdLevel::Scalar, || lc(&mut lc_freqs, &mut lc_power));
+    let v = at_level(best, || lc(&mut lc_freqs, &mut lc_power));
+    assert_bits_eq(&s.0, &v.0, "lomb_combine_1024/freqs");
+    assert_bits_eq(&s.1, &v.1, "lomb_combine_1024/power");
+    rows.push(row("lomb", "lomb_combine_1024", best, reps, iters, || {
+        simd::lomb_combine(
+            &first,
+            &second,
+            0.01,
+            117.0,
+            0.8,
+            &mut lc_freqs,
+            &mut lc_power,
+        );
+        black_box(&lc_power);
+    }));
+
+    // --- Pan–Tompkins family: fused derivative+square, 60 s @ 250 Hz -----
+    let ecg = signal(15_000, 3);
+    assert_bits_eq(
+        &at_level(SimdLevel::Scalar, || {
+            derivative_squared(&ecg, &mut OpCount::default())
+        }),
+        &at_level(best, || derivative_squared(&ecg, &mut OpCount::default())),
+        "derivative_squared_15k",
+    );
+    rows.push(row(
+        "pan_tompkins",
+        "derivative_squared_15k",
+        best,
+        reps,
+        iters,
+        || {
+            black_box(derivative_squared(&ecg, &mut OpCount::default()));
+        },
+    ));
+
+    // --- Window family: Hann taper over a 4096-sample frame --------------
+    // Coefficients are precomputed once, as every production caller does
+    // (plans and the mesh scratch cache them); the timed kernel is the
+    // element-wise application itself.
+    let frame = signal(4096, 4);
+    let taper = Window::Hann.coefficients(frame.len());
+    let mut buf = vec![0.0; frame.len()];
+    let windowed = |buf: &mut Vec<f64>| {
+        buf.copy_from_slice(&frame);
+        simd::apply_taper(buf, &taper);
+        buf.clone()
+    };
+    assert_bits_eq(
+        &at_level(SimdLevel::Scalar, || windowed(&mut buf)),
+        &at_level(best, || windowed(&mut buf)),
+        "window_hann_4096",
+    );
+    rows.push(row("window", "window_hann_4096", best, reps, iters, || {
+        buf.copy_from_slice(&frame);
+        simd::apply_taper(&mut buf, &taper);
+        black_box(&buf);
+    }));
+
+    println!(
+        "{:<14} {:<24} {:>12} {:>12} {:>9}",
+        "family", "kernel", "scalar_ns", "simd_ns", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<24} {:>12.0} {:>12.0} {:>8.2}x",
+            r.family,
+            r.kernel,
+            r.scalar_ns,
+            r.simd_ns,
+            r.speedup()
+        );
+    }
+
+    // Family-level verdict: a family counts as vectorized-for-real when its
+    // best kernel clears 1.5x on this host.
+    let families = ["fft", "lomb", "pan_tompkins", "window"];
+    let cleared: Vec<&str> = families
+        .iter()
+        .filter(|fam| {
+            rows.iter()
+                .filter(|r| r.family == **fam)
+                .any(|r| r.speedup() >= 1.5)
+        })
+        .copied()
+        .collect();
+    println!(
+        "# families at >=1.5x: {}/{} ({})",
+        cleared.len(),
+        families.len(),
+        cleared.join(", ")
+    );
+    println!("# all rows bit-identical across levels (asserted before timing)");
+}

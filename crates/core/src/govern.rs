@@ -48,6 +48,7 @@
 //!     choice: None,
 //!     expected_error_pct: 0.0,
 //!     predicted_energy_j: 2e-3,
+//!     measured_window_s: 0.0,
 //!     opp: OperatingPoint::nominal(),
 //! };
 //! let cheap = CandidatePoint {
@@ -60,6 +61,7 @@
 //!     }),
 //!     expected_error_pct: 8.0,
 //!     predicted_energy_j: 1e-3,
+//!     measured_window_s: 0.0,
 //!     opp: OperatingPoint { voltage: 0.7, frequency: 50.0e6 },
 //! };
 //!
@@ -423,6 +425,12 @@ pub struct CandidatePoint {
     pub expected_error_pct: f64,
     /// Predicted per-window energy at `opp` (joules).
     pub predicted_energy_j: f64,
+    /// Measured wall-clock of one probe window under this candidate's
+    /// kernel on the build host (seconds; see
+    /// [`crate::CostProfile::measured_window_s`]). Reporting-only — the
+    /// governor never reads it, so decisions stay host-independent. 0
+    /// when the candidate was built without a probe (e.g. in tests).
+    pub measured_window_s: f64,
     /// The DVFS operating point this candidate runs at (nominal unless
     /// the choice converts pruning slack via VFS).
     pub opp: OperatingPoint,
@@ -785,6 +793,7 @@ mod tests {
             }),
             expected_error_pct: err,
             predicted_energy_j: energy,
+            measured_window_s: 0.0,
             opp: OperatingPoint {
                 voltage,
                 frequency: voltage * 100.0e6,

@@ -67,6 +67,19 @@ pub fn square(x: &[f64], ops: &mut OpCount) -> Vec<f64> {
     x.iter().map(|&v| v * v).collect()
 }
 
+/// Fused five-point derivative and squaring — [`derivative`] followed by
+/// [`square`] in a single vectorized pass over the signal. Bit-identical
+/// to the two-pass chain (same per-sample arithmetic in the same order)
+/// with the same operation tally, but touches memory once instead of
+/// materialising the intermediate derivative.
+pub fn derivative_squared(x: &[f64], ops: &mut OpCount) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    hrv_dsp::simd::derivative_squared_into(x, &mut out);
+    ops.mul += 4 * x.len() as u64;
+    ops.add += 3 * x.len() as u64;
+    out
+}
+
 /// Trailing moving-window integration over `len` samples — the energy
 /// envelope that the adaptive thresholds operate on.
 ///
@@ -136,6 +149,20 @@ mod tests {
         let y = square(&[-3.0, 2.0], &mut ops);
         assert_eq!(y, vec![9.0, 4.0]);
         assert_eq!(ops.mul, 2);
+    }
+
+    #[test]
+    fn derivative_squared_matches_two_pass_chain_bit_for_bit() {
+        let x: Vec<f64> = (0..97).map(|i| (i as f64 * 0.37).sin() * 1.3).collect();
+        let mut ops_fused = OpCount::default();
+        let fused = derivative_squared(&x, &mut ops_fused);
+        let mut ops_chain = OpCount::default();
+        let chain = square(&derivative(&x, &mut ops_chain), &mut ops_chain);
+        assert_eq!(fused.len(), chain.len());
+        for (i, (a, b)) in fused.iter().zip(&chain).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i}: {a} vs {b}");
+        }
+        assert_eq!(ops_fused, ops_chain, "fused tally must match the chain");
     }
 
     #[test]

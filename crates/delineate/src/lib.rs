@@ -34,7 +34,7 @@ mod filters;
 mod pan_tompkins;
 mod rr_extract;
 
-pub use filters::{derivative, moving_average, square, window_integral};
+pub use filters::{derivative, derivative_squared, moving_average, square, window_integral};
 pub use pan_tompkins::QrsDetector;
 pub use rr_extract::{
     evaluate_detection, rr_from_peaks, BeatOutcome, DetectionQuality, StreamingRrFilter, MAX_RR,

@@ -7,7 +7,7 @@
 //! search-back. The detected R-peak times feed the PSA pipeline exactly
 //! as the wearable-node delineator of the paper's Fig. 1(a) does.
 
-use crate::filters::{derivative, moving_average, square, window_integral};
+use crate::filters::{derivative_squared, moving_average, window_integral};
 use hrv_dsp::OpCount;
 
 /// A configured QRS detector.
@@ -86,8 +86,7 @@ impl QrsDetector {
             })
             .collect();
         let bandpassed = moving_average(&highpassed, lp_len, ops);
-        let d = derivative(&bandpassed, ops);
-        let sq = square(&d, ops);
+        let sq = derivative_squared(&bandpassed, ops);
         window_integral(&sq, ((self.integration_s * self.fs) as usize).max(1), ops)
     }
 

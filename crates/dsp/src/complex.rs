@@ -24,6 +24,7 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(a.conj(), Cx::new(1.0, -2.0));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
 pub struct Cx {
     /// Real part.
     pub re: f64,

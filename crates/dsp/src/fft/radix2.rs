@@ -3,6 +3,7 @@
 use super::{bit_reverse_permute, forward_twiddles, is_power_of_two, FftBackend};
 use crate::complex::Cx;
 use crate::ops::OpCount;
+use crate::simd;
 
 /// Planned radix-2 FFT of a fixed power-of-two length.
 ///
@@ -82,25 +83,16 @@ impl FftBackend for Radix2Fft {
         bit_reverse_permute(data);
         let mut len = 2;
         while len <= n {
-            let half = len / 2;
             let step = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let w = self.twiddles[k * step];
-                    let a = data[start + k];
-                    let b = data[start + k + half];
-                    // w == 1 at k == 0: butterfly needs no multiplication.
-                    let t = if k == 0 {
-                        b
-                    } else {
-                        ops.cmul();
-                        b * w
-                    };
-                    data[start + k] = a + t;
-                    data[start + k + half] = a - t;
-                    ops.cadd_n(2);
-                }
-            }
+            simd::radix2_stage(data, &self.twiddles, len, step);
+            // Stage tallies in bulk (deterministic and data-independent, so
+            // identical at every SIMD level): n/2 butterflies, all but the
+            // w=1 column of each block multiplying.
+            let blocks = (n / len) as u64;
+            let butterflies = (n / 2) as u64;
+            let cmults = butterflies - blocks;
+            ops.mul += 4 * cmults;
+            ops.add += 2 * cmults + 4 * butterflies;
             len *= 2;
         }
     }

@@ -9,6 +9,7 @@
 use super::FftBackend;
 use crate::complex::Cx;
 use crate::ops::OpCount;
+use crate::simd;
 
 /// Half-spectra (bins `0..=n/2`) of two real sequences transformed together.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,25 +96,20 @@ pub fn fft_real_pair_into(
     let half = n / 2;
     first.clear();
     second.clear();
-    first.reserve(half + 1);
-    second.reserve(half + 1);
+    first.resize(half + 1, Cx::ZERO);
+    second.resize(half + 1, Cx::ZERO);
 
     // DC and Nyquist bins separate exactly.
-    first.push(Cx::real(packed[0].re));
-    second.push(Cx::real(packed[0].im));
-    for k in 1..half {
-        let y = packed[k];
-        let ym = packed[n - k].conj();
-        // A[k] = (Y[k] + conj(Y[n-k]))/2 ; B[k] = -i(Y[k] - conj(Y[n-k]))/2
-        let s = (y + ym).scale(0.5);
-        let d = (y - ym).mul_neg_i().scale(0.5);
-        ops.cadd_n(2);
-        ops.mul += 4;
-        first.push(s);
-        second.push(d);
-    }
-    first.push(Cx::real(packed[half].re));
-    second.push(Cx::real(packed[half].im));
+    first[0] = Cx::real(packed[0].re);
+    second[0] = Cx::real(packed[0].im);
+    first[half] = Cx::real(packed[half].re);
+    second[half] = Cx::real(packed[half].im);
+    // A[k] = (Y[k] + conj(Y[n-k]))/2 ; B[k] = -i(Y[k] - conj(Y[n-k]))/2
+    simd::unpack_real_pair(packed, first, second);
+    // Per interior bin: 2 complex adds + 4 real scalings.
+    let interior = (half - 1) as u64;
+    ops.add += 4 * interior;
+    ops.mul += 4 * interior;
 }
 
 /// Spectrum of a single length-`n` real sequence via one length-`n/2`
@@ -234,19 +230,11 @@ impl RealFft {
         }
         // Remaining bins in conjugate pairs (k, h-k): one twiddle multiply
         // serves both.
-        for k in 1..q {
-            let zk = z[k];
-            let zm = z[h - k].conj();
-            let e = (zk + zm).scale(0.5);
-            let o = (zk - zm).mul_neg_i().scale(0.5);
-            ops.cadd_n(2);
-            ops.mul += 4;
-            let t = self.twiddles[k] * o;
-            ops.cmul();
-            out[k] = e + t;
-            out[h - k] = (e - t).conj();
-            ops.cadd_n(2);
-        }
+        simd::realfft_combine(z, &self.twiddles, out);
+        // Per pair: 4 complex adds + 4 real scalings + 1 complex multiply.
+        let pairs = (q - 1) as u64;
+        ops.add += 10 * pairs;
+        ops.mul += 8 * pairs;
     }
 }
 

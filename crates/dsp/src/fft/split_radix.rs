@@ -9,6 +9,7 @@
 use super::{is_power_of_two, FftBackend};
 use crate::complex::Cx;
 use crate::ops::OpCount;
+use crate::simd;
 
 /// Planned split-radix FFT of a fixed power-of-two length.
 ///
@@ -36,8 +37,6 @@ pub struct SplitRadixFft {
     master: Vec<Cx>,
 }
 
-const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
-
 impl SplitRadixFft {
     /// Plans a transform of length `n`.
     ///
@@ -55,16 +54,13 @@ impl SplitRadixFft {
         SplitRadixFft { n, master }
     }
 
-    /// `e^{-2πik/len}` pulled from the master table.
-    #[inline]
-    fn twiddle(&self, k: usize, len: usize) -> Cx {
-        self.master[(k % len) * (self.n / len)]
-    }
-
-    /// Depth-first split-radix recursion. Temporaries for the three
-    /// sub-transforms are carved out of `arena` with stack discipline
-    /// (`len` cells per live node, ≤ `2n` in total), so a transform
-    /// performs no heap allocation beyond the caller-provided scratch.
+    /// Depth-first split-radix recursion. The even half-transform recurses
+    /// **in place** into the low half of `out` (the combine reads each
+    /// `out[k]`/`out[k+quarter]` before overwriting it), so only the two
+    /// odd quarter-transforms are carved out of `arena` with stack
+    /// discipline — peak arena use is `len/2 + len/8 + … < len` cells and
+    /// a transform performs no heap allocation beyond the caller-provided
+    /// scratch.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
@@ -107,10 +103,17 @@ impl SplitRadixFft {
             _ => {
                 let quarter = len / 4;
                 let half = len / 2;
-                let (tmp, rest) = arena.split_at_mut(len);
-                let (even, odds) = tmp.split_at_mut(half);
+                self.recurse(
+                    input,
+                    offset,
+                    stride * 2,
+                    half,
+                    &mut out[..half],
+                    arena,
+                    ops,
+                );
+                let (odds, rest) = arena.split_at_mut(half);
                 let (odd1, odd3) = odds.split_at_mut(quarter);
-                self.recurse(input, offset, stride * 2, half, even, rest, ops);
                 self.recurse(input, offset + stride, stride * 4, quarter, odd1, rest, ops);
                 self.recurse(
                     input,
@@ -122,42 +125,15 @@ impl SplitRadixFft {
                     ops,
                 );
 
-                for k in 0..quarter {
-                    let (t1, t2) = if k == 0 {
-                        // w⁰ = 1 for both branches: free.
-                        (odd1[0], odd3[0])
-                    } else if 8 * k == len {
-                        // w^{len/8} = (1-i)/√2 and w^{3len/8} = (-1-i)/√2:
-                        // each costs 2 real muls + 2 real adds.
-                        let z1 = odd1[k];
-                        let t1 = Cx::new(
-                            (z1.re + z1.im) * FRAC_1_SQRT_2,
-                            (z1.im - z1.re) * FRAC_1_SQRT_2,
-                        );
-                        let z3 = odd3[k];
-                        let t2 = Cx::new(
-                            (z3.im - z3.re) * FRAC_1_SQRT_2,
-                            -(z3.re + z3.im) * FRAC_1_SQRT_2,
-                        );
-                        ops.mul += 4;
-                        ops.add += 4;
-                        (t1, t2)
-                    } else {
-                        ops.cmul_n(2);
-                        (
-                            odd1[k] * self.twiddle(k, len),
-                            odd3[k] * self.twiddle(3 * k, len),
-                        )
-                    };
-                    let s = t1 + t2;
-                    let d = (t1 - t2).mul_neg_i();
-                    ops.cadd_n(2);
-                    out[k] = even[k] + s;
-                    out[k + half] = even[k] - s;
-                    out[k + quarter] = even[k + quarter] + d;
-                    out[k + 3 * quarter] = even[k + quarter] - d;
-                    ops.cadd_n(4);
-                }
+                simd::split_radix_combine(out, odd1, odd3, &self.master, self.n / len);
+                // Combine tallies in bulk, identical to the per-column
+                // counting: every column does 6 complex adds; the generic
+                // columns add 2 complex multiplies, the w^{len/8} column 4
+                // real muls + 4 real adds, the w⁰ column is free.
+                let quarter = quarter as u64;
+                let generic = quarter - 2;
+                ops.add += 12 * quarter + 4 + 4 * generic;
+                ops.mul += 4 + 8 * generic;
             }
         }
     }
@@ -185,8 +161,9 @@ impl FftBackend for SplitRadixFft {
         // One scratch region instead of per-recursion vectors (the original
         // recursive layout allocated three temporaries per node, which
         // dominated wall time — see BENCH_baseline.json): `n` cells hold the
-        // input copy, `2n` serve as the recursion arena.
-        scratch.resize(3 * self.n, Cx::ZERO);
+        // input copy, `n` serve as the recursion arena for the odd
+        // quarter-transforms (the even halves recurse in place into `data`).
+        scratch.resize(2 * self.n, Cx::ZERO);
         let (input, arena) = scratch.split_at_mut(self.n);
         input.copy_from_slice(data);
         self.recurse(input, 0, 1, self.n, data, arena, ops);

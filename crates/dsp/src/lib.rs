@@ -13,6 +13,8 @@
 //!   on either the conventional [`SplitRadixFft`] or the paper's pruned
 //!   wavelet-based FFT (crate `hrv-wfft`);
 //! * [`Window`] — tapers for Welch–Lomb segmentation;
+//! * [`simd`] — runtime-dispatched vector kernels ([`SimdLevel`]) with a
+//!   scalar oracle, the only place in the workspace where `unsafe` lives;
 //! * statistics helpers and a [`Q15`] fixed-point ablation substrate.
 //!
 //! # Examples
@@ -34,13 +36,18 @@
 //! assert_eq!(peak, 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the `simd` module — the single audited home for
+// vector intrinsics — can opt back in with an explicit `allow`. Every other
+// module in this crate, and every other library crate in the workspace,
+// remains unsafe-free; the `hrv-analyze` `unsafe-confined` rule enforces it.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod complex;
 pub mod fft;
 mod fixed;
 mod ops;
+pub mod simd;
 mod stats;
 mod window;
 
@@ -51,6 +58,7 @@ pub use fft::{
 };
 pub use fixed::{dequantize, haar_stage_q15, quantize, Q15};
 pub use ops::{BlockOps, OpCount};
+pub use simd::SimdLevel;
 pub use stats::{
     max_abs_error, mean, mse, quantile, relative_error, rmse, sample_variance, variance, Histogram,
 };

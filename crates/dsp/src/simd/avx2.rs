@@ -1,0 +1,490 @@
+//! Hand-vectorized AVX2 kernels (4 × f64 / 2 × complex lanes).
+//!
+//! Every function mirrors its sibling in `scalar.rs` **operation for
+//! operation**: lanes are independent elements, each lane performs the
+//! scalar path's arithmetic in the scalar path's order, and no FMA
+//! contraction is emitted (bit-exactness beats the last 10 % of
+//! throughput here — the oracle tests compare with `to_bits`). Special
+//! cases a vector lane cannot express cheaply (`k == 0` butterflies, the
+//! `w^{len/8}` split-radix column, edge clamping, odd remainders) run the
+//! scalar arm inline.
+//!
+//! # Safety
+//!
+//! Every function is `#[target_feature(enable = "avx2")]` and must only be
+//! called after `is_x86_feature_detected!("avx2")` has returned `true` —
+//! the dispatch macro in `mod.rs` is the single call site and upholds
+//! this.
+
+use super::scalar;
+use crate::complex::Cx;
+use core::arch::x86_64::*;
+
+/// `[+0.0, -0.0, +0.0, -0.0]` — XOR mask flipping the sign of the odd
+/// (imaginary) lanes.
+#[inline]
+unsafe fn conj_mask() -> __m256d {
+    unsafe { _mm256_set_pd(-0.0, 0.0, -0.0, 0.0) }
+}
+
+/// Two packed complex multiplications `a * b` with the exact scalar
+/// expansion `(a.re·b.re − a.im·b.im, a.re·b.im + a.im·b.re)`.
+#[inline]
+unsafe fn cmul_pd(a: __m256d, b: __m256d) -> __m256d {
+    unsafe {
+        let ar = _mm256_movedup_pd(a); // [a0.re, a0.re, a1.re, a1.re]
+        let ai = _mm256_permute_pd(a, 0xF); // [a0.im, a0.im, a1.im, a1.im]
+        let bswap = _mm256_permute_pd(b, 0x5); // [b0.im, b0.re, b1.im, b1.re]
+        _mm256_addsub_pd(_mm256_mul_pd(ar, b), _mm256_mul_pd(ai, bswap))
+    }
+}
+
+/// Two packed `mul_neg_i`: `(re, im) -> (im, -re)`.
+#[inline]
+unsafe fn mul_neg_i_pd(v: __m256d) -> __m256d {
+    unsafe { _mm256_xor_pd(_mm256_permute_pd(v, 0x5), conj_mask()) }
+}
+
+/// Two packed conjugations.
+#[inline]
+unsafe fn conj_pd(v: __m256d) -> __m256d {
+    unsafe { _mm256_xor_pd(v, conj_mask()) }
+}
+
+/// Swaps the two complex lanes: `[z0, z1] -> [z1, z0]`.
+#[inline]
+unsafe fn swap_cx_pd(v: __m256d) -> __m256d {
+    unsafe { _mm256_permute2f128_pd(v, v, 0x01) }
+}
+
+/// Loads two consecutive `Cx` starting at `slice[i]`.
+#[inline]
+unsafe fn load2(slice: &[Cx], i: usize) -> __m256d {
+    debug_assert!(i + 2 <= slice.len());
+    unsafe { _mm256_loadu_pd(slice.as_ptr().add(i) as *const f64) }
+}
+
+/// Stores two consecutive `Cx` starting at `slice[i]`.
+#[inline]
+unsafe fn store2(slice: &mut [Cx], i: usize, v: __m256d) {
+    debug_assert!(i + 2 <= slice.len());
+    unsafe { _mm256_storeu_pd(slice.as_mut_ptr().add(i) as *mut f64, v) }
+}
+
+/// `[a, b]` as complex lanes from two (possibly strided) table entries.
+#[inline]
+unsafe fn set2(a: Cx, b: Cx) -> __m256d {
+    unsafe { _mm256_set_pd(b.im, b.re, a.im, a.re) }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn apply_taper(data: &mut [f64], taper: &[f64]) {
+    let n = data.len();
+    let mut i = 0;
+    unsafe {
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(data.as_ptr().add(i));
+            let w = _mm256_loadu_pd(taper.as_ptr().add(i));
+            _mm256_storeu_pd(data.as_mut_ptr().add(i), _mm256_mul_pd(d, w));
+            i += 4;
+        }
+    }
+    while i < n {
+        data[i] *= taper[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn demean_taper(dst: &mut [f64], src: &[f64], mean: f64, taper: &[f64]) {
+    let n = dst.len();
+    let mut i = 0;
+    unsafe {
+        let m = _mm256_set1_pd(mean);
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(src.as_ptr().add(i));
+            let w = _mm256_loadu_pd(taper.as_ptr().add(i));
+            let v = _mm256_mul_pd(_mm256_sub_pd(x, m), w);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), v);
+            i += 4;
+        }
+    }
+    while i < n {
+        dst[i] = (src[i] - mean) * taper[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn sum(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let mut i = 0;
+    let (l0, l1, l2, l3);
+    unsafe {
+        let mut acc = _mm256_setzero_pd();
+        while i + 4 <= n {
+            acc = _mm256_add_pd(acc, _mm256_loadu_pd(xs.as_ptr().add(i)));
+            i += 4;
+        }
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        l0 = _mm_cvtsd_f64(lo);
+        l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+        l2 = _mm_cvtsd_f64(hi);
+        l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+    }
+    // Same lane combine as the scalar oracle.
+    let mut total = (l0 + l1) + (l2 + l3);
+    while i < n {
+        total += xs[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn derivative_squared(x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    if n < 8 {
+        return scalar::derivative_squared(x, out);
+    }
+    // Clamped-edge prologue, identical to the oracle.
+    let at = |i: isize| -> f64 {
+        if i < 0 {
+            x[0]
+        } else {
+            x[i as usize]
+        }
+    };
+    for (i, o) in out.iter_mut().enumerate().take(4) {
+        let i = i as isize;
+        let d = (2.0 * at(i) + at(i - 1) - at(i - 3) - 2.0 * at(i - 4)) / 8.0;
+        *o = d * d;
+    }
+    let mut i = 4;
+    unsafe {
+        let two = _mm256_set1_pd(2.0);
+        let eight = _mm256_set1_pd(8.0);
+        while i + 4 <= n {
+            let xi = _mm256_loadu_pd(x.as_ptr().add(i));
+            let xm1 = _mm256_loadu_pd(x.as_ptr().add(i - 1));
+            let xm3 = _mm256_loadu_pd(x.as_ptr().add(i - 3));
+            let xm4 = _mm256_loadu_pd(x.as_ptr().add(i - 4));
+            // ((2x[i] + x[i-1]) - x[i-3]) - 2x[i-4], then /8 and square.
+            let s = _mm256_sub_pd(
+                _mm256_sub_pd(_mm256_add_pd(_mm256_mul_pd(two, xi), xm1), xm3),
+                _mm256_mul_pd(two, xm4),
+            );
+            let d = _mm256_div_pd(s, eight);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_mul_pd(d, d));
+            i += 4;
+        }
+    }
+    while i < n {
+        let d = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+        out[i] = d * d;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn radix2_stage(data: &mut [Cx], twiddles: &[Cx], len: usize, step: usize) {
+    let half = len / 2;
+    if half < 3 {
+        // The first stages are pure adds; the scalar loops auto-vectorize.
+        return scalar::radix2_stage(data, twiddles, len, step);
+    }
+    for block in data.chunks_exact_mut(len) {
+        let (lo, hi) = block.split_at_mut(half);
+        // k == 0: w == 1, multiplication-free (same special case as the
+        // oracle — multiplying by (1, 0) is not bit-transparent for -0.0).
+        let a = lo[0];
+        let b = hi[0];
+        lo[0] = a + b;
+        hi[0] = a - b;
+        let mut k = 1;
+        unsafe {
+            while k + 2 <= half {
+                let a = load2(lo, k);
+                let b = load2(hi, k);
+                let w = set2(twiddles[k * step], twiddles[(k + 1) * step]);
+                let t = cmul_pd(b, w);
+                store2(lo, k, _mm256_add_pd(a, t));
+                store2(hi, k, _mm256_sub_pd(a, t));
+                k += 2;
+            }
+        }
+        while k < half {
+            let a = lo[k];
+            let b = hi[k];
+            let t = b * twiddles[k * step];
+            lo[k] = a + t;
+            hi[k] = a - t;
+            k += 1;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn split_radix_combine(
+    out: &mut [Cx],
+    odd1: &[Cx],
+    odd3: &[Cx],
+    master: &[Cx],
+    stride: usize,
+) {
+    let len = out.len();
+    if len < 32 {
+        return scalar::split_radix_combine(out, odd1, odd3, master, stride);
+    }
+    let quarter = len / 4;
+    let half = len / 2;
+    let eighth = len / 8;
+
+    // One column, scalar (the oracle's arm verbatim).
+    fn combine_one(out: &mut [Cx], quarter: usize, half: usize, k: usize, t1: Cx, t2: Cx) {
+        let s = t1 + t2;
+        let d = (t1 - t2).mul_neg_i();
+        let ek = out[k];
+        let eq = out[k + quarter];
+        out[k] = ek + s;
+        out[k + half] = ek - s;
+        out[k + quarter] = eq + d;
+        out[k + 3 * quarter] = eq - d;
+    }
+
+    // k == 0: twiddles are 1.
+    combine_one(out, quarter, half, 0, odd1[0], odd3[0]);
+    // k == len/8: w = (1-i)/√2 and (-1-i)/√2 as 2-mul/2-add rotations.
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    let z1 = odd1[eighth];
+    let z3 = odd3[eighth];
+    combine_one(
+        out,
+        quarter,
+        half,
+        eighth,
+        Cx::new(
+            (z1.re + z1.im) * FRAC_1_SQRT_2,
+            (z1.im - z1.re) * FRAC_1_SQRT_2,
+        ),
+        Cx::new(
+            (z3.im - z3.re) * FRAC_1_SQRT_2,
+            -(z3.re + z3.im) * FRAC_1_SQRT_2,
+        ),
+    );
+
+    // Generic columns in the two runs [1, len/8) and (len/8, quarter),
+    // two at a time.
+    for (from, to) in [(1, eighth), (eighth + 1, quarter)] {
+        let mut k = from;
+        unsafe {
+            while k + 2 <= to {
+                let o1 = load2(odd1, k);
+                let o3 = load2(odd3, k);
+                let w1 = set2(master[k * stride], master[(k + 1) * stride]);
+                let w3 = set2(
+                    master[((3 * k) % len) * stride],
+                    master[((3 * (k + 1)) % len) * stride],
+                );
+                let t1 = cmul_pd(o1, w1);
+                let t2 = cmul_pd(o3, w3);
+                let s = _mm256_add_pd(t1, t2);
+                let d = mul_neg_i_pd(_mm256_sub_pd(t1, t2));
+                let ek = load2(out, k);
+                let eq = load2(out, k + quarter);
+                store2(out, k, _mm256_add_pd(ek, s));
+                store2(out, k + half, _mm256_sub_pd(ek, s));
+                store2(out, k + quarter, _mm256_add_pd(eq, d));
+                store2(out, k + 3 * quarter, _mm256_sub_pd(eq, d));
+                k += 2;
+            }
+        }
+        while k < to {
+            combine_one(
+                out,
+                quarter,
+                half,
+                k,
+                odd1[k] * master[(k % len) * stride],
+                odd3[k] * master[((3 * k) % len) * stride],
+            );
+            k += 1;
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn unpack_real_pair(packed: &[Cx], first: &mut [Cx], second: &mut [Cx]) {
+    let n = packed.len();
+    let half = n / 2;
+    let mut k = 1;
+    unsafe {
+        let half_splat = _mm256_set1_pd(0.5);
+        while k + 2 <= half {
+            let y = load2(packed, k);
+            // [packed[n-k], packed[n-k-1]] reversed to align lanes with k.
+            let ym = conj_pd(swap_cx_pd(load2(packed, n - k - 1)));
+            let s = _mm256_mul_pd(_mm256_add_pd(y, ym), half_splat);
+            let d = _mm256_mul_pd(mul_neg_i_pd(_mm256_sub_pd(y, ym)), half_splat);
+            store2(first, k, s);
+            store2(second, k, d);
+            k += 2;
+        }
+    }
+    while k < half {
+        let y = packed[k];
+        let ym = packed[n - k].conj();
+        first[k] = (y + ym).scale(0.5);
+        second[k] = (y - ym).mul_neg_i().scale(0.5);
+        k += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn realfft_combine(z: &[Cx], twiddles: &[Cx], out: &mut [Cx]) {
+    let h = z.len();
+    let q = h / 2;
+    let mut k = 1;
+    unsafe {
+        let half_splat = _mm256_set1_pd(0.5);
+        while k + 2 <= q {
+            let zk = load2(z, k);
+            let zm = conj_pd(swap_cx_pd(load2(z, h - k - 1)));
+            let e = _mm256_mul_pd(_mm256_add_pd(zk, zm), half_splat);
+            let o = _mm256_mul_pd(mul_neg_i_pd(_mm256_sub_pd(zk, zm)), half_splat);
+            let t = cmul_pd(load2(twiddles, k), o);
+            store2(out, k, _mm256_add_pd(e, t));
+            // out[h-k] positions descend: reverse the lanes before storing.
+            let r = conj_pd(_mm256_sub_pd(e, t));
+            store2(out, h - k - 1, swap_cx_pd(r));
+            k += 2;
+        }
+    }
+    while k < q {
+        let zk = z[k];
+        let zm = z[h - k].conj();
+        let e = (zk + zm).scale(0.5);
+        let o = (zk - zm).mul_neg_i().scale(0.5);
+        let t = twiddles[k] * o;
+        out[k] = e + t;
+        out[h - k] = (e - t).conj();
+        k += 1;
+    }
+}
+
+/// Transposes two vectors of packed complex (`[z0, z1]`, `[z2, z3]`) into
+/// `(re, im)` structure-of-arrays vectors.
+#[inline]
+unsafe fn to_soa(v0: __m256d, v1: __m256d) -> (__m256d, __m256d) {
+    unsafe {
+        let t0 = _mm256_permute2f128_pd(v0, v1, 0x20); // [z0.re, z0.im, z2.re, z2.im]
+        let t1 = _mm256_permute2f128_pd(v0, v1, 0x31); // [z1.re, z1.im, z3.re, z3.im]
+        (_mm256_unpacklo_pd(t0, t1), _mm256_unpackhi_pd(t0, t1))
+    }
+}
+
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn lomb_combine(
+    first: &[Cx],
+    second: &[Cx],
+    df: f64,
+    n_data: f64,
+    var: f64,
+    freqs: &mut [f64],
+    power: &mut [f64],
+) {
+    let nout = freqs.len();
+    let mut j = 1usize;
+    unsafe {
+        let halfv = _mm256_set1_pd(0.5);
+        let zero = _mm256_setzero_pd();
+        let minpos = _mm256_set1_pd(f64::MIN_POSITIVE);
+        let half_nd = _mm256_set1_pd(0.5 * n_data);
+        let ndv = _mm256_set1_pd(n_data);
+        let dfv = _mm256_set1_pd(df);
+        let two_var = _mm256_set1_pd(2.0 * var);
+        let sign_mask = _mm256_set1_pd(-0.0);
+        let abs_mask = _mm256_set1_pd(f64::from_bits(!(-0.0f64).to_bits()));
+        while j + 4 <= nout + 1 {
+            let (z1re, z1im) = to_soa(load2(first, j), load2(first, j + 2));
+            let (z2re, z2im) = to_soa(load2(second, j), load2(second, j + 2));
+            // hypo = max(|z2|, MIN_POSITIVE); norm is re² + im² then sqrt.
+            let norm_sqr = _mm256_add_pd(_mm256_mul_pd(z2re, z2re), _mm256_mul_pd(z2im, z2im));
+            let hypo = _mm256_max_pd(_mm256_sqrt_pd(norm_sqr), minpos);
+            let hc2wt = _mm256_div_pd(_mm256_mul_pd(halfv, z2re), hypo);
+            let hs2wt = _mm256_div_pd(_mm256_mul_pd(halfv, z2im), hypo);
+            // Branchless threshold + sign transfer, as in the oracle's
+            // max()/copysign().
+            let cwt = _mm256_sqrt_pd(_mm256_max_pd(_mm256_add_pd(halfv, hc2wt), zero));
+            let swt_mag = _mm256_sqrt_pd(_mm256_max_pd(_mm256_sub_pd(halfv, hc2wt), zero));
+            let swt = _mm256_or_pd(
+                _mm256_and_pd(swt_mag, abs_mask),
+                _mm256_and_pd(hs2wt, sign_mask),
+            );
+            let den = _mm256_add_pd(
+                _mm256_add_pd(half_nd, _mm256_mul_pd(hc2wt, z2re)),
+                _mm256_mul_pd(hs2wt, z2im),
+            );
+            let cb = _mm256_add_pd(_mm256_mul_pd(cwt, z1re), _mm256_mul_pd(swt, z1im));
+            let cterm = _mm256_div_pd(_mm256_mul_pd(cb, cb), _mm256_max_pd(den, minpos));
+            let sb = _mm256_sub_pd(_mm256_mul_pd(cwt, z1im), _mm256_mul_pd(swt, z1re));
+            let sterm = _mm256_div_pd(
+                _mm256_mul_pd(sb, sb),
+                _mm256_max_pd(_mm256_sub_pd(ndv, den), minpos),
+            );
+            let jv = _mm256_set_pd((j + 3) as f64, (j + 2) as f64, (j + 1) as f64, j as f64);
+            _mm256_storeu_pd(freqs.as_mut_ptr().add(j - 1), _mm256_mul_pd(jv, dfv));
+            _mm256_storeu_pd(
+                power.as_mut_ptr().add(j - 1),
+                _mm256_div_pd(_mm256_add_pd(cterm, sterm), two_var),
+            );
+            j += 4;
+        }
+    }
+    while j <= nout {
+        let z1 = first[j];
+        let z2 = second[j];
+        let hypo = z2.norm().max(f64::MIN_POSITIVE);
+        let hc2wt = 0.5 * z2.re / hypo;
+        let hs2wt = 0.5 * z2.im / hypo;
+        let cwt = (0.5 + hc2wt).max(0.0).sqrt();
+        let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
+        let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
+        let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
+        let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
+        freqs[j - 1] = j as f64 * df;
+        power[j - 1] = (cterm + sterm) / (2.0 * var);
+        j += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn extirpolate4(
+    grid: &mut [f64],
+    ilo: usize,
+    value: f64,
+    fac: f64,
+    position: f64,
+) {
+    unsafe {
+        let num = _mm256_set1_pd(value * fac);
+        let nden = _mm256_set_pd(
+            super::LAGRANGE4_NDEN[3],
+            super::LAGRANGE4_NDEN[2],
+            super::LAGRANGE4_NDEN[1],
+            super::LAGRANGE4_NDEN[0],
+        );
+        let idx = _mm256_set_pd(
+            (ilo + 3) as f64,
+            (ilo + 2) as f64,
+            (ilo + 1) as f64,
+            ilo as f64,
+        );
+        let den = _mm256_mul_pd(nden, _mm256_sub_pd(_mm256_set1_pd(position), idx));
+        let w = _mm256_div_pd(num, den);
+        let g = _mm256_loadu_pd(grid.as_ptr().add(ilo));
+        _mm256_storeu_pd(grid.as_mut_ptr().add(ilo), _mm256_add_pd(g, w));
+    }
+}

@@ -1,0 +1,603 @@
+//! Runtime-dispatched SIMD implementations of the workspace's hot kernels.
+//!
+//! Every kernel in this module exists in (at least) two variants: a safe
+//! scalar implementation in `scalar.rs` — the **oracle** — and a
+//! hand-vectorized AVX2 implementation in `avx2` (plus NEON for the
+//! element-wise kernels on aarch64). The public functions dispatch on the
+//! process-wide [`SimdLevel`], detected once at first use and overridable
+//! with the `HRV_FORCE_SCALAR` environment variable.
+//!
+//! # Bit-exactness contract
+//!
+//! The vector paths are written so that **every per-element operation is
+//! performed in the same order and with the same IEEE-754 semantics as the
+//! scalar path**: lanes are independent elements, reductions use the same
+//! fixed lane association on both paths, and no FMA contraction is used.
+//! Consequently a kernel's output is bit-identical at every [`SimdLevel`]
+//! — vectorization changes *when* elements are computed, never *what* is
+//! computed. This is what keeps the workspace's stronger invariants intact
+//! under dispatch: sharded fleet runs stay bit-identical to serial runs,
+//! and the trace-locked governor decisions never depend on the host CPU.
+//! The property-test suites in `crates/dsp/tests/simd_oracle.rs` and the
+//! forced-scalar suite in `crates/dsp/tests/forced_scalar.rs` enforce the
+//! contract with `to_bits` equality, not an epsilon.
+//!
+//! # Unsafe policy
+//!
+//! This module tree is the **only** place in the workspace's library crates
+//! where `unsafe` is permitted (enforced by the `unsafe-confined` rule of
+//! `hrv-analyze`); the crate root is `#![deny(unsafe_code)]` and every
+//! other library crate remains `#![forbid(unsafe_code)]`. All unsafe here
+//! is of one shape: calling a `#[target_feature]` function after the
+//! matching CPU feature has been verified by runtime detection.
+//!
+//! # Operation accounting
+//!
+//! None of these kernels take an [`crate::OpCount`]: callers account the
+//! (deterministic, data-independent) tallies in bulk, so the accounting is
+//! identical across SIMD levels by construction.
+
+#![allow(unsafe_code)]
+
+use crate::complex::Cx;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+mod scalar;
+
+/// The vector instruction set a kernel dispatch resolves to.
+///
+/// # Examples
+///
+/// ```
+/// use hrv_dsp::simd::SimdLevel;
+///
+/// let level = SimdLevel::active();
+/// // Whatever the host supports, results are bit-identical across levels:
+/// let mut a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+/// let mut b = a.clone();
+/// hrv_dsp::simd::apply_taper_at(level, &mut a, &[0.5; 5]);
+/// hrv_dsp::simd::apply_taper_at(SimdLevel::Scalar, &mut b, &[0.5; 5]);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar code — the property-tested oracle.
+    Scalar,
+    /// aarch64 Advanced SIMD (2 × f64 lanes), element-wise kernels only.
+    Neon,
+    /// x86-64 AVX2 (4 × f64 lanes).
+    Avx2,
+}
+
+/// Memoized dispatch level: 0 = undecided, else `SimdLevel` code + 1.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+impl SimdLevel {
+    fn code(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Neon => 2,
+            SimdLevel::Avx2 => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<SimdLevel> {
+        match code {
+            1 => Some(SimdLevel::Scalar),
+            2 => Some(SimdLevel::Neon),
+            3 => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The best level the host CPU supports (ignores the override
+    /// environment variable and any [`force_level`] in effect).
+    pub fn detect() -> SimdLevel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            // NEON is baseline on aarch64.
+            return SimdLevel::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdLevel::Scalar
+    }
+
+    /// The level kernels currently dispatch to.
+    ///
+    /// Decided once per process on first call: `HRV_FORCE_SCALAR` set to
+    /// `1`, `true`, or `yes` forces [`SimdLevel::Scalar`]; otherwise the
+    /// result of [`SimdLevel::detect`]. [`force_level`] can change it
+    /// later (tests and benches only).
+    pub fn active() -> SimdLevel {
+        match SimdLevel::from_code(LEVEL.load(Ordering::Relaxed)) {
+            Some(level) => level,
+            None => {
+                let level = if scalar_forced_by_env() {
+                    SimdLevel::Scalar
+                } else {
+                    SimdLevel::detect()
+                };
+                // A concurrent first call resolves to the same value, so
+                // the race is benign.
+                LEVEL.store(level.code(), Ordering::Relaxed);
+                level
+            }
+        }
+    }
+
+    /// Stable lowercase name (`scalar`, `neon`, `avx2`) — the value used
+    /// for telemetry labels and bench row names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Neon => "neon",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Numeric encoding for the `hrv_simd_level` telemetry gauge:
+    /// scalar = 0, neon = 1, avx2 = 2.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            SimdLevel::Scalar => 0.0,
+            SimdLevel::Neon => 1.0,
+            SimdLevel::Avx2 => 2.0,
+        }
+    }
+
+    /// `true` when this level's kernels can run on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            _ => self == SimdLevel::detect(),
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+fn scalar_forced_by_env() -> bool {
+    std::env::var("HRV_FORCE_SCALAR")
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+        .unwrap_or(false)
+}
+
+/// Forces the process-wide dispatch level and returns the previous one.
+///
+/// Levels the host cannot run are clamped to [`SimdLevel::Scalar`]. This
+/// is a test/bench/probe hook — production code relies on the one-time
+/// detection in [`SimdLevel::active`]. Because every kernel is
+/// bit-identical across levels, flipping this mid-run changes timing only,
+/// never results.
+pub fn force_level(level: SimdLevel) -> SimdLevel {
+    let previous = SimdLevel::active();
+    let clamped = if level.is_available() {
+        level
+    } else {
+        SimdLevel::Scalar
+    };
+    LEVEL.store(clamped.code(), Ordering::Relaxed);
+    previous
+}
+
+/// Clamps an explicitly requested level to what the host can execute.
+fn usable(level: SimdLevel) -> SimdLevel {
+    if level.is_available() {
+        level
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// Dispatches `$fn($args…)` to the implementation for `$level`.
+///
+/// SAFETY: the non-scalar arms are only reachable when [`usable`] has
+/// confirmed the matching CPU feature via [`SimdLevel::detect`], which is
+/// exactly the precondition of the `#[target_feature]` functions.
+macro_rules! dispatch {
+    ($level:expr, $fn:ident($($arg:expr),* $(,)?)) => {{
+        match usable($level) {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { avx2::$fn($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            SimdLevel::Neon => unsafe { neon::$fn($($arg),*) },
+            _ => scalar::$fn($($arg),*),
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Window application
+// ---------------------------------------------------------------------------
+
+/// Element-wise taper application: `data[i] *= taper[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn apply_taper(data: &mut [f64], taper: &[f64]) {
+    apply_taper_at(SimdLevel::active(), data, taper);
+}
+
+/// [`apply_taper`] at an explicit dispatch level (oracle tests/benches).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn apply_taper_at(level: SimdLevel, data: &mut [f64], taper: &[f64]) {
+    assert_eq!(data.len(), taper.len(), "taper length must match data");
+    dispatch!(level, apply_taper(data, taper))
+}
+
+/// Fused de-mean + taper: `dst[i] = (src[i] - mean) * taper[i]` — the
+/// per-window mesh fill of the resampling front end.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn demean_taper_into(dst: &mut [f64], src: &[f64], mean: f64, taper: &[f64]) {
+    demean_taper_into_at(SimdLevel::active(), dst, src, mean, taper);
+}
+
+/// [`demean_taper_into`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn demean_taper_into_at(
+    level: SimdLevel,
+    dst: &mut [f64],
+    src: &[f64],
+    mean: f64,
+    taper: &[f64],
+) {
+    assert_eq!(dst.len(), src.len(), "dst length must match src");
+    assert_eq!(src.len(), taper.len(), "taper length must match src");
+    dispatch!(level, demean_taper(dst, src, mean, taper))
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Four-accumulator sum of a slice.
+///
+/// The association is fixed — lane accumulators over `chunks_exact(4)`,
+/// combined as `(l0 + l1) + (l2 + l3)`, then the remainder left to right —
+/// and is identical on every level, so the result is bit-identical across
+/// dispatch (and generally *more* accurate than a naive left fold).
+pub fn sum(xs: &[f64]) -> f64 {
+    sum_at(SimdLevel::active(), xs)
+}
+
+/// [`sum`] at an explicit dispatch level.
+pub fn sum_at(level: SimdLevel, xs: &[f64]) -> f64 {
+    dispatch!(level, sum(xs))
+}
+
+// ---------------------------------------------------------------------------
+// Pan–Tompkins filter bank
+// ---------------------------------------------------------------------------
+
+/// Fused five-point derivative + squaring of the Pan–Tompkins chain:
+/// `out[i] = ((2x[i] + x[i-1] - x[i-3] - 2x[i-4]) / 8)²` with indices
+/// below zero clamped to `x[0]` — one pass instead of two, no
+/// intermediate buffer.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn derivative_squared_into(x: &[f64], out: &mut [f64]) {
+    derivative_squared_into_at(SimdLevel::active(), x, out);
+}
+
+/// [`derivative_squared_into`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn derivative_squared_into_at(level: SimdLevel, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "output length must match input");
+    dispatch!(level, derivative_squared(x, out))
+}
+
+// ---------------------------------------------------------------------------
+// FFT butterflies
+// ---------------------------------------------------------------------------
+
+/// One radix-2 DIT stage over the whole buffer: for every block of `len`
+/// starting at a multiple of `len`, the butterfly
+/// `(a, b) -> (a + w·b, a - w·b)` with `w = twiddles[k * step]`
+/// (`k = 0` is multiplication-free).
+///
+/// # Panics
+///
+/// Panics if `len` does not divide `data.len()`.
+pub fn radix2_stage(data: &mut [Cx], twiddles: &[Cx], len: usize, step: usize) {
+    radix2_stage_at(SimdLevel::active(), data, twiddles, len, step);
+}
+
+/// [`radix2_stage`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if `len` does not divide `data.len()`.
+pub fn radix2_stage_at(
+    level: SimdLevel,
+    data: &mut [Cx],
+    twiddles: &[Cx],
+    len: usize,
+    step: usize,
+) {
+    assert!(
+        len >= 2 && data.len().is_multiple_of(len),
+        "stage length {len} must divide buffer length {}",
+        data.len()
+    );
+    dispatch!(level, radix2_stage(data, twiddles, len, step))
+}
+
+/// The split-radix combine step, in place: `out[..]` holds the even
+/// half-transform in its first `len/2` slots; `odd1`/`odd3` are the two
+/// quarter-transforms. Twiddles come from the master table with
+/// `w(k) = master[(k % len) * stride]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent.
+pub fn split_radix_combine(out: &mut [Cx], odd1: &[Cx], odd3: &[Cx], master: &[Cx], stride: usize) {
+    split_radix_combine_at(SimdLevel::active(), out, odd1, odd3, master, stride);
+}
+
+/// [`split_radix_combine`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent.
+pub fn split_radix_combine_at(
+    level: SimdLevel,
+    out: &mut [Cx],
+    odd1: &[Cx],
+    odd3: &[Cx],
+    master: &[Cx],
+    stride: usize,
+) {
+    let len = out.len();
+    let quarter = len / 4;
+    assert!(
+        len >= 8 && len.is_multiple_of(4),
+        "combine needs len ≥ 8, got {len}"
+    );
+    assert_eq!(odd1.len(), quarter, "odd1 must hold a quarter transform");
+    assert_eq!(odd3.len(), quarter, "odd3 must hold a quarter transform");
+    assert!(
+        (len - 1) * stride < master.len() + 1,
+        "master table too short"
+    );
+    dispatch!(level, split_radix_combine(out, odd1, odd3, master, stride))
+}
+
+/// Hermitian unpack of a packed two-real-signal FFT: writes bins
+/// `1..n/2` of `first`/`second` from `packed` (the caller fills DC and
+/// Nyquist, which separate exactly).
+///
+/// # Panics
+///
+/// Panics if the output slices are shorter than `packed.len() / 2 + 1`.
+pub fn unpack_real_pair(packed: &[Cx], first: &mut [Cx], second: &mut [Cx]) {
+    unpack_real_pair_at(SimdLevel::active(), packed, first, second);
+}
+
+/// [`unpack_real_pair`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if the output slices are shorter than `packed.len() / 2 + 1`.
+pub fn unpack_real_pair_at(level: SimdLevel, packed: &[Cx], first: &mut [Cx], second: &mut [Cx]) {
+    let half = packed.len() / 2;
+    assert!(first.len() > half, "first must hold n/2 + 1 bins");
+    assert!(second.len() > half, "second must hold n/2 + 1 bins");
+    dispatch!(level, unpack_real_pair(packed, first, second))
+}
+
+/// The half-length real-FFT recombination for bins `1..h/2` (conjugate
+/// pairs `(k, h-k)`; the caller handles DC, Nyquist and the centre bin):
+/// `out[k] = E + w·O`, `out[h-k] = conj(E - w·O)` with `E`/`O` the
+/// even/odd-sample spectra recovered from the half-length transform `z`.
+///
+/// # Panics
+///
+/// Panics if `out` or `twiddles` are shorter than `z.len() + 1`.
+pub fn realfft_combine(z: &[Cx], twiddles: &[Cx], out: &mut [Cx]) {
+    realfft_combine_at(SimdLevel::active(), z, twiddles, out);
+}
+
+/// [`realfft_combine`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if `out` or `twiddles` are shorter than `z.len() + 1`.
+pub fn realfft_combine_at(level: SimdLevel, z: &[Cx], twiddles: &[Cx], out: &mut [Cx]) {
+    let h = z.len();
+    assert!(out.len() > h, "out must hold h + 1 bins");
+    assert!(twiddles.len() > h / 2, "twiddle table too short");
+    dispatch!(level, realfft_combine(z, twiddles, out))
+}
+
+// ---------------------------------------------------------------------------
+// Lomb calculator
+// ---------------------------------------------------------------------------
+
+/// The Press–Rybicki Lomb combination for bins `1..=nout` where
+/// `nout = freqs.len()`: from the data spectrum `first` and weight
+/// spectrum `second`, fills `freqs[j-1] = j·df` and `power[j-1]` with the
+/// normalised periodogram ordinate. Thresholding (`max`) and sign
+/// transfer (`copysign`) are branchless selects on every path.
+///
+/// # Panics
+///
+/// Panics if `power` differs in length from `freqs`, or the spectra hold
+/// fewer than `freqs.len() + 1` bins.
+#[allow(clippy::too_many_arguments)]
+pub fn lomb_combine(
+    first: &[Cx],
+    second: &[Cx],
+    df: f64,
+    n_data: f64,
+    var: f64,
+    freqs: &mut [f64],
+    power: &mut [f64],
+) {
+    lomb_combine_at(
+        SimdLevel::active(),
+        first,
+        second,
+        df,
+        n_data,
+        var,
+        freqs,
+        power,
+    );
+}
+
+/// [`lomb_combine`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Same conditions as [`lomb_combine`].
+#[allow(clippy::too_many_arguments)]
+pub fn lomb_combine_at(
+    level: SimdLevel,
+    first: &[Cx],
+    second: &[Cx],
+    df: f64,
+    n_data: f64,
+    var: f64,
+    freqs: &mut [f64],
+    power: &mut [f64],
+) {
+    let nout = freqs.len();
+    assert_eq!(power.len(), nout, "power length must match freqs");
+    assert!(first.len() > nout, "first spectrum too short");
+    assert!(second.len() > nout, "second spectrum too short");
+    dispatch!(
+        level,
+        lomb_combine(first, second, df, n_data, var, freqs, power)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Extirpolation
+// ---------------------------------------------------------------------------
+
+/// Signed order-4 Lagrange denominator factorials in ascending mesh-index
+/// order: `nden` of the classic `fasper` recurrence evaluates to exactly
+/// these integers for `order = 4`.
+pub(crate) const LAGRANGE4_NDEN: [f64; 4] = [-6.0, 2.0, -2.0, 6.0];
+
+/// Order-4 extirpolation deposit: spreads `value·fac` onto the four
+/// consecutive mesh points `grid[ilo..ilo+4]` with Lagrange weights
+/// `value·fac / (nden_j · (position - (ilo + j)))`.
+///
+/// # Panics
+///
+/// Panics if `grid[ilo..ilo+4]` is out of bounds.
+pub fn extirpolate4(grid: &mut [f64], ilo: usize, value: f64, fac: f64, position: f64) {
+    extirpolate4_at(SimdLevel::active(), grid, ilo, value, fac, position);
+}
+
+/// [`extirpolate4`] at an explicit dispatch level.
+///
+/// # Panics
+///
+/// Panics if `grid[ilo..ilo+4]` is out of bounds.
+pub fn extirpolate4_at(
+    level: SimdLevel,
+    grid: &mut [f64],
+    ilo: usize,
+    value: f64,
+    fac: f64,
+    position: f64,
+) {
+    assert!(ilo + 4 <= grid.len(), "4-point window out of grid bounds");
+    dispatch!(level, extirpolate4(grid, ilo, value, fac, position))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_and_memoized() {
+        let first = SimdLevel::active();
+        assert_eq!(SimdLevel::active(), first);
+        assert!(first.is_available());
+    }
+
+    /// Serializes the tests that mutate the process-global level.
+    static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn force_level_round_trips() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let original = SimdLevel::active();
+        let previous = force_level(SimdLevel::Scalar);
+        assert_eq!(previous, original);
+        assert_eq!(SimdLevel::active(), SimdLevel::Scalar);
+        force_level(original);
+        assert_eq!(SimdLevel::active(), original);
+    }
+
+    #[test]
+    fn unavailable_levels_clamp_to_scalar() {
+        let _guard = FORCE_LOCK.lock().unwrap();
+        let original = SimdLevel::active();
+        let bogus = if cfg!(target_arch = "x86_64") {
+            SimdLevel::Neon
+        } else {
+            SimdLevel::Avx2
+        };
+        force_level(bogus);
+        assert_eq!(SimdLevel::active(), SimdLevel::Scalar);
+        force_level(original);
+    }
+
+    #[test]
+    fn names_and_gauges() {
+        assert_eq!(SimdLevel::Scalar.as_str(), "scalar");
+        assert_eq!(SimdLevel::Avx2.to_string(), "avx2");
+        assert_eq!(SimdLevel::Neon.gauge_value(), 1.0);
+        assert_eq!(SimdLevel::Scalar.gauge_value(), 0.0);
+        assert_eq!(SimdLevel::Avx2.gauge_value(), 2.0);
+    }
+
+    #[test]
+    fn lagrange4_constants_match_the_fasper_recurrence() {
+        // nden starts at (order-1)! = 6 at the highest mesh index and is
+        // updated by nden = nden / (j + 1 - ilo) * (j - ihi) walking down.
+        let (ilo, ihi) = (0i64, 3i64);
+        let mut nden = 6.0f64;
+        let mut got = [0.0f64; 4];
+        got[3] = nden;
+        for j in (ilo..ihi).rev() {
+            nden = (nden / (j + 1 - ilo) as f64) * (j - ihi) as f64;
+            got[j as usize] = nden;
+        }
+        assert_eq!(got, LAGRANGE4_NDEN);
+    }
+}

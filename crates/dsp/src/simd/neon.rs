@@ -1,0 +1,178 @@
+//! NEON kernels (2 × f64 lanes) for aarch64.
+//!
+//! Only the elementwise kernels are hand-vectorized here; the complex
+//! butterfly/combine kernels delegate to the scalar oracle (which is
+//! bit-exact by definition), because 128-bit lanes hold a single complex
+//! value and offer little headroom over the scalar code. The same
+//! bit-exactness contract as `avx2.rs` applies: each lane performs the
+//! scalar arithmetic in the scalar order, no FMA contraction.
+//!
+//! # Safety
+//!
+//! NEON is baseline on aarch64, so these functions are safe to call on any
+//! aarch64 host; they are still `unsafe fn` for parity with the dispatch
+//! macro, which is their only call site.
+
+use super::scalar;
+use crate::complex::Cx;
+use core::arch::aarch64::*;
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn apply_taper(data: &mut [f64], taper: &[f64]) {
+    let n = data.len();
+    let mut i = 0;
+    unsafe {
+        while i + 2 <= n {
+            let d = vld1q_f64(data.as_ptr().add(i));
+            let w = vld1q_f64(taper.as_ptr().add(i));
+            vst1q_f64(data.as_mut_ptr().add(i), vmulq_f64(d, w));
+            i += 2;
+        }
+    }
+    while i < n {
+        data[i] *= taper[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn demean_taper(dst: &mut [f64], src: &[f64], mean: f64, taper: &[f64]) {
+    let n = dst.len();
+    let mut i = 0;
+    unsafe {
+        let m = vdupq_n_f64(mean);
+        while i + 2 <= n {
+            let x = vld1q_f64(src.as_ptr().add(i));
+            let w = vld1q_f64(taper.as_ptr().add(i));
+            vst1q_f64(dst.as_mut_ptr().add(i), vmulq_f64(vsubq_f64(x, m), w));
+            i += 2;
+        }
+    }
+    while i < n {
+        dst[i] = (src[i] - mean) * taper[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn sum(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let mut i = 0;
+    let (l0, l1, l2, l3);
+    unsafe {
+        // Two registers = the same four lane accumulators as the oracle.
+        let mut acc_a = vdupq_n_f64(0.0); // lanes 0, 1
+        let mut acc_b = vdupq_n_f64(0.0); // lanes 2, 3
+        while i + 4 <= n {
+            acc_a = vaddq_f64(acc_a, vld1q_f64(xs.as_ptr().add(i)));
+            acc_b = vaddq_f64(acc_b, vld1q_f64(xs.as_ptr().add(i + 2)));
+            i += 4;
+        }
+        l0 = vgetq_lane_f64(acc_a, 0);
+        l1 = vgetq_lane_f64(acc_a, 1);
+        l2 = vgetq_lane_f64(acc_b, 0);
+        l3 = vgetq_lane_f64(acc_b, 1);
+    }
+    // Same lane combine as the scalar oracle.
+    let mut total = (l0 + l1) + (l2 + l3);
+    while i < n {
+        total += xs[i];
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn derivative_squared(x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    if n < 8 {
+        return scalar::derivative_squared(x, out);
+    }
+    let at = |i: isize| -> f64 {
+        if i < 0 {
+            x[0]
+        } else {
+            x[i as usize]
+        }
+    };
+    for (i, o) in out.iter_mut().enumerate().take(4) {
+        let i = i as isize;
+        let d = (2.0 * at(i) + at(i - 1) - at(i - 3) - 2.0 * at(i - 4)) / 8.0;
+        *o = d * d;
+    }
+    let mut i = 4;
+    unsafe {
+        let two = vdupq_n_f64(2.0);
+        let eight = vdupq_n_f64(8.0);
+        while i + 2 <= n {
+            let xi = vld1q_f64(x.as_ptr().add(i));
+            let xm1 = vld1q_f64(x.as_ptr().add(i - 1));
+            let xm3 = vld1q_f64(x.as_ptr().add(i - 3));
+            let xm4 = vld1q_f64(x.as_ptr().add(i - 4));
+            // ((2x[i] + x[i-1]) - x[i-3]) - 2x[i-4], then /8 and square.
+            let s = vsubq_f64(
+                vsubq_f64(vaddq_f64(vmulq_f64(two, xi), xm1), xm3),
+                vmulq_f64(two, xm4),
+            );
+            let d = vdivq_f64(s, eight);
+            vst1q_f64(out.as_mut_ptr().add(i), vmulq_f64(d, d));
+            i += 2;
+        }
+    }
+    while i < n {
+        let d = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+        out[i] = d * d;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn radix2_stage(data: &mut [Cx], twiddles: &[Cx], len: usize, step: usize) {
+    scalar::radix2_stage(data, twiddles, len, step);
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn split_radix_combine(
+    out: &mut [Cx],
+    odd1: &[Cx],
+    odd3: &[Cx],
+    master: &[Cx],
+    stride: usize,
+) {
+    scalar::split_radix_combine(out, odd1, odd3, master, stride);
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn unpack_real_pair(packed: &[Cx], first: &mut [Cx], second: &mut [Cx]) {
+    scalar::unpack_real_pair(packed, first, second);
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn realfft_combine(z: &[Cx], twiddles: &[Cx], out: &mut [Cx]) {
+    scalar::realfft_combine(z, twiddles, out);
+}
+
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+pub(super) unsafe fn lomb_combine(
+    first: &[Cx],
+    second: &[Cx],
+    df: f64,
+    n_data: f64,
+    var: f64,
+    freqs: &mut [f64],
+    power: &mut [f64],
+) {
+    scalar::lomb_combine(first, second, df, n_data, var, freqs, power);
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn extirpolate4(
+    grid: &mut [f64],
+    ilo: usize,
+    value: f64,
+    fac: f64,
+    position: f64,
+) {
+    scalar::extirpolate4(grid, ilo, value, fac, position);
+}

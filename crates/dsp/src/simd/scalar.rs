@@ -1,0 +1,186 @@
+//! Scalar reference implementations — the oracle every vector path is
+//! property-tested against.
+//!
+//! These are not throwaway fallbacks: they run in production whenever the
+//! host lacks the vector features (or `HRV_FORCE_SCALAR` is set), and they
+//! define the exact per-element arithmetic the vector paths must reproduce
+//! bit-for-bit. Any change here is a change to the kernel's semantics and
+//! must be mirrored in `avx2.rs`/`neon.rs`.
+
+use crate::complex::Cx;
+
+pub(super) fn apply_taper(data: &mut [f64], taper: &[f64]) {
+    for (d, &w) in data.iter_mut().zip(taper) {
+        *d *= w;
+    }
+}
+
+pub(super) fn demean_taper(dst: &mut [f64], src: &[f64], mean: f64, taper: &[f64]) {
+    for ((d, &x), &w) in dst.iter_mut().zip(src).zip(taper) {
+        *d = (x - mean) * w;
+    }
+}
+
+pub(super) fn sum(xs: &[f64]) -> f64 {
+    // Four lane accumulators with the same association as one AVX2
+    // register; the lane combine and the left-to-right tail are part of
+    // the kernel contract.
+    let mut lanes = [0.0f64; 4];
+    let chunks = xs.chunks_exact(4);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        lanes[0] += chunk[0];
+        lanes[1] += chunk[1];
+        lanes[2] += chunk[2];
+        lanes[3] += chunk[3];
+    }
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in tail {
+        total += v;
+    }
+    total
+}
+
+pub(super) fn derivative_squared(x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    let edge = n.min(4);
+    // Clamped-edge prologue (i - 4 < 0 reads x[0]).
+    let at = |i: isize| -> f64 {
+        if i < 0 {
+            x[0]
+        } else {
+            x[i as usize]
+        }
+    };
+    for (i, o) in out.iter_mut().enumerate().take(edge) {
+        let i = i as isize;
+        let d = (2.0 * at(i) + at(i - 1) - at(i - 3) - 2.0 * at(i - 4)) / 8.0;
+        *o = d * d;
+    }
+    for i in edge..n {
+        let d = (2.0 * x[i] + x[i - 1] - x[i - 3] - 2.0 * x[i - 4]) / 8.0;
+        out[i] = d * d;
+    }
+}
+
+pub(super) fn radix2_stage(data: &mut [Cx], twiddles: &[Cx], len: usize, step: usize) {
+    let half = len / 2;
+    for block in data.chunks_exact_mut(len) {
+        let (lo, hi) = block.split_at_mut(half);
+        for k in 0..half {
+            let a = lo[k];
+            let b = hi[k];
+            // w == 1 at k == 0: butterfly needs no multiplication.
+            let t = if k == 0 { b } else { b * twiddles[k * step] };
+            lo[k] = a + t;
+            hi[k] = a - t;
+        }
+    }
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+pub(super) fn split_radix_combine(
+    out: &mut [Cx],
+    odd1: &[Cx],
+    odd3: &[Cx],
+    master: &[Cx],
+    stride: usize,
+) {
+    let len = out.len();
+    let quarter = len / 4;
+    let half = len / 2;
+    for k in 0..quarter {
+        let (t1, t2) = if k == 0 {
+            // w⁰ = 1 for both branches: free.
+            (odd1[0], odd3[0])
+        } else if 8 * k == len {
+            // w^{len/8} = (1-i)/√2 and w^{3len/8} = (-1-i)/√2.
+            let z1 = odd1[k];
+            let t1 = Cx::new(
+                (z1.re + z1.im) * FRAC_1_SQRT_2,
+                (z1.im - z1.re) * FRAC_1_SQRT_2,
+            );
+            let z3 = odd3[k];
+            let t2 = Cx::new(
+                (z3.im - z3.re) * FRAC_1_SQRT_2,
+                -(z3.re + z3.im) * FRAC_1_SQRT_2,
+            );
+            (t1, t2)
+        } else {
+            (
+                odd1[k] * master[(k % len) * stride],
+                odd3[k] * master[((3 * k) % len) * stride],
+            )
+        };
+        let s = t1 + t2;
+        let d = (t1 - t2).mul_neg_i();
+        let ek = out[k];
+        let eq = out[k + quarter];
+        out[k] = ek + s;
+        out[k + half] = ek - s;
+        out[k + quarter] = eq + d;
+        out[k + 3 * quarter] = eq - d;
+    }
+}
+
+pub(super) fn unpack_real_pair(packed: &[Cx], first: &mut [Cx], second: &mut [Cx]) {
+    let n = packed.len();
+    let half = n / 2;
+    for k in 1..half {
+        let y = packed[k];
+        let ym = packed[n - k].conj();
+        // A[k] = (Y[k] + conj(Y[n-k]))/2 ; B[k] = -i(Y[k] - conj(Y[n-k]))/2
+        first[k] = (y + ym).scale(0.5);
+        second[k] = (y - ym).mul_neg_i().scale(0.5);
+    }
+}
+
+pub(super) fn realfft_combine(z: &[Cx], twiddles: &[Cx], out: &mut [Cx]) {
+    let h = z.len();
+    let q = h / 2;
+    for k in 1..q {
+        let zk = z[k];
+        let zm = z[h - k].conj();
+        let e = (zk + zm).scale(0.5);
+        let o = (zk - zm).mul_neg_i().scale(0.5);
+        let t = twiddles[k] * o;
+        out[k] = e + t;
+        out[h - k] = (e - t).conj();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn lomb_combine(
+    first: &[Cx],
+    second: &[Cx],
+    df: f64,
+    n_data: f64,
+    var: f64,
+    freqs: &mut [f64],
+    power: &mut [f64],
+) {
+    let nout = freqs.len();
+    for j in 1..=nout {
+        let z1 = first[j];
+        let z2 = second[j];
+        let hypo = z2.norm().max(f64::MIN_POSITIVE);
+        let hc2wt = 0.5 * z2.re / hypo;
+        let hs2wt = 0.5 * z2.im / hypo;
+        let cwt = (0.5 + hc2wt).max(0.0).sqrt();
+        let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
+        let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
+        let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
+        let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
+        freqs[j - 1] = j as f64 * df;
+        power[j - 1] = (cterm + sterm) / (2.0 * var);
+    }
+}
+
+pub(super) fn extirpolate4(grid: &mut [f64], ilo: usize, value: f64, fac: f64, position: f64) {
+    let num = value * fac;
+    for (j, nden) in super::LAGRANGE4_NDEN.iter().enumerate() {
+        let idx = ilo + j;
+        grid[idx] += num / (nden * (position - idx as f64));
+    }
+}

@@ -86,6 +86,22 @@ impl Window {
         }
     }
 
+    /// Multiplies this window's length-`n` coefficient taper into `data`
+    /// in place — the dense windowing stage of evenly sampled spectra,
+    /// vectorized via [`crate::simd::apply_taper`]. One multiply and one
+    /// store per sample are charged to `ops` (the coefficient table itself
+    /// is a planning cost, as with FFT twiddles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn apply(self, data: &mut [f64], ops: &mut crate::ops::OpCount) {
+        let w = self.coefficients(data.len());
+        crate::simd::apply_taper(data, &w);
+        ops.mul += data.len() as u64;
+        ops.store += data.len() as u64;
+    }
+
     /// Mean squared coefficient `Σ w²/N`, the incoherent power gain used to
     /// de-bias windowed periodograms.
     pub fn power_gain(self, n: usize) -> f64 {
@@ -122,6 +138,26 @@ mod tests {
             .coefficients(16)
             .iter()
             .all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn apply_matches_elementwise_multiply_bit_for_bit() {
+        for win in Window::ALL {
+            let src: Vec<f64> = (0..67).map(|i| (i as f64 * 0.13).sin() + 0.4).collect();
+            let mut data = src.clone();
+            let mut ops = crate::ops::OpCount::default();
+            win.apply(&mut data, &mut ops);
+            let w = win.coefficients(src.len());
+            for i in 0..src.len() {
+                assert_eq!(
+                    data[i].to_bits(),
+                    (src[i] * w[i]).to_bits(),
+                    "{win} sample {i}"
+                );
+            }
+            assert_eq!(ops.mul, src.len() as u64);
+            assert_eq!(ops.store, src.len() as u64);
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Forced-scalar suite: with `HRV_FORCE_SCALAR=1` in the environment,
+//! every *auto-dispatch* public kernel entry point must route to the
+//! scalar path and produce results bit-identical to an explicit
+//! `SimdLevel::Scalar` dispatch.
+//!
+//! The dispatch level is memoized once per process, so every test sets
+//! the variable as its first statement — whichever test runs first pins
+//! the process to scalar before any kernel call, and the rest agree.
+//! (This is also why these assertions live in their own test binary: the
+//! oracle suite must keep exercising the host's best level.)
+
+use hrv_dsp::simd::{
+    apply_taper, apply_taper_at, demean_taper_into, demean_taper_into_at, derivative_squared_into,
+    derivative_squared_into_at, extirpolate4, extirpolate4_at, lomb_combine, lomb_combine_at,
+    radix2_stage, radix2_stage_at, realfft_combine, realfft_combine_at, split_radix_combine,
+    split_radix_combine_at, sum, sum_at, unpack_real_pair, unpack_real_pair_at,
+};
+use hrv_dsp::{Cx, SimdLevel};
+
+const SCALAR: SimdLevel = SimdLevel::Scalar;
+
+fn force_scalar() {
+    std::env::set_var("HRV_FORCE_SCALAR", "1");
+}
+
+/// Deterministic pseudo-random doubles in [-0.5, 0.5).
+fn signal(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn cx_signal(n: usize, seed: u64) -> Vec<Cx> {
+    signal(2 * n, seed)
+        .chunks_exact(2)
+        .map(|c| Cx::new(c[0], c[1]))
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what} at {i}: {x} vs {y}");
+    }
+}
+
+fn assert_cx_bits_eq(a: &[Cx], b: &[Cx], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{what} at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn env_override_pins_the_active_level_to_scalar() {
+    force_scalar();
+    assert_eq!(SimdLevel::active(), SimdLevel::Scalar);
+}
+
+#[test]
+fn elementwise_kernels_route_to_scalar() {
+    force_scalar();
+    let src = signal(97, 1);
+    let taper = signal(97, 2);
+
+    let mut auto = src.clone();
+    let mut explicit = src.clone();
+    apply_taper(&mut auto, &taper);
+    apply_taper_at(SCALAR, &mut explicit, &taper);
+    assert_bits_eq(&auto, &explicit, "apply_taper");
+
+    let mut auto = vec![0.0; src.len()];
+    let mut explicit = vec![0.0; src.len()];
+    demean_taper_into(&mut auto, &src, 0.123, &taper);
+    demean_taper_into_at(SCALAR, &mut explicit, &src, 0.123, &taper);
+    assert_bits_eq(&auto, &explicit, "demean_taper_into");
+
+    assert_eq!(sum(&src).to_bits(), sum_at(SCALAR, &src).to_bits());
+
+    let mut auto = vec![0.0; src.len()];
+    let mut explicit = vec![0.0; src.len()];
+    derivative_squared_into(&src, &mut auto);
+    derivative_squared_into_at(SCALAR, &src, &mut explicit);
+    assert_bits_eq(&auto, &explicit, "derivative_squared_into");
+}
+
+#[test]
+fn fft_kernels_route_to_scalar() {
+    force_scalar();
+    let n = 128;
+    let data = cx_signal(n, 3);
+    let twiddles: Vec<Cx> = (0..n / 2)
+        .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect();
+    for len in [2usize, 8, 32, n] {
+        let mut auto = data.clone();
+        let mut explicit = data.clone();
+        radix2_stage(&mut auto, &twiddles, len, n / len);
+        radix2_stage_at(SCALAR, &mut explicit, &twiddles, len, n / len);
+        assert_cx_bits_eq(&auto, &explicit, "radix2_stage");
+    }
+
+    let len = 64;
+    let quarter = len / 4;
+    let out0 = cx_signal(len, 4);
+    let odd1 = cx_signal(quarter, 5);
+    let odd3 = cx_signal(quarter, 6);
+    let master: Vec<Cx> = (0..len)
+        .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+        .collect();
+    let mut auto = out0.clone();
+    let mut explicit = out0;
+    split_radix_combine(&mut auto, &odd1, &odd3, &master, 1);
+    split_radix_combine_at(SCALAR, &mut explicit, &odd1, &odd3, &master, 1);
+    assert_cx_bits_eq(&auto, &explicit, "split_radix_combine");
+
+    let packed = cx_signal(n, 7);
+    let half = n / 2;
+    let mut first_a = vec![Cx::ZERO; half + 1];
+    let mut second_a = vec![Cx::ZERO; half + 1];
+    let mut first_e = vec![Cx::ZERO; half + 1];
+    let mut second_e = vec![Cx::ZERO; half + 1];
+    unpack_real_pair(&packed, &mut first_a, &mut second_a);
+    unpack_real_pair_at(SCALAR, &packed, &mut first_e, &mut second_e);
+    assert_cx_bits_eq(&first_a, &first_e, "unpack_real_pair/first");
+    assert_cx_bits_eq(&second_a, &second_e, "unpack_real_pair/second");
+
+    let h = 64;
+    let z = cx_signal(h, 8);
+    let rtw: Vec<Cx> = (0..=h / 2)
+        .map(|k| Cx::cis(-std::f64::consts::PI * k as f64 / h as f64))
+        .collect();
+    let mut auto = vec![Cx::ZERO; h + 1];
+    let mut explicit = vec![Cx::ZERO; h + 1];
+    realfft_combine(&z, &rtw, &mut auto);
+    realfft_combine_at(SCALAR, &z, &rtw, &mut explicit);
+    assert_cx_bits_eq(&auto, &explicit, "realfft_combine");
+}
+
+#[test]
+fn lomb_kernels_route_to_scalar() {
+    force_scalar();
+    let nout = 100;
+    let first = cx_signal(nout + 1, 9);
+    let second = cx_signal(nout + 1, 10);
+    let mut freqs_a = vec![0.0; nout];
+    let mut power_a = vec![0.0; nout];
+    let mut freqs_e = vec![0.0; nout];
+    let mut power_e = vec![0.0; nout];
+    lomb_combine(
+        &first,
+        &second,
+        0.01,
+        117.0,
+        0.8,
+        &mut freqs_a,
+        &mut power_a,
+    );
+    lomb_combine_at(
+        SCALAR,
+        &first,
+        &second,
+        0.01,
+        117.0,
+        0.8,
+        &mut freqs_e,
+        &mut power_e,
+    );
+    assert_bits_eq(&freqs_a, &freqs_e, "lomb_combine/freqs");
+    assert_bits_eq(&power_a, &power_e, "lomb_combine/power");
+
+    let grid0 = signal(32, 11);
+    let (ilo, frac, value) = (9usize, 0.37, 2.5);
+    let position = ilo as f64 + 1.0 + frac;
+    let fac: f64 = (0..4).map(|m| position - (ilo + m) as f64).product();
+    let mut auto = grid0.clone();
+    let mut explicit = grid0;
+    extirpolate4(&mut auto, ilo, value, fac, position);
+    extirpolate4_at(SCALAR, &mut explicit, ilo, value, fac, position);
+    assert_bits_eq(&auto, &explicit, "extirpolate4");
+}

@@ -1,0 +1,333 @@
+//! Property tests pinning every vector kernel to the scalar oracle.
+//!
+//! Two layers per kernel:
+//!
+//! 1. **Bit-exactness across dispatch levels** — the host's best level
+//!    (`SimdLevel::detect()`) must produce output whose `to_bits()` equal
+//!    the scalar oracle's, for arbitrary inputs. This is the contract that
+//!    keeps fleet sharding and governor traces independent of the CPU.
+//! 2. **Oracle vs naive reference** — the scalar oracle itself is checked
+//!    against an independently written naive implementation (1e-9
+//!    relative, exact where the arithmetic is the same expression).
+//!
+//! Only the `_at` entry points are used here, so these tests never touch
+//! the process-global dispatch state and can run in parallel.
+
+use hrv_dsp::simd::{
+    apply_taper_at, demean_taper_into_at, derivative_squared_into_at, extirpolate4_at,
+    lomb_combine_at, radix2_stage_at, realfft_combine_at, split_radix_combine_at, sum_at,
+    unpack_real_pair_at,
+};
+use hrv_dsp::{Cx, SimdLevel};
+use proptest::prelude::*;
+
+/// The best level this host supports; on a scalar-only host the
+/// bit-exactness tests degenerate to scalar-vs-scalar (trivially green)
+/// and the reference tests still bite.
+fn best() -> SimdLevel {
+    SimdLevel::detect()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn assert_cx_bits_eq(a: &[Cx], b: &[Cx], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{what}: bit mismatch at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        // Covers the clamped-denominator overflow case (±inf == ±inf).
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Pairs a flat f64 vector into complex values.
+fn to_cx(xs: &[f64]) -> Vec<Cx> {
+    xs.chunks_exact(2).map(|c| Cx::new(c[0], c[1])).collect()
+}
+
+/// Truncates to the largest power of two ≤ `n` (minimum `min`).
+fn pow2_below(n: usize, min: usize) -> usize {
+    let mut p = min;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- window application ----------------
+
+    #[test]
+    fn apply_taper_bit_exact_and_matches_naive(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..259),
+    ) {
+        let n = xs.len() / 2;
+        let (data, taper) = (&xs[..n], &xs[n..2 * n]);
+        let mut vector = data.to_vec();
+        let mut oracle = data.to_vec();
+        apply_taper_at(best(), &mut vector, taper);
+        apply_taper_at(SimdLevel::Scalar, &mut oracle, taper);
+        assert_bits_eq(&vector, &oracle, "apply_taper");
+        for i in 0..n {
+            prop_assert_eq!(oracle[i].to_bits(), (data[i] * taper[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn demean_taper_bit_exact_and_matches_naive(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..259),
+        mean in -10.0f64..10.0,
+    ) {
+        let n = xs.len() / 2;
+        let (src, taper) = (&xs[..n], &xs[n..2 * n]);
+        let mut vector = vec![0.0; n];
+        let mut oracle = vec![0.0; n];
+        demean_taper_into_at(best(), &mut vector, src, mean, taper);
+        demean_taper_into_at(SimdLevel::Scalar, &mut oracle, src, mean, taper);
+        assert_bits_eq(&vector, &oracle, "demean_taper");
+        for i in 0..n {
+            prop_assert_eq!(oracle[i].to_bits(), ((src[i] - mean) * taper[i]).to_bits());
+        }
+    }
+
+    // ---------------- reductions ----------------
+
+    #[test]
+    fn sum_bit_exact_and_close_to_naive(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..301),
+    ) {
+        let vector = sum_at(best(), &xs);
+        let oracle = sum_at(SimdLevel::Scalar, &xs);
+        prop_assert_eq!(vector.to_bits(), oracle.to_bits());
+        let naive: f64 = xs.iter().sum();
+        prop_assert!(close(oracle, naive, 1e-9), "sum {oracle} vs naive {naive}");
+    }
+
+    // ---------------- Pan–Tompkins filter bank ----------------
+
+    #[test]
+    fn derivative_squared_bit_exact_and_matches_two_pass(
+        xs in prop::collection::vec(-5.0f64..5.0, 0..300),
+    ) {
+        let n = xs.len();
+        let mut vector = vec![0.0; n];
+        let mut oracle = vec![0.0; n];
+        derivative_squared_into_at(best(), &xs, &mut vector);
+        derivative_squared_into_at(SimdLevel::Scalar, &xs, &mut oracle);
+        assert_bits_eq(&vector, &oracle, "derivative_squared");
+        // Naive two-pass reference: clamped 5-point derivative, then square.
+        let at = |i: isize| -> f64 { if i < 0 { xs[0] } else { xs[i as usize] } };
+        for i in 0..n {
+            let i = i as isize;
+            let d = (2.0 * at(i) + at(i - 1) - at(i - 3) - 2.0 * at(i - 4)) / 8.0;
+            prop_assert!(close(oracle[i as usize], d * d, 1e-9));
+        }
+    }
+
+    // ---------------- FFT butterflies ----------------
+
+    #[test]
+    fn radix2_stage_bit_exact_and_matches_butterflies(
+        xs in prop::collection::vec(-10.0f64..10.0, 16..513),
+        len_draw in 0.0f64..1.0,
+    ) {
+        let cx = to_cx(&xs);
+        let n = pow2_below(cx.len(), 8);
+        let data: Vec<Cx> = cx[..n].to_vec();
+        // Any power-of-two stage length 2..=n.
+        let stages = n.trailing_zeros() as f64;
+        let len = 1usize << (1 + (len_draw * (stages - 1.0)) as u32);
+        let step = n / len;
+        let twiddles: Vec<Cx> = (0..n / 2)
+            .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let mut vector = data.clone();
+        let mut oracle = data.clone();
+        radix2_stage_at(best(), &mut vector, &twiddles, len, step);
+        radix2_stage_at(SimdLevel::Scalar, &mut oracle, &twiddles, len, step);
+        assert_cx_bits_eq(&vector, &oracle, "radix2_stage");
+        // Naive butterfly reference.
+        let half = len / 2;
+        for (b, block) in data.chunks_exact(len).enumerate() {
+            for k in 0..half {
+                let w = if k == 0 { Cx::ONE } else { twiddles[k * step] };
+                let t = block[k + half] * w;
+                let lo = block[k] + t;
+                let hi = block[k] - t;
+                let got_lo = oracle[b * len + k];
+                let got_hi = oracle[b * len + k + half];
+                prop_assert!(close(got_lo.re, lo.re, 1e-9) && close(got_lo.im, lo.im, 1e-9));
+                prop_assert!(close(got_hi.re, hi.re, 1e-9) && close(got_hi.im, hi.im, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn split_radix_combine_bit_exact(
+        xs in prop::collection::vec(-10.0f64..10.0, 192..1537),
+        stride_draw in 0.0f64..1.0,
+    ) {
+        // out needs len, odd1/odd3 a quarter each → 1.5·len complex values.
+        let cx = to_cx(&xs);
+        let len = pow2_below(cx.len() * 2 / 3, 8); // 8..=512
+        let quarter = len / 4;
+        let out0: Vec<Cx> = cx[..len].to_vec();
+        let odd1: Vec<Cx> = cx[len..len + quarter].to_vec();
+        let odd3: Vec<Cx> = cx[len + quarter..len + 2 * quarter].to_vec();
+        let stride = 1 + (stride_draw * 3.0) as usize;
+        let master: Vec<Cx> = (0..len * stride)
+            .map(|k| Cx::cis(-2.0 * std::f64::consts::PI * k as f64 / (len * stride) as f64))
+            .collect();
+        let mut vector = out0.clone();
+        let mut oracle = out0;
+        split_radix_combine_at(best(), &mut vector, &odd1, &odd3, &master, stride);
+        split_radix_combine_at(SimdLevel::Scalar, &mut oracle, &odd1, &odd3, &master, stride);
+        assert_cx_bits_eq(&vector, &oracle, "split_radix_combine");
+    }
+
+    #[test]
+    fn unpack_real_pair_bit_exact_and_matches_hermitian_split(
+        xs in prop::collection::vec(-10.0f64..10.0, 32..1025),
+    ) {
+        let cx = to_cx(&xs);
+        let n = pow2_below(cx.len(), 16);
+        let packed: Vec<Cx> = cx[..n].to_vec();
+        let half = n / 2;
+        let mut first_v = vec![Cx::ZERO; half + 1];
+        let mut second_v = vec![Cx::ZERO; half + 1];
+        let mut first_s = vec![Cx::ZERO; half + 1];
+        let mut second_s = vec![Cx::ZERO; half + 1];
+        unpack_real_pair_at(best(), &packed, &mut first_v, &mut second_v);
+        unpack_real_pair_at(SimdLevel::Scalar, &packed, &mut first_s, &mut second_s);
+        assert_cx_bits_eq(&first_v, &first_s, "unpack_real_pair/first");
+        assert_cx_bits_eq(&second_v, &second_s, "unpack_real_pair/second");
+        // Naive Hermitian split reference for the interior bins.
+        for k in 1..half {
+            let y = packed[k];
+            let ym = packed[n - k].conj();
+            let a = (y + ym).scale(0.5);
+            let b = (y - ym).mul_neg_i().scale(0.5);
+            prop_assert!(close(first_s[k].re, a.re, 1e-9) && close(first_s[k].im, a.im, 1e-9));
+            prop_assert!(close(second_s[k].re, b.re, 1e-9) && close(second_s[k].im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn realfft_combine_bit_exact(
+        xs in prop::collection::vec(-10.0f64..10.0, 32..1025),
+    ) {
+        let cx = to_cx(&xs);
+        let h = pow2_below(cx.len(), 16);
+        let z: Vec<Cx> = cx[..h].to_vec();
+        let twiddles: Vec<Cx> = (0..=h / 2)
+            .map(|k| Cx::cis(-std::f64::consts::PI * k as f64 / h as f64))
+            .collect();
+        let mut vector = vec![Cx::ZERO; h + 1];
+        let mut oracle = vec![Cx::ZERO; h + 1];
+        realfft_combine_at(best(), &z, &twiddles, &mut vector);
+        realfft_combine_at(SimdLevel::Scalar, &z, &twiddles, &mut oracle);
+        assert_cx_bits_eq(&vector, &oracle, "realfft_combine");
+    }
+
+    // ---------------- Lomb calculator ----------------
+
+    #[test]
+    fn lomb_combine_bit_exact_and_matches_reference(
+        xs in prop::collection::vec(-10.0f64..10.0, 8..517),
+        df in 0.001f64..0.1,
+        n_data in 8.0f64..512.0,
+        var in 0.0001f64..4.0,
+    ) {
+        let cx = to_cx(&xs);
+        let nout = cx.len() / 2 - 1;
+        let first: Vec<Cx> = cx[..nout + 1].to_vec();
+        let second: Vec<Cx> = cx[nout + 1..2 * (nout + 1)].to_vec();
+        let mut freqs_v = vec![0.0; nout];
+        let mut power_v = vec![0.0; nout];
+        let mut freqs_s = vec![0.0; nout];
+        let mut power_s = vec![0.0; nout];
+        lomb_combine_at(best(), &first, &second, df, n_data, var, &mut freqs_v, &mut power_v);
+        lomb_combine_at(
+            SimdLevel::Scalar, &first, &second, df, n_data, var, &mut freqs_s, &mut power_s,
+        );
+        assert_bits_eq(&freqs_v, &freqs_s, "lomb_combine/freqs");
+        assert_bits_eq(&power_v, &power_s, "lomb_combine/power");
+        // Independent reference: the textbook Press–Rybicki recombination.
+        for j in 1..=nout {
+            let (z1, z2) = (first[j], second[j]);
+            let hypo = z2.norm().max(f64::MIN_POSITIVE);
+            let hc2wt = 0.5 * z2.re / hypo;
+            let hs2wt = 0.5 * z2.im / hypo;
+            let cwt = (0.5 + hc2wt).max(0.0).sqrt();
+            let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
+            let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
+            let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
+            let sterm =
+                (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
+            prop_assert!(close(freqs_s[j - 1], j as f64 * df, 1e-12));
+            prop_assert!(close(power_s[j - 1], (cterm + sterm) / (2.0 * var), 1e-9));
+        }
+    }
+
+    // ---------------- extirpolation ----------------
+
+    #[test]
+    fn extirpolate4_bit_exact_and_matches_lagrange(
+        grid0 in prop::collection::vec(-10.0f64..10.0, 12..64),
+        ilo_draw in 0.0f64..1.0,
+        frac in 0.01f64..0.99,
+        value in -100.0f64..100.0,
+    ) {
+        let ilo = (ilo_draw * (grid0.len() - 4) as f64) as usize;
+        // A non-integer position inside the 4-point window, like the
+        // callers produce.
+        let position = ilo as f64 + 1.0 + frac;
+        // The callers' `fac` is the full window product over
+        // (position - x_m), which turns the kernel's per-point divide
+        // into a true Lagrange basis weight.
+        let fac: f64 = (0..4).map(|m| position - (ilo + m) as f64).product();
+        let mut vector = grid0.clone();
+        let mut oracle = grid0.clone();
+        extirpolate4_at(best(), &mut vector, ilo, value, fac, position);
+        extirpolate4_at(SimdLevel::Scalar, &mut oracle, ilo, value, fac, position);
+        assert_bits_eq(&vector, &oracle, "extirpolate4");
+        // Independent reference: the order-4 Lagrange basis in product
+        // form, L_j(position) = prod_{m != j} (position - x_m)/(x_j - x_m).
+        for j in 0..4 {
+            let xj = (ilo + j) as f64;
+            let mut basis = 1.0;
+            for m in 0..4 {
+                if m != j {
+                    let xm = (ilo + m) as f64;
+                    basis *= (position - xm) / (xj - xm);
+                }
+            }
+            let deposited = oracle[ilo + j] - grid0[ilo + j];
+            prop_assert!(
+                close(deposited, value * basis, 1e-9),
+                "bin {}: {} vs {}", j, deposited, value * basis
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@
 
 use crate::extirpolate::{extirpolate, DEFAULT_ORDER};
 use crate::periodogram::Periodogram;
-use hrv_dsp::{fft_real_pair, mean, sample_variance, BlockOps, Cx, FftBackend, OpCount, Window};
+use hrv_dsp::{
+    fft_real_pair, mean, sample_variance, simd, BlockOps, Cx, FftBackend, OpCount, Window,
+};
 
 /// Reusable working memory for the mesh-construction and prepare stages.
 ///
@@ -21,6 +23,13 @@ use hrv_dsp::{fft_real_pair, mean, sample_variance, BlockOps, Cx, FftBackend, Op
 #[derive(Clone, Debug, Default)]
 pub struct MeshScratch {
     tapered: Vec<f64>,
+    /// Cached taper coefficients for the resampled mesh, keyed by the
+    /// `(window, n)` pair they were evaluated for. Built with the same
+    /// per-point [`Window::evaluate`] calls as the uncached code, so the
+    /// values are bit-identical; caching just lifts the transcendentals
+    /// out of the per-window hot path.
+    taper: Vec<f64>,
+    taper_key: Option<(Window, usize)>,
     grid: Vec<f64>,
     inv_h: Vec<f64>,
     slope: Vec<f64>,
@@ -280,16 +289,21 @@ impl FastLomb {
                 let ave = mean(&scratch.grid);
                 ops.add += n as u64;
                 ops.div += 1;
-                for (i, &v) in scratch.grid.iter().enumerate() {
-                    let w = self.window.evaluate(i as f64 / (n - 1) as f64);
-                    wk1[i] = (v - ave) * w;
-                    ops.add += 1;
-                    ops.mul += 1;
-                    ops.store += 1;
-                    // Uniform Lomb weights: one unit per resampled point.
-                    wk2[i] = 1.0;
-                    ops.store += 1;
+                if scratch.taper_key != Some((self.window, n)) {
+                    scratch.taper.clear();
+                    scratch
+                        .taper
+                        .extend((0..n).map(|i| self.window.evaluate(i as f64 / (n - 1) as f64)));
+                    scratch.taper_key = Some((self.window, n));
                 }
+                // De-mean and taper in one vectorized pass; the uniform
+                // Lomb weights (one unit per resampled point) are a plain
+                // fill. Bulk tallies match the former per-point loop.
+                simd::demean_taper_into(wk1, &scratch.grid, ave, &scratch.taper);
+                wk2.fill(1.0);
+                ops.add += n as u64;
+                ops.mul += n as u64;
+                ops.store += 2 * n as u64;
             }
         }
     }
@@ -374,27 +388,18 @@ impl FastLomb {
         };
         freqs.clear();
         power.clear();
-        freqs.reserve(nout);
-        power.reserve(nout);
-        for j in 1..=nout {
-            let z1 = first[j];
-            let z2 = second[j];
-            let hypo = z2.norm().max(f64::MIN_POSITIVE);
-            let hc2wt = 0.5 * z2.re / hypo;
-            let hs2wt = 0.5 * z2.im / hypo;
-            let cwt = (0.5 + hc2wt).max(0.0).sqrt();
-            let swt = (0.5 - hc2wt).max(0.0).sqrt().copysign(hs2wt);
-            let den = 0.5 * n_data + hc2wt * z2.re + hs2wt * z2.im;
-            let cterm = (cwt * z1.re + swt * z1.im).powi(2) / den.max(f64::MIN_POSITIVE);
-            let sterm = (cwt * z1.im - swt * z1.re).powi(2) / (n_data - den).max(f64::MIN_POSITIVE);
-            ops.mul += 12;
-            ops.add += 7;
-            ops.div += 4;
-            ops.sqrt += 3;
-            ops.cmp += 1;
-            freqs.push(j as f64 * df);
-            power.push((cterm + sterm) / (2.0 * var));
-        }
+        freqs.resize(nout, 0.0);
+        power.resize(nout, 0.0);
+        // Vectorized Press–Rybicki combination (thresholds and sign
+        // transfer are branchless selects on every dispatch path). Bulk
+        // tallies match the former per-bin loop.
+        simd::lomb_combine(first, second, df, n_data, var, freqs, power);
+        let nout = nout as u64;
+        ops.mul += 12 * nout;
+        ops.add += 7 * nout;
+        ops.div += 4 * nout;
+        ops.sqrt += 3 * nout;
+        ops.cmp += nout;
     }
 
     /// Effective oversampling factor (`Resample` pins it to 1).

@@ -80,6 +80,15 @@ const WINDOW_COMPUTE_METRIC: &str = "hrv_stream_window_compute_seconds";
 
 impl FleetInstruments {
     fn new(telemetry: &Telemetry, tracer: Tracer) -> Self {
+        // The dispatch level is decided once per process, so publish it
+        // when the instruments come up: 0 = scalar, 1 = neon, 2 = avx2
+        // (see `hrv_dsp::SimdLevel::gauge_value`).
+        telemetry
+            .gauge(
+                "hrv_simd_level",
+                "active SIMD dispatch level of the hot kernels (0=scalar, 1=neon, 2=avx2)",
+            )
+            .set(hrv_dsp::SimdLevel::active().gauge_value());
         FleetInstruments {
             telemetry: telemetry.clone(),
             tracer,
@@ -139,9 +148,10 @@ fn refresh_compute_hist(patient: &mut PatientStream, instruments: &FleetInstrume
     let rail = format!("{:.2}V", patient.opp.voltage);
     let hist = instruments.telemetry.histogram_with(
         WINDOW_COMPUTE_METRIC,
-        "fleet worker time computing emitted windows, by kernel and DVFS rail",
+        "fleet worker time computing emitted windows, by kernel, SIMD level and DVFS rail",
         &[
             ("kernel", patient.engine.active_backend().name()),
+            ("simd", hrv_dsp::SimdLevel::active().as_str()),
             ("rail", &rail),
         ],
     );
