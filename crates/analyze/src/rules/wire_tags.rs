@@ -36,7 +36,7 @@ use crate::source::SourceFile;
 
 /// The `(PROTOCOL_VERSION, layout fingerprint)` pair last reviewed.
 /// See the module docs for the update procedure.
-pub const RECORDED_LAYOUT: (u64, u64) = (2, 0xc433_c8a3_8bcb_9a9f);
+pub const RECORDED_LAYOUT: (u64, u64) = (3, 0x1662_3dd5_306b_9ae5);
 
 /// Codec functions whose token streams define the report/battery/error
 /// wire layouts (the bodies every peer must agree on).
@@ -47,6 +47,10 @@ const LAYOUT_FNS: &[&str] = &[
     "take_battery",
     "put_error",
     "take_error",
+    "put_health",
+    "take_health",
+    "put_events",
+    "take_events",
 ];
 
 /// See the module docs.

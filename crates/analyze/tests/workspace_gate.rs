@@ -67,8 +67,8 @@ fn mutating_a_codec_layout_is_caught() {
 #[test]
 fn bumping_the_version_without_a_layout_change_is_caught() {
     let src = real_proto().replace(
-        "pub const PROTOCOL_VERSION: u32 = 2;",
         "pub const PROTOCOL_VERSION: u32 = 3;",
+        "pub const PROTOCOL_VERSION: u32 = 4;",
     );
     let diags = wire_tags_on(&src);
     assert!(

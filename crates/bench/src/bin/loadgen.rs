@@ -287,6 +287,19 @@ fn main() {
     // exposition below renders).
     let live_metrics = control.metrics().expect("metrics");
     assert!(live_metrics.contains("hrv_service_samples_admitted_total"));
+    // The constant build-info gauge travels over the wire with the
+    // negotiated protocol version in its labels.
+    assert!(
+        live_metrics.contains("hrv_build_info{"),
+        "build-info gauge missing from wire exposition"
+    );
+    assert!(
+        live_metrics.contains(&format!(
+            "protocol_version=\"{}\"",
+            hrv_service::PROTOCOL_VERSION
+        )),
+        "build-info gauge must carry the protocol version"
+    );
     // The full wire exposition — including every histogram family — must
     // parse as conformant Prometheus text format.
     validate_exposition(&live_metrics).expect("wire exposition conformant");

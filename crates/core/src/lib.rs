@@ -64,6 +64,7 @@ mod energy;
 mod error;
 mod exec;
 mod govern;
+mod obs;
 mod quality;
 mod sweep;
 mod sync;
@@ -80,6 +81,7 @@ pub use govern::{
     BudgetState, CandidatePoint, Directive, DistortionGovernor, EnergyBudgetGovernor,
     QualityGovernor, WindowObservation,
 };
+pub use obs::{AlertState, AlertStatus, AlertTransition, HealthConfig, HealthEngine, Slo, SloKind};
 pub use quality::{OperatingChoice, QualityController};
 pub use sweep::{energy_quality_sweep, SweepResult, TradeoffPoint};
 pub use sync::lock_unpoisoned;

@@ -1,0 +1,665 @@
+//! Fleet health: declarative SLO objectives over the telemetry
+//! registry, evaluated by a deterministic multi-window burn-rate
+//! engine with an ok → warning → page alert state machine.
+//!
+//! The module turns the raw [`crate::telemetry`] families into
+//! *operational* signals:
+//!
+//! * an [`Slo`] names either a latency quantile objective over a
+//!   histogram family ("p99 `hrv_service_frame_decode_seconds` <
+//!   2 ms") or an event-ratio objective over two counter families
+//!   ("`hrv_service_busy_total` < 0.1% of
+//!   `hrv_service_frames_total`");
+//! * the [`HealthEngine`] samples those families once per evaluation
+//!   *tick* and computes a **burn rate** — how fast the objective's
+//!   error budget is being consumed, where `1.0` means "exactly at
+//!   the objective". Event ratios are evaluated over two windows
+//!   (short and long, in ticks) and the effective burn is the
+//!   *minimum* of the two, so a transient spike (short window only)
+//!   or stale history (long window only) cannot page on its own —
+//!   the classic multi-window burn-rate discipline;
+//! * alert transitions reuse the distortion governor's
+//!   dwell/hysteresis idiom (`crate::govern`): a level change must
+//!   persist for [`HealthConfig::dwell`] consecutive ticks before it
+//!   is applied, and a *downgrade* additionally requires the burn to
+//!   fall below [`HealthConfig::reentry`] × the level's entry
+//!   threshold, so alerts cannot thrash at a boundary.
+//!
+//! Time comes from the [`Clock`] trait — [`crate::MockClock`] in
+//! tests — and every computation is pure arithmetic over sampled
+//! counter/histogram values, so the same sample sequence always
+//! produces the same transitions at the same ticks.
+
+use crate::telemetry::{Gauge, Telemetry};
+use crate::trace::Clock;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Upper bound on the retained transition log (oldest evicted).
+const TRANSITION_LOG_CAPACITY: usize = 256;
+
+/// Alert severity for one SLO, ordered `Ok < Warning < Page`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertState {
+    /// Burn below the warning threshold: the objective is healthy.
+    Ok,
+    /// Burn at or above [`HealthConfig::warn_burn`]: budget is being
+    /// consumed faster than sustainable; investigate.
+    Warning,
+    /// Burn at or above [`HealthConfig::page_burn`]: the objective
+    /// will be violated imminently; page the operator.
+    Page,
+}
+
+impl AlertState {
+    /// Stable lowercase name (used in the exposition and on the wire).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Page => "page",
+        }
+    }
+
+    /// Numeric severity (0 = ok, 1 = warning, 2 = page) — the value
+    /// published on the `hrv_slo_state` gauge and on the wire.
+    pub fn severity(&self) -> u8 {
+        match self {
+            AlertState::Ok => 0,
+            AlertState::Warning => 1,
+            AlertState::Page => 2,
+        }
+    }
+
+    /// Inverse of [`AlertState::severity`]; `None` for unknown codes.
+    pub fn from_severity(code: u8) -> Option<AlertState> {
+        match code {
+            0 => Some(AlertState::Ok),
+            1 => Some(AlertState::Warning),
+            2 => Some(AlertState::Page),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an [`Slo`] measures.
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// A latency quantile objective over a histogram family: the burn
+    /// is `measured quantile / threshold`, taken as the worst (max)
+    /// quantile across every label series of the family. Quantiles
+    /// are cumulative, so short and long burns coincide.
+    Quantile {
+        /// Histogram family name (e.g. `hrv_service_frame_decode_seconds`).
+        family: String,
+        /// Quantile in `(0, 1]`, e.g. `0.99`.
+        quantile: f64,
+        /// Objective threshold in the family's unit (seconds).
+        threshold: f64,
+    },
+    /// An event-ratio objective over two counter families: the burn
+    /// over a window of ticks is `(Δbad / Δtotal) / objective`, with
+    /// `0` while fewer than two samples exist or `Δtotal` is zero.
+    EventRatio {
+        /// Counter family counting the bad events (e.g. `hrv_service_busy_total`).
+        bad: String,
+        /// Counter family counting all events (e.g. `hrv_service_frames_total`).
+        total: String,
+        /// Acceptable bad/total ratio, e.g. `0.001` for 0.1%.
+        objective: f64,
+    },
+}
+
+/// A named service-level objective evaluated by the [`HealthEngine`].
+#[derive(Clone, Debug)]
+pub struct Slo {
+    /// Stable identifier (the `slo` label on the published gauges).
+    pub name: String,
+    /// What is measured and against which objective.
+    pub kind: SloKind,
+}
+
+impl Slo {
+    /// A p99 latency objective: `p99(family) < threshold` (seconds).
+    pub fn p99(name: &str, family: &str, threshold: f64) -> Slo {
+        Slo {
+            name: name.to_string(),
+            kind: SloKind::Quantile {
+                family: family.to_string(),
+                quantile: 0.99,
+                threshold,
+            },
+        }
+    }
+
+    /// An event-ratio objective: `bad / total < objective`.
+    pub fn ratio(name: &str, bad: &str, total: &str, objective: f64) -> Slo {
+        Slo {
+            name: name.to_string(),
+            kind: SloKind::EventRatio {
+                bad: bad.to_string(),
+                total: total.to_string(),
+                objective,
+            },
+        }
+    }
+}
+
+/// Tuning for the [`HealthEngine`]; the defaults suit a ~1 Hz
+/// evaluation cadence.
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Minimum nanoseconds between evaluation ticks; calls to
+    /// [`HealthEngine::evaluate`] inside the period return the current
+    /// statuses without advancing the tick. `0` ticks on every call
+    /// (the deterministic mode used by scripted smokes and tests).
+    pub period_ns: u64,
+    /// Short burn window in ticks.
+    pub short_ticks: usize,
+    /// Long burn window in ticks (also the snapshot-ring depth).
+    pub long_ticks: usize,
+    /// Burn at or above which the target level is [`AlertState::Warning`].
+    pub warn_burn: f64,
+    /// Burn at or above which the target level is [`AlertState::Page`].
+    pub page_burn: f64,
+    /// Consecutive ticks a level change must persist before it is
+    /// applied (the governor's dwell idiom).
+    pub dwell: usize,
+    /// Downgrade hysteresis: leaving a level requires the burn to fall
+    /// below `reentry ×` that level's entry threshold.
+    pub reentry: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            period_ns: 0,
+            short_ticks: 3,
+            long_ticks: 12,
+            warn_burn: 1.0,
+            page_burn: 10.0,
+            dwell: 2,
+            reentry: 0.6,
+        }
+    }
+}
+
+/// The published evaluation of one SLO at the latest tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertStatus {
+    /// The SLO's name.
+    pub slo: String,
+    /// Current alert level.
+    pub state: AlertState,
+    /// Burn over the short window (quantile SLOs repeat the same value).
+    pub short_burn: f64,
+    /// Burn over the long window.
+    pub long_burn: f64,
+    /// Tick at which the current level was entered (`0` = never left
+    /// the initial `Ok`).
+    pub since_tick: u64,
+}
+
+/// One applied alert-level change, kept in a bounded log so tests can
+/// assert the exact transition sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlertTransition {
+    /// Tick at which the change was applied.
+    pub tick: u64,
+    /// The SLO's name.
+    pub slo: String,
+    /// Level before.
+    pub from: AlertState,
+    /// Level after.
+    pub to: AlertState,
+}
+
+/// Per-SLO runtime: counter snapshot ring, alert level, dwell streak
+/// and the published gauges.
+#[derive(Debug)]
+struct SloRuntime {
+    slo: Slo,
+    /// Cumulative (bad, total) snapshots, newest last; depth
+    /// `long_ticks + 1`. Unused for quantile SLOs.
+    ring: VecDeque<(u64, u64)>,
+    state: AlertState,
+    since_tick: u64,
+    pending: AlertState,
+    pending_streak: usize,
+    short_burn: f64,
+    long_burn: f64,
+    state_gauge: Gauge,
+    short_gauge: Gauge,
+    long_gauge: Gauge,
+}
+
+/// Deterministic SLO evaluator over a [`Telemetry`] registry.
+///
+/// ```
+/// use hrv_core::{HealthConfig, HealthEngine, MockClock, Slo, Telemetry};
+/// use std::sync::Arc;
+///
+/// let telemetry = Telemetry::new();
+/// let bad = telemetry.counter("demo_bad_total", "bad events");
+/// let total = telemetry.counter("demo_events_total", "all events");
+/// let mut engine = HealthEngine::new(
+///     &telemetry,
+///     Arc::new(MockClock::new()),
+///     HealthConfig::default(),
+/// );
+/// engine.add_slo(Slo::ratio("demo", "demo_bad_total", "demo_events_total", 0.01));
+///
+/// total.add(100);
+/// let statuses = engine.evaluate();
+/// assert_eq!(statuses[0].state, hrv_core::AlertState::Ok);
+/// # let _ = bad;
+/// ```
+#[derive(Debug)]
+pub struct HealthEngine {
+    telemetry: Telemetry,
+    clock: Arc<dyn Clock>,
+    config: HealthConfig,
+    slos: Vec<SloRuntime>,
+    ticks: u64,
+    last_tick_ns: Option<u64>,
+    transitions: VecDeque<AlertTransition>,
+}
+
+impl HealthEngine {
+    /// A new engine with no objectives; gauges are published into
+    /// `telemetry` as `hrv_slo_state{slo=…}` and
+    /// `hrv_slo_burn_rate{slo=…,window=…}`.
+    pub fn new(telemetry: &Telemetry, clock: Arc<dyn Clock>, config: HealthConfig) -> HealthEngine {
+        HealthEngine {
+            telemetry: telemetry.clone(),
+            clock,
+            config,
+            slos: Vec::new(),
+            ticks: 0,
+            last_tick_ns: None,
+            transitions: VecDeque::new(),
+        }
+    }
+
+    /// Registers an objective (and its gauges) with the engine.
+    pub fn add_slo(&mut self, slo: Slo) {
+        let state_gauge = self.telemetry.gauge_with(
+            "hrv_slo_state",
+            "alert level per SLO (0 = ok, 1 = warning, 2 = page)",
+            &[("slo", &slo.name)],
+        );
+        let short_gauge = self.telemetry.gauge_with(
+            "hrv_slo_burn_rate",
+            "error-budget burn rate per SLO and window (1 = at objective)",
+            &[("slo", &slo.name), ("window", "short")],
+        );
+        let long_gauge = self.telemetry.gauge_with(
+            "hrv_slo_burn_rate",
+            "error-budget burn rate per SLO and window (1 = at objective)",
+            &[("slo", &slo.name), ("window", "long")],
+        );
+        state_gauge.set(0.0);
+        short_gauge.set(0.0);
+        long_gauge.set(0.0);
+        self.slos.push(SloRuntime {
+            slo,
+            ring: VecDeque::new(),
+            state: AlertState::Ok,
+            since_tick: 0,
+            pending: AlertState::Ok,
+            pending_streak: 0,
+            short_burn: 0.0,
+            long_burn: 0.0,
+            state_gauge,
+            short_gauge,
+            long_gauge,
+        });
+    }
+
+    /// Evaluation ticks applied so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The bounded log of applied alert transitions, oldest first.
+    pub fn transitions(&self) -> impl Iterator<Item = &AlertTransition> {
+        self.transitions.iter()
+    }
+
+    /// Current statuses without advancing a tick.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.slos
+            .iter()
+            .map(|rt| AlertStatus {
+                slo: rt.slo.name.clone(),
+                state: rt.state,
+                short_burn: rt.short_burn,
+                long_burn: rt.long_burn,
+                since_tick: rt.since_tick,
+            })
+            .collect()
+    }
+
+    /// Samples every objective, advances the burn windows by one tick
+    /// and runs the alert state machine; returns the statuses after
+    /// the tick. When [`HealthConfig::period_ns`] is non-zero, calls
+    /// inside the period are a no-op returning the current statuses —
+    /// so a fast poller cannot distort the window arithmetic.
+    pub fn evaluate(&mut self) -> Vec<AlertStatus> {
+        let now = self.clock.now_ns();
+        if self.config.period_ns > 0 {
+            if let Some(last) = self.last_tick_ns {
+                if now.saturating_sub(last) < self.config.period_ns {
+                    return self.statuses();
+                }
+            }
+        }
+        self.last_tick_ns = Some(now);
+        self.ticks += 1;
+        let tick = self.ticks;
+
+        for rt in &mut self.slos {
+            let (short, long) = match &rt.slo.kind {
+                SloKind::Quantile {
+                    family,
+                    quantile,
+                    threshold,
+                } => {
+                    let mut worst = 0.0f64;
+                    for (_, hist) in self.telemetry.histogram_series(family) {
+                        if hist.count() > 0 {
+                            worst = worst.max(hist.quantile(*quantile));
+                        }
+                    }
+                    let burn = if *threshold > 0.0 {
+                        worst / *threshold
+                    } else {
+                        0.0
+                    };
+                    (burn, burn)
+                }
+                SloKind::EventRatio {
+                    bad,
+                    total,
+                    objective,
+                } => {
+                    let bad_now = self.telemetry.counter(bad, "SLO bad-event family").get();
+                    let total_now = self
+                        .telemetry
+                        .counter(total, "SLO total-event family")
+                        .get();
+                    rt.ring.push_back((bad_now, total_now));
+                    while rt.ring.len() > self.config.long_ticks + 1 {
+                        rt.ring.pop_front();
+                    }
+                    let burn_over = |window: usize| -> f64 {
+                        let newest = rt.ring.len() - 1;
+                        let base = newest.saturating_sub(window);
+                        if base == newest {
+                            return 0.0;
+                        }
+                        let (bad0, total0) = rt.ring[base];
+                        let d_bad = bad_now.saturating_sub(bad0) as f64;
+                        let d_total = total_now.saturating_sub(total0) as f64;
+                        if d_total > 0.0 && *objective > 0.0 {
+                            (d_bad / d_total) / *objective
+                        } else {
+                            0.0
+                        }
+                    };
+                    (
+                        burn_over(self.config.short_ticks),
+                        burn_over(self.config.long_ticks),
+                    )
+                }
+            };
+            rt.short_burn = short;
+            rt.long_burn = long;
+
+            // Both windows must burn for the alert to escalate.
+            let burn = short.min(long);
+            let target = target_level(&self.config, burn, rt.state);
+            if target == rt.state {
+                rt.pending = rt.state;
+                rt.pending_streak = 0;
+            } else {
+                if target == rt.pending {
+                    rt.pending_streak += 1;
+                } else {
+                    rt.pending = target;
+                    rt.pending_streak = 1;
+                }
+                if rt.pending_streak >= self.config.dwell {
+                    self.transitions.push_back(AlertTransition {
+                        tick,
+                        slo: rt.slo.name.clone(),
+                        from: rt.state,
+                        to: rt.pending,
+                    });
+                    while self.transitions.len() > TRANSITION_LOG_CAPACITY {
+                        self.transitions.pop_front();
+                    }
+                    rt.state = rt.pending;
+                    rt.since_tick = tick;
+                    rt.pending_streak = 0;
+                }
+            }
+
+            rt.state_gauge.set(f64::from(rt.state.severity()));
+            rt.short_gauge.set(short);
+            rt.long_gauge.set(long);
+        }
+
+        self.statuses()
+    }
+}
+
+/// The target alert level for `burn` given the `current` level:
+/// thresholds escalate immediately (subject to dwell), while a
+/// downgrade is only targeted once the burn clears the reentry band
+/// below the current level's entry threshold — the governor's
+/// hysteresis idiom.
+fn target_level(config: &HealthConfig, burn: f64, current: AlertState) -> AlertState {
+    let raw = if burn >= config.page_burn {
+        AlertState::Page
+    } else if burn >= config.warn_burn {
+        AlertState::Warning
+    } else {
+        AlertState::Ok
+    };
+    if raw >= current {
+        return raw;
+    }
+    let entry = match current {
+        AlertState::Page => config.page_burn,
+        AlertState::Warning => config.warn_burn,
+        AlertState::Ok => return raw,
+    };
+    if burn < config.reentry * entry {
+        raw
+    } else {
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MockClock;
+
+    fn engine_with_ratio(config: HealthConfig) -> (Telemetry, Arc<MockClock>, HealthEngine) {
+        let telemetry = Telemetry::new();
+        let clock = Arc::new(MockClock::new());
+        let mut engine = HealthEngine::new(&telemetry, clock.clone() as Arc<dyn Clock>, config);
+        engine.add_slo(Slo::ratio("busy", "t_bad_total", "t_all_total", 0.001));
+        (telemetry, clock, engine)
+    }
+
+    /// Drives the scripted (bad, total) increments through a fresh
+    /// engine and returns (per-tick states, transitions).
+    fn run_script(
+        config: &HealthConfig,
+        script: &[(u64, u64)],
+    ) -> (Vec<AlertState>, Vec<AlertTransition>) {
+        let (telemetry, _clock, mut engine) = engine_with_ratio(config.clone());
+        let bad = telemetry.counter("t_bad_total", "bad");
+        let all = telemetry.counter("t_all_total", "all");
+        let mut states = Vec::new();
+        for &(db, dt) in script {
+            bad.add(db);
+            all.add(dt);
+            let statuses = engine.evaluate();
+            states.push(statuses[0].state);
+        }
+        (states, engine.transitions().cloned().collect())
+    }
+
+    #[test]
+    fn nominal_traffic_never_leaves_ok() {
+        let config = HealthConfig::default();
+        let script: Vec<(u64, u64)> = (0..20).map(|_| (0, 100)).collect();
+        let (states, transitions) = run_script(&config, &script);
+        assert!(states.iter().all(|s| *s == AlertState::Ok));
+        assert!(transitions.is_empty());
+    }
+
+    #[test]
+    fn sustained_burn_pages_after_dwell_and_sequence_is_deterministic() {
+        let config = HealthConfig::default();
+        // Every tick: 50 bad of 100 → ratio 0.5, burn 500 ≫ page.
+        let script: Vec<(u64, u64)> = (0..6).map(|_| (50, 100)).collect();
+        let (states, transitions) = run_script(&config, &script);
+        // Tick 1: single snapshot, windows empty → burn 0, Ok.
+        // Tick 2: burn 500 → pending Page streak 1 (dwell 2), still Ok.
+        // Tick 3: streak 2 → Page applied.
+        assert_eq!(
+            states,
+            vec![
+                AlertState::Ok,
+                AlertState::Ok,
+                AlertState::Page,
+                AlertState::Page,
+                AlertState::Page,
+                AlertState::Page,
+            ]
+        );
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].tick, 3);
+        assert_eq!(transitions[0].from, AlertState::Ok);
+        assert_eq!(transitions[0].to, AlertState::Page);
+
+        // Same script, fresh engine → bit-identical behaviour.
+        let (states2, transitions2) = run_script(&config, &script);
+        assert_eq!(states, states2);
+        assert_eq!(transitions, transitions2);
+    }
+
+    #[test]
+    fn downgrade_requires_reentry_hysteresis() {
+        let config = HealthConfig {
+            short_ticks: 2,
+            long_ticks: 2,
+            dwell: 1,
+            ..HealthConfig::default()
+        };
+        let (telemetry, _clock, mut engine) = engine_with_ratio(config);
+        let bad = telemetry.counter("t_bad_total", "bad");
+        let all = telemetry.counter("t_all_total", "all");
+
+        // Two hot ticks: page.
+        for _ in 0..3 {
+            bad.add(50);
+            all.add(100);
+            engine.evaluate();
+        }
+        assert_eq!(engine.statuses()[0].state, AlertState::Page);
+
+        // Burn falls inside the hysteresis band (≥ reentry × page):
+        // ratio 0.008 → burn 8, band is [6, 10) → stays Page.
+        for _ in 0..4 {
+            bad.add(8);
+            all.add(1000);
+            let statuses = engine.evaluate();
+            assert_eq!(
+                statuses[0].state,
+                AlertState::Page,
+                "band must hold the page"
+            );
+        }
+
+        // Burn clears the band (ratio 0.0005 → burn 0.5 < 0.6×10 and
+        // below warn) → downgrade straight to Ok after dwell.
+        let mut saw_ok = false;
+        for _ in 0..4 {
+            all.add(2000);
+            bad.add(1);
+            let statuses = engine.evaluate();
+            saw_ok = saw_ok || statuses[0].state == AlertState::Ok;
+        }
+        assert!(saw_ok, "burn below reentry band must release the page");
+    }
+
+    #[test]
+    fn quantile_slo_burns_when_histogram_exceeds_threshold() {
+        let telemetry = Telemetry::new();
+        let clock = Arc::new(MockClock::new());
+        let mut engine = HealthEngine::new(
+            &telemetry,
+            clock as Arc<dyn Clock>,
+            HealthConfig {
+                dwell: 1,
+                ..HealthConfig::default()
+            },
+        );
+        engine.add_slo(Slo::p99("latency", "t_seconds", 0.002));
+        let hist = telemetry.histogram("t_seconds", "latency");
+        for _ in 0..100 {
+            hist.observe(0.0001);
+        }
+        let statuses = engine.evaluate();
+        assert_eq!(statuses[0].state, AlertState::Ok);
+        for _ in 0..100 {
+            hist.observe(0.5);
+        }
+        let statuses = engine.evaluate();
+        assert!(statuses[0].short_burn > 1.0);
+        assert_eq!(statuses[0].state, AlertState::Page);
+    }
+
+    #[test]
+    fn period_gates_ticks_on_the_mock_clock() {
+        let config = HealthConfig {
+            period_ns: 1_000_000_000,
+            ..HealthConfig::default()
+        };
+        let (_telemetry, clock, mut engine) = engine_with_ratio(config);
+        engine.evaluate();
+        engine.evaluate();
+        assert_eq!(
+            engine.ticks(),
+            1,
+            "second call inside the period is a no-op"
+        );
+        clock.advance_ns(1_000_000_000);
+        engine.evaluate();
+        assert_eq!(engine.ticks(), 2);
+    }
+
+    #[test]
+    fn gauges_are_published_and_conformant() {
+        let (telemetry, _clock, mut engine) = engine_with_ratio(HealthConfig::default());
+        engine.evaluate();
+        let text = telemetry.render();
+        crate::validate_exposition(&text).expect("conformant exposition");
+        assert!(text.contains("hrv_slo_state{slo=\"busy\"}"));
+        assert!(text.contains("hrv_slo_burn_rate{slo=\"busy\",window=\"short\"}"));
+        assert!(text.contains("hrv_slo_burn_rate{slo=\"busy\",window=\"long\"}"));
+    }
+}

@@ -9,9 +9,9 @@
 
 use crate::error::ServiceError;
 use crate::frame::{write_frame, FramePoll, FrameReader};
-use crate::proto::{Pushed, Reply, Request, PROTOCOL_VERSION};
+use crate::proto::{HealthSnapshot, Pushed, Reply, Request, PROTOCOL_VERSION};
 use hrv_core::ApproximationMode;
-use hrv_stream::{StreamBudget, StreamBudgetStatus, StreamReport};
+use hrv_stream::{EventRecord, StreamBudget, StreamBudgetStatus, StreamReport};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -245,6 +245,37 @@ impl ServiceClient {
         match self.call(&Request::ReadMetrics)? {
             Reply::Metrics(text) => Ok(text),
             other => Err(fail("Metrics", other)),
+        }
+    }
+
+    /// Ticks the gateway's health engine once and reads the resulting
+    /// snapshot (SLO alerts, slow-request summary, per-stage latency
+    /// and per-stream health rows). With the default
+    /// [`crate::GatewayConfig::health`] every call advances exactly one
+    /// burn-rate tick, so a scripted poller sees a deterministic alert
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Typed gateway errors come back as `Err`.
+    pub fn read_health(&mut self) -> Result<HealthSnapshot, ServiceError> {
+        match self.call(&Request::ReadHealth)? {
+            Reply::Health(health) => Ok(health),
+            other => Err(fail("Health", other)),
+        }
+    }
+
+    /// Reads the stream's journalled events, oldest first (queued
+    /// samples are analysed first, like [`ServiceClient::read_report`],
+    /// so fleet-side events reflect everything pushed so far).
+    ///
+    /// # Errors
+    ///
+    /// Typed gateway errors come back as `Err`.
+    pub fn read_events(&mut self, stream: u64) -> Result<Vec<EventRecord>, ServiceError> {
+        match self.call(&Request::ReadEvents { stream })? {
+            Reply::Events { events, .. } => Ok(events),
+            other => Err(fail("Events", other)),
         }
     }
 

@@ -24,12 +24,16 @@
 use crate::client::ServiceClient;
 use crate::error::ServiceError;
 use crate::frame::{write_frame, FramePoll, FrameReader, MAX_FRAME};
-use crate::proto::{Reply, Request, PROTOCOL_VERSION};
+use crate::proto::{
+    HealthSnapshot, Reply, Request, StageLatency, StageSlow, StreamHealth, PROTOCOL_VERSION,
+};
 use crate::session::{SessionConfig, SessionTable, STATE_DONE, STATE_DRAINING, STATE_RUNNING};
 use hrv_core::{
-    lock_unpoisoned, Counter, Histogram, PsaConfig, PsaError, SpectralPlan, Telemetry, Tracer,
+    lock_unpoisoned, Counter, HealthConfig, HealthEngine, Histogram, MonotonicClock, PsaConfig,
+    PsaError, Slo, SpectralPlan, Telemetry, Tracer,
 };
-use hrv_stream::{FleetScheduler, StreamReport};
+use hrv_stream::{EventRecord, FleetScheduler, StreamReport};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
@@ -73,6 +77,12 @@ pub struct GatewayConfig {
     /// no clock reads. Pass [`Tracer::monotonic`] to record, then pull
     /// spans/Chrome JSON from [`GatewayHandle::tracer`].
     pub tracer: Tracer,
+    /// Burn-rate engine tuning for the built-in SLO catalog served by
+    /// `ReadHealth`. The default ([`HealthConfig::default`]) has
+    /// `period_ns = 0`, so every `ReadHealth` advances exactly one
+    /// evaluation tick — the deterministic client-driven mode the
+    /// health smoke relies on.
+    pub health: HealthConfig,
 }
 
 impl Default for GatewayConfig {
@@ -87,6 +97,7 @@ impl Default for GatewayConfig {
             drain_batch: 512,
             max_connections: 256,
             tracer: Tracer::disabled(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -103,6 +114,10 @@ struct Shared {
     frames_total: Counter,
     errors_total: Counter,
     tracer: Tracer,
+    /// The burn-rate engine behind `ReadHealth`. Locked only inside
+    /// that handler, after the fleet lock is released — it never nests
+    /// with the fleet or session locks.
+    health: Mutex<HealthEngine>,
     /// Socket time of the poll that completed a request frame.
     frame_read_hist: Histogram,
     /// Wire-to-[`Request`] decode time per frame.
@@ -172,6 +187,21 @@ impl Gateway {
         let addr = listener.local_addr()?;
         let telemetry = Telemetry::new();
         fleet.set_observability(&telemetry, config.tracer.clone());
+        // Constant build-info gauge: a scrape (or `hrv-top`) can tell at
+        // a glance which protocol, SIMD dispatch level and crate version
+        // the gateway is running.
+        telemetry
+            .gauge_with(
+                "hrv_build_info",
+                "constant 1; build identity in the labels",
+                &[
+                    ("protocol_version", &PROTOCOL_VERSION.to_string()),
+                    ("simd_level", hrv_dsp::SimdLevel::active().as_str()),
+                    ("version", env!("CARGO_PKG_VERSION")),
+                ],
+            )
+            .set(1.0);
+        let health = Mutex::new(default_health_engine(&telemetry, config.health.clone()));
         let state = Arc::new(AtomicU8::new(STATE_RUNNING));
         let shared = Arc::new(Shared {
             state: state.clone(),
@@ -180,6 +210,7 @@ impl Gateway {
             telemetry: telemetry.clone(),
             session_config: config.session.clone(),
             final_reports: Mutex::new(None),
+            health,
             connections_total: telemetry.counter(
                 "hrv_service_connections_total",
                 "client connections accepted",
@@ -226,6 +257,32 @@ impl Gateway {
             pump: Some(pump),
         })
     }
+}
+
+/// Builds the gateway's SLO catalog: request-path tail latency and the
+/// admission `Busy` ratio. Thresholds are deliberately generous — the
+/// catalog exists to catch overload (queues refusing work, encode/decode
+/// stalls), not to grade absolute wall-clock performance, which CI
+/// machines cannot do deterministically.
+fn default_health_engine(telemetry: &Telemetry, config: HealthConfig) -> HealthEngine {
+    let mut engine = HealthEngine::new(telemetry, Arc::new(MonotonicClock::new()), config);
+    engine.add_slo(Slo::p99(
+        "frame_decode_p99",
+        "hrv_service_frame_decode_seconds",
+        0.010,
+    ));
+    engine.add_slo(Slo::p99(
+        "report_encode_p99",
+        "hrv_service_report_encode_seconds",
+        0.010,
+    ));
+    engine.add_slo(Slo::ratio(
+        "busy_ratio",
+        "hrv_service_busy_total",
+        "hrv_service_frames_total",
+        0.001,
+    ));
+    engine
 }
 
 /// A running gateway. Dropping the handle initiates shutdown and joins
@@ -545,6 +602,11 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             }
             Reply::Metrics(shared.telemetry.render())
         }
+        Request::ReadHealth => Reply::Health(read_health(shared)),
+        Request::ReadEvents { stream } => match read_events(shared, stream) {
+            Ok(events) => Reply::Events { stream, events },
+            Err(err) => Reply::Error(err),
+        },
         Request::CloseStream { stream } => match close_stream(shared, stream) {
             Ok(report) => Reply::Closed(report),
             Err(err) => Reply::Error(err),
@@ -573,6 +635,96 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             }
         }
     }
+}
+
+/// Pipeline-stage histogram families surfaced as [`StageLatency`] rows
+/// in `ReadHealth` snapshots, pipeline order.
+const STAGE_FAMILIES: [&str; 7] = [
+    "hrv_service_frame_read_seconds",
+    "hrv_service_frame_decode_seconds",
+    "hrv_service_queue_wait_seconds",
+    "hrv_service_pump_dispatch_seconds",
+    "hrv_stream_window_compute_seconds",
+    "hrv_stream_governor_decision_seconds",
+    "hrv_service_report_encode_seconds",
+];
+
+/// Builds the `ReadHealth` snapshot: one burn-rate evaluation tick plus
+/// point-in-time stage, stream and slow-request views.
+///
+/// Lock order: the fleet lock is taken (for stream reports) and released
+/// before the health lock — the two never nest, and the session lock is
+/// only taken by `queue_depths` on its own.
+fn read_health(shared: &Arc<Shared>) -> HealthSnapshot {
+    let reports = {
+        let fleet = lock_unpoisoned(&shared.fleet);
+        fleet.stream_reports()
+    };
+    let depths: BTreeMap<u64, u32> = shared.sessions.queue_depths().into_iter().collect();
+    let streams = reports
+        .into_iter()
+        .map(|report| StreamHealth {
+            id: report.id as u64,
+            windows: report.windows,
+            energy_j: report.energy_j,
+            queue_depth: depths.get(&(report.id as u64)).copied().unwrap_or(0),
+            backend: report.backend,
+        })
+        .collect();
+    let mut stages = Vec::new();
+    for family in STAGE_FAMILIES {
+        let mut rows = shared.telemetry.histogram_series(family);
+        rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+        for (labels, hist) in rows {
+            stages.push(StageLatency {
+                family: family.to_string(),
+                labels,
+                count: hist.count(),
+                p50_s: hist.quantile(0.5),
+                p99_s: hist.quantile(0.99),
+            });
+        }
+    }
+    let slow = shared.tracer.slow_requests();
+    let slow_requests = slow.len() as u64;
+    let mut worst: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for capture in &slow {
+        let entry = worst.entry(capture.root.stage).or_default();
+        *entry = (*entry).max(capture.root.duration_ns);
+    }
+    let slow_stages = worst
+        .into_iter()
+        .map(|(stage, worst_ns)| StageSlow {
+            stage: stage.to_string(),
+            worst_ns,
+        })
+        .collect();
+    let mut health = lock_unpoisoned(&shared.health);
+    let alerts = health.evaluate();
+    HealthSnapshot {
+        ticks: health.ticks(),
+        alerts,
+        slow_requests,
+        slow_stages,
+        stages,
+        streams,
+    }
+}
+
+/// Serves `ReadEvents`: drains the stream's queued samples first (so
+/// journalled fleet events reflect everything the client already
+/// pushed), then concatenates the session journal (admissions, Busy
+/// refusals) with the fleet journal (quality switches, budget/battery
+/// edges, drain). Each journal keeps its own sequence space.
+fn read_events(shared: &Arc<Shared>, stream: u64) -> Result<Vec<EventRecord>, ServiceError> {
+    let fleet_events = {
+        let mut fleet = lock_unpoisoned(&shared.fleet);
+        drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
+        fleet.stream_events(stream as usize)
+    };
+    let mut events = shared.sessions.events(stream)?;
+    events.extend(fleet_events.map_err(ServiceError::from)?);
+    Ok(events)
 }
 
 /// Session + fleet admission as one atomic step **under the fleet
@@ -695,5 +847,126 @@ fn pump_loop(shared: &Arc<Shared>, drain_batch: usize, idle: Duration) {
         if moved == 0 {
             thread::sleep(idle);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrv_core::AlertState;
+    use hrv_stream::StreamEvent;
+
+    /// A loopback gateway with a queue so small that any oversized push
+    /// is refused `Busy` regardless of pump timing — the deterministic
+    /// overload used by the alerting tests.
+    fn tiny_queue_gateway() -> GatewayHandle {
+        Gateway::start(GatewayConfig {
+            session: SessionConfig {
+                max_sessions: 8,
+                queue_capacity: 4,
+            },
+            ..GatewayConfig::default()
+        })
+        .expect("gateway")
+    }
+
+    #[test]
+    fn sustained_busy_burn_pages_at_a_deterministic_tick() {
+        let handle = tiny_queue_gateway();
+        let mut client = handle.client().expect("client");
+        client.open_stream(1).expect("open");
+        // Each round: one guaranteed-Busy push (batch > queue capacity,
+        // so admission refuses it no matter how fast the pump drains)
+        // followed by one health tick. The bad/total frame ratio per
+        // round is then exactly 1/2 — far past the page threshold —
+        // and the dwell machine pages on the third tick, every run.
+        let oversized: Vec<(f64, f64)> = (1..=8).map(|i| (0.8 * i as f64, 0.8)).collect();
+        let mut states = Vec::new();
+        for _ in 0..4 {
+            let refused = client.push_rr(1, &oversized);
+            assert!(matches!(refused, Err(ServiceError::Busy { .. })));
+            let health = client.read_health().expect("health");
+            let busy = health
+                .alerts
+                .iter()
+                .find(|alert| alert.slo == "busy_ratio")
+                .expect("busy_ratio in the catalog");
+            states.push((health.ticks, busy.state, busy.since_tick));
+        }
+        assert_eq!(
+            states,
+            vec![
+                (1, AlertState::Ok, 0),
+                (2, AlertState::Ok, 0),
+                (3, AlertState::Page, 3),
+                (4, AlertState::Page, 3),
+            ],
+            "page must land on tick 3 (dwell 2) deterministically"
+        );
+        drop(client);
+        handle.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn health_snapshot_carries_streams_stages_and_catalog() {
+        let handle = tiny_queue_gateway();
+        let mut client = handle.client().expect("client");
+        client.open_stream(3).expect("open");
+        client.push_rr(3, &[(0.8, 0.8), (1.6, 0.8)]).expect("push");
+        let health = client.read_health().expect("health");
+        let names: Vec<&str> = health.alerts.iter().map(|a| a.slo.as_str()).collect();
+        assert_eq!(
+            names,
+            ["frame_decode_p99", "report_encode_p99", "busy_ratio"],
+            "catalog order is stable"
+        );
+        assert_eq!(health.streams.len(), 1);
+        assert_eq!(health.streams[0].id, 3);
+        assert_eq!(health.streams[0].backend, "split-radix");
+        let families: Vec<&str> = health.stages.iter().map(|s| s.family.as_str()).collect();
+        assert!(families.contains(&"hrv_service_frame_decode_seconds"));
+        // The tracer is disabled by default — no slow requests retained.
+        assert_eq!(health.slow_requests, 0);
+        assert!(health.slow_stages.is_empty());
+        drop(client);
+        handle.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn event_journals_travel_over_the_wire() {
+        let handle = tiny_queue_gateway();
+        let mut client = handle.client().expect("client");
+        client.open_stream(1).expect("open");
+        client.push_rr(1, &[(0.8, 0.8), (1.6, 0.8)]).expect("push");
+        let oversized: Vec<(f64, f64)> = (1..=8).map(|i| (0.8 * i as f64, 0.8)).collect();
+        assert!(matches!(
+            client.push_rr(1, &oversized),
+            Err(ServiceError::Busy { .. })
+        ));
+        client
+            .set_quality(1, hrv_core::ApproximationMode::BandDrop)
+            .expect("set quality");
+        let events = client.read_events(1).expect("events");
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        // Session journal first (admission, refusal), then fleet
+        // journal (the operator quality switch).
+        assert_eq!(kinds, ["admission", "busy_refusal", "quality_switch"]);
+        assert!(matches!(
+            events[0].event,
+            StreamEvent::Admission {
+                accepted: 2,
+                gated: 0
+            }
+        ));
+        assert!(matches!(
+            events[1].event,
+            StreamEvent::BusyRefusal { capacity: 4, .. }
+        ));
+        assert!(matches!(
+            client.read_events(99),
+            Err(ServiceError::UnknownStream(99))
+        ));
+        drop(client);
+        handle.shutdown().expect("shutdown");
     }
 }

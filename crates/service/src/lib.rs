@@ -68,5 +68,7 @@ pub use client::ServiceClient;
 pub use error::ServiceError;
 pub use frame::{write_frame, FramePoll, FrameReader, HEADER_LEN, MAX_FRAME};
 pub use gateway::{Gateway, GatewayConfig, GatewayHandle, MAX_SESSIONS};
-pub use proto::{Pushed, Reply, Request, PROTOCOL_VERSION};
+pub use proto::{
+    HealthSnapshot, Pushed, Reply, Request, StageLatency, StageSlow, StreamHealth, PROTOCOL_VERSION,
+};
 pub use session::SessionConfig;

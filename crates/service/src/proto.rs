@@ -17,6 +17,8 @@
 //! | [`Request::SetBudget`] | [`Reply::BudgetSet`] |
 //! | [`Request::ReadBudget`] | [`Reply::Budget`] |
 //! | [`Request::ReadMetrics`] | [`Reply::Metrics`] |
+//! | [`Request::ReadHealth`] | [`Reply::Health`] |
+//! | [`Request::ReadEvents`] | [`Reply::Events`] |
 //! | [`Request::CloseStream`] | [`Reply::Closed`] |
 //! | [`Request::Shutdown`] | [`Reply::ShutdownAck`] |
 //!
@@ -24,9 +26,12 @@
 //! [`ServiceError`].
 
 use crate::error::ServiceError;
-use hrv_core::ApproximationMode;
+use hrv_core::{AlertState, AlertStatus, ApproximationMode};
 use hrv_dsp::OpCount;
-use hrv_stream::{BatteryStatus, IngestStats, StreamBudget, StreamBudgetStatus, StreamReport};
+use hrv_stream::{
+    decode_events, encode_events, BatteryStatus, EventRecord, IngestStats, StreamBudget,
+    StreamBudgetStatus, StreamReport,
+};
 
 /// Version negotiated by `Hello`; the gateway rejects any other.
 ///
@@ -35,7 +40,14 @@ use hrv_stream::{BatteryStatus, IngestStats, StreamBudget, StreamBudgetStatus, S
 /// requests and `BudgetSet`/`Budget` replies exist, and error code 11
 /// (`InvalidTarget`) was added — a v1 peer would misdecode report
 /// frames, so the handshake refuses it.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 (health layer): `ReadHealth`/`ReadEvents` requests and
+/// `Health`/`Events` replies exist — SLO alert states with multi-window
+/// burn rates, the slow-request trace summary, per-stage latency rows,
+/// per-stream health rows and the bounded per-stream event journal are
+/// all readable over the wire. Earlier peers would reject the new tags,
+/// so the handshake refuses them.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // ---- request/reply types --------------------------------------------------
 
@@ -98,6 +110,16 @@ pub enum Request {
     },
     /// Reads the gateway's telemetry registry (Prometheus text format).
     ReadMetrics,
+    /// Ticks the gateway's health engine once and reads the resulting
+    /// snapshot: SLO alert states, slow-request summary, per-stage
+    /// latency rows and per-stream health rows.
+    ReadHealth,
+    /// Reads the stream's bounded event journal (admissions, quality
+    /// switches, refusals, budget/battery edges, drain).
+    ReadEvents {
+        /// Target stream.
+        stream: u64,
+    },
     /// Flushes a stream's trailing windows and removes it.
     CloseStream {
         /// Target stream.
@@ -146,6 +168,16 @@ pub enum Reply {
     Budget(StreamBudgetStatus),
     /// The telemetry exposition.
     Metrics(String),
+    /// A point-in-time health snapshot.
+    Health(HealthSnapshot),
+    /// A stream's journalled events, oldest first.
+    Events {
+        /// The inspected stream.
+        stream: u64,
+        /// Journalled events (session admissions/refusals first, then
+        /// fleet events; each keeps its own sequence space).
+        events: Vec<EventRecord>,
+    },
     /// The stream's final report after its trailing windows flushed.
     Closed(StreamReport),
     /// The gateway drained; final reports of every stream still open,
@@ -170,6 +202,64 @@ pub struct Pushed {
     pub gated: u32,
     /// Queue depth after the push.
     pub queue_depth: u32,
+}
+
+/// One per-stage latency row inside a [`HealthSnapshot`]: a labelled
+/// histogram series with its count and headline quantiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageLatency {
+    /// Histogram family name (e.g. `hrv_service_frame_decode_seconds`).
+    pub family: String,
+    /// Rendered label set of the series (may be empty).
+    pub labels: String,
+    /// Observations recorded so far.
+    pub count: u64,
+    /// Median latency in seconds.
+    pub p50_s: f64,
+    /// Tail latency in seconds.
+    pub p99_s: f64,
+}
+
+/// One per-stream health row inside a [`HealthSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamHealth {
+    /// The stream id.
+    pub id: u64,
+    /// Spectral windows produced so far.
+    pub windows: u64,
+    /// Modelled energy spent so far.
+    pub energy_j: f64,
+    /// Session queue depth at snapshot time.
+    pub queue_depth: u32,
+    /// Name of the active kernel.
+    pub backend: String,
+}
+
+/// Worst recorded slow-request root span for one pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSlow {
+    /// Root-span stage name.
+    pub stage: String,
+    /// Worst root-span duration observed, in nanoseconds.
+    pub worst_ns: u64,
+}
+
+/// The gateway's point-in-time health snapshot, carried by
+/// [`Reply::Health`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthSnapshot {
+    /// Health-engine evaluation ticks completed so far.
+    pub ticks: u64,
+    /// Per-SLO alert status, catalog-ordered.
+    pub alerts: Vec<AlertStatus>,
+    /// Requests the tracer retained as slow since startup.
+    pub slow_requests: u64,
+    /// Worst retained slow root span per stage, stage-ordered.
+    pub slow_stages: Vec<StageSlow>,
+    /// Per-stage latency rows, family- then label-ordered.
+    pub stages: Vec<StageLatency>,
+    /// Per-stream health rows, id-ordered.
+    pub streams: Vec<StreamHealth>,
 }
 
 // ---- byte-level helpers ---------------------------------------------------
@@ -464,6 +554,137 @@ fn take_error(cursor: &mut Cursor<'_>) -> Result<ServiceError, ServiceError> {
     })
 }
 
+fn put_health(buf: &mut Vec<u8>, health: &HealthSnapshot) {
+    put_u64(buf, health.ticks);
+    put_u32(buf, health.alerts.len() as u32);
+    for alert in &health.alerts {
+        put_str(buf, &alert.slo);
+        put_u8(buf, alert.state.severity());
+        put_f64(buf, alert.short_burn);
+        put_f64(buf, alert.long_burn);
+        put_u64(buf, alert.since_tick);
+    }
+    put_u64(buf, health.slow_requests);
+    put_u32(buf, health.slow_stages.len() as u32);
+    for slow in &health.slow_stages {
+        put_str(buf, &slow.stage);
+        put_u64(buf, slow.worst_ns);
+    }
+    put_u32(buf, health.stages.len() as u32);
+    for stage in &health.stages {
+        put_str(buf, &stage.family);
+        put_str(buf, &stage.labels);
+        put_u64(buf, stage.count);
+        put_f64(buf, stage.p50_s);
+        put_f64(buf, stage.p99_s);
+    }
+    put_u32(buf, health.streams.len() as u32);
+    for stream in &health.streams {
+        put_u64(buf, stream.id);
+        put_u64(buf, stream.windows);
+        put_f64(buf, stream.energy_j);
+        put_u32(buf, stream.queue_depth);
+        put_str(buf, &stream.backend);
+    }
+}
+
+fn take_health(cursor: &mut Cursor<'_>) -> Result<HealthSnapshot, ServiceError> {
+    let ticks = cursor.take_u64()?;
+    let alert_count = cursor.take_u32()? as usize;
+    // Division-form count guards throughout, as in `shutdown_ack`: each
+    // row has a known minimum encoding, so a hostile count cannot force
+    // an allocation past what the frame itself carries.
+    if alert_count > cursor.remaining() / 29 {
+        return Err(ServiceError::Protocol(format!(
+            "health announced {alert_count} alerts but carries {} bytes",
+            cursor.remaining()
+        )));
+    }
+    let mut alerts = Vec::with_capacity(alert_count);
+    for _ in 0..alert_count {
+        let slo = cursor.take_str()?;
+        let code = cursor.take_u8()?;
+        let state = AlertState::from_severity(code)
+            .ok_or_else(|| ServiceError::Protocol(format!("unknown alert severity {code}")))?;
+        alerts.push(AlertStatus {
+            slo,
+            state,
+            short_burn: cursor.take_f64()?,
+            long_burn: cursor.take_f64()?,
+            since_tick: cursor.take_u64()?,
+        });
+    }
+    let slow_requests = cursor.take_u64()?;
+    let slow_count = cursor.take_u32()? as usize;
+    if slow_count > cursor.remaining() / 12 {
+        return Err(ServiceError::Protocol(format!(
+            "health announced {slow_count} slow stages but carries {} bytes",
+            cursor.remaining()
+        )));
+    }
+    let mut slow_stages = Vec::with_capacity(slow_count);
+    for _ in 0..slow_count {
+        slow_stages.push(StageSlow {
+            stage: cursor.take_str()?,
+            worst_ns: cursor.take_u64()?,
+        });
+    }
+    let stage_count = cursor.take_u32()? as usize;
+    if stage_count > cursor.remaining() / 32 {
+        return Err(ServiceError::Protocol(format!(
+            "health announced {stage_count} stage rows but carries {} bytes",
+            cursor.remaining()
+        )));
+    }
+    let mut stages = Vec::with_capacity(stage_count);
+    for _ in 0..stage_count {
+        stages.push(StageLatency {
+            family: cursor.take_str()?,
+            labels: cursor.take_str()?,
+            count: cursor.take_u64()?,
+            p50_s: cursor.take_f64()?,
+            p99_s: cursor.take_f64()?,
+        });
+    }
+    let stream_count = cursor.take_u32()? as usize;
+    if stream_count > cursor.remaining() / 32 {
+        return Err(ServiceError::Protocol(format!(
+            "health announced {stream_count} stream rows but carries {} bytes",
+            cursor.remaining()
+        )));
+    }
+    let mut streams = Vec::with_capacity(stream_count);
+    for _ in 0..stream_count {
+        streams.push(StreamHealth {
+            id: cursor.take_u64()?,
+            windows: cursor.take_u64()?,
+            energy_j: cursor.take_f64()?,
+            queue_depth: cursor.take_u32()?,
+            backend: cursor.take_str()?,
+        });
+    }
+    Ok(HealthSnapshot {
+        ticks,
+        alerts,
+        slow_requests,
+        slow_stages,
+        stages,
+        streams,
+    })
+}
+
+fn put_events(buf: &mut Vec<u8>, stream: u64, events: &[EventRecord]) {
+    put_u64(buf, stream);
+    buf.extend_from_slice(&encode_events(events));
+}
+
+fn take_events(cursor: &mut Cursor<'_>) -> Result<(u64, Vec<EventRecord>), ServiceError> {
+    let stream = cursor.take_u64()?;
+    let blob = cursor.take(cursor.remaining())?;
+    let events = decode_events(blob).map_err(ServiceError::Protocol)?;
+    Ok((stream, events))
+}
+
 // ---- message codecs -------------------------------------------------------
 
 const REQ_HELLO: u8 = 0x01;
@@ -477,6 +698,8 @@ const REQ_CLOSE_STREAM: u8 = 0x08;
 const REQ_SHUTDOWN: u8 = 0x09;
 const REQ_SET_BUDGET: u8 = 0x0a;
 const REQ_READ_BUDGET: u8 = 0x0b;
+const REQ_READ_HEALTH: u8 = 0x0c;
+const REQ_READ_EVENTS: u8 = 0x0d;
 
 const REP_HELLO_ACK: u8 = 0x81;
 const REP_STREAM_OPENED: u8 = 0x82;
@@ -489,6 +712,8 @@ const REP_SHUTDOWN_ACK: u8 = 0x88;
 const REP_ERROR: u8 = 0x89;
 const REP_BUDGET_SET: u8 = 0x8a;
 const REP_BUDGET: u8 = 0x8b;
+const REP_HEALTH: u8 = 0x8c;
+const REP_EVENTS: u8 = 0x8d;
 
 /// Encodes a `PushRr` frame body straight from a borrowed slice —
 /// byte-identical to `Request::PushRr { .. }.encode()` (which delegates
@@ -556,6 +781,11 @@ impl Request {
                 put_u64(&mut buf, *stream);
             }
             Request::ReadMetrics => put_u8(&mut buf, REQ_READ_METRICS),
+            Request::ReadHealth => put_u8(&mut buf, REQ_READ_HEALTH),
+            Request::ReadEvents { stream } => {
+                put_u8(&mut buf, REQ_READ_EVENTS);
+                put_u64(&mut buf, *stream);
+            }
             Request::CloseStream { stream } => {
                 put_u8(&mut buf, REQ_CLOSE_STREAM);
                 put_u64(&mut buf, *stream);
@@ -634,6 +864,10 @@ impl Request {
                 stream: cursor.take_u64()?,
             },
             REQ_READ_METRICS => Request::ReadMetrics,
+            REQ_READ_HEALTH => Request::ReadHealth,
+            REQ_READ_EVENTS => Request::ReadEvents {
+                stream: cursor.take_u64()?,
+            },
             REQ_CLOSE_STREAM => Request::CloseStream {
                 stream: cursor.take_u64()?,
             },
@@ -702,6 +936,14 @@ impl Reply {
                 put_u8(&mut buf, REP_METRICS);
                 put_str(&mut buf, text);
             }
+            Reply::Health(health) => {
+                put_u8(&mut buf, REP_HEALTH);
+                put_health(&mut buf, health);
+            }
+            Reply::Events { stream, events } => {
+                put_u8(&mut buf, REP_EVENTS);
+                put_events(&mut buf, *stream, events);
+            }
             Reply::Closed(report) => {
                 put_u8(&mut buf, REP_CLOSED);
                 put_report(&mut buf, report);
@@ -762,6 +1004,11 @@ impl Reply {
                 backend: cursor.take_str()?,
             }),
             REP_METRICS => Reply::Metrics(cursor.take_str()?),
+            REP_HEALTH => Reply::Health(take_health(&mut cursor)?),
+            REP_EVENTS => {
+                let (stream, events) = take_events(&mut cursor)?;
+                Reply::Events { stream, events }
+            }
             REP_CLOSED => Reply::Closed(take_report(&mut cursor)?),
             REP_SHUTDOWN_ACK => {
                 let count = cursor.take_u32()? as usize;
@@ -795,6 +1042,7 @@ impl Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hrv_stream::{StreamEvent, SwitchReason};
 
     fn sample_report(id: usize) -> StreamReport {
         StreamReport {
@@ -824,6 +1072,47 @@ mod tests {
                 overflow_dropped: 0,
             },
             backend: "split-radix".into(),
+        }
+    }
+
+    fn sample_health() -> HealthSnapshot {
+        HealthSnapshot {
+            ticks: 12,
+            alerts: vec![
+                AlertStatus {
+                    slo: "busy_ratio".into(),
+                    state: AlertState::Page,
+                    short_burn: 850.0,
+                    long_burn: 212.5,
+                    since_tick: 3,
+                },
+                AlertStatus {
+                    slo: "decode_p99".into(),
+                    state: AlertState::Ok,
+                    short_burn: 0.25,
+                    long_burn: 0.25,
+                    since_tick: 0,
+                },
+            ],
+            slow_requests: 2,
+            slow_stages: vec![StageSlow {
+                stage: "push_rr".into(),
+                worst_ns: 1_250_000,
+            }],
+            stages: vec![StageLatency {
+                family: "hrv_service_frame_decode_seconds".into(),
+                labels: "".into(),
+                count: 640,
+                p50_s: 1.5e-6,
+                p99_s: 8.0e-6,
+            }],
+            streams: vec![StreamHealth {
+                id: 4,
+                windows: 42,
+                energy_j: 0.125,
+                queue_depth: 12,
+                backend: "split-radix".into(),
+            }],
         }
     }
 
@@ -858,6 +1147,8 @@ mod tests {
             },
             Request::ReadBudget { stream: 3 },
             Request::ReadMetrics,
+            Request::ReadHealth,
+            Request::ReadEvents { stream: 3 },
             Request::CloseStream { stream: 3 },
             Request::Shutdown,
         ];
@@ -911,6 +1202,46 @@ mod tests {
                 backend: "split-radix".into(),
             }),
             Reply::Metrics("# TYPE x counter\nx 1\n".into()),
+            Reply::Health(sample_health()),
+            Reply::Health(HealthSnapshot {
+                ticks: 0,
+                alerts: vec![],
+                slow_requests: 0,
+                slow_stages: vec![],
+                stages: vec![],
+                streams: vec![],
+            }),
+            Reply::Events {
+                stream: 4,
+                events: vec![
+                    EventRecord {
+                        seq: 0,
+                        window: 0,
+                        event: StreamEvent::Admission {
+                            accepted: 30,
+                            gated: 2,
+                        },
+                    },
+                    EventRecord {
+                        seq: 1,
+                        window: 3,
+                        event: StreamEvent::QualitySwitch {
+                            backend: "wfft-haar+banddrop".into(),
+                            rail_v: 0.81,
+                            reason: SwitchReason::Governor,
+                        },
+                    },
+                    EventRecord {
+                        seq: 2,
+                        window: 9,
+                        event: StreamEvent::Drain { windows: 9 },
+                    },
+                ],
+            },
+            Reply::Events {
+                stream: 5,
+                events: vec![],
+            },
             Reply::Closed(sample_report(4)),
             Reply::ShutdownAck {
                 reports: vec![sample_report(0), sample_report(1)],
@@ -1033,6 +1364,90 @@ mod tests {
         put_u32(&mut body, u32::MAX);
         assert!(matches!(
             Reply::decode(&body),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn health_counts_are_bounded_by_payload() {
+        // A hostile count in any of the snapshot's four vectors must be
+        // rejected before allocation. Walk a valid encoding to find all
+        // four count offsets, then corrupt each to u32::MAX in turn.
+        let health = sample_health();
+        let body = Reply::Health(health.clone()).encode();
+        let mut counts = Vec::new();
+        let mut cursor = Cursor::new(&body[1..]);
+        cursor.take_u64().unwrap(); // ticks
+        counts.push(1 + cursor.pos); // alert count offset in `body`
+        cursor.take_u32().unwrap();
+        for alert in &health.alerts {
+            cursor.take(4 + alert.slo.len() + 1 + 8 + 8 + 8).unwrap();
+        }
+        cursor.take_u64().unwrap(); // slow_requests
+        counts.push(1 + cursor.pos);
+        cursor.take_u32().unwrap();
+        for slow in &health.slow_stages {
+            cursor.take(4 + slow.stage.len() + 8).unwrap();
+        }
+        counts.push(1 + cursor.pos);
+        cursor.take_u32().unwrap();
+        for stage in &health.stages {
+            cursor
+                .take(4 + stage.family.len() + 4 + stage.labels.len() + 8 + 8 + 8)
+                .unwrap();
+        }
+        counts.push(1 + cursor.pos);
+        assert_eq!(counts.len(), 4);
+        for offset in counts {
+            let mut corrupted = body.clone();
+            corrupted[offset..offset + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+            assert!(
+                matches!(Reply::decode(&corrupted), Err(ServiceError::Protocol(_))),
+                "count at byte {offset} not guarded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_alert_severity_is_a_typed_protocol_error() {
+        let mut snapshot = sample_health();
+        snapshot.slow_stages.clear();
+        snapshot.stages.clear();
+        snapshot.streams.clear();
+        snapshot.alerts.truncate(1);
+        let mut body = Reply::Health(snapshot.clone()).encode();
+        // The severity byte follows tag + ticks + count + name string.
+        let severity_at = 1 + 8 + 4 + 4 + snapshot.alerts[0].slo.len();
+        assert_eq!(body[severity_at], AlertState::Page.severity());
+        body[severity_at] = 99;
+        assert!(matches!(
+            Reply::decode(&body),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_event_journals_are_typed_protocol_errors() {
+        let reply = Reply::Events {
+            stream: 7,
+            events: vec![EventRecord {
+                seq: 0,
+                window: 1,
+                event: StreamEvent::BatteryLow { soc: 0.2 },
+            }],
+        };
+        let body = reply.encode();
+        assert_eq!(Reply::decode(&body).unwrap(), reply);
+        // Truncating the journal blob or appending trailing bytes must
+        // both surface as typed protocol errors.
+        assert!(matches!(
+            Reply::decode(&body[..body.len() - 1]),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut extended = body;
+        extended.push(0);
+        assert!(matches!(
+            Reply::decode(&extended),
             Err(ServiceError::Protocol(_))
         ));
     }

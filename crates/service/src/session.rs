@@ -18,6 +18,7 @@ use crate::error::ServiceError;
 use crate::proto::Pushed;
 use hrv_core::{lock_unpoisoned, Counter, Gauge, Histogram, Telemetry};
 use hrv_delineate::{BeatOutcome, StreamingRrFilter};
+use hrv_stream::{EventJournal, EventRecord, StreamEvent, EVENT_JOURNAL_CAPACITY};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
@@ -63,6 +64,9 @@ struct Session {
     /// histogram each time the pump drains, re-armed while samples
     /// remain. `None` while the queue is empty.
     queued_since: Option<Instant>,
+    /// Gateway-side forensics ring: admission batches and Busy
+    /// refusals (the fleet keeps the analysis-side journal).
+    journal: EventJournal,
 }
 
 /// The admission-controlled session store; see the module docs.
@@ -149,6 +153,7 @@ impl SessionTable {
                 last_time: None,
                 depth_gauge,
                 queued_since: None,
+                journal: EventJournal::new(EVENT_JOURNAL_CAPACITY),
             },
         );
         self.open_gauge.set(sessions.len() as f64);
@@ -181,7 +186,7 @@ impl SessionTable {
                 last = Some(t);
             }
         }
-        self.check_capacity(id, &session.queue, admissible)?;
+        self.check_capacity(id, session, admissible)?;
         // Pass 2: apply — same deterministic gate, now mutating.
         let mut accepted = 0u32;
         for &(t, rr) in samples {
@@ -209,7 +214,7 @@ impl SessionTable {
         let session = sessions
             .get_mut(&id)
             .ok_or(ServiceError::UnknownStream(id))?;
-        self.check_capacity(id, &session.queue, beats.len())?;
+        self.check_capacity(id, session, beats.len())?;
         let mut accepted = 0u32;
         for &t in beats {
             if let BeatOutcome::Accepted { time, rr } = session.beats.push(t) {
@@ -234,11 +239,18 @@ impl SessionTable {
     fn check_capacity(
         &self,
         id: u64,
-        queue: &VecDeque<(f64, f64)>,
+        session: &mut Session,
         incoming: usize,
     ) -> Result<(), ServiceError> {
-        if queue.len() + incoming > self.config.queue_capacity {
+        if session.queue.len() + incoming > self.config.queue_capacity {
             self.busy_total.inc();
+            session.journal.record(
+                0,
+                StreamEvent::BusyRefusal {
+                    queue_depth: session.queue.len() as u32,
+                    capacity: self.config.queue_capacity as u32,
+                },
+            );
             return Err(ServiceError::Busy {
                 stream: id,
                 capacity: self.config.queue_capacity as u32,
@@ -247,10 +259,13 @@ impl SessionTable {
         Ok(())
     }
 
-    fn pushed(&self, id: u64, session: &Session, accepted: u32, gated: u32) -> Pushed {
+    fn pushed(&self, id: u64, session: &mut Session, accepted: u32, gated: u32) -> Pushed {
         self.accepted_total.add(u64::from(accepted));
         self.gated_total.add(u64::from(gated));
         session.depth_gauge.set(session.queue.len() as f64);
+        session
+            .journal
+            .record(0, StreamEvent::Admission { accepted, gated });
         Pushed {
             stream: id,
             accepted,
@@ -259,9 +274,24 @@ impl SessionTable {
         }
     }
 
+    /// The gateway-side event journal of session `id`, oldest first.
+    pub(crate) fn events(&self, id: u64) -> Result<Vec<EventRecord>, ServiceError> {
+        let sessions = lock_unpoisoned(&self.inner);
+        let session = sessions.get(&id).ok_or(ServiceError::UnknownStream(id))?;
+        Ok(session.journal.events())
+    }
+
     /// Open session ids, ascending.
     pub(crate) fn ids(&self) -> Vec<u64> {
         lock_unpoisoned(&self.inner).keys().copied().collect()
+    }
+
+    /// `(id, queue depth)` of every open session, id-ascending.
+    pub(crate) fn queue_depths(&self) -> Vec<(u64, u32)> {
+        lock_unpoisoned(&self.inner)
+            .iter()
+            .map(|(&id, session)| (id, session.queue.len() as u32))
+            .collect()
     }
 
     /// Moves up to `max` queued samples of session `id` into `out`.

@@ -14,6 +14,9 @@
 //! through `hrv-node-sim`'s cycle/energy model.
 
 use crate::ingest::{IngestStats, RrIngest};
+use crate::journal::{
+    EventJournal, EventRecord, StreamEvent, SwitchReason, EVENT_JOURNAL_CAPACITY,
+};
 use crate::scratch::StreamScratch;
 use crate::sliding::{SlidingLomb, WindowView};
 use hrv_core::{
@@ -78,6 +81,10 @@ struct FleetInstruments {
 /// Name of the per-(kernel, rail) window-compute latency family.
 const WINDOW_COMPUTE_METRIC: &str = "hrv_stream_window_compute_seconds";
 
+/// State-of-charge threshold below which a stream's journal records a
+/// [`StreamEvent::BatteryLow`] crossing.
+pub const BATTERY_LOW_SOC: f64 = 0.25;
+
 impl FleetInstruments {
     fn new(telemetry: &Telemetry, tracer: Tracer) -> Self {
         // The dispatch level is decided once per process, so publish it
@@ -133,6 +140,40 @@ struct PatientStream {
     /// either changes, so steady-state window accounting does a compare
     /// instead of a registry lookup (and allocates nothing).
     compute_hist: Option<(usize, u64, Histogram)>,
+    /// Bounded forensics ring: quality switches, budget exhaustion,
+    /// battery-low crossings, drain. Keyed to the stream's window
+    /// count (never wall-clock), so shard parity holds.
+    journal: EventJournal,
+    /// Budget-exhaustion edge detector (previous pump's state).
+    budget_exhausted: bool,
+    /// Battery-low edge detector (previous pump's state).
+    battery_low: bool,
+    /// Whether the drain event has been recorded (finish is idempotent).
+    drained: bool,
+}
+
+/// Records a quality/DVFS switch when the (backend, rail) pair in
+/// force actually changed; the journal stays quiet for directives that
+/// re-select the current point.
+fn record_switch_if_changed(
+    journal: &mut EventJournal,
+    windows: u64,
+    engine: &SlidingLomb,
+    opp: &OperatingPoint,
+    before: (usize, u64),
+    reason: SwitchReason,
+) {
+    let now = (engine.active_backend_index(), opp.voltage.to_bits());
+    if now != before {
+        journal.record(
+            windows,
+            StreamEvent::QualitySwitch {
+                backend: engine.active_backend().name().to_string(),
+                rail_v: opp.voltage,
+                reason,
+            },
+        );
+    }
 }
 
 /// Refreshes the stream's cached window-compute histogram handle,
@@ -680,6 +721,9 @@ fn pump_patient(
             arrhythmia_windows,
             ops,
             compute_hist: cached_hist,
+            journal,
+            budget_exhausted,
+            battery_low,
             ..
         } = patient;
         let mut outcome = SinkOutcome::default();
@@ -715,8 +759,43 @@ fn pump_patient(
             }
         }
         if let Some(directive) = outcome.directive {
+            let before = (engine.active_backend_index(), opp.voltage.to_bits());
             apply_choice(engine, directive.choice, choice_backends, *exact_index);
             *opp = directive.opp;
+            record_switch_if_changed(
+                journal,
+                *windows,
+                engine,
+                opp,
+                before,
+                SwitchReason::Governor,
+            );
+        }
+        // Edge-detected forensics: budget exhaustion and battery-low are
+        // recorded once per crossing, re-arming when the condition
+        // clears (a new budget interval, a harvesting recharge). Both
+        // derive from per-stream deterministic state, so the journal is
+        // shard-parity safe.
+        if let Some(state) = governor.as_ref().and_then(|g| g.budget()) {
+            let exhausted = state.budget_j > 0.0 && state.spent_j >= state.budget_j;
+            if exhausted && !*budget_exhausted {
+                journal.record(
+                    *windows,
+                    StreamEvent::BudgetExhausted {
+                        spent_j: state.spent_j,
+                        budget_j: state.budget_j,
+                    },
+                );
+            }
+            *budget_exhausted = exhausted;
+        }
+        if let Some(b) = battery.as_ref() {
+            let soc = b.state_of_charge();
+            let low = soc < BATTERY_LOW_SOC;
+            if low && !*battery_low {
+                journal.record(*windows, StreamEvent::BatteryLow { soc });
+            }
+            *battery_low = low;
         }
         if outcome.audit_next {
             engine.request_audit();
@@ -785,6 +864,8 @@ fn finish_patient(
         arrhythmia_windows,
         ops,
         compute_hist: cached_hist,
+        journal,
+        drained,
         ..
     } = patient;
     let mut outcome = SinkOutcome::default();
@@ -817,6 +898,12 @@ fn finish_patient(
         if let (Some(started), Some((_, _, hist))) = (compute_started, cached_hist.as_ref()) {
             hist.observe_duration(started.elapsed());
         }
+    }
+    // Record the drain exactly once — `finish` is idempotent and close
+    // paths re-finish already-finished streams.
+    if !*drained {
+        *drained = true;
+        journal.record(*windows, StreamEvent::Drain { windows: *windows });
     }
 }
 
@@ -994,6 +1081,10 @@ impl FleetScheduler {
             arrhythmia_windows: 0,
             ops: OpCount::default(),
             compute_hist: None,
+            journal: EventJournal::new(EVENT_JOURNAL_CAPACITY),
+            budget_exhausted: false,
+            battery_low: false,
+            drained: false,
         });
         self.index
             .insert(id, (shard, self.shards[shard].patients.len() - 1));
@@ -1135,8 +1226,37 @@ impl FleetScheduler {
                 patient.choice_backends.push((choice, idx));
                 idx
             });
+        let before = (
+            patient.engine.active_backend_index(),
+            patient.opp.voltage.to_bits(),
+        );
         patient.engine.set_active_backend(index);
+        record_switch_if_changed(
+            &mut patient.journal,
+            patient.windows,
+            &patient.engine,
+            &patient.opp,
+            before,
+            SwitchReason::Operator,
+        );
         Ok(patient.engine.active_backend().name().to_string())
+    }
+
+    /// The bounded event journal of stream `id`, oldest first — the
+    /// stream's forensics: quality/DVFS switches (with the reason),
+    /// budget exhaustion, battery-low crossings and drain. Records are
+    /// keyed to the stream's window count, never wall-clock, so a
+    /// sharded fleet returns journals bit-identical to a serial run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsaError::UnknownStream`] when `id` is not open.
+    pub fn stream_events(&self, id: usize) -> Result<Vec<EventRecord>, PsaError> {
+        let &(shard, pos) = self
+            .index
+            .get(&id)
+            .ok_or(PsaError::UnknownStream(id as u64))?;
+        Ok(self.shards[shard].patients[pos].journal.events())
     }
 
     /// The current per-stream report of stream `id` (no finishing — the
@@ -1704,6 +1824,10 @@ fn attach_governor(
             patient.choice_backends.push((*choice, index));
         }
     }
+    let before = (
+        patient.engine.active_backend_index(),
+        patient.opp.voltage.to_bits(),
+    );
     apply_choice(
         &mut patient.engine,
         governor.current(),
@@ -1711,6 +1835,14 @@ fn attach_governor(
         exact_index,
     );
     patient.opp = governor.operating_point();
+    record_switch_if_changed(
+        &mut patient.journal,
+        patient.windows,
+        &patient.engine,
+        &patient.opp,
+        before,
+        SwitchReason::Operator,
+    );
     patient.battery = battery;
     patient.governor = Some(governor);
 }
@@ -1800,6 +1932,80 @@ mod tests {
             assert_eq!(sharded.energy_j, serial.energy_j);
             assert_eq!(sharded.stream_seconds, serial.stream_seconds);
         }
+    }
+
+    #[test]
+    fn stream_journals_are_shard_parity_and_bounded() {
+        // A deliberately starved budget forces governor activity on
+        // every stream: exhaustion events plus down-switches, all of
+        // which must land in the journal identically whether the fleet
+        // runs serial or across 4 workers.
+        let budgeted = |workers: usize| {
+            fleet_with_workers(10, 400.0, workers)
+                .with_energy_budget(
+                    None,
+                    StreamBudget {
+                        joules_per_interval: 1e-9,
+                        interval_windows: 4,
+                        battery_capacity_j: 0.0,
+                        battery_harvest_w: 0.0,
+                    },
+                )
+                .expect("budget governor")
+        };
+        let mut serial = budgeted(1);
+        serial.run();
+        let mut sharded = budgeted(4);
+        sharded.run();
+        let mut governed_events = 0usize;
+        for id in 0..10 {
+            let a = serial.stream_events(id).expect("serial journal");
+            let b = sharded.stream_events(id).expect("sharded journal");
+            assert_eq!(a, b, "stream {id} journal must be shard-parity");
+            assert!(a.len() <= EVENT_JOURNAL_CAPACITY);
+            assert!(
+                matches!(a.last().map(|r| &r.event), Some(StreamEvent::Drain { .. })),
+                "drain must be the final event of a finished stream"
+            );
+            governed_events += a.len().saturating_sub(1);
+        }
+        assert!(
+            governed_events > 0,
+            "a starved budget must record budget/switch events"
+        );
+    }
+
+    #[test]
+    fn operator_mode_switches_are_journaled() {
+        let mut scheduler = small_fleet(2, 300.0);
+        scheduler
+            .set_stream_mode(0, ApproximationMode::BandDrop)
+            .expect("switch");
+        let events = scheduler.stream_events(0).expect("journal");
+        assert!(
+            matches!(
+                events.last(),
+                Some(EventRecord {
+                    event: StreamEvent::QualitySwitch {
+                        reason: SwitchReason::Operator,
+                        ..
+                    },
+                    ..
+                })
+            ),
+            "operator switch must be recorded: {events:?}"
+        );
+        // Re-selecting the same mode is a no-op for the journal.
+        let before = events.len();
+        scheduler
+            .set_stream_mode(0, ApproximationMode::BandDrop)
+            .expect("switch");
+        assert_eq!(scheduler.stream_events(0).expect("journal").len(), before);
+        assert!(scheduler.stream_events(1).expect("journal").is_empty());
+        assert!(matches!(
+            scheduler.stream_events(99).unwrap_err(),
+            PsaError::UnknownStream(99)
+        ));
     }
 
     #[test]

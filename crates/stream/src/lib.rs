@@ -65,14 +65,19 @@
 mod controller;
 mod fleet;
 mod ingest;
+mod journal;
 mod scratch;
 mod sliding;
 
 pub use controller::OnlineQualityController;
 pub use fleet::{
     cohort_member, BatteryStatus, FleetConfig, FleetReport, FleetScheduler, StreamBudget,
-    StreamBudgetStatus, StreamReport,
+    StreamBudgetStatus, StreamReport, BATTERY_LOW_SOC,
 };
 pub use ingest::{rr_sample_plausible, IngestStats, RrIngest};
+pub use journal::{
+    decode_events, encode_events, EventJournal, EventRecord, StreamEvent, SwitchReason,
+    EVENT_JOURNAL_CAPACITY,
+};
 pub use scratch::{ScratchPool, StreamScratch};
 pub use sliding::{band_powers, SlidingLomb, WindowView, AUDIT_BLOCK};
