@@ -11,6 +11,7 @@ mod floats;
 mod hot_alloc;
 mod locks;
 mod panics;
+mod reactor;
 mod unsafe_confined;
 mod wire_tags;
 
@@ -18,6 +19,7 @@ pub use floats::FloatDiscipline;
 pub use hot_alloc::HotPathAlloc;
 pub use locks::LockDiscipline;
 pub use panics::PanicFreeWire;
+pub use reactor::ReactorDiscipline;
 pub use unsafe_confined::UnsafeConfined;
 pub use wire_tags::WireTags;
 
@@ -42,6 +44,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(PanicFreeWire),
         Box::new(HotPathAlloc),
+        Box::new(ReactorDiscipline),
         Box::new(LockDiscipline),
         Box::new(WireTags::default()),
         Box::new(FloatDiscipline),

@@ -1,0 +1,123 @@
+//! `reactor-discipline`: event-loop functions must not block.
+//!
+//! A function annotated `// analyze::reactor` runs on a reactor shard —
+//! one thread multiplexing thousands of connections. Any call that can
+//! park that thread (a sleep, a thread join, a channel receive, a lock
+//! acquisition, a blocking read/write loop on an fd) stalls *every*
+//! session on the shard, so those constructs are banned inside annotated
+//! bodies. The one sanctioned sleep is the shard's own `epoll.wait`
+//! timeout — a readiness wait, not a blocking call on somebody else's
+//! resource — which is why bare `.wait(…)` is deliberately absent from
+//! the ban list.
+//!
+//! The check is per-annotated-function, not transitive: a helper the
+//! reactor calls is only covered if it carries its own annotation. That
+//! is the same honesty trade-off `hot-path-alloc` makes — the annotation
+//! marks the audited surface, the rule keeps it from regressing.
+//!
+//! Exceptions go through `// analyze::allow(reactor-discipline): reason`
+//! like every other rule; the standing one is the shard inbox swap,
+//! where a mutex guards a bounded `Vec` exchange and is never held
+//! across I/O.
+
+use super::{diag_at, is_method_call, matches_seq, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Methods that can park the calling thread.
+const BANNED_METHODS: &[&str] = &[
+    "lock",
+    "join",
+    "recv",
+    "recv_timeout",
+    "wait_timeout",
+    "park_timeout",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+];
+
+/// `module :: function` paths that always block.
+const BANNED_PATHS: &[&[&str]] = &[&["thread", "::", "sleep"], &["thread", "::", "park"]];
+
+/// Free functions that block (lock acquisition, blocking frame I/O),
+/// matched as `name(` wherever they appear.
+const BANNED_CALLS: &[&str] = &["lock_unpoisoned", "write_frame"];
+
+/// See the module docs.
+pub struct ReactorDiscipline;
+
+impl Rule for ReactorDiscipline {
+    fn name(&self) -> &'static str {
+        "reactor-discipline"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        // Annotation-driven: any file may declare reactor code.
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if file.reactors.is_empty() {
+            return;
+        }
+        let code: Vec<usize> = file.code_token_indices().collect();
+        for region in &file.reactors {
+            let (body_start, body_end) = region.body;
+            for pos in 0..code.len() {
+                let tok = &file.tokens[code[pos]];
+                if tok.start < body_start || tok.start >= body_end {
+                    continue;
+                }
+                let found: Option<String> = BANNED_PATHS
+                    .iter()
+                    .find(|path| matches_seq(file, &code, pos, path))
+                    .map(|path| path.concat())
+                    .or_else(|| {
+                        BANNED_METHODS
+                            .iter()
+                            .find(|m| is_method_call(file, &code, pos, m))
+                            .map(|m| format!(".{m}()"))
+                    })
+                    .or_else(|| {
+                        BANNED_CALLS
+                            .iter()
+                            .find(|c| is_free_call(file, &code, pos, c))
+                            .map(|c| format!("{c}()"))
+                    })
+                    .or_else(|| {
+                        matches_seq(file, &code, pos, &["set_nonblocking", "(", "false"])
+                            .then(|| "set_nonblocking(false)".to_string())
+                    });
+                if let Some(construct) = found {
+                    out.push(diag_at(
+                        self.name(),
+                        file,
+                        code[pos],
+                        format!(
+                            "{construct} can block inside reactor fn `{}` — one parked \
+                             shard thread stalls every session on it; hand the work to \
+                             the pump or use the nonblocking form",
+                            region.fn_name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True when the code token at `code[pos]` is the identifier `name`
+/// invoked as a call: followed by `(`, and not a method receiver's field
+/// (a leading `.` would make it a method, handled separately).
+fn is_free_call(file: &SourceFile, code: &[usize], pos: usize, name: &str) -> bool {
+    let tok = &file.tokens[code[pos]];
+    tok.kind == TokenKind::Ident
+        && tok.text(&file.text) == name
+        && code
+            .get(pos + 1)
+            .is_some_and(|&i| file.tokens[i].text(&file.text) == "(")
+        && (pos == 0 || file.tokens[code[pos - 1]].text(&file.text) != ".")
+}

@@ -10,6 +10,8 @@
 //!   nothing is itself reported, so stale escape hatches cannot linger.
 //! * `// analyze::hot_path` — marks the next `fn` as a hot path: the
 //!   `hot-path-alloc` rule bans allocating constructs inside its body.
+//! * `// analyze::reactor` — marks the next `fn` as event-loop code: the
+//!   `reactor-discipline` rule bans blocking calls inside its body.
 
 use crate::lexer::{lex, Token, TokenKind};
 use std::path::{Path, PathBuf};
@@ -55,6 +57,9 @@ pub struct SourceFile {
     pub allows: Vec<Allow>,
     /// Parsed `analyze::hot_path` regions.
     pub hot_paths: Vec<HotPath>,
+    /// Parsed `analyze::reactor` regions (same shape: the annotated
+    /// `fn` and its body span).
+    pub reactors: Vec<HotPath>,
     /// Malformed annotation diagnostics found during parsing
     /// (rule name/reason missing), reported by the engine.
     pub annotation_errors: Vec<(usize, String)>,
@@ -81,6 +86,7 @@ impl SourceFile {
             test_regions: Vec::new(),
             allows: Vec::new(),
             hot_paths: Vec::new(),
+            reactors: Vec::new(),
             annotation_errors: Vec::new(),
         };
         file.test_regions = file.find_test_regions();
@@ -236,7 +242,8 @@ impl SourceFile {
         j
     }
 
-    /// Parses `analyze::allow` / `analyze::hot_path` comments.
+    /// Parses `analyze::allow` / `analyze::hot_path` /
+    /// `analyze::reactor` comments.
     fn find_annotations(&mut self) {
         for idx in 0..self.tokens.len() {
             let tok = self.tokens[idx];
@@ -254,6 +261,14 @@ impl SourceFile {
                     None => self.annotation_errors.push((
                         comment_line,
                         "analyze::hot_path is not followed by a `fn` with a body".into(),
+                    )),
+                }
+            } else if rest == "reactor" {
+                match self.hot_path_region(idx) {
+                    Some(region) => self.reactors.push(region),
+                    None => self.annotation_errors.push((
+                        comment_line,
+                        "analyze::reactor is not followed by a `fn` with a body".into(),
                     )),
                 }
             } else if let Some(rest) = rest.strip_prefix("allow(") {
@@ -393,6 +408,18 @@ mod tests {
         let f = SourceFile::parse("x.rs", src);
         assert!(f.allows.is_empty());
         assert_eq!(f.annotation_errors.len(), 1);
+    }
+
+    #[test]
+    fn reactor_annotation_covers_fn_body() {
+        let src = "// analyze::reactor\nfn run(&mut self) {\n    spin();\n}\nfn other() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.reactors.len(), 1);
+        assert_eq!(f.reactors[0].fn_name, "run");
+        let (s, e) = f.reactors[0].body;
+        let spin_at = src.find("spin").unwrap();
+        assert!(spin_at > s && spin_at < e);
+        assert!(f.annotation_errors.is_empty());
     }
 
     #[test]

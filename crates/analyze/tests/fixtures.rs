@@ -4,7 +4,8 @@
 
 use hrv_analyze::engine::Engine;
 use hrv_analyze::rules::{
-    FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, Rule, UnsafeConfined, WireTags,
+    FloatDiscipline, HotPathAlloc, LockDiscipline, PanicFreeWire, ReactorDiscipline, Rule,
+    UnsafeConfined, WireTags,
 };
 use hrv_analyze::source::SourceFile;
 use hrv_analyze::Diagnostic;
@@ -61,6 +62,34 @@ fn hot_path_alloc_ignores_unannotated_fns_and_warmup_growth() {
     let src = "fn cold() { let v: Vec<u8> = Vec::new(); }\n\
                // analyze::hot_path\nfn hot(&mut self) {\n    self.buf.resize(10, 0.0);\n    self.buf.extend_from_slice(&other);\n}\n";
     assert!(check(Box::new(HotPathAlloc), "crates/stream/src/x.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- reactor
+
+#[test]
+fn reactor_discipline_flags_blocking_calls_in_annotated_fn() {
+    let src = "// analyze::reactor\nfn on_readable(&mut self) {\n    thread::sleep(pause);\n    handle.join();\n    rx.recv();\n    let g = lock_unpoisoned(&self.inbox);\n    sock.write_all(&buf);\n    sock.set_nonblocking(false);\n}\n";
+    let diags = check(Box::new(ReactorDiscipline), SERVICE_PATH, src);
+    assert_eq!(diags.len(), 6, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "reactor-discipline"));
+    assert!(diags
+        .iter()
+        .all(|d| d.message.contains("reactor fn `on_readable`")));
+}
+
+#[test]
+fn reactor_discipline_ignores_unannotated_fns_and_readiness_waits() {
+    // Blocking is fine off the event loop, and the shard's own
+    // `epoll.wait(timeout)` is the sanctioned readiness sleep.
+    let src = "fn pump(&self) { thread::sleep(idle); }\n\
+               // analyze::reactor\nfn run(&mut self) {\n    let n = self.epoll.wait(&mut events, 25);\n    sock.set_nonblocking(true);\n}\n";
+    assert!(check(Box::new(ReactorDiscipline), SERVICE_PATH, src).is_empty());
+}
+
+#[test]
+fn reactor_discipline_honours_allow_with_reason() {
+    let src = "// analyze::reactor\nfn adopt_inbox(&mut self) {\n    // analyze::allow(reactor-discipline): bounded Vec swap, guard never held across I/O\n    let mut inbox = lock_unpoisoned(&self.inbox);\n}\n";
+    assert!(check(Box::new(ReactorDiscipline), SERVICE_PATH, src).is_empty());
 }
 
 // ------------------------------------------------------------------ locks

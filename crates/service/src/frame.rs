@@ -12,9 +12,14 @@
 use crate::error::ServiceError;
 use std::io::{ErrorKind, Read, Write};
 
-/// Upper bound on a frame body (1 MiB) — the codec-level guard against
-/// unbounded allocation from a hostile length prefix.
-pub const MAX_FRAME: usize = 1 << 20;
+/// Upper bound on a frame body (8 MiB) — the codec-level guard against
+/// unbounded allocation from a hostile length prefix. Sized so a
+/// `ShutdownAck` carrying the final report of every session at
+/// [`crate::MAX_SESSIONS`] (256 bytes budgeted per wire report, 4 MiB
+/// total) fits one frame with headroom. The frame layout is unchanged —
+/// this is a bound, not a wire-format field — so the protocol version
+/// stays at v3.
+pub const MAX_FRAME: usize = 8 << 20;
 
 /// Bytes of the length prefix.
 pub const HEADER_LEN: usize = 4;

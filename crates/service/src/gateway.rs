@@ -1,32 +1,37 @@
-//! The TCP gateway: accept loop, per-connection handlers, and the
-//! analysis pump.
+//! The TCP gateway: reactor shards and the analysis pump.
 //!
-//! Three kinds of threads cooperate around two shared structures:
+//! Two kinds of threads cooperate around two shared structures:
 //!
-//! * **connection handlers** (one per client) decode frames and serve
-//!   requests; pushes land in the session table's bounded queues and
-//!   are answered immediately (`Pushed` or `Busy` — network reads never
+//! * **reactor shards** ([`crate::reactor`]) own every connection:
+//!   nonblocking accept, edge-triggered frame reassembly, request
+//!   serving, and vectored reply writes all happen on a fixed number of
+//!   event-loop threads, so sessions scale past thread-per-connection
+//!   limits. Pushes land in the session table's bounded queues and are
+//!   answered immediately (`Pushed` or `Busy` — network reads never
 //!   wait on analysis);
 //! * the **pump** moves queued samples into the [`FleetScheduler`]
 //!   (external-ingest mode, kernels from the shared
-//!   [`hrv_core::KernelCache`]) and performs the shutdown drain;
-//! * the **accept loop** admits connections until shutdown begins.
+//!   [`hrv_core::KernelCache`]) and performs the shutdown drain, waking
+//!   the shards when the final reports are published so parked
+//!   `Shutdown` connections get their `ShutdownAck` event-driven, never
+//!   by polling.
 //!
 //! Lock discipline: whenever session queues are *drained into the
 //! fleet*, the fleet lock is taken **before** the session lock, and the
 //! samples move inside that critical section — so two drainers can never
-//! reorder one stream's samples. Queue *appends* (handlers) only take
-//! the session lock, which is also where the "still admitting?" check
-//! lives; after the drain pass observes `STATE_DRAINING` and empty
+//! reorder one stream's samples. Queue *appends* (reactor shards) only
+//! take the session lock, which is also where the "still admitting?"
+//! check lives; after the drain pass observes `STATE_DRAINING` and empty
 //! queues, no sample can exist outside the fleet, making the final
 //! per-stream reports complete.
 
 use crate::client::ServiceClient;
 use crate::error::ServiceError;
-use crate::frame::{write_frame, FramePoll, FrameReader, MAX_FRAME};
+use crate::frame::MAX_FRAME;
 use crate::proto::{
     HealthSnapshot, Reply, Request, StageLatency, StageSlow, StreamHealth, PROTOCOL_VERSION,
 };
+use crate::reactor::{self, ReactorConfig, ServeOutcome, ShardHandle, ShardService};
 use crate::session::{SessionConfig, SessionTable, STATE_DONE, STATE_DRAINING, STATE_RUNNING};
 use hrv_core::{
     lock_unpoisoned, Counter, HealthConfig, HealthEngine, Histogram, MonotonicClock, PsaConfig,
@@ -34,7 +39,7 @@ use hrv_core::{
 };
 use hrv_stream::{EventRecord, FleetScheduler, StreamReport};
 use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -42,9 +47,10 @@ use std::time::{Duration, Instant};
 
 /// Hard ceiling on [`SessionConfig::max_sessions`], chosen so the
 /// `ShutdownAck` frame carrying every stream's final report stays under
-/// [`MAX_FRAME`] (256 bytes budgeted per report). [`Gateway::start`]
-/// clamps larger configured values to this.
-pub const MAX_SESSIONS: usize = 4096;
+/// [`MAX_FRAME`] (256 bytes budgeted per report: 16384 × 256 B = 4 MiB
+/// of an 8 MiB frame). [`Gateway::start`] clamps larger configured
+/// values to this.
+pub const MAX_SESSIONS: usize = 16384;
 
 /// Gateway construction parameters.
 #[derive(Clone, Debug)]
@@ -59,17 +65,23 @@ pub struct GatewayConfig {
     pub workers: usize,
     /// Session admission limits.
     pub session: SessionConfig,
-    /// How long a connection handler blocks on the socket before
-    /// re-checking the gateway state.
-    pub read_timeout: Duration,
+    /// Reactor shards (event-loop threads) the connection layer runs.
+    /// Connections are partitioned across shards with the same
+    /// splitmix64 finalizer the fleet uses for streams.
+    pub reactors: usize,
+    /// Per-connection outbound byte budget: a connection whose queued
+    /// replies exceed this stops being read until the kernel accepts
+    /// the backlog — a client that stops reading cannot grow gateway
+    /// memory without bound.
+    pub write_buffer: usize,
     /// Pump sleep when every queue was empty.
     pub pump_idle: Duration,
     /// Samples the pump moves per session per pass.
     pub drain_batch: usize,
-    /// Maximum concurrent connections (one handler thread each). A
+    /// Maximum concurrent connections across all reactor shards. A
     /// connection accepted at the cap is closed immediately after a
-    /// best-effort `ShuttingDown`-style refusal — connections, like
-    /// queues, never grow without bound.
+    /// best-effort typed refusal — connections, like queues, never grow
+    /// without bound.
     pub max_connections: usize,
     /// Span tracer threaded through every pipeline stage (request
     /// handling, pump dispatch, fleet window compute). The default is
@@ -92,7 +104,8 @@ impl Default for GatewayConfig {
             psa: PsaConfig::conventional(),
             workers: 1,
             session: SessionConfig::default(),
-            read_timeout: Duration::from_millis(20),
+            reactors: 2,
+            write_buffer: 256 * 1024,
             pump_idle: Duration::from_millis(1),
             drain_batch: 512,
             max_connections: 256,
@@ -110,6 +123,10 @@ struct Shared {
     telemetry: Telemetry,
     session_config: SessionConfig,
     final_reports: Mutex<Option<Vec<StreamReport>>>,
+    /// Wake handles of the reactor shards, so drain-state transitions
+    /// (a `Shutdown` frame, the pump publishing reports, the gateway
+    /// handle dropping) interrupt their `epoll_wait` immediately.
+    shards: Vec<ShardHandle>,
     connections_total: Counter,
     frames_total: Counter,
     errors_total: Counter,
@@ -118,14 +135,29 @@ struct Shared {
     /// that handler, after the fleet lock is released — it never nests
     /// with the fleet or session locks.
     health: Mutex<HealthEngine>,
-    /// Socket time of the poll that completed a request frame.
+    /// Socket-read work per completed frame (bytes-available →
+    /// frame-complete; idle waits excluded — they land in
+    /// `conn_idle_hist`).
     frame_read_hist: Histogram,
+    /// Time a connection sat idle (no bytes in flight) before its next
+    /// readable event.
+    conn_idle_hist: Histogram,
     /// Wire-to-[`Request`] decode time per frame.
     frame_decode_hist: Histogram,
     /// [`Reply`] encode time per frame (socket write excluded).
     report_encode_hist: Histogram,
     /// Pump time moving one session's non-empty batch into the fleet.
     pump_dispatch_hist: Histogram,
+}
+
+impl Shared {
+    /// Interrupts every shard's `epoll_wait` so a state transition is
+    /// observed now, not at the next timeout tick.
+    fn wake_shards(&self) {
+        for shard in &self.shards {
+            shard.wake();
+        }
+    }
 }
 
 /// The gateway entry point; [`Gateway::start`] returns a
@@ -203,6 +235,7 @@ impl Gateway {
             .set(1.0);
         let health = Mutex::new(default_health_engine(&telemetry, config.health.clone()));
         let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+        let shards = reactor::shard_handles(config.reactors)?;
         let shared = Arc::new(Shared {
             state: state.clone(),
             sessions: SessionTable::new(config.session.clone(), telemetry.clone(), state),
@@ -210,6 +243,7 @@ impl Gateway {
             telemetry: telemetry.clone(),
             session_config: config.session.clone(),
             final_reports: Mutex::new(None),
+            shards,
             health,
             connections_total: telemetry.counter(
                 "hrv_service_connections_total",
@@ -220,7 +254,11 @@ impl Gateway {
             tracer: config.tracer.clone(),
             frame_read_hist: telemetry.histogram(
                 "hrv_service_frame_read_seconds",
-                "socket time of the poll that completed a request frame",
+                "socket-read work per completed request frame (idle wait excluded)",
+            ),
+            conn_idle_hist: telemetry.histogram(
+                "hrv_service_conn_idle_seconds",
+                "connection idle time between frames (socket wait, no bytes in flight)",
             ),
             frame_decode_hist: telemetry.histogram(
                 "hrv_service_frame_decode_seconds",
@@ -242,18 +280,15 @@ impl Gateway {
                 .name("hrv-service-pump".into())
                 .spawn(move || pump_loop(&shared, drain_batch, idle))?
         };
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let read_timeout = config.read_timeout;
-            let max_connections = config.max_connections.max(1);
-            thread::Builder::new()
-                .name("hrv-service-accept".into())
-                .spawn(move || accept_loop(&shared, listener, read_timeout, max_connections))?
+        let reactor_config = ReactorConfig {
+            max_connections: config.max_connections.max(1),
+            write_buffer: config.write_buffer,
         };
+        let reactors = reactor::spawn_shards(&shared, listener, &shared.shards, &reactor_config)?;
         Ok(GatewayHandle {
             addr,
             shared,
-            accept: Some(accept),
+            reactors,
             pump: Some(pump),
         })
     }
@@ -292,7 +327,7 @@ fn default_health_engine(telemetry: &Telemetry, config: HealthConfig) -> HealthE
 pub struct GatewayHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
 }
 
@@ -338,6 +373,7 @@ impl GatewayHandle {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+        self.shared.wake_shards();
         self.join()?;
         let reports = lock_unpoisoned(&self.shared.final_reports).clone();
         reports.ok_or_else(|| ServiceError::Io("gateway drained without reports".into()))
@@ -361,8 +397,8 @@ impl GatewayHandle {
         if let Some(pump) = self.pump.take() {
             panicked |= pump.join().is_err();
         }
-        if let Some(accept) = self.accept.take() {
-            panicked |= accept.join().is_err();
+        for reactor in self.reactors.drain(..) {
+            panicked |= reactor.join().is_err();
         }
         if panicked {
             return Err(ServiceError::Io("a gateway thread panicked".into()));
@@ -379,152 +415,112 @@ impl Drop for GatewayHandle {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+        self.shared.wake_shards();
         let _ = self.join();
     }
 }
 
-/// Accepts connections until the drain begins, then joins every
-/// handler. Finished handlers are reaped each pass and live ones are
-/// capped at `max_connections`, so a long-lived gateway (or a socket
-/// flood) cannot grow threads or join handles without bound.
-fn accept_loop(
-    shared: &Arc<Shared>,
-    listener: TcpListener,
-    read_timeout: Duration,
-    max_connections: usize,
-) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while shared.state.load(Ordering::SeqCst) == STATE_RUNNING {
-        match listener.accept() {
-            Ok((mut conn, _peer)) => {
-                handlers.retain(|h| !h.is_finished());
-                shared.connections_total.inc();
-                if handlers.len() >= max_connections {
-                    // Typed best-effort refusal, then drop the socket.
-                    shared.errors_total.inc();
-                    let _ = conn.set_nonblocking(false);
-                    let _ = write_frame(
-                        &mut conn,
-                        &Reply::Error(ServiceError::Protocol(format!(
-                            "connection limit reached ({max_connections})"
-                        )))
-                        .encode(),
-                    );
-                    continue;
-                }
-                let worker = Arc::clone(shared);
-                let handle = thread::Builder::new()
-                    .name("hrv-service-conn".into())
-                    .spawn(move || serve_connection(&worker, conn, read_timeout));
-                match handle {
-                    Ok(handle) => handlers.push(handle),
-                    Err(_) => shared.errors_total.inc(),
-                }
+impl ShardService for Shared {
+    /// Serves one decoded frame on a reactor shard: decode → (hello
+    /// gate) → handle → encode, each stage spanned and timed exactly as
+    /// the thread-per-connection handler did. `Shutdown` parks the
+    /// connection instead of blocking an event-loop thread on the drain.
+    fn serve(&self, handshaken: &mut bool, body: &[u8]) -> ServeOutcome {
+        self.frames_total.inc();
+        // The root span covers decode → handle → encode; socket reads
+        // and writes are excluded so a slow client cannot masquerade as
+        // a slow request.
+        let request_span = self.tracer.span("request");
+        let decoded = {
+            let _decode = self.tracer.span("frame_decode");
+            let started = Instant::now();
+            let decoded = Request::decode(body);
+            self.frame_decode_hist.observe_duration(started.elapsed());
+            decoded
+        };
+        let reply = match decoded {
+            // Version negotiation is not optional: Hello must come
+            // before anything else on a connection, so a client speaking
+            // a future protocol always gets the intended version
+            // rejection, never a misdecode.
+            Ok(request) if !*handshaken && !matches!(request, Request::Hello { .. }) => {
+                Reply::Error(ServiceError::Protocol(
+                    "expected Hello before any other request".into(),
+                ))
             }
-            // Nonblocking accept: nothing pending (or a transient
-            // error); re-check the state shortly.
-            Err(_) => thread::sleep(Duration::from_millis(5)),
+            Ok(Request::Shutdown) => {
+                // Begin the drain and park the connection: the reactor
+                // delivers the ShutdownAck once the pump publishes the
+                // final reports (see the shard drain epilogue).
+                let _ = self.state.compare_exchange(
+                    STATE_RUNNING,
+                    STATE_DRAINING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                self.wake_shards();
+                return ServeOutcome::ShutdownPending;
+            }
+            Ok(request) => {
+                let _handle = self.tracer.span("handle");
+                let reply = handle_request(self, request);
+                if matches!(reply, Reply::HelloAck { .. }) {
+                    *handshaken = true;
+                }
+                reply
+            }
+            Err(err) => Reply::Error(err),
+        };
+        if matches!(reply, Reply::Error(_)) {
+            self.errors_total.inc();
         }
+        let encoded = {
+            let _encode = self.tracer.span("report_encode");
+            let started = Instant::now();
+            let encoded = reply.encode();
+            self.report_encode_hist.observe_duration(started.elapsed());
+            encoded
+        };
+        drop(request_span);
+        ServeOutcome::Reply(encoded)
     }
-    for handler in handlers {
-        let _ = handler.join();
-    }
-}
 
-/// One connection's request loop.
-fn serve_connection(shared: &Arc<Shared>, mut conn: TcpStream, read_timeout: Duration) {
-    // The accepted socket may inherit O_NONBLOCK from the nonblocking
-    // listener on BSD-derived platforms (std does not normalize this,
-    // and read timeouts have no effect on a nonblocking fd — the
-    // Pending arm would spin a core). Force blocking + timeout reads.
-    let _ = conn.set_nonblocking(false);
-    let _ = conn.set_nodelay(true);
-    let _ = conn.set_read_timeout(Some(read_timeout));
-    let mut reader = FrameReader::new();
-    let mut handshaken = false;
-    loop {
-        let read_started = Instant::now();
-        match reader.poll(&mut conn) {
-            Ok(FramePoll::Frame(body)) => {
-                shared
-                    .frame_read_hist
-                    .observe_duration(read_started.elapsed());
-                shared.frames_total.inc();
-                // The root span covers decode → handle → encode; the
-                // socket write is excluded so a slow client cannot
-                // masquerade as a slow request.
-                let request_span = shared.tracer.span("request");
-                let decoded = {
-                    let _decode = shared.tracer.span("frame_decode");
-                    let started = Instant::now();
-                    let decoded = Request::decode(&body);
-                    shared.frame_decode_hist.observe_duration(started.elapsed());
-                    decoded
-                };
-                let reply = match decoded {
-                    // Version negotiation is not optional: Hello must
-                    // come before anything else on a connection, so a
-                    // client speaking a future protocol always gets the
-                    // intended version rejection, never a misdecode.
-                    Ok(request) if !handshaken && !matches!(request, Request::Hello { .. }) => {
-                        Reply::Error(ServiceError::Protocol(
-                            "expected Hello before any other request".into(),
-                        ))
-                    }
-                    Ok(request) => {
-                        let _handle = shared.tracer.span("handle");
-                        let reply = handle_request(shared, request);
-                        if matches!(reply, Reply::HelloAck { .. }) {
-                            handshaken = true;
-                        }
-                        reply
-                    }
-                    Err(err) => Reply::Error(err),
-                };
-                if matches!(reply, Reply::Error(_)) {
-                    shared.errors_total.inc();
-                }
-                let encoded = {
-                    let _encode = shared.tracer.span("report_encode");
-                    let started = Instant::now();
-                    let encoded = reply.encode();
-                    shared
-                        .report_encode_hist
-                        .observe_duration(started.elapsed());
-                    encoded
-                };
-                drop(request_span);
-                if write_frame(&mut conn, &encoded).is_err() {
-                    break;
-                }
-                // Re-check after every served frame, not only when idle:
-                // a client that pipelines requests faster than the read
-                // timeout would otherwise keep this handler alive past
-                // the drain and hang the accept loop's join forever.
-                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
-                    break;
-                }
-            }
-            Ok(FramePoll::Pending) => {
-                // Idle: once the gateway has fully drained there is
-                // nothing left to serve.
-                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
-                    break;
-                }
-            }
-            Ok(FramePoll::Closed) => break,
-            Err(err) => {
-                // Framing is broken; best-effort typed goodbye, then drop.
-                shared.errors_total.inc();
-                let _ = write_frame(&mut conn, &Reply::Error(err).encode());
-                break;
-            }
-        }
+    fn shutdown_reply(&self) -> Option<Vec<u8>> {
+        let reports = lock_unpoisoned(&self.final_reports).clone()?;
+        Some(Reply::ShutdownAck { reports }.encode())
+    }
+
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    fn on_accept(&self) {
+        self.connections_total.inc();
+    }
+
+    fn refusal(&self, limit: usize) -> Vec<u8> {
+        self.errors_total.inc();
+        Reply::Error(ServiceError::Protocol(format!(
+            "connection limit reached ({limit})"
+        )))
+        .encode()
+    }
+
+    fn on_frame_read(&self, busy: Duration) {
+        self.frame_read_hist.observe_duration(busy);
+    }
+
+    fn on_conn_idle(&self, idle: Duration) {
+        self.conn_idle_hist.observe_duration(idle);
+    }
+
+    fn on_frame_error(&self) {
+        self.errors_total.inc();
     }
 }
 
 /// Serves one decoded request. Every outcome is a typed [`Reply`].
-fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
+fn handle_request(shared: &Shared, request: Request) -> Reply {
     match request {
         Request::Hello { version } => {
             if version != PROTOCOL_VERSION {
@@ -611,6 +607,10 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
             Ok(report) => Reply::Closed(report),
             Err(err) => Reply::Error(err),
         },
+        // Unreachable from the reactor path — `serve` intercepts
+        // Shutdown to park the connection — but kept total for any
+        // direct caller: initiating the drain twice is harmless and the
+        // typed reply says what to expect instead.
         Request::Shutdown => {
             let _ = shared.state.compare_exchange(
                 STATE_RUNNING,
@@ -618,28 +618,18 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Reply {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
-            // The pump performs the drain; hand the reports back once
-            // they exist. If the pump died (its scope guard still moves
-            // the state to DONE), answer with a typed error instead of
-            // hanging the client forever.
-            loop {
-                if let Some(reports) = lock_unpoisoned(&shared.final_reports).clone() {
-                    return Reply::ShutdownAck { reports };
-                }
-                if shared.state.load(Ordering::SeqCst) == STATE_DONE {
-                    return Reply::Error(ServiceError::Io(
-                        "gateway pump failed before publishing final reports".into(),
-                    ));
-                }
-                thread::sleep(Duration::from_millis(2));
-            }
+            shared.wake_shards();
+            Reply::Error(ServiceError::ShuttingDown)
         }
     }
 }
 
 /// Pipeline-stage histogram families surfaced as [`StageLatency`] rows
-/// in `ReadHealth` snapshots, pipeline order.
-const STAGE_FAMILIES: [&str; 7] = [
+/// in `ReadHealth` snapshots, pipeline order. `conn_idle` leads: it is
+/// the socket wait the `frame_read` row explicitly excludes, kept as
+/// its own family so the stage table stays honest.
+const STAGE_FAMILIES: [&str; 8] = [
+    "hrv_service_conn_idle_seconds",
     "hrv_service_frame_read_seconds",
     "hrv_service_frame_decode_seconds",
     "hrv_service_queue_wait_seconds",
@@ -655,7 +645,7 @@ const STAGE_FAMILIES: [&str; 7] = [
 /// Lock order: the fleet lock is taken (for stream reports) and released
 /// before the health lock — the two never nest, and the session lock is
 /// only taken by `queue_depths` on its own.
-fn read_health(shared: &Arc<Shared>) -> HealthSnapshot {
+fn read_health(shared: &Shared) -> HealthSnapshot {
     let reports = {
         let fleet = lock_unpoisoned(&shared.fleet);
         fleet.stream_reports()
@@ -716,7 +706,7 @@ fn read_health(shared: &Arc<Shared>) -> HealthSnapshot {
 /// pushed), then concatenates the session journal (admissions, Busy
 /// refusals) with the fleet journal (quality switches, budget/battery
 /// edges, drain). Each journal keeps its own sequence space.
-fn read_events(shared: &Arc<Shared>, stream: u64) -> Result<Vec<EventRecord>, ServiceError> {
+fn read_events(shared: &Shared, stream: u64) -> Result<Vec<EventRecord>, ServiceError> {
     let fleet_events = {
         let mut fleet = lock_unpoisoned(&shared.fleet);
         drain_session(shared, &mut fleet, stream, usize::MAX, &mut Vec::new());
@@ -734,7 +724,7 @@ fn read_events(shared: &Arc<Shared>, stream: u64) -> Result<Vec<EventRecord>, Se
 /// closes two races: a concurrent push landing between the two
 /// registrations being drained into a not-yet-open fleet stream, and
 /// the pump's final drain running between them during shutdown.
-fn open_stream(shared: &Arc<Shared>, stream: u64) -> Result<(), ServiceError> {
+fn open_stream(shared: &Shared, stream: u64) -> Result<(), ServiceError> {
     let mut fleet = lock_unpoisoned(&shared.fleet);
     if shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
         return Err(ServiceError::ShuttingDown);
@@ -749,7 +739,7 @@ fn open_stream(shared: &Arc<Shared>, stream: u64) -> Result<(), ServiceError> {
 
 /// Removes the session (atomically, so no later push can race), flushes
 /// its leftovers into the fleet, and closes the fleet stream.
-fn close_stream(shared: &Arc<Shared>, stream: u64) -> Result<StreamReport, ServiceError> {
+fn close_stream(shared: &Shared, stream: u64) -> Result<StreamReport, ServiceError> {
     let mut fleet = lock_unpoisoned(&shared.fleet);
     let leftovers = shared.sessions.close(stream)?;
     fleet
@@ -767,12 +757,12 @@ fn close_stream(shared: &Arc<Shared>, stream: u64) -> Result<StreamReport, Servi
 ///
 /// Dispatch is timed here — histogram + `pump_dispatch` span — rather
 /// than in the pump loop, because read-style requests (`ReadReport`,
-/// `SetQuality`, …) drain inline on connection threads for
-/// read-your-writes semantics; whichever thread moves the samples owns
-/// the latency. Empty drains cancel the span so idle pump sweeps don't
-/// dominate traces.
+/// `SetQuality`, …) drain inline on reactor shards for read-your-writes
+/// semantics; whichever thread moves the samples owns the latency.
+/// Empty drains cancel the span so idle pump sweeps don't dominate
+/// traces.
 fn drain_session(
-    shared: &Arc<Shared>,
+    shared: &Shared,
     fleet: &mut FleetScheduler,
     stream: u64,
     max: usize,
@@ -802,13 +792,15 @@ fn drain_session(
     n
 }
 
-/// Moves STATE to DONE even when the pump unwinds, so Shutdown waiters
-/// observe the failure instead of spinning forever.
+/// Moves STATE to DONE even when the pump unwinds — and wakes the
+/// reactor shards so parked Shutdown waiters observe the failure
+/// instead of sleeping until their next timeout tick.
 struct PumpDoneGuard<'a>(&'a Shared);
 
 impl Drop for PumpDoneGuard<'_> {
     fn drop(&mut self) {
         self.0.state.store(STATE_DONE, Ordering::SeqCst);
+        self.0.wake_shards();
     }
 }
 
@@ -839,8 +831,9 @@ fn pump_loop(shared: &Arc<Shared>, drain_batch: usize, idle: Duration) {
             let reports = fleet.close_all();
             shared.sessions.close_all();
             *lock_unpoisoned(&shared.final_reports) = Some(reports);
-            // The guard flips STATE to DONE — here on the normal path,
-            // and equally during unwind if anything above panicked.
+            // The guard flips STATE to DONE and wakes the shards — here
+            // on the normal path, and equally during unwind if anything
+            // above panicked.
             drop(done_guard);
             return;
         }

@@ -14,7 +14,12 @@
 //! * [`session`] — admission control ([`SessionConfig`]: max sessions,
 //!   delineate-rule plausibility gating) and bounded per-session queues
 //!   whose overflow answer is a typed `Busy`, never unbounded growth;
-//! * [`gateway`] — the accept/handler/pump threads around an
+//! * [`reactor`] — the readiness-driven connection layer: N epoll
+//!   event-loop shards (edge-triggered reads, vectored buffered writes
+//!   with per-connection backpressure), with the raw syscall surface
+//!   confined to [`reactor::sys`] the same way `hrv-dsp` confines its
+//!   SIMD intrinsics;
+//! * [`gateway`] — the reactor shards and analysis pump around an
 //!   external-ingest [`hrv_stream::FleetScheduler`] (kernels from the
 //!   shared `hrv-core` execution layer), with graceful shutdown that
 //!   drains every session and emits final per-stream reports id-ordered
@@ -54,7 +59,11 @@
 //! # Ok::<(), hrv_service::ServiceError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the audited `reactor::sys` module opts back in
+// with a module-level `allow` for the epoll/eventfd FFI — the same
+// confinement idiom `hrv-dsp` uses for its SIMD intrinsics. The
+// `unsafe-confined` analyzer rule enforces that no other module does.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -62,9 +71,10 @@ pub mod error;
 pub mod frame;
 pub mod gateway;
 pub mod proto;
+pub mod reactor;
 pub mod session;
 
-pub use client::ServiceClient;
+pub use client::{BusyBackoff, ServiceClient};
 pub use error::ServiceError;
 pub use frame::{write_frame, FramePoll, FrameReader, HEADER_LEN, MAX_FRAME};
 pub use gateway::{Gateway, GatewayConfig, GatewayHandle, MAX_SESSIONS};

@@ -1,0 +1,384 @@
+//! Confined FFI for the reactor: raw `epoll` / `eventfd` syscalls.
+//!
+//! # Unsafe policy
+//!
+//! This module is the **only** place in `hrv-service` where `unsafe` is
+//! permitted (the crate root is `#![deny(unsafe_code)]`, and the
+//! workspace-wide `unsafe-confined` rule of `hrv-analyze` allowlists
+//! exactly this file), mirroring how `crates/dsp/src/simd/` confines the
+//! vector-kernel intrinsics. The workspace has no registry access, so
+//! instead of the `libc` crate the syscall surface is declared by hand:
+//! six `extern "C"` signatures against the C library that `std` already
+//! links, plus the handful of constants they need, transcribed from the
+//! Linux UAPI headers.
+//!
+//! Everything exported from here is a safe wrapper with a complete
+//! safety argument:
+//!
+//! * [`Epoll`] — an `epoll(7)` instance. Soundness: the epoll fd is
+//!   owned (closed on drop, never copied out); registered fds are
+//!   borrowed only for the duration of each call and identified to the
+//!   kernel by value, so no aliasing of Rust-owned resources occurs; the
+//!   `events` buffer passed to `epoll_wait` is a live `&mut [EpollEvent]`
+//!   whose length bounds `maxevents`, so the kernel writes only into
+//!   memory we own.
+//! * [`WakeFd`] — an `eventfd(2)` wakeup channel. Soundness: the fd is
+//!   owned; reads and writes move a single 8-byte counter through a
+//!   stack buffer.
+//!
+//! A stale-token hazard (closing an fd that is still registered) is a
+//! *logic* bug, not a memory-safety one: the kernel detaches closed fds
+//! from every epoll set automatically.
+//!
+//! The module is Linux-only by construction (the workspace's CI targets);
+//! the `epoll_event` layout is packed on x86_64 and naturally aligned
+//! elsewhere, exactly as in the kernel UAPI.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `EPOLL_CLOEXEC` (`O_CLOEXEC`).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+/// `epoll_ctl` opcodes.
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+/// Event bits.
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+/// `eventfd` flags (`EFD_CLOEXEC` / `EFD_NONBLOCK`).
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// The kernel's `struct epoll_event`: packed on x86_64 (a historical
+/// ABI quirk the UAPI preserves), naturally aligned on other targets.
+/// Fields are read back only by value — packed fields must never be
+/// borrowed.
+#[derive(Clone, Copy, Default)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// The registration token this event fired for.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+
+    /// Bytes (or an accepted connection) are ready to read.
+    pub fn readable(&self) -> bool {
+        (self.events & EPOLLIN) != 0
+    }
+
+    /// The socket's send buffer has room again.
+    pub fn writable(&self) -> bool {
+        (self.events & EPOLLOUT) != 0
+    }
+
+    /// Peer closed (fully or its write side) or the fd errored; the
+    /// reactor treats all three as "read until EOF/error and tear down".
+    pub fn hangup(&self) -> bool {
+        (self.events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR)) != 0
+    }
+}
+
+mod ffi {
+    use super::EpollEvent;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+/// Builds the `events` mask for a registration: level-triggered by
+/// default, edge-triggered when `edge` (connection sockets), with
+/// `EPOLLRDHUP` so half-closes surface as events rather than silence.
+fn event_mask(readable: bool, writable: bool, edge: bool) -> u32 {
+    let mut mask = EPOLLRDHUP;
+    if readable {
+        mask |= EPOLLIN;
+    }
+    if writable {
+        mask |= EPOLLOUT;
+    }
+    if edge {
+        mask |= EPOLLET;
+    }
+    mask
+}
+
+/// An owned `epoll(7)` instance; see the module docs for the safety
+/// argument.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates an epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` errno as [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the returned fd is owned by the
+        // struct and closed exactly once, on drop.
+        let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `event` is a live stack value for the duration of the
+        // call; the kernel only reads it. `fd` is identified by value.
+        let rc = unsafe { ffi::epoll_ctl(self.fd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno as [`io::Error`].
+    pub fn add(
+        &self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+        edge: bool,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            event_mask(readable, writable, edge),
+            token,
+        )
+    }
+
+    /// Replaces `fd`'s interest set. On an edge-triggered registration
+    /// this also re-arms it: a condition already true fires a new event.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno as [`io::Error`].
+    pub fn modify(
+        &self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+        edge: bool,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            event_mask(readable, writable, edge),
+            token,
+        )
+    }
+
+    /// Removes `fd` from the interest set (a no-op error if the kernel
+    /// already detached it on close).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` errno as [`io::Error`].
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` for events, filling `events` from the
+    /// front; returns how many fired. `EINTR` retries internally.
+    ///
+    /// # Errors
+    ///
+    /// Any other `epoll_wait` errno as [`io::Error`].
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let cap = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+        loop {
+            // SAFETY: `events` is a live mutable slice; `maxevents` is
+            // clamped to its length, so the kernel writes only into it.
+            let n = unsafe { ffi::epoll_wait(self.fd, events.as_mut_ptr(), cap, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and this is its only close.
+        unsafe { ffi::close(self.fd) };
+    }
+}
+
+/// An owned `eventfd(2)` used to wake a shard's `epoll_wait` from
+/// another thread; see the module docs for the safety argument.
+///
+/// Thread-safe through `&self`: eventfd reads/writes are atomic 8-byte
+/// counter operations.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Creates a nonblocking, close-on-exec eventfd with counter 0.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` errno as [`io::Error`].
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the returned fd is owned by the
+        // struct and closed exactly once, on drop.
+        let fd = unsafe { ffi::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    /// The fd to register with an [`Epoll`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the fd readable, waking any `epoll_wait` watching it.
+    /// Best-effort: a full counter (`EAGAIN`) already means "a wakeup is
+    /// pending", which is all a caller needs.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        // SAFETY: `one` is a live 8-byte stack buffer the kernel reads.
+        unsafe { ffi::write(self.fd, one.as_ptr(), one.len()) };
+    }
+
+    /// Resets the counter to 0 so the fd stops reading as ready.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: `buf` is a live 8-byte stack buffer the kernel writes.
+        unsafe { ffi::read(self.fd, buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and this is its only close.
+        unsafe { ffi::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_fd_round_trip_makes_epoll_ready_then_quiet() {
+        let epoll = Epoll::new().expect("epoll");
+        let wake = WakeFd::new().expect("eventfd");
+        epoll
+            .add(wake.raw_fd(), 7, true, false, false)
+            .expect("register");
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(
+            epoll.wait(&mut events, 0).expect("wait"),
+            0,
+            "quiet at start"
+        );
+        wake.wake();
+        wake.wake(); // coalesces into the same counter
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].readable());
+        wake.drain();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0, "drained");
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_modification() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(server.as_raw_fd(), 42, true, false, true)
+            .expect("register");
+        let mut events = [EpollEvent::default(); 4];
+        client.write_all(b"ping").expect("write");
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert!(events[0].readable());
+        let mut buf = [0u8; 8];
+        let got = server.read(&mut buf).expect("read");
+        assert_eq!(&buf[..got], b"ping");
+
+        // MOD to write interest: an idle socket's send buffer has room,
+        // so the (edge) condition is already true and fires once.
+        epoll
+            .modify(server.as_raw_fd(), 42, false, true, true)
+            .expect("modify");
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert!(events[0].writable());
+
+        epoll.delete(server.as_raw_fd()).expect("delete");
+        client.write_all(b"x").expect("write");
+        assert_eq!(
+            epoll.wait(&mut events, 50).expect("wait"),
+            0,
+            "deregistered"
+        );
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(server.as_raw_fd(), 1, true, false, true)
+            .expect("register");
+        drop(client);
+        let mut events = [EpollEvent::default(); 4];
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert!(events[0].hangup());
+        drop(server);
+    }
+}

@@ -1,0 +1,278 @@
+//! Property tests of `FrameReader` under adversarial fragmentation: the
+//! nonblocking reactor path sees frames in whatever pieces the kernel
+//! hands it — 1-byte reads, `WouldBlock` between every piece, many
+//! connections interleaved — and must decode exactly what whole-frame
+//! delivery decodes, with the same typed negatives (truncation,
+//! oversize) at the same places.
+
+use hrv_psa::prelude::*;
+use hrv_psa::service::{write_frame, FramePoll, FrameReader, Reply, Request, MAX_FRAME};
+use proptest::prelude::*;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A `Read` source that delivers `data` in scripted chunk sizes
+/// (cycling through `chunks`), returning `WouldBlock` before every
+/// chunk — the worst-case readiness pattern an edge-triggered socket
+/// can produce.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+    blocked: bool,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        ChunkedReader {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+            blocked: false,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.done() {
+            return Ok(0);
+        }
+        if !self.blocked {
+            self.blocked = true;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        self.blocked = false;
+        let scripted = self.chunks[self.next_chunk % self.chunks.len()].max(1);
+        self.next_chunk += 1;
+        let n = scripted.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Polls `reader` over `src` to completion, collecting every reassembled
+/// frame body. `Pending` (a `WouldBlock`) just polls again — exactly how
+/// a reactor re-enters on the next readiness event.
+fn drive(reader: &mut FrameReader, src: &mut ChunkedReader) -> Result<Vec<Vec<u8>>, ServiceError> {
+    let mut frames = Vec::new();
+    let budget = src.data.len() * 4 + 16;
+    for _ in 0..budget {
+        match reader.poll(src)? {
+            FramePoll::Frame(body) => frames.push(body),
+            FramePoll::Pending => continue,
+            FramePoll::Closed => return Ok(frames),
+        }
+    }
+    panic!("reader made no progress within {budget} polls");
+}
+
+/// Encodes `requests` as one contiguous wire byte stream.
+fn wire_of(requests: &[Request]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for request in requests {
+        write_frame(&mut wire, &request.encode()).expect("write");
+    }
+    wire
+}
+
+/// A deterministic little request mix derived from proptest floats.
+fn requests_from(ids: &[f64]) -> Vec<Request> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let stream = (id * 1e6) as u64;
+            match i % 3 {
+                0 => Request::OpenStream { stream },
+                1 => Request::PushRr {
+                    stream,
+                    samples: vec![(id, 0.8), (id + 0.8, 0.81)],
+                },
+                _ => Request::ReadReport { stream },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fragmented_delivery_decodes_identically_to_whole_frames(
+        ids in prop::collection::vec(0.0f64..9e3, 1..6),
+        chunks_f in prop::collection::vec(1.0f64..17.0, 1..32),
+    ) {
+        let requests = requests_from(&ids);
+        let wire = wire_of(&requests);
+        // Whole delivery: the entire stream in one chunk.
+        let whole = drive(
+            &mut FrameReader::new(),
+            &mut ChunkedReader::new(wire.clone(), vec![wire.len()]),
+        ).expect("whole");
+        // Adversarial delivery: scripted 1..16-byte chunks, WouldBlock
+        // between every one.
+        let chunks: Vec<usize> = chunks_f.iter().map(|&c| c as usize).collect();
+        let fragged = drive(
+            &mut FrameReader::new(),
+            &mut ChunkedReader::new(wire, chunks),
+        ).expect("fragmented");
+        prop_assert_eq!(&fragged, &whole);
+        let decoded: Vec<Request> = fragged
+            .iter()
+            .map(|body| Request::decode(body).expect("decode"))
+            .collect();
+        prop_assert_eq!(decoded, requests);
+    }
+
+    #[test]
+    fn interleaved_connections_reassemble_independently(
+        ids_a in prop::collection::vec(0.0f64..9e3, 1..5),
+        ids_b in prop::collection::vec(0.0f64..9e3, 1..5),
+        chunks_f in prop::collection::vec(1.0f64..9.0, 1..16),
+        schedule in prop::collection::vec(0.0f64..2.0, 4..32),
+    ) {
+        let requests = [requests_from(&ids_a), requests_from(&ids_b)];
+        let chunks: Vec<usize> = chunks_f.iter().map(|&c| c as usize).collect();
+        let mut sources = [
+            ChunkedReader::new(wire_of(&requests[0]), chunks.clone()),
+            ChunkedReader::new(wire_of(&requests[1]), chunks),
+        ];
+        let mut readers = [FrameReader::new(), FrameReader::new()];
+        let mut frames: [Vec<Vec<u8>>; 2] = [Vec::new(), Vec::new()];
+        let mut closed = [false, false];
+        // Interleave single polls across the two connections in a
+        // proptest-chosen order — one reader's partial frame must never
+        // leak into the other's.
+        let budget = sources[0].data.len() * 4 + sources[1].data.len() * 4 + 64;
+        let mut step = 0usize;
+        while !(closed[0] && closed[1]) {
+            prop_assert!(step < budget, "no progress after {} polls", step);
+            let mut pick = schedule[step % schedule.len()] as usize;
+            if closed[pick] {
+                pick = 1 - pick;
+            }
+            match readers[pick].poll(&mut sources[pick]).expect("poll") {
+                FramePoll::Frame(body) => frames[pick].push(body),
+                FramePoll::Pending => {}
+                FramePoll::Closed => closed[pick] = true,
+            }
+            step += 1;
+        }
+        for conn in 0..2 {
+            let decoded: Vec<Request> = frames[conn]
+                .iter()
+                .map(|body| Request::decode(body).expect("decode"))
+                .collect();
+            prop_assert_eq!(&decoded, &requests[conn]);
+        }
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_typed_on_the_nonblocking_path(
+        ids in prop::collection::vec(0.0f64..9e3, 1..4),
+        chunks_f in prop::collection::vec(1.0f64..9.0, 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let wire = wire_of(&requests_from(&ids));
+        let cut = 1 + ((wire.len() - 2) as f64 * cut_frac) as usize;
+        let chunks: Vec<usize> = chunks_f.iter().map(|&c| c as usize).collect();
+        let outcome = drive(
+            &mut FrameReader::new(),
+            &mut ChunkedReader::new(wire[..cut].to_vec(), chunks),
+        );
+        match outcome {
+            // The cut landed on a frame boundary: a clean close, with
+            // every fully-delivered frame intact.
+            Ok(frames) => {
+                let replay = drive(
+                    &mut FrameReader::new(),
+                    &mut ChunkedReader::new(wire[..cut].to_vec(), vec![cut]),
+                ).expect("boundary replay");
+                prop_assert_eq!(frames, replay);
+            }
+            Err(err) => prop_assert!(
+                matches!(err, ServiceError::Truncated { .. }),
+                "cut {} of {} gave {:?}", cut, wire.len(), err
+            ),
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_byte_by_byte(extra in 1.0f64..1e6) {
+        let len = MAX_FRAME + extra as usize;
+        let mut wire = (len as u32).to_be_bytes().to_vec();
+        wire.extend([0u8; 8]);
+        // One byte per readiness event: the bound must fire the moment
+        // the fourth header byte lands, before any body allocation.
+        let outcome = drive(
+            &mut FrameReader::new(),
+            &mut ChunkedReader::new(wire, vec![1]),
+        );
+        prop_assert_eq!(
+            outcome.unwrap_err(),
+            ServiceError::FrameTooLarge { len, max: MAX_FRAME }
+        );
+    }
+}
+
+/// End-to-end dribble over real TCP: a client that trickles its frames
+/// one byte at a time must still be served by the edge-triggered
+/// reactor (partial reads park the connection until the next readiness
+/// event; nothing busy-waits, nothing times out).
+#[test]
+fn gateway_serves_a_one_byte_at_a_time_client() {
+    let handle = Gateway::start(GatewayConfig::default()).expect("gateway");
+    let mut conn = TcpStream::connect(handle.local_addr()).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+
+    let mut reader = FrameReader::new();
+    let mut exchange = |request: &Request| -> Reply {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &request.encode()).expect("encode");
+        for byte in wire {
+            conn.write_all(&[byte]).expect("write byte");
+            conn.flush().expect("flush");
+            // A tiny pause defeats loopback coalescing often enough to
+            // exercise genuine 1..n-byte reads on the reactor side.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        loop {
+            match reader.poll(&mut conn).expect("reply poll") {
+                FramePoll::Frame(body) => return Reply::decode(&body).expect("decode"),
+                FramePoll::Pending => continue,
+                FramePoll::Closed => panic!("gateway closed mid-exchange"),
+            }
+        }
+    };
+
+    assert!(matches!(
+        exchange(&Request::Hello {
+            version: hrv_psa::service::PROTOCOL_VERSION
+        }),
+        Reply::HelloAck { .. }
+    ));
+    assert!(matches!(
+        exchange(&Request::OpenStream { stream: 9 }),
+        Reply::StreamOpened { stream: 9 }
+    ));
+    let pushed = exchange(&Request::PushRr {
+        stream: 9,
+        samples: vec![(0.8, 0.8), (1.6, 0.8)],
+    });
+    match pushed {
+        Reply::Pushed(p) => assert_eq!((p.accepted, p.gated), (2, 0)),
+        other => panic!("expected Pushed, got {other:?}"),
+    }
+    drop(conn);
+    let reports = handle.shutdown().expect("shutdown");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].ingest.accepted, 2);
+}
